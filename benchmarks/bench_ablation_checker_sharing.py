@@ -1,0 +1,65 @@
+"""Experiment E7 (ablation) -- shared checker versus one checker per invariance.
+
+Section IV-4 of the paper: "Alternatively, we can employ a single comparator
+and switch it to check invariances sequentially.  This choice reduces the area
+overhead at the expense of test time."  The ablation quantifies that trade-off
+with the area and test-time models and verifies that the *coverage* is
+unaffected by the choice (the same invariant signals are checked either way),
+which is what makes it a pure area/time trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import (CheckingMode, TestTimeModel, area_overhead,
+                        format_table)
+from repro.defects import DefectCampaign, SamplingPlan
+
+SEED = 20200309
+N_SAMPLES = 60
+
+
+def _coverage(deltas, mode):
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas, mode=mode,
+                              stop_on_detection=True)
+    result = campaign.run(SamplingPlan(exhaustive=False, n_samples=N_SAMPLES),
+                          rng=np.random.default_rng(SEED))
+    return result.overall_report().coverage.value
+
+
+def test_checker_sharing_tradeoff(benchmark, adc, deltas):
+    """Quantify the sequential-vs-parallel checker trade-off."""
+    model = TestTimeModel()
+    sequential_coverage = benchmark.pedantic(
+        _coverage, args=(deltas, CheckingMode.SEQUENTIAL), rounds=1,
+        iterations=1)
+    parallel_coverage = _coverage(deltas, CheckingMode.PARALLEL)
+
+    rows = []
+    for label, mode, coverage in (
+            ("sequential (1 shared checker)", CheckingMode.SEQUENTIAL,
+             sequential_coverage),
+            ("parallel (6 checkers)", CheckingMode.PARALLEL,
+             parallel_coverage)):
+        area = area_overhead(adc, mode=mode)
+        rows.append([label,
+                     f"{model.test_time(mode) * 1e6:.2f}",
+                     f"{area.overhead_percent:.2f}%",
+                     f"{100 * coverage:.1f}%"])
+    print()
+    print(format_table(
+        ["checker configuration", "test time (us)", "area overhead",
+         f"L-W coverage ({N_SAMPLES} LWRS samples)"],
+        rows, title="Ablation -- checker sharing: area versus test time "
+                    "(Section IV-4)"))
+
+    # The trade-off of the paper: sharing costs test time, saves area ...
+    assert model.test_time(CheckingMode.SEQUENTIAL) == pytest.approx(
+        6 * model.test_time(CheckingMode.PARALLEL))
+    assert area_overhead(adc, mode=CheckingMode.PARALLEL).overhead_percent > \
+        area_overhead(adc, mode=CheckingMode.SEQUENTIAL).overhead_percent
+    # ... while detection capability is unchanged.
+    assert sequential_coverage == pytest.approx(parallel_coverage)

@@ -1,0 +1,47 @@
+"""Experiment E4 -- Section IV-4: SymBIST area overhead.
+
+The paper estimates the area overhead of the SymBIST infrastructure (5-bit
+counter, window comparator(s), non-intrusive switches and buffers) at less
+than 5 % of the IP.  The benchmark reproduces that estimate from the area
+model for both checker-sharing strategies and prints the infrastructure
+breakdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CheckingMode, area_overhead, format_table
+from repro.digital import digital_ip_gate_count
+
+
+def test_area_overhead(benchmark, adc):
+    """Regenerate the < 5 % area-overhead estimate."""
+    digital_gates = digital_ip_gate_count()
+    sequential = benchmark.pedantic(
+        area_overhead, args=(adc,),
+        kwargs={"mode": CheckingMode.SEQUENTIAL, "digital_gates": digital_gates},
+        rounds=3, iterations=1)
+    parallel = area_overhead(adc, mode=CheckingMode.PARALLEL,
+                             digital_gates=digital_gates)
+
+    rows = []
+    for label, report in (("sequential (shared checker)", sequential),
+                          ("parallel (6 checkers)", parallel)):
+        rows.append([label, f"{report.ip_analog_ge:.0f}",
+                     f"{report.ip_digital_ge:.0f}",
+                     f"{report.bist_total_ge:.0f}",
+                     f"{report.overhead_percent:.2f}%"])
+    print()
+    print(format_table(
+        ["configuration", "IP analog area (GE)", "IP digital area (GE)",
+         "SymBIST area (GE)", "overhead"],
+        rows, title="Section IV-4 -- SymBIST area overhead (paper: < 5 %)"))
+    breakdown_rows = [[name, f"{value:.0f}"]
+                      for name, value in sequential.bist_breakdown.items()]
+    print(format_table(["SymBIST infrastructure item", "area (GE)"],
+                       breakdown_rows))
+
+    assert sequential.overhead_percent < 5.0
+    assert parallel.overhead_percent < 8.0
+    assert parallel.bist_total_ge > sequential.bist_total_ge

@@ -1,0 +1,73 @@
+"""Experiment E6 -- detection dynamics and the cost of defect simulation.
+
+Table I of the paper reports per-block defect-simulation times and explains
+that, with stop-on-detection enabled, the campaign cost depends on how many
+defects are detected and *when* during the test they are detected (Fig. 5
+shows some defects detectable during the whole test, others only in specific
+conversion periods).  The benchmark reproduces those dynamics on a sampled
+campaign: the distribution of first-detection cycles and the simulation-time
+saving of stop-on-detection versus always running the full test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import format_table
+from repro.defects import DefectCampaign, SamplingPlan
+
+SEED = 20200309
+N_SAMPLES = 70
+
+
+def _campaign(deltas, stop_on_detection):
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas,
+                              stop_on_detection=stop_on_detection)
+    return campaign.run(SamplingPlan(exhaustive=False, n_samples=N_SAMPLES),
+                        rng=np.random.default_rng(SEED))
+
+
+def test_detection_time_and_stop_on_detection(benchmark, deltas):
+    """Regenerate the stop-on-detection cost model of Section V / Table I."""
+    with_stop = benchmark.pedantic(_campaign, args=(deltas, True),
+                                   rounds=1, iterations=1)
+    without_stop = _campaign(deltas, False)
+
+    detected = [r for r in with_stop.records if r.detected]
+    detection_cycles = [r.detection_cycle for r in detected]
+    time_with = sum(r.modeled_sim_time for r in with_stop.records)
+    time_without = sum(r.modeled_sim_time for r in without_stop.records)
+
+    quartiles = np.percentile(detection_cycles, [25, 50, 75]) if detected else \
+        [0, 0, 0]
+    rows = [
+        ["defects simulated", N_SAMPLES, N_SAMPLES],
+        ["defects detected", len(detected),
+         sum(1 for r in without_stop.records if r.detected)],
+        ["modelled campaign time (s)", f"{time_with:.0f}", f"{time_without:.0f}"],
+        ["mean cycles per defect",
+         f"{np.mean([r.cycles_run for r in with_stop.records]):.1f}",
+         f"{np.mean([r.cycles_run for r in without_stop.records]):.1f}"],
+    ]
+    print()
+    print(format_table(["quantity", "stop-on-detection", "full test"],
+                       rows, title="Defect-simulation cost with and without "
+                                   "stop-on-detection"))
+    print(f"first-detection counter cycle quartiles (detected defects): "
+          f"{quartiles[0]:.0f} / {quartiles[1]:.0f} / {quartiles[2]:.0f} "
+          f"(32 codes per pass)")
+    by_inv = with_stop.detections_by_invariance()
+    print("detections per invariance:", by_inv)
+
+    # Stop-on-detection must save simulation time (the point of the option).
+    assert time_with < time_without
+    # Both campaigns agree on what is detected (the option only changes cost).
+    assert [r.detected for r in with_stop.records] == \
+        [r.detected for r in without_stop.records]
+    # Detection cycles span the test: some defects fire immediately, others
+    # only at specific counter codes (Fig. 5 behaviour).
+    assert detected
+    assert min(detection_cycles) <= 2
+    assert max(detection_cycles) >= 8

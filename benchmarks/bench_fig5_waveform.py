@@ -1,0 +1,131 @@
+"""Experiment E2 -- Fig. 5: the Eq. (3) invariance waveform under defects.
+
+Fig. 5 of the paper shows the invariant signal ``DAC+ + DAC-`` (checked
+against ``2*Vcm``) over the test duration for the defect-free circuit and for
+three randomly chosen defects inside the blocks covered by that invariance
+(the sub-DACs, the SC array and the Vcm generator), together with the
+``+/- delta`` comparison window.  Key qualitative observations reproduced
+here:
+
+* the defect-free trace stays inside the window for the whole test (the
+  switching glitches between settled samples do not trigger the clocked
+  checker);
+* the Vcm-generator defect is detectable during the entire test;
+* the SUBDAC1 and SC-array defects are detectable only during specific
+  conversion periods (code-dependent deviation).
+
+The benchmark writes the four series to ``benchmarks/output/fig5_waveform.csv``
+and prints a per-trace summary.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.adc import SarAdc
+from repro.circuit import GlitchModel
+from repro.core import (SymBistController, WindowComparator, build_invariances,
+                        format_table)
+from repro.defects import DefectKind, build_defect_universe, DefectInjector
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: The three defective cases of Fig. 5 (block, device, defect style).
+FIG5_DEFECTS = [
+    ("subdac1", "swp_24", "open"),        # defect within SUBDAC1
+    ("sc_array", "cm_p", "passive_high"),  # defect within the SC array
+    ("vcm_generator", "r_top", "passive_high"),  # defect within the Vcm gen.
+]
+
+
+def _controller(adc, deltas):
+    checkers = [WindowComparator(name=n, delta=d) for n, d in deltas.items()]
+    return SymBistController(adc, checkers,
+                             glitch_model=GlitchModel(samples_per_cycle=6))
+
+
+def _dac_sum_series(adc, deltas):
+    """Times, glitchy residual waveform and settled samples of Eq. (3)."""
+    result = _controller(adc, deltas).run()
+    trace = result.waveforms["dac_sum"]
+    return result, list(trace.times), list(trace.values)
+
+
+def _find_defect(universe, block, device, style):
+    for defect in universe.by_block(block):
+        if defect.device_name != device:
+            continue
+        if style == "open" and defect.kind is DefectKind.OPEN:
+            return defect
+        if style == "short" and defect.kind is DefectKind.SHORT:
+            return defect
+        if style == "passive_high" and defect.kind is DefectKind.PASSIVE_HIGH:
+            return defect
+    raise AssertionError(f"no defect found for {block}/{device}/{style}")
+
+
+def test_fig5_invariance_waveform(benchmark, deltas):
+    """Regenerate the Fig. 5 series and verify their qualitative shape."""
+    adc = SarAdc()
+    delta = deltas["dac_sum"]
+    universe = build_defect_universe(adc.build_hierarchy())
+    injector = DefectInjector(adc.build_hierarchy())
+
+    # Benchmark the defect-free waveform generation (one full glitch-annotated
+    # SymBIST run).
+    result_free, times, free_values = benchmark.pedantic(
+        _dac_sum_series, args=(adc, deltas), rounds=1, iterations=1)
+    assert result_free.passed
+
+    series = {"defect_free": free_values}
+    detection_profile = {}
+    for block, device, style in FIG5_DEFECTS:
+        defect = _find_defect(universe, block, device, style)
+        with injector.injected(defect):
+            result, _, values = _dac_sum_series(adc, deltas)
+        series[block] = values
+        check = result.check_results["dac_sum"]
+        detection_profile[block] = (result.detected, len(check.violations),
+                                    check.n_cycles)
+
+    # ------------------------------------------------------------- CSV output
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    csv_path = OUTPUT_DIR / "fig5_waveform.csv"
+    header = ["time_s", "window_low", "window_high"] + list(series)
+    lines = [",".join(header)]
+    for index, time in enumerate(times):
+        row = [f"{time:.9g}", f"{-delta:.6g}", f"{delta:.6g}"]
+        row += [f"{series[name][index]:.6g}" for name in series]
+        lines.append(",".join(row))
+    csv_path.write_text("\n".join(lines) + "\n")
+
+    # ------------------------------------------------------------- reporting
+    rows = []
+    for name, values in series.items():
+        worst = max(abs(v) for v in values)
+        detected, n_violations, n_cycles = detection_profile.get(
+            name, (False, 0, 32))
+        rows.append([name, f"{worst * 1e3:.2f}", f"{delta * 1e3:.2f}",
+                     "yes" if detected else "no",
+                     f"{n_violations}/{n_cycles}"])
+    print()
+    print(format_table(
+        ["trace", "worst |residual| (mV)", "delta (mV)", "detected",
+         "violating cycles"],
+        rows, title="Fig. 5 -- DAC+ + DAC- - 2*Vcm invariance under defects"))
+    print(f"series written to {csv_path}")
+
+    # ------------------------------------------------------- shape assertions
+    # Defect-free: all settled samples inside the window.
+    settled_free = result_free.settled_residuals["dac_sum"]
+    assert all(abs(v) <= delta for v in settled_free)
+    # Vcm generator defect: detectable during the entire test duration.
+    vcm_detected, vcm_violations, vcm_cycles = detection_profile["vcm_generator"]
+    assert vcm_detected and vcm_violations == vcm_cycles
+    # SUBDAC1 / SC-array defects: detected, but only in some conversion periods.
+    for block in ("subdac1", "sc_array"):
+        detected, violations, cycles = detection_profile[block]
+        assert detected
+        assert 0 < violations < cycles

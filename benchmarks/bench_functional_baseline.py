@@ -1,0 +1,102 @@
+"""Experiment E8 (baseline) -- SymBIST versus functional (specification) test.
+
+The introduction of the paper motivates SymBIST by the cost of functional,
+conversion-based ADC testing (and the resulting absence of defect-oriented ADC
+BIST: "the long ADC simulation time ... prohibits a defect simulation
+campaign").  This benchmark runs both approaches on the same LWRS defect
+sample and compares:
+
+* defect-detection capability (defects flagged by an invariance violation
+  versus defects that violate at least one datasheet specification);
+* per-device test time (1.23 us for SymBIST versus hundreds of conversions
+  for the functional suite);
+* campaign cost (wall-clock per simulated defect), which is exactly the
+  argument for why the fast SymBIST test enables whole-IP defect simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import TestTimeModel, format_table, run_symbist
+from repro.defects import DefectInjector, SamplingPlan, build_defect_universe, \
+    lwrs_sample
+from repro.functional_test import FunctionalBistBaseline
+
+SEED = 20200309
+N_DEFECTS = 24  # functional simulation of a defect costs hundreds of conversions
+
+
+def _compare(deltas):
+    adc = SarAdc()
+    hierarchy = adc.build_hierarchy()
+    universe = build_defect_universe(hierarchy)
+    injector = DefectInjector(hierarchy)
+    sample = lwrs_sample(universe, N_DEFECTS, np.random.default_rng(SEED))
+    baseline = FunctionalBistBaseline(linearity_span_codes=48,
+                                      samples_per_code=4, sine_samples=128)
+
+    rows = []
+    symbist_detected = functional_detected = 0
+    symbist_wall = functional_wall = 0.0
+    functional_conversions = 0
+    for defect in sample:
+        with injector.injected(defect):
+            start = time.perf_counter()
+            sym = run_symbist(adc, deltas, stop_on_detection=True)
+            symbist_wall += time.perf_counter() - start
+            start = time.perf_counter()
+            func = baseline.run(adc)
+            functional_wall += time.perf_counter() - start
+        symbist_detected += int(sym.detected)
+        functional_detected += int(func.detected)
+        functional_conversions += func.conversions_used
+        rows.append((defect, sym.detected, func.detected))
+    return (rows, symbist_detected, functional_detected, symbist_wall,
+            functional_wall, functional_conversions)
+
+
+def test_symbist_vs_functional_baseline(benchmark, deltas):
+    """Compare detection and cost of SymBIST against the functional baseline."""
+    (rows, symbist_detected, functional_detected, symbist_wall,
+     functional_wall, functional_conversions) = benchmark.pedantic(
+        _compare, args=(deltas,), rounds=1, iterations=1)
+
+    model = TestTimeModel()
+    symbist_time = model.test_time()
+    functional_time = model.functional_test_time(
+        functional_conversions // max(len(rows), 1))
+
+    table = [
+        ["defects simulated", len(rows), len(rows)],
+        ["defects detected", symbist_detected, functional_detected],
+        ["on-chip test time per device",
+         f"{symbist_time * 1e6:.2f} us",
+         f"{functional_time * 1e6:.1f} us"],
+        ["campaign wall-clock (s, behavioral model)",
+         f"{symbist_wall:.1f}", f"{functional_wall:.1f}"],
+    ]
+    print()
+    print(format_table(["quantity", "SymBIST (defect-oriented)",
+                        "functional baseline (spec-based)"],
+                       table, title="SymBIST versus functional test on the "
+                                    "same LWRS defect sample"))
+    both = sum(1 for _, s, f in rows if s and f)
+    only_symbist = sum(1 for _, s, f in rows if s and not f)
+    only_functional = sum(1 for _, s, f in rows if f and not s)
+    print(f"agreement: both={both}, only SymBIST={only_symbist}, "
+          f"only functional={only_functional}")
+
+    # SymBIST's on-chip test is an order of magnitude (or more) faster.
+    assert functional_time > 10 * symbist_time
+    # The behavioral campaign cost mirrors the paper's argument: simulating a
+    # functional test per defect is far more expensive than simulating SymBIST.
+    assert functional_wall > 2 * symbist_wall
+    # Both methods must catch a substantial share of the sampled defects and
+    # SymBIST must not be grossly inferior to the specification test.
+    assert symbist_detected >= 0.5 * len(rows)
+    assert symbist_detected >= functional_detected - len(rows) // 4

@@ -1,0 +1,57 @@
+"""Experiment E3 -- Section IV-5: SymBIST test time.
+
+The paper computes the sequential-checking test time as
+``6 * 2^5 * (1 / f_clk) = 1.23 us`` at 156 MHz and notes it equals about 16x
+the time to convert one analog input sample.  The benchmark reproduces that
+arithmetic from the test-time model *and* from an actual simulated run of the
+BIST controller, and reports the parallel-checking variant for comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import (CheckingMode, SymBistController, TestTimeModel,
+                        WindowComparator, format_table)
+
+
+def _simulated_test_time(adc, deltas, mode):
+    checkers = [WindowComparator(name=n, delta=d) for n, d in deltas.items()]
+    controller = SymBistController(adc, checkers, mode=mode)
+    return controller.run()
+
+
+def test_symbist_test_time(benchmark, adc, deltas):
+    """Regenerate the test-time numbers of Section IV-5."""
+    model = TestTimeModel()
+    result = benchmark.pedantic(_simulated_test_time,
+                                args=(adc, deltas, CheckingMode.SEQUENTIAL),
+                                rounds=3, iterations=1)
+    parallel = _simulated_test_time(adc, deltas, CheckingMode.PARALLEL)
+
+    rows = [
+        ["sequential (paper scenario)", model.test_cycles(CheckingMode.SEQUENTIAL),
+         f"{model.test_time(CheckingMode.SEQUENTIAL) * 1e6:.3f}",
+         f"{result.test_time * 1e6:.3f}",
+         f"{model.test_time_in_conversions(CheckingMode.SEQUENTIAL):.1f}x"],
+        ["parallel (one checker per invariance)",
+         model.test_cycles(CheckingMode.PARALLEL),
+         f"{model.test_time(CheckingMode.PARALLEL) * 1e6:.3f}",
+         f"{parallel.test_time * 1e6:.3f}",
+         f"{model.test_time_in_conversions(CheckingMode.PARALLEL):.1f}x"],
+    ]
+    print()
+    print(format_table(
+        ["checking mode", "clock cycles", "model test time (us)",
+         "simulated test time (us)", "vs one conversion"],
+        rows, title="Section IV-5 -- SymBIST test time at f_clk = 156 MHz "
+                    "(paper: 1.23 us, ~16x one conversion)"))
+
+    # Paper claims.
+    assert model.test_time(CheckingMode.SEQUENTIAL) * 1e6 == pytest.approx(
+        1.23, abs=0.01)
+    assert result.test_time * 1e6 == pytest.approx(1.23, abs=0.01)
+    assert model.test_time_in_conversions(CheckingMode.SEQUENTIAL) == \
+        pytest.approx(16.0, abs=0.1)
+    assert parallel.test_time == pytest.approx(result.test_time / 6, rel=1e-9)

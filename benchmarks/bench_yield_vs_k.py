@@ -1,0 +1,53 @@
+"""Experiment E5 -- window calibration: yield loss versus the k multiplier.
+
+The paper sets ``delta = k * sigma`` with ``k = 5`` "so as to guarantee that
+yield loss is negligible" (Section VI).  The benchmark sweeps k, reporting the
+analytic Gaussian yield-loss model and the empirical estimate over the
+calibration Monte Carlo population, and checks that k = 5 indeed gives
+(essentially) zero defect-free failures while small k values would cost yield.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import yield_loss_sweep
+from repro.core import format_table
+
+K_VALUES = (2.0, 3.0, 4.0, 5.0, 6.0)
+
+
+def test_yield_loss_versus_k(benchmark, calibration):
+    """Regenerate the yield-loss-versus-k trade-off behind the k = 5 choice."""
+    points = benchmark.pedantic(yield_loss_sweep,
+                                args=(calibration,),
+                                kwargs={"k_values": K_VALUES},
+                                rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        empirical = "n/a" if point.empirical is None else \
+            f"{100 * point.empirical:.2f}%"
+        rows.append([f"{point.k:.0f}",
+                     f"{point.analytic_single_check:.3g}",
+                     f"{point.analytic_ppm:.3g}",
+                     empirical])
+    print()
+    print(format_table(
+        ["k", "P(|residual| > k*sigma) per check", "analytic yield loss (ppm)",
+         f"empirical yield loss ({calibration.n_samples} MC instances)"],
+        rows, title="delta = k * sigma calibration -- yield loss versus k "
+                    "(paper uses k = 5)"))
+    print("calibrated windows:",
+          {name: f"{delta * 1e3:.2f} mV" if delta < 1 else f"{delta:.2f} V"
+           for name, delta in calibration.deltas.items()})
+
+    by_k = {point.k: point for point in points}
+    # k = 5: negligible yield loss, empirically zero failures.
+    assert by_k[5.0].empirical == 0.0
+    assert by_k[5.0].analytic_ppm < 10.0
+    # Small windows would fail good parts.
+    assert by_k[2.0].analytic_per_run > by_k[5.0].analytic_per_run * 100
+    # Yield loss decreases monotonically with k.
+    analytic = [by_k[k].analytic_per_run for k in K_VALUES]
+    assert all(b <= a for a, b in zip(analytic, analytic[1:]))

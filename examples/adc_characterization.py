@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Characterise the behavioral SAR ADC with the functional-test suite.
+
+Uses the device-under-test model on its own (no BIST involved): static
+linearity from a reduced-code ramp, dynamic performance from a coherent sine
+capture, and servo-loop measurements of the major-carry transitions.  This is
+the kind of bench characterisation the functional-BIST literature cited in the
+paper's introduction tries to move on-chip -- and the number of conversions it
+needs is the reason the paper argues defect-oriented testing must be faster.
+
+Run with::
+
+    python examples/adc_characterization.py [--defective]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.adc import SarAdc, check_specification
+from repro.core import TestTimeModel, format_table
+from repro.functional_test import (major_transition_codes,
+                                   reduced_code_linearity_test,
+                                   servo_linearity_probe, sine_fit_test)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--defective", action="store_true",
+                        help="inject a capacitor mismatch defect first")
+    parser.add_argument("--span-codes", type=int, default=64)
+    parser.add_argument("--sine-samples", type=int, default=512)
+    args = parser.parse_args()
+
+    adc = SarAdc()
+    if args.defective:
+        adc.sarcell.dac.sc_array.netlist.device("cm_p").defect.value_scale = 1.5
+        print("injected defect: +50 % deviation of the MSB capacitor "
+              "(positive side) in the SC array\n")
+
+    conversions = 0
+
+    print("== static linearity (reduced-code ramp) ==")
+    linearity = reduced_code_linearity_test(adc, span_codes=args.span_codes,
+                                            samples_per_code=4)
+    conversions += args.span_codes * 4
+    print(format_table(["metric", "value"], [
+        ["DNL max (LSB)", f"{linearity.dnl_max_lsb:.3f}"],
+        ["INL max (LSB)", f"{linearity.inl_max_lsb:.3f}"],
+        ["offset (LSB)", f"{linearity.offset_lsb:.2f}"],
+        ["gain error (%)", f"{linearity.gain_error_percent:.3f}"],
+        ["missing codes", linearity.missing_codes],
+    ]))
+
+    print("\n== dynamic performance (coherent sine capture) ==")
+    dynamic = sine_fit_test(adc, n_samples=args.sine_samples)
+    conversions += args.sine_samples
+    print(format_table(["metric", "value"], [
+        ["SNDR (dB)", f"{dynamic.sndr_db:.1f}"],
+        ["ENOB (bits)", f"{dynamic.enob_bits:.2f}"],
+        ["SFDR (dB)", f"{dynamic.sfdr_db:.1f}"],
+    ]))
+
+    print("\n== servo-loop probe of the major-carry transitions ==")
+    codes = major_transition_codes()[:4]
+    servo = servo_linearity_probe(adc, codes, tolerance=1e-3)
+    rows = [[code, f"{m.level * 1e3:.2f}", m.conversions_used]
+            for code, m in servo.items()]
+    conversions += sum(m.conversions_used for m in servo.values())
+    print(format_table(["code", "transition level (mV, differential)",
+                        "conversions used"], rows))
+
+    performance = linearity.as_performance()
+    performance.enob_bits = dynamic.enob_bits
+    violations = check_specification(performance)
+    verdict = "PASS" if not violations else f"FAIL ({', '.join(violations)})"
+    model = TestTimeModel()
+    total_time = model.functional_test_time(conversions)
+    print(f"\nspecification check: {verdict}")
+    print(f"total conversions: {conversions}  "
+          f"(~{total_time * 1e6:.1f} us of converter time, versus 1.23 us "
+          f"for the SymBIST test)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Field/ATE view: drive SymBIST through the 2-pin TAM and diagnose failures.
+
+Shows the two extensions built on top of the paper's flow:
+
+* the 2-pin digital test access mechanism (Section IV-4 mentions SymBIST is
+  compatible with one): an ATE-style session that launches the self-test and
+  reads back the sticky status, the per-invariance fail map and the first
+  detection cycle;
+* invariance-signature diagnosis: ranking the candidate blocks from the fail
+  map and the violation timing, the information a product engineer would use
+  to steer failure analysis.
+
+Run with::
+
+    python examples/diagnosis_and_tam.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.adc import SarAdc
+from repro.core import (SymBistTam, calibrate_windows, format_table,
+                        run_symbist)
+from repro.defects import DefectKind, DefectInjector, build_defect_universe, \
+    diagnose
+
+SHOWCASE = [
+    ("vcm_generator", "r_top", DefectKind.PASSIVE_HIGH),
+    ("subdac1", "swp_24", DefectKind.OPEN),
+    ("sc_array", "cm_p", DefectKind.PASSIVE_HIGH),
+    ("comparator_latch", "mn_clk", DefectKind.OPEN),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--monte-carlo", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    calibration = calibrate_windows(n_monte_carlo=args.monte_carlo,
+                                    rng=np.random.default_rng(args.seed))
+    adc = SarAdc()
+    hierarchy = adc.build_hierarchy()
+    universe = build_defect_universe(hierarchy)
+    injector = DefectInjector(hierarchy)
+
+    print("== ATE session over the 2-pin TAM (defect-free part) ==")
+    report = SymBistTam(adc, calibration.deltas).run_and_report()
+    print(f"  pass = {report['passed']}, TCK cycles = {report['tck_cycles']}, "
+          f"session time = {report['session_time'] * 1e6:.2f} us")
+
+    print("\n== Failing parts: TAM readout + diagnosis ==")
+    rows = []
+    for block, device, kind in SHOWCASE:
+        defect = next(d for d in universe.by_block(block)
+                      if d.device_name == device and d.kind is kind)
+        with injector.injected(defect):
+            tam_report = SymBistTam(adc, calibration.deltas).run_and_report()
+            result = run_symbist(adc, calibration.deltas)
+            diagnosis = diagnose(result)
+        rows.append([
+            f"{block}/{device}",
+            "FAIL" if not tam_report["passed"] else "PASS",
+            ",".join(tam_report["failing_invariances"]),
+            str(tam_report["first_detection_cycle"]),
+            " > ".join(diagnosis.ranked_blocks()[:3]),
+        ])
+    print(format_table(
+        ["injected defect", "TAM status", "fail map", "first cycle",
+         "diagnosis (top-3 blocks)"], rows))
+
+    print("\nThe true defective block appears in the top-3 diagnosis for each "
+          "case; the fail map and first-cycle readout are exactly what the "
+          "2-pin interface exposes to the tester.")
+
+
+if __name__ == "__main__":
+    main()

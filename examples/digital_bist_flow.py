@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Standard digital BIST flow for the purely digital blocks of the IP.
+
+The paper's IP-level strategy (Fig. 1) pairs SymBIST on the A/M-S blocks with
+"standard digital BIST" on the purely digital ones.  This example runs that
+digital side: scan insertion, random and greedy ATPG, and the LFSR/MISR logic
+BIST, for the SAR logic, the SAR control and the phase generator.
+
+Run with::
+
+    python examples/digital_bist_flow.py [--patterns 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import format_table
+from repro.digital import (LogicBist, build_phase_generator, build_sar_control,
+                           build_sar_logic, greedy_atpg, insert_scan,
+                           random_atpg)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--patterns", type=int, default=64,
+                        help="pseudo-random patterns per block")
+    args = parser.parse_args()
+
+    rows = []
+    for name, builder in (("sar_logic", build_sar_logic),
+                          ("sar_control", build_sar_control),
+                          ("phase_generator", build_phase_generator)):
+        netlist = builder()
+        chain = insert_scan(netlist)
+        atpg = random_atpg(netlist, chain, n_patterns=args.patterns, seed=7)
+        compact = greedy_atpg(netlist, chain, candidate_patterns=2 * args.patterns,
+                              seed=7)
+        bist = LogicBist(netlist, chain).run(n_patterns=args.patterns)
+        rows.append([name,
+                     f"{netlist.n_gates}/{netlist.n_flops}",
+                     chain.length,
+                     f"{100 * atpg.coverage:.1f}%",
+                     f"{100 * compact.coverage:.1f}% ({compact.n_patterns})",
+                     f"{100 * bist.fault_coverage:.1f}%",
+                     f"0x{bist.golden_signature:04x}",
+                     f"{bist.test_time * 1e6:.2f}"])
+
+    print(format_table(
+        ["block", "gates/flops", "scan cells",
+         f"random ATPG ({args.patterns})", "greedy ATPG (patterns)",
+         "logic BIST", "golden signature", "BIST time (us)"],
+        rows, title="Standard digital BIST of the SAR ADC's digital blocks"))
+
+    print("\nUndetected faults are dominated by random-pattern-resistant "
+          "sites (one-hot pulse decoders); a deterministic ATPG pass or "
+          "test-point insertion would close them, as in production flows.")
+
+
+if __name__ == "__main__":
+    main()

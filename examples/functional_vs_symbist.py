@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare SymBIST against the specification-based functional test.
+
+For a handful of representative defects (one per A/M-S block class), run both
+the SymBIST test and the functional baseline and report which approach detects
+the defect and at what on-chip test cost.  This is the experiment behind the
+paper's motivation: defect-oriented SymBIST reaches comparable detection at a
+tiny fraction of the test time.
+
+Run with::
+
+    python examples/functional_vs_symbist.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.adc import SarAdc
+from repro.core import TestTimeModel, calibrate_windows, format_table, run_symbist
+from repro.defects import DefectKind, DefectInjector, build_defect_universe
+from repro.functional_test import FunctionalBistBaseline
+
+#: Representative defects: (label, block, device, defect kind).
+SHOWCASE = [
+    ("reference ladder short", "reference_buffer", "rlad_10", DefectKind.SHORT),
+    ("sub-DAC switch open", "subdac1", "swp_16", DefectKind.OPEN),
+    ("SC-array cap +50%", "sc_array", "cm_p", DefectKind.PASSIVE_HIGH),
+    ("Vcm divider +50%", "vcm_generator", "r_top", DefectKind.PASSIVE_HIGH),
+    ("pre-amp tail open", "preamplifier", "mn_tail", DefectKind.OPEN),
+    ("latch clock open", "comparator_latch", "mn_clk", DefectKind.OPEN),
+    ("auto-zero cap open", "offset_compensation", "c_az_p", DefectKind.OPEN),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--monte-carlo", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    calibration = calibrate_windows(n_monte_carlo=args.monte_carlo,
+                                    rng=np.random.default_rng(args.seed))
+    adc = SarAdc()
+    hierarchy = adc.build_hierarchy()
+    universe = build_defect_universe(hierarchy)
+    injector = DefectInjector(hierarchy)
+    baseline = FunctionalBistBaseline(linearity_span_codes=48,
+                                      samples_per_code=4, sine_samples=128)
+    model = TestTimeModel()
+
+    rows = []
+    for label, block, device, kind in SHOWCASE:
+        defect = next(d for d in universe.by_block(block)
+                      if d.device_name == device and d.kind is kind)
+        with injector.injected(defect):
+            sym = run_symbist(adc, calibration.deltas, stop_on_detection=True)
+            func = baseline.run(adc)
+        sym_status = (f"detected ({sym.first_detection[0]})"
+                      if sym.detected else "escaped")
+        func_status = ("detected (" + ", ".join(func.violations) + ")"
+                       if func.violations else
+                       "detected (gross failure)" if func.gross_failure
+                       else "escaped")
+        rows.append([label, block, sym_status, func_status])
+
+    print(format_table(
+        ["defect", "block", "SymBIST (1.23 us)",
+         f"functional test "
+         f"({model.functional_test_time(baseline.ramp_points + 128) * 1e6:.0f} us)"],
+        rows, title="Defect detection: SymBIST versus the functional baseline"))
+
+    speedup = model.speedup_vs_functional(baseline.ramp_points + 128)
+    print(f"\nSymBIST test-time advantage over this functional suite: "
+          f"{speedup:.0f}x per device")
+    print("Undetected cases (if any) illustrate the paper's closing remark: "
+          "escapes should be analysed for whether they violate any "
+          "specification at all.")
+
+
+if __name__ == "__main__":
+    main()

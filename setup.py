@@ -1,0 +1,4 @@
+"""Setup shim for environments where PEP 660 editable installs are unavailable."""
+from setuptools import setup
+
+setup()

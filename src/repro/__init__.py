@@ -1,0 +1,59 @@
+"""SymBIST reproduction: symmetry-based A/M-S BIST on a behavioral SAR ADC IP.
+
+Reproduction of "Symmetry-based A/M-S BIST (SymBIST): Demonstration on a SAR
+ADC IP" (Pavlidis, Louerat, Faehn, Kumar, Stratigopoulos -- DATE 2020).
+
+Subpackages
+-----------
+``repro.circuit``
+    Behavioral circuit-simulation substrate: devices, netlists, nodal solver,
+    cycle-based transient engine, process variations.
+``repro.adc``
+    The device under test: a structural + behavioral model of the 65 nm
+    10-bit SAR ADC IP (bandgap, reference buffer, sub-DACs, SC array,
+    comparator chain, Vcm generator, SAR logic / control).
+``repro.core``
+    The paper's contribution: the six invariances, the clocked window
+    comparator, the counter stimulus, the BIST controller, delta = k*sigma
+    calibration, test-time and area models.
+``repro.defects``
+    Defect model, defect-universe extraction, likelihood weighting, LWRS
+    sampling, campaign runner, likelihood-weighted coverage (Table I).
+``repro.digital``
+    Gate-level substrate and standard digital BIST (scan, ATPG, LFSR/MISR)
+    for the purely digital blocks.
+``repro.functional_test``
+    Functional ADC test baseline (ramp/histogram linearity, sine-fit ENOB,
+    servo loop, specification-based detection).
+``repro.analysis``
+    Monte Carlo driver, statistics helpers and the yield-loss-versus-k model.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.adc import SarAdc
+>>> from repro.core import calibrate_windows, run_symbist
+>>> calibration = calibrate_windows(n_monte_carlo=25,
+...                                 rng=np.random.default_rng(0))
+>>> adc = SarAdc()
+>>> result = run_symbist(adc, calibration.deltas)
+>>> result.passed
+True
+"""
+
+from . import adc, analysis, circuit, core, defects, digital, functional_test
+from .adc import SarAdc
+from .circuit import ReproError
+from .core import (SymBistController, SymBistResult, SymBistStimulus,
+                   WindowCalibration, calibrate_windows, run_symbist)
+from .defects import DefectCampaign, SamplingPlan, build_defect_universe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DefectCampaign", "ReproError", "SamplingPlan", "SarAdc",
+    "SymBistController", "SymBistResult", "SymBistStimulus",
+    "WindowCalibration", "__version__", "adc", "analysis",
+    "build_defect_universe", "calibrate_windows", "circuit", "core",
+    "defects", "digital", "functional_test", "run_symbist",
+]

@@ -1,0 +1,199 @@
+"""Bandgap reference -- the bias generator of the SAR ADC IP.
+
+Paper context (Section III): "Bandgap: It creates the required biasing for all
+ADC blocks."  The bandgap output feeds the reference buffer (which derives the
+``VREF<0:32>`` ladder), the Vcm generator and the comparator bias, which is
+why defects inside it are observable through the SymBIST invariances even
+though no invariance taps the bandgap directly: a shifted bandgap voltage
+moves Vcm (invariance Eq. (3)) and a collapsed bias current kills the
+pre-amplifier common mode and the latch (invariances Eqs. (4)-(5)).
+
+The model is a classic first-order bandgap:
+
+``V_BG = V_BE + (R2 / R1) * V_T * ln(N)``
+
+with ``N`` the emitter-area ratio of the two bipolars, implemented around a
+differential amplifier and PMOS mirror.  The structural netlist contains the
+two PNPs, three resistors and eight MOS devices; defects are translated into
+shifts of ``V_BG`` and of the bias current through the resistor network
+equations and the amplifier defect mapping of :mod:`repro.adc.behavioral`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuit.units import VDD, VSS
+from .behavioral import (MosState, PassiveState, combine_effects,
+                         diff_stage_effect, mos_state, passive_state)
+from .block import AnalogBlock
+
+#: Thermal voltage at room temperature.
+_VT = 0.02585
+#: Emitter-area ratio between the two bandgap bipolars.
+_AREA_RATIO = 8.0
+#: Nominal base-emitter voltage of the unit bipolar.
+_VBE_NOMINAL = 0.65
+
+
+@dataclass
+class BandgapOutput:
+    """Outputs of the bandgap block.
+
+    Attributes
+    ----------
+    vbg:
+        Bandgap reference voltage (nominally ~1.2 V, here scaled so that the
+        derived full-scale reference equals the supply).
+    ibias:
+        Master bias current distributed to the analog blocks, in amperes.
+    """
+
+    vbg: float
+    ibias: float
+
+
+class Bandgap(AnalogBlock):
+    """Behavioral bandgap reference with a structural defect surface."""
+
+    block_path = "bandgap"
+
+    #: Nominal bandgap voltage targeted by the design (scaled to VDD here so
+    #: that the reference-buffer full scale is rail-to-rail, as is common for
+    #: low-voltage SAR ADC references).
+    VBG_NOMINAL = 1.2
+    #: Nominal master bias current.
+    IBIAS_NOMINAL = 20e-6
+
+    def __init__(self, name: str = "bandgap") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        # Bipolar core: Q1 (unit area) and Q2 (N x area) with the PTAT resistor.
+        nl.add_pnp("q1", c="vss", b="vss", e="ve1", area=1.0)
+        nl.add_pnp("q2", c="vss", b="vss", e="ve2", area=_AREA_RATIO)
+        nl.add_resistor("r1", p="vx2", n="ve2", value=20e3)     # PTAT resistor
+        nl.add_resistor("r2", p="vbg", n="vx2", value=204.6e3)  # gain resistor
+        nl.add_resistor("r3", p="vbg", n="ibias_node", value=60e3)  # I_bias set
+        # Error amplifier (differential pair + mirror) and output / mirror PMOS.
+        # The amplifier and mirror devices are drawn long and wide for matching
+        # and low flicker noise, so their area (and defect likelihood) is
+        # large compared to digital-style devices elsewhere in the IP.
+        nl.add_nmos("mn_in_p", d="na", g="ve1", s="ntail", w=8e-6, l=0.4e-6)
+        nl.add_nmos("mn_in_n", d="nb", g="vx2", s="ntail", w=8e-6, l=0.4e-6)
+        nl.add_nmos("mn_tail", d="ntail", g="nbias", s="vss", w=10e-6, l=0.4e-6)
+        nl.add_pmos("mp_load_p", d="na", g="na", s="vdd", w=12e-6, l=0.5e-6)
+        nl.add_pmos("mp_load_n", d="nb", g="na", s="vdd", w=12e-6, l=0.5e-6)
+        nl.add_pmos("mp_out", d="vbg", g="nb", s="vdd", w=16e-6, l=0.5e-6)
+        nl.add_pmos("mp_mirror", d="ibias_out", g="nb", s="vdd", w=16e-6,
+                    l=0.5e-6)
+        nl.add_nmos("mn_start", d="nbias", g="vbg", s="vss", w=2e-6)
+
+        # Behavioral parameters subject to process variation.
+        self.declare_parameter("vbe", _VBE_NOMINAL, sigma=2e-3)
+        self.declare_parameter("vbg_trim", 0.0, sigma=1.5e-3)
+        self.declare_parameter("ibias_mismatch", 1.0, sigma=0.005)
+
+    # ------------------------------------------------------------------ model
+    def evaluate(self) -> BandgapOutput:
+        """Compute the bandgap voltage and bias current, defects included."""
+        nl = self.netlist
+        vbe = self.parameter("vbe")
+        trim = self.parameter("vbg_trim")
+
+        # Effective resistor values (defects map to short / open / +-50 %).
+        r1_state, r1 = passive_state(nl.device("r1"))
+        r2_state, r2 = passive_state(nl.device("r2"))
+        r3_state, r3 = passive_state(nl.device("r3"))
+
+        # Bipolar defects.
+        q1, q2 = nl.device("q1"), nl.device("q2")
+        vbe_eff = vbe
+        ptat_scale = 1.0
+        core_dead = False
+        for q, is_unit in ((q1, True), (q2, False)):
+            defect = q.defect
+            if defect.is_clean:
+                continue
+            pair = defect.shorted_terminals
+            if pair is not None:
+                terms = set(pair)
+                if terms == {"b", "e"}:
+                    # Base-emitter short removes the junction voltage.
+                    if is_unit:
+                        vbe_eff = 0.05
+                    else:
+                        ptat_scale = 0.0
+                elif terms == {"c", "e"}:
+                    core_dead = True
+                else:  # collector-base short: diode-connected, degraded PTAT
+                    ptat_scale *= 0.6
+            elif defect.open_terminal is not None:
+                if defect.open_terminal == "e":
+                    core_dead = True
+                else:
+                    ptat_scale *= 0.3
+
+        # PTAT term through the resistor ratio.
+        if r1_state is PassiveState.SHORTED:
+            ptat = 0.0 if r1 <= 0 else (r2 / max(r1, 1e-3)) * _VT * math.log(_AREA_RATIO)
+            ptat = min(ptat, VDD)  # ratio explodes -> output saturates
+        elif r1_state is PassiveState.OPEN:
+            ptat = 0.0
+            core_dead = True
+        else:
+            if r2_state is PassiveState.SHORTED:
+                ptat = 0.0
+            elif r2_state is PassiveState.OPEN:
+                # Feedback broken: output runs to the supply.
+                return self._railed_output(VDD)
+            else:
+                ptat = (r2 / r1) * _VT * math.log(_AREA_RATIO) * ptat_scale
+
+        # Error amplifier / mirror defects.
+        # mp_mirror only feeds the distributed bias branch; its defects are
+        # handled separately below and must not disturb the core loop.
+        roles = {
+            "mn_in_p": "input_pos", "mn_in_n": "input_neg",
+            "mn_tail": "tail", "mp_load_p": "load_pos",
+            "mp_load_n": "load_neg", "mp_out": "bias",
+            "mn_start": "bias",
+        }
+        effects = []
+        for dev_name, role in roles.items():
+            dev = nl.device(dev_name)
+            if dev.has_defect:
+                effects.append(diff_stage_effect(role, dev, severity=0.5))
+        amp = combine_effects(effects)
+
+        if core_dead or amp.bias_scale == 0.0:
+            return self._railed_output(VSS if core_dead else VDD)
+
+        vbg = (vbe_eff + ptat) * amp.gain_scale ** 0.1 + amp.offset * 0.2 \
+            + amp.cm_shift * 0.5 + trim
+        vbg = min(max(vbg, 0.0), VDD * 1.05)
+
+        # The master bias current mirrors vbg across R3.
+        if r3_state is PassiveState.OPEN:
+            ibias = 0.0
+        elif r3_state is PassiveState.SHORTED:
+            ibias = self.IBIAS_NOMINAL * 5.0
+        else:
+            ibias = (vbg / r3) * self.parameter("ibias_mismatch") * amp.bias_scale
+        # mp_mirror stuck off kills the distributed bias even if vbg is fine.
+        if mos_state(nl.device("mp_mirror")) is MosState.STUCK_OFF:
+            ibias = 0.0
+
+        return BandgapOutput(vbg=vbg, ibias=max(ibias, 0.0))
+
+    def _railed_output(self, rail: float) -> BandgapOutput:
+        """Output when the core is dead or the loop has run away."""
+        ibias = 0.0 if rail <= 0.1 else self.IBIAS_NOMINAL * 3.0
+        return BandgapOutput(vbg=rail, ibias=ibias)
+
+    # -------------------------------------------------------------- observers
+    def observables(self) -> Dict[str, float]:
+        """Signals exported to the waveform recorder."""
+        out = self.evaluate()
+        return {"VBG": out.vbg, "IBIAS": out.ibias}

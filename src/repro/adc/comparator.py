@@ -1,0 +1,443 @@
+"""Comparator chain: pre-amplifier, comparator latch, RS latch, offset compensation.
+
+Paper context (Section III): "Comparator: It compares the two outputs of the
+DAC and the outcome of the comparison is driven to the SAR Logic block in
+order to set the corresponding digital bit.  It comprises a pre-amplifier, a
+comparator latch, an RS latch, and an offset compensation circuit for the
+pre-amplifier."  Table I of the paper reports defect coverage for each of the
+four pieces separately, so each is modelled as its own block here.
+
+SymBIST observes the chain through three invariances (Eqs. (4)-(5)):
+
+* ``LIN+ + LIN- = 2*Vcm2`` -- the pre-amplifier is fully differential, so its
+  output common mode is constant;
+* ``sgn(Q+ - Q-) = sgn(LIN+ - LIN-)`` -- the latched decision must agree with
+  the pre-amplifier polarity;
+* ``Q+ + Q- = VDD`` -- the latch outputs are complementary.
+
+The pre-amplifier output saturation is modelled with an odd (tanh) limiter, so
+the common-mode invariance holds by construction even when the outputs clip,
+exactly like a well-designed fully-differential stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..circuit.units import VCM2_NOMINAL, VDD, VSS
+from .bandgap import Bandgap
+from .behavioral import (MosState, PassiveState, combine_effects,
+                         diff_stage_effect, mos_state, passive_state,
+                         switch_state)
+from .block import AnalogBlock
+
+
+@dataclass
+class PreampOutput:
+    """Fully-differential pre-amplifier outputs (``LIN+`` / ``LIN-``)."""
+
+    lin_p: float
+    lin_m: float
+
+    @property
+    def differential(self) -> float:
+        return self.lin_p - self.lin_m
+
+    @property
+    def common_mode(self) -> float:
+        return 0.5 * (self.lin_p + self.lin_m)
+
+
+class OffsetCompensation(AnalogBlock):
+    """Auto-zero network that cancels most of the pre-amplifier offset.
+
+    Structure: two storage capacitors and two sampling switches.  The benign
+    defects (capacitor opens and value deviations, stuck-open switches) merely
+    disable the compensation and leave a small residual offset -- which no
+    SymBIST invariance observes, because a pure differential offset does not
+    move the output common mode nor break the decision/polarity consistency.
+    Only the catastrophic defects (a shorted storage capacitor pinning one
+    pre-amplifier output, a stuck-on switch leaking charge into the signal
+    path) are observable.  This is the behaviour behind the very low
+    likelihood-weighted coverage of the block in Table I of the paper.
+    """
+
+    block_path = "offset_compensation"
+
+    #: Fraction of the raw pre-amplifier offset cancelled by the network.
+    COMPENSATION_FACTOR = 0.95
+
+    def __init__(self, name: str = "offset_compensation") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        nl.add_capacitor("c_az_p", p="az_p", n="preamp_out_p", value=1e-12)
+        nl.add_capacitor("c_az_n", p="az_n", n="preamp_out_n", value=1e-12)
+        nl.add_switch("sw_az_p", p="az_p", n="vcm2", ctrl="phi_az", ron=1e3)
+        nl.add_switch("sw_az_n", p="az_n", n="vcm2", ctrl="phi_az", ron=1e3)
+        self.declare_parameter("residual_offset", 0.0, sigma=0.2e-3)
+
+    def evaluate(self) -> Tuple[float, float, Optional[str]]:
+        """Return ``(compensation_factor, extra_offset, stuck_output)``.
+
+        ``stuck_output`` identifies a pre-amplifier output pinned by a shorted
+        auto-zero capacitor (``"p"`` or ``"n"``), or ``None``.
+        """
+        factor = self.COMPENSATION_FACTOR
+        extra_offset = self.parameter("residual_offset")
+        stuck: Optional[str] = None
+
+        for side in ("p", "n"):
+            cap = self.netlist.device(f"c_az_{side}")
+            state, _ = passive_state(cap)
+            if state is PassiveState.SHORTED:
+                stuck = side
+            elif state is PassiveState.OPEN:
+                factor = 0.0
+            elif cap.defect.value_scale != 1.0:
+                factor = min(factor, 0.90)
+
+            sw = self.netlist.device(f"sw_az_{side}")
+            closed_during_az = switch_state(sw, nominal_on=True)
+            closed_during_compare = switch_state(sw, nominal_on=False)
+            if not closed_during_az:
+                factor = 0.0
+            if closed_during_compare:
+                # The auto-zero switch leaks during the comparison and injects
+                # charge into one side of the signal path.
+                sign = 1.0 if side == "p" else -1.0
+                extra_offset += sign * 0.08
+        return factor, extra_offset, stuck
+
+
+class Preamplifier(AnalogBlock):
+    """Fully-differential pre-amplifier in front of the comparator latch."""
+
+    block_path = "preamplifier"
+
+    #: Nominal differential gain.
+    GAIN_NOMINAL = 12.0
+    #: Maximum single-ended output excursion around the common mode.
+    SWING_LIMIT = 0.45
+
+    def __init__(self, name: str = "preamplifier") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        # Matched input pair and tail source: large-area analog devices.
+        nl.add_nmos("mn_in_p", d="out_n", g="dac_p", s="tail", w=12e-6,
+                    l=0.25e-6)
+        nl.add_nmos("mn_in_n", d="out_p", g="dac_m", s="tail", w=12e-6,
+                    l=0.25e-6)
+        nl.add_nmos("mn_tail", d="tail", g="nbias", s="vss", w=16e-6,
+                    l=0.25e-6)
+        nl.add_resistor("r_load_p", p="vdd", n="out_p", value=30e3)
+        nl.add_resistor("r_load_n", p="vdd", n="out_n", value=30e3)
+
+        self.declare_parameter("raw_offset", 0.0, sigma=4e-3)
+        self.declare_parameter("vcm2", VCM2_NOMINAL, sigma=2e-3)
+        self.declare_parameter("gain", self.GAIN_NOMINAL, sigma=0.4)
+
+    # ------------------------------------------------------------------ model
+    def evaluate(self, dac_p: float, dac_m: float, ibias: float,
+                 offset_comp: OffsetCompensation) -> PreampOutput:
+        """Amplify the DAC differential voltage into ``LIN+`` / ``LIN-``."""
+        comp_factor, extra_offset, stuck_side = offset_comp.evaluate()
+        offset = self.parameter("raw_offset") * (1.0 - comp_factor) \
+            + extra_offset
+
+        # Bias-current dependence: the output common mode sits at
+        # VDD - I*R/2 per side; losing the bias pushes both outputs to VDD.
+        bias_ratio = max(ibias, 0.0) / Bandgap.IBIAS_NOMINAL
+        vcm2 = VDD - bias_ratio * (VDD - self.parameter("vcm2"))
+        gain = self.parameter("gain") * math.sqrt(max(bias_ratio, 0.0))
+
+        # Structural defects of the stage.
+        roles = {"mn_in_p": "input_pos", "mn_in_n": "input_neg",
+                 "mn_tail": "tail"}
+        effects = []
+        for dev_name, role in roles.items():
+            dev = self.netlist.device(dev_name)
+            if dev.has_defect:
+                effects.append(diff_stage_effect(role, dev, severity=1.0))
+        # Resistive loads: a short pins that output to VDD, an open lets the
+        # input device pull it to ground, value deviations shift the CM and
+        # create offset.
+        load_effects = []
+        for side in ("p", "n"):
+            dev = self.netlist.device(f"r_load_{side}")
+            if not dev.has_defect:
+                continue
+            state, value = passive_state(dev)
+            key = "stuck_positive" if side == "p" else "stuck_negative"
+            if state is PassiveState.SHORTED:
+                load_effects.append(_stage_stuck(key, VDD))
+            elif state is PassiveState.OPEN:
+                load_effects.append(_stage_stuck(key, VSS))
+            else:
+                # The voltage drop across that load changes, which moves the
+                # stage common mode and creates a differential imbalance.
+                scale = dev.defect.value_scale
+                sign = 1.0 if side == "p" else -1.0
+                shift = (1.0 - scale) * (VDD - vcm2) * 0.5
+                load_effects.append(_stage_shift(cm_shift=shift,
+                                                 offset=sign * shift * 0.2))
+        amp = combine_effects(effects + load_effects)
+
+        gain *= max(amp.gain_scale, 0.0)
+        vcm2 += amp.cm_shift
+        offset += amp.offset
+
+        diff_in = dac_p - dac_m + offset
+        swing = self.SWING_LIMIT
+        diff_out = 2.0 * swing * math.tanh(gain * diff_in / (2.0 * swing))
+
+        lin_p = vcm2 + 0.5 * diff_out
+        lin_m = vcm2 - 0.5 * diff_out
+        if amp.stuck_positive is not None:
+            lin_p = amp.stuck_positive
+        if amp.stuck_negative is not None:
+            lin_m = amp.stuck_negative
+        if stuck_side == "p":
+            lin_p = 0.2
+        elif stuck_side == "n":
+            lin_m = 0.2
+        lin_p = min(max(lin_p, VSS), VDD)
+        lin_m = min(max(lin_m, VSS), VDD)
+        return PreampOutput(lin_p=lin_p, lin_m=lin_m)
+
+
+def _stage_stuck(key: str, value: float):
+    """Build a StageEffect with one stuck output (helper for load defects)."""
+    from .behavioral import StageEffect
+
+    return StageEffect(**{key: value, "gain_scale": 0.3})
+
+
+def _stage_shift(cm_shift: float, offset: float):
+    from .behavioral import StageEffect
+
+    return StageEffect(cm_shift=cm_shift, offset=offset, gain_scale=0.95)
+
+
+@dataclass
+class LatchOutput:
+    """Complementary latch outputs."""
+
+    q_p: float
+    q_m: float
+
+    @property
+    def decision(self) -> int:
+        """The logical decision: 1 when the positive output is high."""
+        return 1 if self.q_p > self.q_m else 0
+
+
+class ComparatorLatch(AnalogBlock):
+    """Clocked regenerative latch converting ``LIN+/-`` into logic levels."""
+
+    block_path = "comparator_latch"
+
+    def __init__(self, name: str = "comparator_latch") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        nl.add_nmos("mn_cross_p", d="ql_p", g="ql_n", s="latch_tail", w=3e-6)
+        nl.add_nmos("mn_cross_n", d="ql_n", g="ql_p", s="latch_tail", w=3e-6)
+        nl.add_pmos("mp_cross_p", d="ql_p", g="ql_n", s="vdd", w=6e-6)
+        nl.add_pmos("mp_cross_n", d="ql_n", g="ql_p", s="vdd", w=6e-6)
+        nl.add_nmos("mn_clk", d="latch_tail", g="clk", s="vss", w=4e-6)
+
+        self.declare_parameter("latch_offset", 0.0, sigma=1.5e-3)
+
+    def evaluate(self, lin_p: float, lin_m: float) -> LatchOutput:
+        """Resolve the pre-amplifier differential into complementary rails."""
+        decision_high = (lin_p - lin_m) > self.parameter("latch_offset")
+        q_p = VDD if decision_high else VSS
+        q_m = VSS if decision_high else VDD
+
+        clk_state = mos_state(self.netlist.device("mn_clk"))
+        if clk_state is MosState.STUCK_OFF:
+            # The latch never evaluates: both outputs stay precharged high.
+            return LatchOutput(q_p=VDD, q_m=VDD)
+        if clk_state is MosState.STUCK_ON:
+            # The latch is always evaluating; behaviourally it still resolves
+            # but with degraded levels.
+            q_p, q_m = q_p * 0.9, q_m * 0.9
+
+        # Cross-coupled devices: losing one of the four regeneration devices
+        # leaves the affected output fighting its precharge, so it settles at
+        # a defect-dependent intermediate level instead of a clean rail.
+        for name, target in (("mn_cross_p", "p"), ("mn_cross_n", "n")):
+            state = mos_state(self.netlist.device(name))
+            if state is MosState.STUCK_ON:
+                if target == "p":
+                    q_p = VSS
+                else:
+                    q_m = VSS
+            elif state is MosState.STUCK_OFF:
+                if target == "p":
+                    q_p = max(q_p, 0.7 * VDD)
+                else:
+                    q_m = max(q_m, 0.7 * VDD)
+            elif state is MosState.DEGRADED:
+                # Weakened pull-down: the high level is unaffected but a low
+                # output cannot be fully discharged.
+                if target == "p":
+                    q_p = max(q_p, 0.45 * VDD)
+                else:
+                    q_m = max(q_m, 0.45 * VDD)
+        for name, target in (("mp_cross_p", "p"), ("mp_cross_n", "n")):
+            state = mos_state(self.netlist.device(name))
+            if state is MosState.STUCK_ON:
+                if target == "p":
+                    q_p = VDD
+                else:
+                    q_m = VDD
+            elif state is MosState.STUCK_OFF:
+                if target == "p":
+                    q_p = min(q_p, 0.3 * VDD)
+                else:
+                    q_m = min(q_m, 0.3 * VDD)
+            elif state is MosState.DEGRADED:
+                # Weakened pull-up: the high level droops.
+                if target == "p":
+                    q_p = min(q_p, 0.62 * VDD)
+                else:
+                    q_m = min(q_m, 0.62 * VDD)
+        return LatchOutput(q_p=min(max(q_p, VSS), VDD),
+                           q_m=min(max(q_m, VSS), VDD))
+
+
+class RsLatch(AnalogBlock):
+    """RS latch that holds the comparator decision for the SAR logic."""
+
+    block_path = "rs_latch"
+
+    #: Threshold used to interpret the comparator-latch outputs as set/reset.
+    _THRESHOLD = 0.5 * VDD
+
+    def __init__(self, name: str = "rs_latch") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        # Two cross-coupled NAND gates, two transistors modelled per gate.
+        nl.add_pmos("mp_nand_a", d="q_p", g="q_n", s="vdd", w=2e-6)
+        nl.add_nmos("mn_nand_a", d="q_p", g="q_n", s="vss", w=1e-6)
+        nl.add_pmos("mp_nand_b", d="q_n", g="q_p", s="vdd", w=2e-6)
+        nl.add_nmos("mn_nand_b", d="q_n", g="q_p", s="vss", w=1e-6)
+        self._state = 0
+
+    def reset_state(self) -> None:
+        """Forget the stored decision (used between simulation runs)."""
+        self._state = 0
+
+    #: Band of comparator-latch levels considered "weak" (neither a clean low
+    #: nor a clean high); weak levels propagate through the RS gates instead
+    #: of being regenerated, like they would through real, ratioed logic.
+    _WEAK_LOW = 0.25 * VDD
+    _WEAK_HIGH = 0.8 * VDD
+
+    def evaluate(self, latch: LatchOutput) -> LatchOutput:
+        """Latch the comparator decision and drive complementary outputs."""
+        set_high = latch.q_p > self._THRESHOLD
+        reset_high = latch.q_m > self._THRESHOLD
+        if set_high and not reset_high:
+            self._state = 1
+        elif reset_high and not set_high:
+            self._state = 0
+        elif set_high and reset_high:
+            # Invalid input (both comparator outputs high): both RS outputs
+            # are driven high, which the complementary-output invariance sees.
+            return self._apply_defects(VDD, VDD)
+        # else: hold the previous state.
+        q_p = VDD if self._state else VSS
+        q_m = VSS if self._state else VDD
+        # A weak (mid-rail) comparator-latch level does not switch the RS gate
+        # cleanly; the corresponding output degrades instead of regenerating,
+        # which keeps such upstream defects observable at the checker.
+        if self._WEAK_LOW < latch.q_p < self._WEAK_HIGH:
+            q_p = latch.q_p
+        if self._WEAK_LOW < latch.q_m < self._WEAK_HIGH:
+            q_m = latch.q_m
+        return self._apply_defects(q_p, q_m)
+
+    def _apply_defects(self, q_p: float, q_m: float) -> LatchOutput:
+        for name, target, rail in (("mp_nand_a", "p", VDD),
+                                   ("mn_nand_a", "p", VSS),
+                                   ("mp_nand_b", "n", VDD),
+                                   ("mn_nand_b", "n", VSS)):
+            device = self.netlist.device(name)
+            state = mos_state(device)
+            if state is MosState.NORMAL:
+                continue
+            pair = device.defect.shorted_terminals
+            if state is MosState.DEGRADED:
+                if pair is not None and "b" in pair or \
+                        device.defect.open_terminal == "b":
+                    # Bulk-related degradation: the static levels still reach
+                    # the rails; the defect is benign for this latch.
+                    continue
+                # Gate-drain short: the output is loaded by the opposite
+                # output through the shorted gate and settles at a weak level.
+                value = 0.7 * VDD
+            elif state is MosState.STUCK_ON:
+                value = rail
+            else:  # STUCK_OFF: the output loses one of its drivers
+                value = VDD - rail if rail == VSS else q_p * 0.5 + 0.25 * VDD
+            if target == "p":
+                q_p = value
+            else:
+                q_m = value
+        return LatchOutput(q_p=min(max(q_p, VSS), VDD),
+                           q_m=min(max(q_m, VSS), VDD))
+
+
+@dataclass
+class ComparatorOutput:
+    """All comparator-chain signals observed by SymBIST."""
+
+    lin_p: float
+    lin_m: float
+    ql_p: float
+    ql_m: float
+    q_p: float
+    q_m: float
+
+    @property
+    def decision(self) -> int:
+        return 1 if self.q_p > self.q_m else 0
+
+    def as_signals(self) -> Dict[str, float]:
+        return {"LIN+": self.lin_p, "LIN-": self.lin_m,
+                "QL+": self.ql_p, "QL-": self.ql_m,
+                "Q+": self.q_p, "Q-": self.q_m}
+
+
+class Comparator:
+    """The full comparator chain of the SARCELL."""
+
+    def __init__(self) -> None:
+        self.preamplifier = Preamplifier()
+        self.latch = ComparatorLatch()
+        self.rs_latch = RsLatch()
+        self.offset_compensation = OffsetCompensation()
+
+    @property
+    def blocks(self):
+        """The analog sub-blocks, in Table I order."""
+        return (self.preamplifier, self.latch, self.rs_latch,
+                self.offset_compensation)
+
+    def clear_defects(self) -> None:
+        for block in self.blocks:
+            block.clear_defects()
+
+    def evaluate(self, dac_p: float, dac_m: float,
+                 ibias: float) -> ComparatorOutput:
+        """Run one comparison through the chain."""
+        pre = self.preamplifier.evaluate(dac_p, dac_m, ibias,
+                                         self.offset_compensation)
+        latched = self.latch.evaluate(pre.lin_p, pre.lin_m)
+        stored = self.rs_latch.evaluate(latched)
+        return ComparatorOutput(lin_p=pre.lin_p, lin_m=pre.lin_m,
+                                ql_p=latched.q_p, ql_m=latched.q_m,
+                                q_p=stored.q_p, q_m=stored.q_m)

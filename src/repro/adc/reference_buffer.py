@@ -1,0 +1,136 @@
+"""Reference buffer -- generates the comparison levels ``VREF<0:32>``.
+
+Paper context (Section III): "Reference Buffer: It creates the comparison
+levels VREF<0:32> used during the conversion."  The block is modelled as a
+unity-gain buffer driving a 32-segment resistor ladder whose 33 taps are the
+``VREF[j]`` levels used by the two sub-DACs (Eq. (1) of the paper) and by the
+switched-capacitor array.
+
+Defect behaviour worth noting (it is what produces the strikingly low L-W
+coverage of this block in Table I of the paper): defects in the *buffer*
+scale or rail the whole ladder uniformly, and because the SymBIST invariances
+``M+ + M- = VREF[32]`` and ``L+ + L- = VREF[32]`` are *ratiometric* (they
+compare sums of taps against another tap of the same ladder), a uniform scale
+is not observable.  Only defects that break the ladder symmetry -- individual
+segment shorts, opens and value deviations -- move the invariant signals.  The
+buffer devices are physically large (low output impedance), so they carry a
+high defect likelihood, and the likelihood-weighted coverage of the block ends
+up very low even though many ladder defects are detected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuit.errors import SolverError
+from ..circuit.solver import LinearNetwork
+from ..circuit.units import N_REF_LEVELS, VDD, VSS
+from .behavioral import (PassiveState, combine_effects, diff_stage_effect,
+                         passive_state)
+from .block import AnalogBlock
+
+#: Unit resistance of one ladder segment.
+_R_UNIT = 500.0
+
+
+class ReferenceBuffer(AnalogBlock):
+    """Behavioral reference buffer + 33-tap reference ladder."""
+
+    block_path = "reference_buffer"
+
+    def __init__(self, name: str = "reference_buffer") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        # Unity-gain buffer between the bandgap output and the ladder top.
+        # The devices are sized large (wide W) which gives them a large area
+        # proxy and hence a high defect likelihood.
+        nl.add_nmos("mn_in_p", d="ba", g="vbg", s="btail", w=4e-6)
+        nl.add_nmos("mn_in_n", d="bb", g="vref_top", s="btail", w=4e-6)
+        nl.add_nmos("mn_tail", d="btail", g="nbias", s="vss", w=5e-6)
+        nl.add_pmos("mp_load_p", d="ba", g="ba", s="vdd", w=6e-6)
+        nl.add_pmos("mp_load_n", d="bb", g="ba", s="vdd", w=6e-6)
+        nl.add_pmos("mp_out", d="vref_top", g="bb", s="vdd", w=8e-6)
+        # Compensation / decoupling around the buffer output.
+        nl.add_capacitor("c_comp", p="vref_top", n="vss", value=5e-12)
+        nl.add_resistor("r_fb", p="vref_top", n="bb", value=10e3)
+        nl.add_resistor("r_out", p="vref_top", n="tap_32", value=20.0)
+        # 32-segment reference ladder: tap_0 (bottom, VSS) ... tap_32 (top).
+        for seg in range(32):
+            nl.add_resistor(f"rlad_{seg:02d}", p=f"tap_{seg + 1}",
+                            n=f"tap_{seg}", value=_R_UNIT)
+
+        self.declare_parameter("buffer_gain", 1.0, sigma=0.001)
+        self.declare_parameter("buffer_offset", 0.0, sigma=1e-3)
+
+    # ------------------------------------------------------------------ model
+    def _buffer_output(self, vbg: float) -> float:
+        """Voltage driven onto the top of the ladder by the buffer."""
+        roles = {
+            "mn_in_p": "input_pos", "mn_in_n": "input_neg", "mn_tail": "tail",
+            "mp_load_p": "load_pos", "mp_load_n": "load_neg", "mp_out": "bias",
+        }
+        effects = []
+        for dev_name, role in roles.items():
+            dev = self.netlist.device(dev_name)
+            if dev.has_defect:
+                effects.append(diff_stage_effect(role, dev, severity=0.8))
+        amp = combine_effects(effects)
+
+        v_top = vbg * self.parameter("buffer_gain") + \
+            self.parameter("buffer_offset")
+        if amp.stuck_positive is not None:
+            v_top = amp.stuck_positive
+        elif amp.stuck_negative is not None:
+            v_top = amp.stuck_negative
+        else:
+            v_top = v_top * max(amp.gain_scale, 0.0) ** 0.2 \
+                + amp.offset * 0.5 + amp.cm_shift
+
+        # Feedback resistor open breaks the loop -> output runs to the supply.
+        fb_state, _ = passive_state(self.netlist.device("r_fb"))
+        if fb_state is PassiveState.OPEN:
+            v_top = VDD
+        # Decoupling capacitor shorted pulls the reference to ground.
+        comp_state, _ = passive_state(self.netlist.device("c_comp"))
+        if comp_state is PassiveState.SHORTED:
+            v_top = VSS
+        return min(max(v_top, VSS), VDD)
+
+    def evaluate(self, vbg: float) -> List[float]:
+        """Return the 33 reference levels ``VREF[0] .. VREF[32]``.
+
+        The ladder is solved by nodal analysis so that segment defects (10 ohm
+        shorts, opens with weak pulls, +-50 % deviations) redistribute the tap
+        voltages physically.
+        """
+        v_top = self._buffer_output(vbg)
+
+        net = LinearNetwork()
+        net.set_voltage("tap_0", VSS)
+        net.set_voltage("vdrive", v_top)
+        # The buffer drives the top tap through its (possibly defective)
+        # output resistance.
+        rout_state, rout_value = passive_state(self.netlist.device("r_out"))
+        if rout_state is PassiveState.OPEN:
+            # Ladder top floats: a weak pull to ground discharges it.
+            net.add_resistor("vdrive", "tap_32", rout_value)
+            net.add_resistor("tap_32", "tap_0", 1e7)
+        else:
+            net.add_resistor("vdrive", "tap_32", rout_value)
+
+        for seg in range(32):
+            state, value = passive_state(self.netlist.device(f"rlad_{seg:02d}"))
+            net.add_resistor(f"tap_{seg + 1}", f"tap_{seg}", value)
+
+        try:
+            solution = net.solve()
+        except SolverError:
+            # A pathological defect combination left a tap floating; report
+            # every tap at ground, which any downstream invariance will see.
+            return [VSS] * N_REF_LEVELS
+        return [solution[f"tap_{j}"] for j in range(N_REF_LEVELS)]
+
+    # -------------------------------------------------------------- observers
+    def observables(self, vbg: float) -> Dict[str, float]:
+        vref = self.evaluate(vbg)
+        return {"VREF0": vref[0], "VREF16": vref[16], "VREF32": vref[32]}

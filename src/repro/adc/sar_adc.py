@@ -1,0 +1,212 @@
+"""Top-level 10-bit SAR ADC IP (Fig. 2 of the paper).
+
+The :class:`SarAdc` class composes the SARCELL, the SAR control, the bandgap
+and the reference buffer and exposes the two operating modes used throughout
+the repository:
+
+* **conversion mode** (:meth:`convert`): the normal ADC function.  The SAR
+  logic performs the 10-step successive approximation using the DAC and the
+  comparator; used by the functional-test baseline and by the examples.
+* **SymBIST test mode** (:meth:`evaluate_test_cycle`): the DAC digital inputs
+  are driven by the BIST counter code (the same 5-bit value on ``B<0:4>`` and
+  ``B<5:9>``), the analog input is a constant fully-differential DC level, and
+  the method returns every node voltage observed by the invariances.
+
+The ADC also builds the :class:`~repro.circuit.netlist.NetlistHierarchy` that
+the defect-universe extractor walks, with one entry per analog block in the
+same order as Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.errors import SimulationError
+from ..circuit.netlist import NetlistHierarchy
+from ..circuit.units import ADC_BITS, VCM_NOMINAL, VDD
+from ..circuit.variation import VariationSpec
+from .bandgap import Bandgap
+from .block import AnalogBlock
+from .reference_buffer import ReferenceBuffer
+from .sar_control import SarControl
+from .sarcell import SarCell
+
+#: Default DC differential input applied during the SymBIST test.  The paper
+#: notes the value can be set arbitrarily; a non-zero value is used so that
+#: defects in the input sampling path remain observable, and it is chosen so
+#: that no counter code lands exactly on the comparator metastable point.
+DEFAULT_TEST_INPUT_DIFF = 0.275
+
+
+@dataclass
+class OperatingPoint:
+    """DC operating point shared by every cycle of a test or conversion.
+
+    The bandgap output, the bias current, the reference ladder and the input
+    levels do not depend on the counter / SAR code, so they are computed once
+    per run (after defect injection and Monte Carlo sampling) and reused.
+    """
+
+    vbg: float
+    ibias: float
+    vref: List[float]
+    in_p: float
+    in_m: float
+
+    @property
+    def vref_full_scale(self) -> float:
+        return self.vref[-1]
+
+
+class SarAdc:
+    """Behavioral 65 nm 10-bit SAR ADC IP model."""
+
+    def __init__(self) -> None:
+        self.bandgap = Bandgap()
+        self.reference_buffer = ReferenceBuffer()
+        self.sar_control = SarControl()
+        self.sarcell = SarCell()
+
+    # ----------------------------------------------------------------- blocks
+    @property
+    def analog_blocks(self) -> Tuple[AnalogBlock, ...]:
+        """All A/M-S blocks, ordered like Table I of the paper."""
+        cell = self.sarcell
+        return (self.bandgap, self.reference_buffer,
+                cell.dac.subdac1, cell.dac.subdac2, cell.dac.sc_array,
+                cell.vcm_generator, cell.comparator.preamplifier,
+                cell.comparator.latch, cell.comparator.rs_latch,
+                cell.comparator.offset_compensation)
+
+    def block(self, path: str) -> AnalogBlock:
+        """Return the analog block registered under hierarchy path ``path``."""
+        for blk in self.analog_blocks:
+            if blk.block_path == path:
+                return blk
+        raise SimulationError(f"the IP has no analog block {path!r}")
+
+    def build_hierarchy(self) -> NetlistHierarchy:
+        """Structural hierarchy of the A/M-S part, for defect extraction."""
+        hierarchy = NetlistHierarchy("sar_adc_ip")
+        for blk in self.analog_blocks:
+            hierarchy.register(blk.block_path, blk.netlist, group="ams")
+        return hierarchy
+
+    # ----------------------------------------------------------- defect state
+    def clear_defects(self) -> None:
+        for blk in self.analog_blocks:
+            blk.clear_defects()
+
+    @property
+    def has_defect(self) -> bool:
+        return any(blk.has_defect for blk in self.analog_blocks)
+
+    # -------------------------------------------------------------- variation
+    def sample_variation(self, rng: np.random.Generator,
+                         spec: Optional[VariationSpec] = None) -> None:
+        """Apply one Monte Carlo process-variation draw to every analog block."""
+        for blk in self.analog_blocks:
+            blk.sample_variation(rng, spec)
+
+    def reset_variation(self) -> None:
+        for blk in self.analog_blocks:
+            blk.reset_variation()
+
+    # --------------------------------------------------------------- op point
+    def operating_point(self, input_diff: float = DEFAULT_TEST_INPUT_DIFF,
+                        input_cm: float = VCM_NOMINAL) -> OperatingPoint:
+        """Compute the DC operating point (after any defect injection)."""
+        bg = self.bandgap.evaluate()
+        vref = self.reference_buffer.evaluate(bg.vbg)
+        return OperatingPoint(vbg=bg.vbg, ibias=bg.ibias, vref=vref,
+                              in_p=input_cm + 0.5 * input_diff,
+                              in_m=input_cm - 0.5 * input_diff)
+
+    # ------------------------------------------------------------ SymBIST mode
+    def evaluate_test_cycle(self, counter_code: int,
+                            op: Optional[OperatingPoint] = None,
+                            input_diff: float = DEFAULT_TEST_INPUT_DIFF
+                            ) -> Dict[str, float]:
+        """Evaluate one SymBIST test cycle.
+
+        The 5-bit ``counter_code`` is applied to both sub-DAC inputs
+        (``B<0:4>`` and ``B<5:9>``), exactly like the paper's test stimulus.
+        Returns every signal observed by the invariances plus the supply and
+        bias observables.
+        """
+        if not 0 <= counter_code <= 31:
+            raise SimulationError(
+                f"counter code must be in [0, 31], got {counter_code}")
+        if op is None:
+            op = self.operating_point(input_diff=input_diff)
+        outputs = self.sarcell.evaluate(counter_code, counter_code,
+                                        op.in_p, op.in_m, op.vbg, op.ibias,
+                                        op.vref)
+        signals = outputs.as_signals()
+        signals.update({
+            "VREF32": op.vref[32],
+            "VREF16": op.vref[16],
+            "VBG": op.vbg,
+            "IBIAS": op.ibias,
+            "IN+": op.in_p,
+            "IN-": op.in_m,
+            "VDD": VDD,
+        })
+        return signals
+
+    # --------------------------------------------------------- conversion mode
+    def convert(self, input_diff: float, input_cm: float = VCM_NOMINAL,
+                op: Optional[OperatingPoint] = None) -> int:
+        """Convert one fully-differential input sample to a 10-bit code."""
+        if op is None:
+            op = self.operating_point(input_diff=input_diff, input_cm=input_cm)
+        else:
+            op = OperatingPoint(vbg=op.vbg, ibias=op.ibias, vref=op.vref,
+                                in_p=input_cm + 0.5 * input_diff,
+                                in_m=input_cm - 0.5 * input_diff)
+        logic = self.sarcell.sar_logic
+        logic.start_conversion()
+        self.sarcell.comparator.rs_latch.reset_state()
+        for _ in range(logic.n_bits):
+            trial = logic.trial_code()
+            msb_code, lsb_code = trial >> 5, trial & 0x1F
+            outputs = self.sarcell.evaluate(msb_code, lsb_code,
+                                            op.in_p, op.in_m,
+                                            op.vbg, op.ibias, op.vref)
+            # The comparator output is high when DAC+ > DAC-, i.e. when the
+            # input is *below* the trial level; the bit is kept otherwise.
+            keep = 1 - outputs.comparator.decision
+            logic.apply_decision(keep)
+        return logic.result()
+
+    def convert_many(self, input_diffs: Iterable[float],
+                     input_cm: float = VCM_NOMINAL) -> List[int]:
+        """Convert a sequence of input samples, reusing one operating point."""
+        op = self.operating_point(input_diff=0.0, input_cm=input_cm)
+        codes = []
+        for diff in input_diffs:
+            codes.append(self.convert(float(diff), input_cm=input_cm, op=op))
+        return codes
+
+    # ----------------------------------------------------------------- ranges
+    def ideal_input_range(self) -> Tuple[float, float]:
+        """Approximate differential input range of the converter.
+
+        Derived from the charge-redistribution weights: the comparator
+        threshold for code ``c`` sits at ``(c - 528) * VREF_FS / 528``.
+        """
+        op = self.operating_point(input_diff=0.0)
+        vfs = op.vref_full_scale
+        low = -528.0 * vfs / 528.0
+        high = (1023.0 - 528.0) * vfs / 528.0
+        return low, high
+
+    def code_to_input(self, code: int) -> float:
+        """Ideal differential input corresponding to a 10-bit output code."""
+        if not 0 <= code < 2 ** ADC_BITS:
+            raise SimulationError(f"code must be a 10-bit value, got {code}")
+        op = self.operating_point(input_diff=0.0)
+        return (code - 528.0) * op.vref_full_scale / 528.0

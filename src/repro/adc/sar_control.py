@@ -1,0 +1,39 @@
+"""SAR Control -- generates the 12 control pulses P<0:11> (behavioral, digital).
+
+Paper context (Section III): "SAR Control: It creates 12 pulses P<0:11> used
+to control the sampling, conversion, and digital output capture phases in the
+SARCELL."  Like the phase generator and the SAR logic, it is a purely digital
+block tested with standard digital BIST in the paper; the behavioral model
+here drives the SARCELL timing, and a gate-level model for the digital-BIST
+experiment lives in :mod:`repro.digital.blocks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..circuit.errors import SimulationError
+
+#: Number of control pulses generated per conversion.
+N_PULSES = 12
+
+
+@dataclass
+class SarControl:
+    """One-hot pulse generator: pulse ``P<i>`` is high during cycle ``i``."""
+
+    n_pulses: int = N_PULSES
+
+    def pulses_for_cycle(self, cycle: int) -> List[int]:
+        """Return the 12 pulse values (one-hot) for clock cycle ``cycle``."""
+        if cycle < 0:
+            raise SimulationError(f"cycle index must be non-negative, got {cycle}")
+        position = cycle % self.n_pulses
+        return [1 if i == position else 0 for i in range(self.n_pulses)]
+
+    def active_pulse(self, cycle: int) -> int:
+        """Index of the pulse active during ``cycle``."""
+        if cycle < 0:
+            raise SimulationError(f"cycle index must be non-negative, got {cycle}")
+        return cycle % self.n_pulses

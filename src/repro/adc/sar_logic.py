@@ -1,0 +1,76 @@
+"""SAR Logic -- successive-approximation register (behavioral, digital).
+
+Paper context (Section III): "SAR Logic: It controls the conversion process by
+providing the digital input to the DAC, it stores the result of each
+comparison, and provides the digital output D<0:9>=B<0:9> once the 10
+conversion periods are completed."
+
+This behavioral model implements the textbook SAR search: starting from the
+MSB, each trial sets the bit under test, the comparator decision keeps or
+clears it, and after ten decisions the accumulated code is presented as the
+conversion result.  It is a purely digital block; its gate-level counterpart
+for the digital-BIST experiment is in :mod:`repro.digital.blocks`.
+"""
+
+from __future__ import annotations
+
+from ..circuit.errors import SimulationError
+from ..circuit.units import ADC_BITS
+
+
+class SarLogic:
+    """Behavioral successive-approximation register."""
+
+    def __init__(self, n_bits: int = ADC_BITS) -> None:
+        if n_bits <= 0:
+            raise SimulationError(f"n_bits must be positive, got {n_bits}")
+        self.n_bits = n_bits
+        self._code = 0
+        self._bit_index = n_bits - 1
+        self._done = False
+
+    # ---------------------------------------------------------------- control
+    def start_conversion(self) -> None:
+        """Reset the register and begin a new conversion (MSB first)."""
+        self._code = 0
+        self._bit_index = self.n_bits - 1
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """True once all bits have been decided."""
+        return self._done
+
+    @property
+    def bit_under_test(self) -> int:
+        """Index of the bit currently being decided (MSB = ``n_bits - 1``)."""
+        return self._bit_index
+
+    def trial_code(self) -> int:
+        """The DAC code to apply for the current bit decision."""
+        if self._done:
+            return self._code
+        return self._code | (1 << self._bit_index)
+
+    def apply_decision(self, keep_bit: int) -> None:
+        """Record the comparator decision for the bit under test.
+
+        ``keep_bit`` is 1 when the comparator indicates the input is above the
+        trial level (the bit is kept) and 0 otherwise.
+        """
+        if self._done:
+            raise SimulationError("conversion already completed")
+        if keep_bit not in (0, 1):
+            raise SimulationError(f"decision must be 0 or 1, got {keep_bit}")
+        if keep_bit:
+            self._code |= (1 << self._bit_index)
+        if self._bit_index == 0:
+            self._done = True
+        else:
+            self._bit_index -= 1
+
+    def result(self) -> int:
+        """The conversion result ``D<0:9>`` (valid once :attr:`done` is True)."""
+        if not self._done:
+            raise SimulationError("conversion is not complete yet")
+        return self._code

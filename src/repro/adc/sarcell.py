@@ -1,0 +1,79 @@
+"""SARCELL -- the conversion core of the SAR ADC IP (Fig. 3 of the paper).
+
+The SARCELL groups the 10-bit DAC (two sub-DACs + SC array), the comparator
+chain, the Vcm generator, the phase generator and the SAR logic.  The
+:class:`SarCell` class composes the corresponding block models and provides
+the per-cycle evaluation used both by normal conversions and by the SymBIST
+test mode (where the DAC digital inputs come from the BIST counter instead of
+the SAR logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .comparator import Comparator, ComparatorOutput
+from .dac import DacOutput, TenBitDac
+from .phase_generator import PhaseGenerator
+from .sar_logic import SarLogic
+from .vcm_generator import VcmGenerator
+
+
+@dataclass
+class SarCellOutputs:
+    """All SARCELL node voltages produced during one evaluation."""
+
+    dac: DacOutput
+    comparator: ComparatorOutput
+    vcm: float
+
+    def as_signals(self) -> Dict[str, float]:
+        signals = dict(self.dac.as_signals())
+        signals.update(self.comparator.as_signals())
+        signals["VCM"] = self.vcm
+        return signals
+
+
+class SarCell:
+    """Behavioral SARCELL: DAC + comparator + Vcm generator + SAR logic."""
+
+    def __init__(self) -> None:
+        self.dac = TenBitDac()
+        self.comparator = Comparator()
+        self.vcm_generator = VcmGenerator()
+        self.phase_generator = PhaseGenerator()
+        self.sar_logic = SarLogic()
+
+    # ----------------------------------------------------------------- blocks
+    @property
+    def analog_blocks(self):
+        """Analog sub-blocks in the order used by Table I of the paper."""
+        return (self.dac.subdac1, self.dac.subdac2, self.dac.sc_array,
+                self.vcm_generator, self.comparator.preamplifier,
+                self.comparator.latch, self.comparator.rs_latch,
+                self.comparator.offset_compensation)
+
+    def clear_defects(self) -> None:
+        for block in self.analog_blocks:
+            block.clear_defects()
+
+    def reset_state(self) -> None:
+        """Reset stateful elements (RS latch memory, SAR register)."""
+        self.comparator.rs_latch.reset_state()
+        self.sar_logic.start_conversion()
+
+    # ------------------------------------------------------------------ model
+    def evaluate(self, msb_code: int, lsb_code: int, in_p: float, in_m: float,
+                 vbg: float, ibias: float,
+                 vref: Sequence[float]) -> SarCellOutputs:
+        """Evaluate the analog signal path for one clock cycle.
+
+        The DAC digital inputs are supplied by the caller: the SAR logic
+        during a conversion, the 5-bit BIST counter during the SymBIST test.
+        """
+        vcm = self.vcm_generator.evaluate(vbg)
+        dac_out = self.dac.evaluate(msb_code, lsb_code, in_p, in_m, vcm, vref)
+        comp_out = self.comparator.evaluate(dac_out.dac_p, dac_out.dac_m,
+                                            ibias)
+        return SarCellOutputs(dac=dac_out, comparator=comp_out, vcm=vcm)

@@ -1,0 +1,156 @@
+"""Switched-capacitor (SC) array of the 10-bit DAC.
+
+Paper context (Section III, Fig. 4): the sample-and-hold operation that keeps
+the input constant during the conversion is performed within the SC array, and
+the array combines the sampled input with the sub-DAC levels ``M+/M-`` and
+``L+/L-`` to produce the differential comparison voltages ``DAC+`` / ``DAC-``
+at the comparator input.  The SC array has symmetrical positive/negative
+paths, which is what makes the invariance of Eq. (3),
+``DAC+ + DAC- = 2*Vcm``, hold by construction.
+
+Model: classic top-plate charge redistribution.  Per side the top plate is
+reset to ``Vcm`` during sampling while the bottom plates of the sampling
+capacitor ``Cs``, the MSB capacitor ``Cm`` and the LSB capacitor ``Cl`` sit at
+the input, ``VREF[16]`` and ``VREF[16]`` respectively; during conversion the
+bottom plates switch to ``Vcm``, ``M+/-`` and ``L+/-``.  Charge conservation
+gives::
+
+    DAC+/- = Vcm + [Cs*(Vcm - IN+/-) + Cm*(M+/- - VREF16) + Cl*(L+/- - VREF16)]
+             / (Cs + Cm + Cl)
+
+With matched capacitors, a fully-differential input (common mode = Vcm) and a
+linear reference ladder, the sum of the two sides equals ``2*Vcm`` for every
+code -- the Eq. (3) invariance.  Capacitor and switch defects break the
+cancellation on one side only and shift the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuit.units import VDD, VSS
+from .behavioral import effective_capacitance, switch_state
+from .block import AnalogBlock
+
+#: Unit capacitance of the array.
+_C_UNIT = 50e-15
+#: Capacitor weights (in units) for the sampling, MSB and LSB capacitors.
+_CS_UNITS = 33.0
+_CM_UNITS = 32.0
+_CL_UNITS = 1.0
+#: Residual coupling of the ideal DAC voltage through a permanently-on reset
+#: switch (the switch loads the top plate towards Vcm but does not pin it).
+_RESET_STUCK_ON_COUPLING = 0.3
+#: Top-plate voltage left after a failed (stuck-off) reset: the node keeps the
+#: discharged level from power-up instead of Vcm.
+_UNRESET_TOP_PLATE = 0.0
+
+
+@dataclass
+class ScArrayInputs:
+    """Signals feeding the SC array for one conversion cycle."""
+
+    in_p: float
+    in_m: float
+    m_p: float
+    m_m: float
+    l_p: float
+    l_m: float
+    vcm: float
+    vref_mid: float
+
+
+@dataclass
+class ScArrayOutput:
+    """Differential comparison voltages at the comparator input."""
+
+    dac_p: float
+    dac_m: float
+
+
+class ScArray(AnalogBlock):
+    """Behavioral switched-capacitor array with a structural defect surface."""
+
+    block_path = "sc_array"
+
+    def __init__(self, name: str = "sc_array") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        for side in ("p", "n"):
+            nl.add_capacitor(f"cs_{side}", p=f"top_{side}", n=f"bs_{side}",
+                             value=_CS_UNITS * _C_UNIT)
+            nl.add_capacitor(f"cm_{side}", p=f"top_{side}", n=f"bm_{side}",
+                             value=_CM_UNITS * _C_UNIT)
+            nl.add_capacitor(f"cl_{side}", p=f"top_{side}", n=f"bl_{side}",
+                             value=_CL_UNITS * _C_UNIT)
+            nl.add_switch(f"sw_rst_{side}", p=f"top_{side}", n="vcm",
+                          ctrl="phi_sample", ron=500.0)
+            nl.add_switch(f"sw_in_{side}", p=f"bs_{side}", n=f"in_{side}",
+                          ctrl="phi_sample", ron=300.0)
+
+        self.declare_parameter("mismatch_p", 0.0, sigma=2e-4)
+        self.declare_parameter("mismatch_n", 0.0, sigma=2e-4)
+
+    # ------------------------------------------------------------------ model
+    def _side(self, side: str, vin: float, m_level: float, l_level: float,
+              vcm: float, vref_mid: float, mismatch: float) -> float:
+        """Top-plate voltage of one side after charge redistribution."""
+        cs, cs_short = effective_capacitance(self.netlist.device(f"cs_{side}"))
+        cm, cm_short = effective_capacitance(self.netlist.device(f"cm_{side}"))
+        cl, cl_short = effective_capacitance(self.netlist.device(f"cl_{side}"))
+
+        reset_sw = self.netlist.device(f"sw_rst_{side}")
+        input_sw = self.netlist.device(f"sw_in_{side}")
+
+        # A shorted capacitor ties the top plate to its bottom-plate driver.
+        if cm_short:
+            return min(max(m_level, VSS), VDD)
+        if cl_short:
+            return min(max(l_level, VSS), VDD)
+        if cs_short:
+            # During conversion the sampling bottom plate is driven to Vcm.
+            return min(max(vcm, VSS), VDD)
+
+        # Sampling-phase behaviour of the switches.
+        reset_closed_sampling = switch_state(reset_sw, nominal_on=True)
+        input_closed_sampling = switch_state(input_sw, nominal_on=True)
+        # Conversion-phase behaviour (both switches nominally open).
+        reset_closed_conversion = switch_state(reset_sw, nominal_on=False)
+        input_closed_conversion = switch_state(input_sw, nominal_on=False)
+
+        top_initial = vcm if reset_closed_sampling else _UNRESET_TOP_PLATE
+
+        # Bottom-plate potentials during sampling and conversion.
+        sample_bottom_s = vin if input_closed_sampling else vcm
+        convert_bottom_s = vin if input_closed_conversion else vcm
+        if not input_closed_sampling:
+            # The input was never sampled: the sampling capacitor carries no
+            # signal charge.
+            sample_bottom_s = convert_bottom_s
+
+        c_total = cs + cm + cl
+        if c_total <= 0.0:
+            # Every capacitor open: the comparator input floats.
+            return _UNRESET_TOP_PLATE
+
+        delta_q = (cs * (convert_bottom_s - sample_bottom_s)
+                   + cm * (m_level - vref_mid)
+                   + cl * (l_level - vref_mid))
+        top = top_initial + delta_q / c_total + mismatch
+
+        if reset_closed_conversion:
+            # The reset switch never opened: the top plate is resistively
+            # loaded towards Vcm and only a fraction of the signal survives.
+            top = vcm + _RESET_STUCK_ON_COUPLING * (top - vcm)
+        return min(max(top, VSS), VDD)
+
+    def evaluate(self, inputs: ScArrayInputs) -> ScArrayOutput:
+        """Compute ``DAC+`` / ``DAC-`` for one conversion cycle."""
+        dac_p = self._side("p", inputs.in_p, inputs.m_p, inputs.l_p,
+                           inputs.vcm, inputs.vref_mid,
+                           self.parameter("mismatch_p"))
+        dac_m = self._side("n", inputs.in_m, inputs.m_m, inputs.l_m,
+                           inputs.vcm, inputs.vref_mid,
+                           self.parameter("mismatch_n"))
+        return ScArrayOutput(dac_p=dac_p, dac_m=dac_m)

@@ -1,0 +1,243 @@
+"""5-bit sub-DACs (SUBDAC1 / SUBDAC2) of the resistive + charge-redistribution DAC.
+
+Paper context (Section III, Fig. 4): the 10-bit DAC is composed of two
+structurally identical 5-bit sub-DACs plus a switched-capacitor array.
+SUBDAC1 converts the five MSBs ``B<5:9>`` to the complementary comparison
+levels ``M+`` / ``M-`` and SUBDAC2 converts the five LSBs ``B<0:4>`` to
+``L+`` / ``L-`` according to Eq. (1) of the paper::
+
+    OUT+ = VREF[code]          OUT- = VREF[32 - code]
+
+Each sub-DAC is modelled as a pair of 33-to-1 tap multiplexers on the shared
+reference ladder: one enable driver (a CMOS inverter pair) per tap, a tap
+switch per output per tap (the negative output of tap ``t`` reuses the driver
+of tap ``32 - t``, which is how the complementary selection is obtained), and
+a small output buffer per output.  All of these devices are part of the defect
+universe; the defect-to-behaviour mapping is:
+
+* tap-switch defects: stuck-on adds a tap to the output node permanently,
+  stuck-off removes it even when selected (missing tap);
+* enable-driver defects: the pull-up stuck on forces the tap always selected,
+  the pull-down stuck on (or the pull-up stuck off) makes the tap never
+  selected; "weak" driver defects leave the selection unaffected and are
+  therefore *undetectable by construction* (they contribute to the undetected
+  population exactly like the real IP's benign defects);
+* output-buffer defects: rail the output or add an offset.
+
+Selected taps are combined by conductance-weighted averaging (the physical
+result of several finite-resistance switches driving one node); an output with
+no connected tap floats and discharges to the leakage level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.components import Device
+from ..circuit.errors import SimulationError
+from ..circuit.units import N_REF_LEVELS, VDD, VSS
+from .behavioral import MosState, mos_state, switch_state
+from .block import AnalogBlock
+
+#: Voltage a floating (disconnected) output leaks to.
+FLOAT_LEVEL = VSS
+#: Nominal on-resistance of a tap switch.
+_RON = 200.0
+
+
+@dataclass
+class SubDacOutput:
+    """Complementary outputs of one sub-DAC for one input code."""
+
+    out_p: float
+    out_n: float
+
+
+class SubDac(AnalogBlock):
+    """One 5-bit sub-DAC (two complementary 33:1 tap multiplexers)."""
+
+    block_path = "subdac"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        nl = self.netlist
+        # Enable drivers: one CMOS inverter pair per tap (near-minimum digital
+        # devices, hence a small area / defect-likelihood proxy).
+        for j in range(N_REF_LEVELS):
+            nl.add_pmos(f"drv_{j:02d}_p", d=f"en_{j}", g=f"sel_{j}", s="vdd",
+                        w=0.6e-6)
+            nl.add_nmos(f"drv_{j:02d}_n", d=f"en_{j}", g=f"sel_{j}", s="vss",
+                        w=0.35e-6)
+        # Tap switches for the positive and negative outputs.  They are sized
+        # for low on-resistance (fast DAC settling), so their area -- and
+        # therefore their defect likelihood -- is larger than the drivers'.
+        for j in range(N_REF_LEVELS):
+            nl.add_switch(f"swp_{j:02d}", p=f"tap_{j}", n="out_p",
+                          ctrl=f"en_{j}", ron=_RON, w=1.5e-6)
+            nl.add_switch(f"swn_{j:02d}", p=f"tap_{j}", n="out_n",
+                          ctrl=f"en_{32 - j}", ron=_RON, w=1.5e-6)
+        # Output buffers (source follower + bias per output).
+        nl.add_pmos("bufp_sf", d="vss", g="out_p", s="buf_p", w=3e-6)
+        nl.add_nmos("bufp_bias", d="buf_p", g="nbias", s="vss", w=2e-6)
+        nl.add_pmos("bufn_sf", d="vss", g="out_n", s="buf_n", w=3e-6)
+        nl.add_nmos("bufn_bias", d="buf_n", g="nbias", s="vss", w=2e-6)
+
+        self.declare_parameter("buffer_offset_p", 0.0, sigma=0.5e-3)
+        self.declare_parameter("buffer_offset_n", 0.0, sigma=0.5e-3)
+
+    # ------------------------------------------------------------------ model
+    @staticmethod
+    def _forced_inverter_output(pull_up: Device,
+                                pull_down: Device) -> "bool | None":
+        """Forced logic value of a defective enable driver, or ``None``.
+
+        The driver is a CMOS inverter whose output is the switch-enable node.
+        The mapping follows the physical reasoning per terminal:
+
+        * pull-down drain-source or drain-bulk short: the enable is tied to
+          ground -> forced low (the tap can never be selected);
+        * pull-up drain-source or drain-bulk short: the enable is tied to the
+          supply -> forced high (the tap is always selected);
+        * pull-up unable to conduct (gate-source / gate-bulk short, open
+          drain/source/gate): the enable can never be driven high -> forced
+          low;
+        * pull-down unable to conduct: the enable node cannot be discharged;
+          once the counter selects the tap the floating node retains its high
+          level, so the tap effectively stays selected -> forced high;
+        * the remaining defects (source-bulk shorts, gate-drain shorts, bulk
+          opens) only degrade the drive strength and leave the logic value
+          unchanged -> ``None`` (these are the benign, undetectable defects).
+
+        A conflict (both outputs forced) resolves to the rail short, which is
+        the lower-impedance path.
+        """
+        def forced(device: Device, rail_value: bool) -> "bool | None":
+            defect = device.defect
+            if defect.is_clean:
+                return None
+            pair = defect.shorted_terminals
+            if pair is not None:
+                terms = set(pair)
+                if terms in ({"d", "s"}, {"d", "b"}):
+                    return rail_value            # output tied to this rail
+                if terms in ({"g", "s"}, {"g", "b"}):
+                    return not rail_value        # device can never conduct
+                return None                      # g-d, s-b: degraded only
+            term = defect.open_terminal
+            if term in ("d", "s", "g"):
+                return not rail_value            # device can never conduct
+            return None                          # bulk open: degraded only
+
+        forced_by_down = forced(pull_down, rail_value=False)
+        forced_by_up = forced(pull_up, rail_value=True)
+        if forced_by_down is False:
+            return False
+        if forced_by_up is True:
+            return True
+        if forced_by_up is False:
+            return False
+        if forced_by_down is True:
+            return True
+        return None
+
+    def _driver_enable(self, tap: int, selected: bool) -> bool:
+        """Effective enable of tap ``tap`` given decoder-driver defects."""
+        pull_up = self.netlist.device(f"drv_{tap:02d}_p")
+        pull_down = self.netlist.device(f"drv_{tap:02d}_n")
+        if not pull_up.has_defect and not pull_down.has_defect:
+            return selected
+        forced_value = self._forced_inverter_output(pull_up, pull_down)
+        if forced_value is None:
+            return selected
+        return forced_value
+
+    def _mux_output(self, side: str, code: int,
+                    vref: Sequence[float]) -> float:
+        """Conductance-weighted tap voltage seen at one multiplexer output."""
+        total_g = 0.0
+        weighted = 0.0
+        for tap in range(N_REF_LEVELS):
+            if side == "p":
+                nominal_sel = (tap == code)
+                switch_dev = self.netlist.device(f"swp_{tap:02d}")
+                driver_tap = tap
+            else:
+                nominal_sel = (tap == 32 - code)
+                switch_dev = self.netlist.device(f"swn_{tap:02d}")
+                driver_tap = 32 - tap
+            enable = self._driver_enable(driver_tap, nominal_sel)
+            if not switch_state(switch_dev, enable):
+                continue
+            ron = float(switch_dev.params.get("ron", _RON))
+            conductance = 1.0 / max(ron, 1e-3)
+            total_g += conductance
+            weighted += conductance * vref[tap]
+        if total_g <= 0.0:
+            return FLOAT_LEVEL
+        return weighted / total_g
+
+    def _buffer(self, side: str, raw: float) -> float:
+        """Apply the (possibly defective) output buffer of one side."""
+        sf = self.netlist.device(f"buf{side}_sf")
+        bias = self.netlist.device(f"buf{side}_bias")
+        offset = self.parameter(f"buffer_offset_{side}")
+        value = raw + offset
+        sf_state = mos_state(sf)
+        bias_state = mos_state(bias)
+        if sf_state is MosState.STUCK_OFF:
+            value = FLOAT_LEVEL
+        elif sf_state is MosState.STUCK_ON:
+            value = raw * 0.9
+        elif sf_state is MosState.DEGRADED:
+            value = raw + offset - 0.02
+        if bias_state is MosState.STUCK_ON:
+            value = max(value - 0.1, VSS)
+        elif bias_state is MosState.STUCK_OFF:
+            value = min(value + 0.05, VDD)
+        return min(max(value, VSS), VDD)
+
+    def evaluate(self, code: int, vref: Sequence[float]) -> SubDacOutput:
+        """Convert a 5-bit ``code`` into the complementary output voltages.
+
+        Parameters
+        ----------
+        code:
+            The 5-bit digital input (0..31).
+        vref:
+            The 33 reference levels ``VREF[0] .. VREF[32]``.
+        """
+        if not 0 <= code <= 31:
+            raise SimulationError(f"sub-DAC code must be in [0, 31], got {code}")
+        if len(vref) != N_REF_LEVELS:
+            raise SimulationError(
+                f"expected {N_REF_LEVELS} reference levels, got {len(vref)}")
+        if not self.netlist.has_defect:
+            # Fast path for the defect-free multiplexer: exactly one switch per
+            # output is closed, so the mux output is the selected tap and the
+            # buffer only adds its (process-variation) offset.
+            out_p = self._clamp(vref[code] + self.parameter("buffer_offset_p"))
+            out_n = self._clamp(vref[32 - code]
+                                + self.parameter("buffer_offset_n"))
+            return SubDacOutput(out_p=out_p, out_n=out_n)
+        out_p = self._buffer("p", self._mux_output("p", code, vref))
+        out_n = self._buffer("n", self._mux_output("n", code, vref))
+        return SubDacOutput(out_p=out_p, out_n=out_n)
+
+    @staticmethod
+    def _clamp(value: float) -> float:
+        return min(max(value, VSS), VDD)
+
+
+def make_subdac1() -> SubDac:
+    """SUBDAC1: converts the five MSBs ``B<5:9>`` into ``M+`` / ``M-``."""
+    dac = SubDac("subdac1")
+    dac.block_path = "subdac1"
+    return dac
+
+
+def make_subdac2() -> SubDac:
+    """SUBDAC2: converts the five LSBs ``B<0:4>`` into ``L+`` / ``L-``."""
+    dac = SubDac("subdac2")
+    dac.block_path = "subdac2"
+    return dac

@@ -1,0 +1,93 @@
+"""Vcm generator -- produces the common-mode voltage used inside the DAC.
+
+Paper context (Section III): "Vcm Generator: It generates the common mode
+voltage Vcm used inside the DAC."  The paper checks this block *directly* with
+the invariance of Eq. (3), ``DAC+ + DAC- = 2*Vcm``: the switched-capacitor
+array resets its top plates to the Vcm generator output, so the DAC output
+common mode tracks the generated Vcm while the window comparator compares it
+against a fixed (supply-derived) reference -- a shifted Vcm is therefore
+observable for the whole test duration (Fig. 5 of the paper).
+
+Model: a resistive divider from the bandgap voltage followed by a small
+buffer, with a large decoupling capacitor on the output.  The decoupling
+capacitor is physically large, so its defects carry a high likelihood, yet
+only its *short* defect disturbs the DC value of Vcm -- opens and value
+deviations are DC-invisible.  This is what pushes the likelihood-weighted
+coverage of the block well below its raw coverage, the effect the paper calls
+out for the blocks with low L-W numbers in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..circuit.errors import SolverError
+from ..circuit.solver import LinearNetwork
+from ..circuit.units import VDD, VSS
+from .behavioral import (MosState, PassiveState, mos_state, passive_state)
+from .block import AnalogBlock
+
+
+class VcmGenerator(AnalogBlock):
+    """Behavioral Vcm generator (bandgap-referenced divider + buffer)."""
+
+    block_path = "vcm_generator"
+
+    def __init__(self, name: str = "vcm_generator") -> None:
+        super().__init__(name)
+        nl = self.netlist
+        nl.add_resistor("r_top", p="vbg", n="vcm_div", value=50e3)
+        nl.add_resistor("r_bot", p="vcm_div", n="vss", value=50e3)
+        # Source-follower style buffer (modelled with two MOS devices).
+        nl.add_pmos("mp_sf", d="vss", g="vcm_div", s="vcm", w=10e-6)
+        nl.add_nmos("mn_bias", d="vcm", g="nbias", s="vss", w=8e-6)
+        # Large decoupling capacitor on the Vcm output.
+        nl.add_capacitor("c_dec", p="vcm", n="vss", value=8e-12)
+
+        self.declare_parameter("buffer_offset", 0.0, sigma=1.2e-3)
+
+    # ------------------------------------------------------------------ model
+    def evaluate(self, vbg: float) -> float:
+        """Return the generated common-mode voltage."""
+        nl = self.netlist
+        net = LinearNetwork()
+        net.set_voltage("vbg", vbg)
+        net.set_voltage("vss", VSS)
+        for name in ("r_top", "r_bot"):
+            dev = nl.device(name)
+            state, value = passive_state(dev)
+            net.add_resistor(dev.net_of("p"), dev.net_of("n"), value)
+        try:
+            vdiv = net.solve()["vcm_div"]
+        except SolverError:
+            vdiv = VSS
+
+        vcm = vdiv + self.parameter("buffer_offset")
+
+        # Buffer defects.
+        sf_state = mos_state(nl.device("mp_sf"))
+        bias_state = mos_state(nl.device("mn_bias"))
+        if sf_state is MosState.STUCK_OFF:
+            vcm = VSS          # follower gone, bias device pulls the node down
+        elif sf_state is MosState.STUCK_ON:
+            vcm = vdiv * 0.85  # follower degenerated into a resistive path
+        elif sf_state is MosState.DEGRADED:
+            # Weaker follower: a small systematic droop, typically inside the
+            # comparison window (an undetectable, benign defect).
+            vcm = vdiv - 0.008
+        if bias_state is MosState.STUCK_ON:
+            vcm = max(vcm - 0.15, VSS)
+        elif bias_state is MosState.STUCK_OFF:
+            # The buffer loses its bias current; the output drifts up a little
+            # but stays close to the divider voltage.
+            vcm = min(vcm + 0.012, VDD)
+
+        # Decoupling capacitor: only a plate short affects the DC level.
+        dec_state, _ = passive_state(nl.device("c_dec"))
+        if dec_state is PassiveState.SHORTED:
+            vcm = VSS
+        return min(max(vcm, VSS), VDD)
+
+    # -------------------------------------------------------------- observers
+    def observables(self, vbg: float) -> Dict[str, float]:
+        return {"VCM": self.evaluate(vbg)}

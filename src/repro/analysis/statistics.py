@@ -1,0 +1,91 @@
+"""Statistical helpers shared by calibration, coverage and yield analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.errors import ReproError
+
+#: z-value of the two-sided 95 % normal quantile.
+Z_95 = 1.959963984540054
+
+
+class StatisticsError(ReproError):
+    """Raised for ill-posed statistical computations."""
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean / standard deviation / extremes of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_ci95_half_width(self) -> float:
+        """Half-width of the 95 % confidence interval of the mean."""
+        if self.n <= 1:
+            return float("inf")
+        return Z_95 * self.std / math.sqrt(self.n)
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summary statistics of a non-empty sample."""
+    if len(values) == 0:
+        raise StatisticsError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return SummaryStatistics(n=int(arr.size), mean=float(arr.mean()),
+                             std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+                             minimum=float(arr.min()), maximum=float(arr.max()))
+
+
+def proportion_ci(successes: int, trials: int,
+                  z: float = Z_95) -> Tuple[float, float]:
+    """Wilson score interval ``(center, half_width)`` for a proportion."""
+    if trials <= 0:
+        raise StatisticsError("proportion_ci needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise StatisticsError("successes must lie within [0, trials]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(p_hat * (1.0 - p_hat) / trials
+                                   + z * z / (4.0 * trials * trials))
+    return center, half
+
+
+def gaussian_exceedance_probability(k: float) -> float:
+    """Probability that |X| > k*sigma for a zero-mean Gaussian X.
+
+    Used by the analytic yield-loss model: a defect-free invariant signal that
+    is Gaussian leaves a ``[-k*sigma, k*sigma]`` window with this probability
+    per independent check.
+    """
+    if k < 0:
+        raise StatisticsError("k must be non-negative")
+    return float(math.erfc(k / math.sqrt(2.0)))
+
+
+def per_test_to_per_run(p_single: float, n_checks: int) -> float:
+    """Probability of at least one excursion over ``n_checks`` independent checks."""
+    if not 0.0 <= p_single <= 1.0:
+        raise StatisticsError("p_single must be a probability")
+    if n_checks <= 0:
+        raise StatisticsError("n_checks must be positive")
+    return 1.0 - (1.0 - p_single) ** n_checks
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of a non-empty sample."""
+    if len(values) == 0:
+        raise StatisticsError("cannot take the percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise StatisticsError("q must be within [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -1,0 +1,45 @@
+"""Behavioral circuit-simulation substrate.
+
+This subpackage contains everything the SAR ADC model and the SymBIST/defect
+machinery need that is *not* specific to the paper's IP: primitive devices and
+structural netlists (the surface on which defects are enumerated and
+injected), a linear nodal-analysis solver for resistive networks, waveform
+traces, a cycle-based transient engine with a glitch model, and process-
+variation utilities for Monte Carlo analysis.
+"""
+
+from .components import (DefectState, Device, DeviceKind, PullDirection,
+                         TERMINALS, capacitor, diode, nmos, npn, pmos, pnp,
+                         resistor, switch)
+from .errors import (BistConfigurationError, CalibrationError, ComponentError,
+                     CoverageError, DefectError, DigitalTestError,
+                     FunctionalTestError, NetlistError, ReproError,
+                     SimulationError, SolverError)
+from .netlist import HierarchyEntry, Netlist, NetlistHierarchy
+from .signals import Trace, WaveformSet
+from .simulator import (ClockedStimulus, GlitchModel, SequenceStimulus,
+                        SimulationResult, TransientSimulator)
+from .solver import LinearNetwork, solve_resistor_string
+from .units import (ADC_BITS, F_CLK, N_REF_LEVELS, OPEN_RESISTANCE,
+                    PASSIVE_DEVIATION, SHORT_RESISTANCE, VCM2_NOMINAL,
+                    VCM_NOMINAL, VDD, VSS, WEAK_PULL_RESISTANCE, db, from_db,
+                    lsb_size, parallel)
+from .variation import (GaussianParameter, VariationSpec, reset_variation,
+                        vary_netlist)
+
+__all__ = [
+    "ADC_BITS", "F_CLK", "N_REF_LEVELS", "OPEN_RESISTANCE",
+    "PASSIVE_DEVIATION", "SHORT_RESISTANCE", "VCM2_NOMINAL", "VCM_NOMINAL",
+    "VDD", "VSS", "WEAK_PULL_RESISTANCE",
+    "BistConfigurationError", "CalibrationError", "ClockedStimulus",
+    "ComponentError", "CoverageError", "DefectError", "DefectState", "Device",
+    "DeviceKind", "DigitalTestError", "FunctionalTestError",
+    "GaussianParameter", "GlitchModel", "HierarchyEntry", "LinearNetwork",
+    "Netlist", "NetlistError", "NetlistHierarchy", "PullDirection",
+    "ReproError", "SequenceStimulus", "SimulationError", "SimulationResult",
+    "SolverError", "TERMINALS", "Trace", "TransientSimulator",
+    "VariationSpec", "WaveformSet",
+    "capacitor", "db", "diode", "from_db", "lsb_size", "nmos", "npn",
+    "parallel", "pmos", "pnp", "reset_variation", "resistor",
+    "solve_resistor_string", "switch", "vary_netlist",
+]

@@ -1,0 +1,53 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single exception type at an application boundary while still being
+able to discriminate between netlist construction problems, simulation
+failures, defect-injection problems and BIST configuration issues.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for structural netlist problems (duplicate devices, bad nets)."""
+
+
+class ComponentError(ReproError):
+    """Raised for invalid primitive-device parameters or terminal access."""
+
+
+class SolverError(ReproError):
+    """Raised when a nodal-analysis problem is singular or ill-posed."""
+
+
+class SimulationError(ReproError):
+    """Raised when a transient/sampled-time simulation cannot proceed."""
+
+
+class DefectError(ReproError):
+    """Raised for invalid defect descriptions or injection targets."""
+
+
+class CalibrationError(ReproError):
+    """Raised when window calibration (delta = k*sigma) cannot be performed."""
+
+
+class BistConfigurationError(ReproError):
+    """Raised for inconsistent SymBIST controller / checker configuration."""
+
+
+class CoverageError(ReproError):
+    """Raised when coverage computation receives inconsistent campaign data."""
+
+
+class DigitalTestError(ReproError):
+    """Raised by the digital (gate-level) test substrate."""
+
+
+class FunctionalTestError(ReproError):
+    """Raised by the functional ADC test baseline (histogram, sine-fit, ...)."""

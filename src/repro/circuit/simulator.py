@@ -1,0 +1,180 @@
+"""Sampled-time (clock-cycle) transient simulation engine.
+
+SymBIST drives the IP with a purely digital stimulus (a 5-bit counter) and
+checks invariances with a *clocked* window comparator that only samples
+settled node voltages.  The natural simulation abstraction is therefore a
+cycle-based engine:
+
+* a :class:`ClockedStimulus` produces the input bundle applied during each
+  clock cycle,
+* a system callback evaluates the circuit for that cycle and returns the
+  observable node voltages,
+* the engine records the settled value of each observable once per cycle and,
+  optionally, a few intra-cycle samples produced by a :class:`GlitchModel`
+  so that the recorded waveforms show the switching transients visible in
+  Fig. 5 of the paper (which must *not* cause detections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .errors import SimulationError
+from .signals import WaveformSet
+from .units import F_CLK
+
+
+class ClockedStimulus(Protocol):
+    """Anything that yields one input bundle per clock cycle."""
+
+    def __len__(self) -> int:  # pragma: no cover - protocol signature
+        ...
+
+    def inputs_for_cycle(self, cycle: int) -> Mapping[str, float]:
+        """Return the stimulus inputs applied during ``cycle``."""
+        ...  # pragma: no cover - protocol signature
+
+
+@dataclass
+class SequenceStimulus:
+    """A :class:`ClockedStimulus` backed by an explicit list of input bundles."""
+
+    bundles: Sequence[Mapping[str, float]]
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+    def inputs_for_cycle(self, cycle: int) -> Mapping[str, float]:
+        if cycle < 0 or cycle >= len(self.bundles):
+            raise SimulationError(
+                f"stimulus has {len(self.bundles)} cycles, requested {cycle}")
+        return self.bundles[cycle]
+
+
+@dataclass
+class GlitchModel:
+    """Exponentially decaying switching transients added to recorded waveforms.
+
+    The transient amplitude is proportional to how much the observed signal
+    moved between consecutive cycles (big code changes switch more elements of
+    the ladder / SC array and therefore glitch harder), plus a floor that makes
+    even small transitions visible.  Glitches only affect the *recorded intra-
+    cycle samples*; the settled sample used by the clocked checker is the clean
+    value, matching the paper's statement that checks are performed once nodes
+    have settled.
+    """
+
+    samples_per_cycle: int = 8
+    amplitude_fraction: float = 0.6
+    amplitude_floor: float = 0.01
+    decay_cycles: float = 0.15
+    rng: Optional[np.random.Generator] = None
+
+    def intra_cycle_samples(self, previous_value: float, settled_value: float,
+                            cycle_period: float) -> List[tuple]:
+        """Return ``(time_offset, value)`` intra-cycle samples for one signal."""
+        if self.samples_per_cycle < 2:
+            return [(cycle_period, settled_value)]
+        delta = settled_value - previous_value
+        amplitude = abs(delta) * self.amplitude_fraction + self.amplitude_floor
+        sign = 1.0 if delta >= 0 else -1.0
+        rng = self.rng
+        samples = []
+        for k in range(1, self.samples_per_cycle + 1):
+            frac = k / float(self.samples_per_cycle)
+            t_off = frac * cycle_period
+            decay = np.exp(-frac / self.decay_cycles)
+            wobble = 1.0
+            if rng is not None:
+                wobble = 1.0 + 0.2 * float(rng.standard_normal())
+            glitch = sign * amplitude * decay * wobble
+            samples.append((t_off, settled_value + glitch))
+        # Force the final sample of the cycle to the settled value.
+        samples[-1] = (cycle_period, settled_value)
+        return samples
+
+
+@dataclass
+class SimulationResult:
+    """Output of :meth:`TransientSimulator.run`."""
+
+    waveforms: WaveformSet
+    settled: WaveformSet
+    n_cycles: int
+    clock_period: float
+
+    @property
+    def duration(self) -> float:
+        """Total simulated time in seconds."""
+        return self.n_cycles * self.clock_period
+
+
+class TransientSimulator:
+    """Cycle-based simulator that records settled and glitchy waveforms.
+
+    Parameters
+    ----------
+    clock_frequency:
+        The clock frequency in hertz; defaults to the 156 MHz used by the IP.
+    glitch_model:
+        Optional :class:`GlitchModel`; when omitted only settled samples are
+        recorded (one per cycle).
+    """
+
+    def __init__(self, clock_frequency: float = F_CLK,
+                 glitch_model: Optional[GlitchModel] = None) -> None:
+        if clock_frequency <= 0.0:
+            raise SimulationError(
+                f"clock frequency must be positive, got {clock_frequency}")
+        self.clock_frequency = clock_frequency
+        self.clock_period = 1.0 / clock_frequency
+        self.glitch_model = glitch_model
+
+    def run(self, stimulus: ClockedStimulus,
+            evaluate: Callable[[int, Mapping[str, float]], Mapping[str, float]],
+            observables: Optional[Iterable[str]] = None) -> SimulationResult:
+        """Run the stimulus through ``evaluate`` and record waveforms.
+
+        Parameters
+        ----------
+        stimulus:
+            Produces the input bundle for each cycle.
+        evaluate:
+            ``evaluate(cycle, inputs) -> {signal_name: settled_value}``.
+            This is typically a bound method of the device under test.
+        observables:
+            Signals to record; defaults to everything ``evaluate`` returns.
+        """
+        n_cycles = len(stimulus)
+        if n_cycles == 0:
+            raise SimulationError("stimulus has zero cycles")
+        waveforms = WaveformSet("transient")
+        settled = WaveformSet("settled")
+        wanted = set(observables) if observables is not None else None
+        previous: Dict[str, float] = {}
+
+        for cycle in range(n_cycles):
+            t_start = cycle * self.clock_period
+            outputs = evaluate(cycle, stimulus.inputs_for_cycle(cycle))
+            if not outputs:
+                raise SimulationError(
+                    f"evaluate() returned no observables at cycle {cycle}")
+            for name, value in outputs.items():
+                if wanted is not None and name not in wanted:
+                    continue
+                settled.record(name, t_start + self.clock_period, value)
+                if self.glitch_model is None:
+                    waveforms.record(name, t_start + self.clock_period, value)
+                    continue
+                prev = previous.get(name, value)
+                for t_off, sample in self.glitch_model.intra_cycle_samples(
+                        prev, value, self.clock_period):
+                    waveforms.record(name, t_start + t_off, sample)
+            previous.update(outputs)
+
+        return SimulationResult(waveforms=waveforms, settled=settled,
+                                n_cycles=n_cycles,
+                                clock_period=self.clock_period)

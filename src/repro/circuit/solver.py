@@ -1,0 +1,185 @@
+"""Linear nodal-analysis solver for resistive networks.
+
+The resistive parts of the SAR ADC IP -- the reference-buffer ladder that
+produces ``VREF<0:32>``, the two 5-bit sub-DAC ladders, the Vcm divider and
+the bandgap core -- are solved with classic nodal analysis so that an injected
+defect (a 10 ohm short, an open with a weak pull, a +/-50 % resistor
+deviation) perturbs the node voltages through real network equations rather
+than through hand-written special cases.
+
+The solver supports:
+
+* conductances between two nodes (resistors, closed switches, shorts),
+* fixed node voltages (ideal sources such as the supply or a buffered
+  reference),
+* independent current sources (used by the bandgap behavioral core),
+
+and returns the voltage of every floating node.  It is intentionally linear
+and DC-only; switched-capacitor behaviour is handled separately by charge
+redistribution in :mod:`repro.adc.sc_array`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import SolverError
+
+#: Conductance used to model an ideal short when stamping a node pair.
+_MAX_CONDUCTANCE = 1e12
+#: Minimum conductance accepted (anything smaller is treated as no connection).
+_MIN_CONDUCTANCE = 1e-15
+
+
+class LinearNetwork:
+    """A DC linear network solved by nodal analysis.
+
+    Typical usage::
+
+        net = LinearNetwork()
+        net.set_voltage("vref_top", 1.2)
+        net.set_voltage("gnd", 0.0)
+        for i in range(32):
+            net.add_resistor(f"tap{i}", f"tap{i + 1}", 1_000.0)
+        voltages = net.solve()
+    """
+
+    def __init__(self) -> None:
+        self._edges: List[Tuple[str, str, float]] = []
+        self._fixed: Dict[str, float] = {}
+        self._currents: Dict[str, float] = {}
+        self._nodes: Dict[str, None] = {}
+
+    # ------------------------------------------------------------------ build
+    def _register(self, node: str) -> None:
+        if not node:
+            raise SolverError("node names must be non-empty strings")
+        self._nodes.setdefault(node, None)
+
+    def add_conductance(self, node_a: str, node_b: str, g: float) -> None:
+        """Add a conductance ``g`` (siemens) between two nodes."""
+        if g < 0.0:
+            raise SolverError(f"conductance must be non-negative, got {g}")
+        self._register(node_a)
+        self._register(node_b)
+        if node_a == node_b or g < _MIN_CONDUCTANCE:
+            return
+        self._edges.append((node_a, node_b, min(g, _MAX_CONDUCTANCE)))
+
+    def add_resistor(self, node_a: str, node_b: str, resistance: float) -> None:
+        """Add a resistor; a zero (or tiny) resistance is stamped as a short."""
+        if resistance < 0.0:
+            raise SolverError(f"resistance must be non-negative, got {resistance}")
+        if resistance <= 1.0 / _MAX_CONDUCTANCE:
+            self.add_conductance(node_a, node_b, _MAX_CONDUCTANCE)
+        else:
+            self.add_conductance(node_a, node_b, 1.0 / resistance)
+
+    def set_voltage(self, node: str, voltage: float) -> None:
+        """Pin ``node`` to ``voltage`` with an ideal source."""
+        self._register(node)
+        self._fixed[node] = float(voltage)
+
+    def add_current(self, node: str, current: float) -> None:
+        """Inject ``current`` amperes *into* ``node`` (source to ground)."""
+        self._register(node)
+        self._currents[node] = self._currents.get(node, 0.0) + float(current)
+
+    # ------------------------------------------------------------------ solve
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes.keys())
+
+    def solve(self) -> Dict[str, float]:
+        """Solve the network and return the voltage of every node.
+
+        Raises
+        ------
+        SolverError
+            If the system is singular, which happens when a floating node has
+            no DC path to any fixed-voltage node.
+        """
+        if not self._fixed:
+            raise SolverError("network has no fixed-voltage node; the DC "
+                              "operating point is undefined")
+        floating = [n for n in self._nodes if n not in self._fixed]
+        if not floating:
+            return dict(self._fixed)
+
+        index = {name: i for i, name in enumerate(floating)}
+        n = len(floating)
+        g_matrix = np.zeros((n, n), dtype=float)
+        rhs = np.zeros(n, dtype=float)
+
+        for node, current in self._currents.items():
+            if node in index:
+                rhs[index[node]] += current
+
+        for node_a, node_b, g in self._edges:
+            a_free = node_a in index
+            b_free = node_b in index
+            if a_free:
+                ia = index[node_a]
+                g_matrix[ia, ia] += g
+            if b_free:
+                ib = index[node_b]
+                g_matrix[ib, ib] += g
+            if a_free and b_free:
+                g_matrix[index[node_a], index[node_b]] -= g
+                g_matrix[index[node_b], index[node_a]] -= g
+            elif a_free and not b_free:
+                rhs[index[node_a]] += g * self._fixed[node_b]
+            elif b_free and not a_free:
+                rhs[index[node_b]] += g * self._fixed[node_a]
+
+        try:
+            solution = np.linalg.solve(g_matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            dangling = [floating[i] for i in range(n)
+                        if g_matrix[i, i] < _MIN_CONDUCTANCE]
+            raise SolverError(
+                "singular nodal matrix -- floating node(s) without a DC path "
+                f"to a fixed node: {dangling or 'unknown'}") from exc
+
+        voltages = dict(self._fixed)
+        for name, i in index.items():
+            voltages[name] = float(solution[i])
+        return voltages
+
+
+def solve_resistor_string(tap_names: List[str], resistances: List[float],
+                          v_top: float, v_bottom: float,
+                          extra_edges: Optional[List[Tuple[str, str, float]]] = None
+                          ) -> Dict[str, float]:
+    """Solve a series resistor string between two fixed voltages.
+
+    Parameters
+    ----------
+    tap_names:
+        Names of the ``len(resistances) + 1`` taps, ordered from the bottom
+        (held at ``v_bottom``) to the top (held at ``v_top``).
+    resistances:
+        Resistance of each segment, ordered bottom to top.
+    extra_edges:
+        Optional additional ``(node_a, node_b, resistance)`` connections, used
+        by the defect model to stamp shorts between arbitrary taps.
+
+    Returns
+    -------
+    dict
+        Voltage at every tap.
+    """
+    if len(tap_names) != len(resistances) + 1:
+        raise SolverError(
+            f"expected {len(resistances) + 1} tap names for "
+            f"{len(resistances)} resistances, got {len(tap_names)}")
+    net = LinearNetwork()
+    net.set_voltage(tap_names[0], v_bottom)
+    net.set_voltage(tap_names[-1], v_top)
+    for i, r in enumerate(resistances):
+        net.add_resistor(tap_names[i], tap_names[i + 1], r)
+    for node_a, node_b, r in (extra_edges or []):
+        net.add_resistor(node_a, node_b, r)
+    return net.solve()

@@ -1,0 +1,93 @@
+"""Physical constants, supply/clock defaults and unit helpers.
+
+The values collected here mirror the operating point of the 65 nm 10-bit SAR
+ADC IP used as the SymBIST demonstrator (Pavlidis et al., DATE 2020):
+
+* ``VDD``      -- nominal supply voltage of the A/M-S part.
+* ``F_CLK``    -- BIST / conversion clock frequency (156 MHz in the paper).
+* ``SHORT_RESISTANCE`` -- defect-model short resistance (10 ohm in the paper).
+* ``OPEN_RESISTANCE``  -- series resistance used to emulate an open defect; an
+  ideal open cannot be handled by a nodal solver, so a very large but finite
+  resistance with a weak pull is used instead, exactly as the paper describes
+  for SPICE-level defect simulation.
+
+All electrical quantities in the package are expressed in SI units (volts,
+amperes, ohms, farads, seconds, hertz).
+"""
+
+from __future__ import annotations
+
+# Nominal supply of the A/M-S part of the IP.
+VDD: float = 1.2
+
+# Ground reference.
+VSS: float = 0.0
+
+# Nominal common-mode voltage used inside the DAC (Vcm generator output).
+VCM_NOMINAL: float = VDD / 2.0
+
+# Nominal common-mode voltage at the pre-amplifier outputs (Vcm2 in the paper).
+VCM2_NOMINAL: float = 0.55
+
+# BIST / conversion clock frequency used in the test-time computation.
+F_CLK: float = 156e6
+
+# Defect model constants (Section V of the paper).
+SHORT_RESISTANCE: float = 10.0
+OPEN_RESISTANCE: float = 1e9
+WEAK_PULL_RESISTANCE: float = 1e7
+PASSIVE_DEVIATION: float = 0.50  # +/-50 % variations of passive components.
+
+# Number of ADC output bits.
+ADC_BITS: int = 10
+
+# Number of reference-ladder taps VREF<0:32>.
+N_REF_LEVELS: int = 33
+
+# Convenience multipliers.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+
+def db(x: float) -> float:
+    """Return ``20*log10(x)`` -- amplitude ratio expressed in decibels."""
+    import math
+
+    if x <= 0.0:
+        raise ValueError(f"db() requires a positive ratio, got {x!r}")
+    return 20.0 * math.log10(x)
+
+
+def from_db(x_db: float) -> float:
+    """Inverse of :func:`db`: convert a dB amplitude ratio back to linear."""
+    return 10.0 ** (x_db / 20.0)
+
+
+def lsb_size(full_scale: float, bits: int = ADC_BITS) -> float:
+    """Size of one LSB for a converter with the given full scale and resolution."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    return full_scale / float(2 ** bits)
+
+
+def parallel(*resistances: float) -> float:
+    """Equivalent resistance of resistors connected in parallel.
+
+    Zero-valued arguments short the combination and return ``0.0``.
+    """
+    if not resistances:
+        raise ValueError("parallel() needs at least one resistance")
+    inv = 0.0
+    for r in resistances:
+        if r < 0.0:
+            raise ValueError(f"negative resistance {r!r}")
+        if r == 0.0:
+            return 0.0
+        inv += 1.0 / r
+    return 1.0 / inv

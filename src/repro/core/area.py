@@ -1,0 +1,111 @@
+"""Area-overhead model of the SymBIST infrastructure (paper Section IV-4).
+
+The paper estimates the area overhead of the SymBIST infrastructure -- the
+5-bit counter, the window comparator(s), and the non-intrusive switches and
+buffers that tap the monitored nodes -- at less than 5 % of the IP.  This
+module provides a transparent bookkeeping model that reproduces that estimate
+and supports the checker-sharing ablation (one shared comparator versus one
+comparator per invariance).
+
+The unit of area is the *gate equivalent* (GE, the area of a minimum 2-input
+NAND).  Analog devices are converted through their layout-area proxy
+(``Device.area_proxy``); digital content is counted in gates.  The absolute
+scale cancels in the overhead ratio, which is the quantity of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..adc.sar_adc import SarAdc
+from ..circuit.errors import BistConfigurationError
+from .test_time import CheckingMode
+
+#: Gate-equivalent cost of the analog area proxy unit (a near-minimum device).
+_GE_PER_AREA_PROXY = 1.4
+#: Estimated gate count of the purely digital part of the IP (SAR logic,
+#: SAR control, phase generator); used when the caller does not supply the
+#: exact number from the gate-level models in :mod:`repro.digital`.
+DEFAULT_DIGITAL_GATES = 420
+
+#: SymBIST infrastructure bill of materials, in gate equivalents.
+COUNTER_GE_PER_BIT = 9.0           # scan-friendly counter flop + increment logic
+WINDOW_COMPARATOR_GE = 55.0        # two clocked comparators + reference resistors
+CHECKER_MUX_GE_PER_INVARIANCE = 6.0  # analog switches + routing per tapped node
+TAP_BUFFER_GE_PER_INVARIANCE = 8.0   # isolation buffer per monitored node pair
+CONTROL_FSM_GE = 40.0              # BIST FSM, pass/fail sticky bit, TAM glue
+
+
+@dataclass
+class AreaReport:
+    """Breakdown of IP area versus SymBIST infrastructure area."""
+
+    ip_analog_ge: float
+    ip_digital_ge: float
+    bist_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ip_total_ge(self) -> float:
+        return self.ip_analog_ge + self.ip_digital_ge
+
+    @property
+    def bist_total_ge(self) -> float:
+        return sum(self.bist_breakdown.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        """BIST area divided by IP area."""
+        if self.ip_total_ge <= 0:
+            raise BistConfigurationError("IP area must be positive")
+        return self.bist_total_ge / self.ip_total_ge
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_fraction
+
+
+def ip_analog_area(adc: SarAdc) -> float:
+    """Gate-equivalent area of the A/M-S part of the IP."""
+    total = 0.0
+    for block in adc.analog_blocks:
+        for device in block.netlist:
+            total += device.area_proxy() * _GE_PER_AREA_PROXY
+    return total
+
+
+def symbist_infrastructure_area(n_invariances: int = 6,
+                                counter_bits: int = 5,
+                                mode: CheckingMode = CheckingMode.SEQUENTIAL
+                                ) -> Dict[str, float]:
+    """Gate-equivalent breakdown of the SymBIST infrastructure.
+
+    In sequential mode a single window comparator is shared across the
+    invariances (at the cost of test time); in parallel mode each invariance
+    has its own comparator.
+    """
+    if n_invariances <= 0 or counter_bits <= 0:
+        raise BistConfigurationError(
+            "n_invariances and counter_bits must be positive")
+    n_comparators = 1 if mode is CheckingMode.SEQUENTIAL else n_invariances
+    return {
+        "counter": COUNTER_GE_PER_BIT * counter_bits,
+        "window_comparators": WINDOW_COMPARATOR_GE * n_comparators,
+        "checker_multiplexing": CHECKER_MUX_GE_PER_INVARIANCE * n_invariances,
+        "tap_buffers": TAP_BUFFER_GE_PER_INVARIANCE * n_invariances,
+        "control_fsm": CONTROL_FSM_GE,
+    }
+
+
+def area_overhead(adc: Optional[SarAdc] = None,
+                  n_invariances: int = 6,
+                  counter_bits: int = 5,
+                  mode: CheckingMode = CheckingMode.SEQUENTIAL,
+                  digital_gates: float = DEFAULT_DIGITAL_GATES) -> AreaReport:
+    """Full area report of SymBIST on the SAR ADC IP."""
+    adc = adc or SarAdc()
+    return AreaReport(
+        ip_analog_ge=ip_analog_area(adc),
+        ip_digital_ge=float(digital_gates),
+        bist_breakdown=symbist_infrastructure_area(n_invariances, counter_bits,
+                                                   mode))

@@ -1,0 +1,162 @@
+"""Window calibration: ``delta = k * sigma`` from a Monte Carlo analysis.
+
+Paper context (Section II): "The parameter delta can be set to k * sigma,
+where sigma is the standard deviation of the invariant signal computed by a
+Monte Carlo analysis and k is set accordingly so as to avoid yield loss", and
+Section VI: "For our experiment we use a comparison window with delta = 5 *
+sigma, i.e. k = 5, so as to guarantee that yield loss is negligible."
+
+:func:`calibrate_windows` runs the Monte Carlo analysis on defect-free
+instances of the IP: each iteration draws a process-variation sample, sweeps
+the full test stimulus and records the residual of every invariance at every
+counter code.  The per-invariance sigma is the standard deviation of the
+pooled residuals; the window half-width is ``delta = k * sigma + |mean|``
+(the systematic part of the residual is absorbed into the window so that it
+does not eat into the k-sigma guard band), with a per-invariance floor for the
+inherently discrete invariances (the sign-consistency and complementary-rail
+checks have zero variance when defect-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..adc.sar_adc import SarAdc
+from ..circuit.errors import CalibrationError
+from ..circuit.units import VDD
+from ..circuit.variation import VariationSpec
+from .invariance import Invariance, build_invariances
+from .stimulus import SymBistStimulus
+from .window_comparator import WindowComparator
+
+#: Default floors for the window half-width, per invariance.  The discrete
+#: invariances (rail sums, sign consistency) have zero defect-free variance,
+#: so their windows are set by noise-margin considerations instead.
+DEFAULT_DELTA_FLOORS: Dict[str, float] = {
+    "sign": 0.5,
+    "latch_sum": 0.1 * VDD,
+}
+#: Generic floor applied to every other invariance.
+GENERIC_DELTA_FLOOR = 1e-3
+
+
+@dataclass
+class WindowCalibration:
+    """Result of the Monte Carlo window calibration."""
+
+    k: float
+    n_samples: int
+    sigmas: Dict[str, float]
+    means: Dict[str, float]
+    deltas: Dict[str, float]
+    residual_pools: Dict[str, List[float]] = field(default_factory=dict)
+
+    def delta(self, name: str) -> float:
+        try:
+            return self.deltas[name]
+        except KeyError as exc:
+            raise CalibrationError(
+                f"no calibrated window for invariance {name!r}") from exc
+
+    def build_checkers(self, hysteresis: float = 0.0) -> List[WindowComparator]:
+        """One window comparator per calibrated invariance."""
+        return [WindowComparator(name=name, delta=delta, hysteresis=hysteresis)
+                for name, delta in self.deltas.items()]
+
+    def scaled(self, k: float) -> "WindowCalibration":
+        """Same Monte Carlo data, windows rebuilt for a different ``k``.
+
+        Used by the yield-loss-versus-k study without re-running Monte Carlo.
+        """
+        deltas = {}
+        for name, sigma in self.sigmas.items():
+            floor = DEFAULT_DELTA_FLOORS.get(name, GENERIC_DELTA_FLOOR)
+            deltas[name] = max(k * sigma + abs(self.means[name]), floor)
+        return WindowCalibration(k=k, n_samples=self.n_samples,
+                                 sigmas=dict(self.sigmas),
+                                 means=dict(self.means), deltas=deltas,
+                                 residual_pools=self.residual_pools)
+
+
+def collect_defect_free_residuals(
+        adc_factory: Callable[[], SarAdc] = SarAdc,
+        invariances: Optional[Sequence[Invariance]] = None,
+        stimulus: Optional[SymBistStimulus] = None,
+        n_monte_carlo: int = 100,
+        rng: Optional[np.random.Generator] = None,
+        variation_spec: Optional[VariationSpec] = None
+        ) -> Dict[str, List[float]]:
+    """Monte Carlo residual pools of every invariance on defect-free circuits."""
+    if n_monte_carlo <= 0:
+        raise CalibrationError("n_monte_carlo must be positive")
+    invariances = list(invariances) if invariances is not None \
+        else build_invariances()
+    stimulus = stimulus or SymBistStimulus()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    pools: Dict[str, List[float]] = {inv.name: [] for inv in invariances}
+    for _ in range(n_monte_carlo):
+        adc = adc_factory()
+        adc.sample_variation(rng, variation_spec)
+        op = adc.operating_point(input_diff=stimulus.input_diff,
+                                 input_cm=stimulus.input_cm)
+        adc.sarcell.comparator.rs_latch.reset_state()
+        for cycle in range(stimulus.n_cycles):
+            code = stimulus.code_for_cycle(cycle)
+            signals = adc.evaluate_test_cycle(code, op)
+            for inv in invariances:
+                pools[inv.name].append(inv.evaluate(signals))
+    return pools
+
+
+def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
+                      invariances: Optional[Sequence[Invariance]] = None,
+                      stimulus: Optional[SymBistStimulus] = None,
+                      k: float = 5.0,
+                      n_monte_carlo: int = 100,
+                      rng: Optional[np.random.Generator] = None,
+                      variation_spec: Optional[VariationSpec] = None,
+                      delta_floors: Optional[Mapping[str, float]] = None,
+                      keep_pools: bool = False) -> WindowCalibration:
+    """Run the Monte Carlo analysis and derive the comparison windows.
+
+    Parameters
+    ----------
+    k:
+        The guard-band multiplier (5 in the paper's experiment).
+    n_monte_carlo:
+        Number of defect-free Monte Carlo samples.
+    delta_floors:
+        Optional per-invariance overrides of the window floors.
+    keep_pools:
+        When True the raw residual pools are kept on the returned object
+        (useful for the yield-loss study); they are dropped otherwise to keep
+        the calibration object light.
+    """
+    if k <= 0:
+        raise CalibrationError(f"k must be positive, got {k}")
+    pools = collect_defect_free_residuals(
+        adc_factory, invariances, stimulus, n_monte_carlo, rng, variation_spec)
+
+    floors = dict(DEFAULT_DELTA_FLOORS)
+    if delta_floors:
+        floors.update(delta_floors)
+
+    sigmas: Dict[str, float] = {}
+    means: Dict[str, float] = {}
+    deltas: Dict[str, float] = {}
+    for name, residuals in pools.items():
+        values = np.asarray(residuals, dtype=float)
+        sigma = float(np.std(values))
+        mean = float(np.mean(values))
+        floor = floors.get(name, GENERIC_DELTA_FLOOR)
+        sigmas[name] = sigma
+        means[name] = mean
+        deltas[name] = max(k * sigma + abs(mean), floor)
+
+    return WindowCalibration(k=k, n_samples=n_monte_carlo, sigmas=sigmas,
+                             means=means, deltas=deltas,
+                             residual_pools=pools if keep_pools else {})

@@ -1,0 +1,213 @@
+"""Two-pin digital test access mechanism (TAM) for SymBIST.
+
+Paper context (Section IV-4): "since the test stimulus is digital and the
+comparator's output is a 1-bit pass or fail decision, SymBIST can be
+interfaced with a 2-pin digital test access mechanism."  This module models
+that interface: a serial test-data-in / test-data-out pair through which
+automatic test equipment (or a system processor, for in-field test) launches
+the self-test and retrieves the result.
+
+The protocol is deliberately simple (it has to fit next to a counter and a
+window comparator):
+
+* an 8-bit instruction is shifted in on TDI;
+* the BIST controller executes it (run all invariances, run one invariance,
+  read the sticky status, read the per-invariance fail map, read the cycle
+  number of the first detection);
+* the response register is shifted out on TDO, LSB first.
+
+The model tracks the number of TCK cycles spent on shifting plus the test
+execution cycles, so the complete 2-pin test session can be budgeted the same
+way the paper budgets the raw SymBIST run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, Sequence
+
+from ..adc.sar_adc import SarAdc
+from ..circuit.errors import BistConfigurationError
+from ..circuit.units import F_CLK
+from .controller import SymBistController, SymBistResult
+from .invariance import build_invariances
+from .stimulus import SymBistStimulus
+from .test_time import CheckingMode
+from .window_comparator import WindowComparator
+
+
+class TamInstruction(IntEnum):
+    """Instruction opcodes of the 2-pin interface."""
+
+    IDLE = 0x00
+    RUN_ALL = 0x01          # run the full SymBIST session (all invariances)
+    READ_STATUS = 0x02      # 1 = pass, 0 = fail (sticky)
+    READ_FAIL_MAP = 0x03    # one bit per invariance, 1 = that checker failed
+    READ_FIRST_CYCLE = 0x04  # counter cycle of the first detection (0xFF = none)
+    RUN_SINGLE_BASE = 0x10  # RUN_SINGLE_BASE + i runs only invariance i
+
+
+#: Width of the serial instruction and response registers.
+INSTRUCTION_BITS = 8
+RESPONSE_BITS = 8
+
+
+def _to_bits(value: int, width: int) -> List[int]:
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _from_bits(bits: Sequence[int]) -> int:
+    return sum((bit & 1) << i for i, bit in enumerate(bits))
+
+
+@dataclass
+class TamSession:
+    """Book-keeping of one ATE session over the 2-pin interface."""
+
+    tck_cycles: int = 0
+    executed: List[TamInstruction] = field(default_factory=list)
+    responses: List[int] = field(default_factory=list)
+
+    def record(self, instruction: TamInstruction, response: int,
+               shift_cycles: int, execute_cycles: int) -> None:
+        self.executed.append(instruction)
+        self.responses.append(response)
+        self.tck_cycles += shift_cycles + execute_cycles
+
+    def session_time(self, tck_frequency: float = F_CLK) -> float:
+        """Total session time at the given test-clock frequency."""
+        if tck_frequency <= 0:
+            raise BistConfigurationError("tck_frequency must be positive")
+        return self.tck_cycles / tck_frequency
+
+
+class SymBistTam:
+    """Serial 2-pin wrapper around the SymBIST controller.
+
+    Parameters
+    ----------
+    adc:
+        The IP under test.
+    deltas:
+        Calibrated window half-widths per invariance.
+    mode:
+        Checker-sharing mode used when a full run is requested.
+    """
+
+    def __init__(self, adc: SarAdc, deltas: Dict[str, float],
+                 stimulus: Optional[SymBistStimulus] = None,
+                 mode: CheckingMode = CheckingMode.SEQUENTIAL) -> None:
+        self.adc = adc
+        self.deltas = dict(deltas)
+        self.stimulus = stimulus or SymBistStimulus()
+        self.mode = mode
+        self.invariances = build_invariances()
+        missing = [inv.name for inv in self.invariances
+                   if inv.name not in self.deltas]
+        if missing:
+            raise BistConfigurationError(
+                f"no calibrated window for invariances {missing}")
+        self._last_result: Optional[SymBistResult] = None
+        self.session = TamSession()
+
+    # ----------------------------------------------------------------- runs
+    def _run(self, invariance_names: Optional[Sequence[str]] = None
+             ) -> SymBistResult:
+        names = list(invariance_names) if invariance_names is not None else \
+            [inv.name for inv in self.invariances]
+        invariances = [inv for inv in self.invariances if inv.name in names]
+        checkers = [WindowComparator(name=name, delta=self.deltas[name])
+                    for name in names]
+        controller = SymBistController(self.adc, checkers,
+                                       invariances=invariances,
+                                       stimulus=self.stimulus, mode=self.mode,
+                                       stop_on_detection=False)
+        result = controller.run()
+        self._last_result = result
+        return result
+
+    # ------------------------------------------------------------- protocol
+    def shift_instruction(self, opcode: int) -> List[int]:
+        """Execute one instruction and return the response bits (LSB first).
+
+        The TCK cost is ``INSTRUCTION_BITS`` shift-in cycles plus the test
+        execution cycles (for RUN instructions) plus ``RESPONSE_BITS``
+        shift-out cycles, which is what a minimal 2-pin interface would spend.
+        """
+        if not 0 <= opcode < 2 ** INSTRUCTION_BITS:
+            raise BistConfigurationError(
+                f"opcode must fit in {INSTRUCTION_BITS} bits, got {opcode}")
+        execute_cycles = 0
+        if opcode == TamInstruction.RUN_ALL:
+            result = self._run()
+            execute_cycles = result.cycles_run
+            response = 1 if result.passed else 0
+            instruction = TamInstruction.RUN_ALL
+        elif opcode >= TamInstruction.RUN_SINGLE_BASE and \
+                opcode < TamInstruction.RUN_SINGLE_BASE + len(self.invariances):
+            index = opcode - TamInstruction.RUN_SINGLE_BASE
+            name = self.invariances[index].name
+            result = self._run([name])
+            execute_cycles = result.cycles_run
+            response = 1 if result.passed else 0
+            instruction = TamInstruction.RUN_SINGLE_BASE
+        elif opcode == TamInstruction.READ_STATUS:
+            response = 1 if (self._last_result is not None
+                             and self._last_result.passed) else 0
+            instruction = TamInstruction.READ_STATUS
+        elif opcode == TamInstruction.READ_FAIL_MAP:
+            response = self._fail_map()
+            instruction = TamInstruction.READ_FAIL_MAP
+        elif opcode == TamInstruction.READ_FIRST_CYCLE:
+            response = self._first_cycle()
+            instruction = TamInstruction.READ_FIRST_CYCLE
+        elif opcode == TamInstruction.IDLE:
+            response = 0
+            instruction = TamInstruction.IDLE
+        else:
+            raise BistConfigurationError(f"unknown TAM opcode 0x{opcode:02x}")
+
+        self.session.record(instruction, response,
+                            shift_cycles=INSTRUCTION_BITS + RESPONSE_BITS,
+                            execute_cycles=execute_cycles)
+        return _to_bits(response, RESPONSE_BITS)
+
+    # -------------------------------------------------------------- responses
+    def _fail_map(self) -> int:
+        if self._last_result is None:
+            return 0
+        value = 0
+        for index, inv in enumerate(self.invariances):
+            check = self._last_result.check_results.get(inv.name)
+            if check is not None and not check.passed:
+                value |= 1 << index
+        return value
+
+    def _first_cycle(self) -> int:
+        if self._last_result is None or self._last_result.first_detection is None:
+            return 0xFF
+        return min(self._last_result.first_detection[1], 0xFE)
+
+    # ------------------------------------------------------------ convenience
+    def run_and_report(self) -> Dict[str, object]:
+        """One complete ATE session: run, read status, fail map, first cycle.
+
+        Returns a small dictionary with the decoded responses and the total
+        session time -- what a production test program would log.
+        """
+        self.shift_instruction(TamInstruction.RUN_ALL)
+        status = _from_bits(self.shift_instruction(TamInstruction.READ_STATUS))
+        fail_map = _from_bits(self.shift_instruction(TamInstruction.READ_FAIL_MAP))
+        first_cycle = _from_bits(
+            self.shift_instruction(TamInstruction.READ_FIRST_CYCLE))
+        failing = [inv.name for index, inv in enumerate(self.invariances)
+                   if fail_map & (1 << index)]
+        return {
+            "passed": bool(status),
+            "fail_map": fail_map,
+            "failing_invariances": failing,
+            "first_detection_cycle": None if first_cycle == 0xFF else first_cycle,
+            "tck_cycles": self.session.tck_cycles,
+            "session_time": self.session.session_time(),
+        }

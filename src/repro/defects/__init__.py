@@ -1,0 +1,32 @@
+"""Defect modelling and defect-simulation campaigns (paper Section V).
+
+This package re-implements the campaign mechanics the paper delegates to the
+Tessent DefectSim tool: the standard short/open/passive-deviation defect
+model, defect-universe extraction from the structural netlists, likelihood
+assignment (defect-type priors x device-area proxies), Likelihood-Weighted
+Random Sampling, defect injection, stop-on-detection campaign execution, and
+likelihood-weighted coverage with 95 % confidence intervals.
+"""
+
+from .diagnosis import (BlockScore, DiagnosisReport, diagnose,
+                        diagnosis_accuracy)
+from .coverage import (CoverageEstimate, Z_95, combine_detected_likelihood,
+                       exhaustive_coverage, lwrs_coverage, wilson_interval)
+from .injection import DefectInjector
+from .likelihood import DEFAULT_TYPE_PRIORS, LikelihoodModel
+from .model import Defect, DefectKind, enumerate_device_defects
+from .sampling import SamplingPlan, lwrs_sample, select_defects
+from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
+                        DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE)
+from .universe import DefectUniverse, build_defect_universe
+
+__all__ = [
+    "BlockCoverageReport", "CampaignResult", "CoverageEstimate",
+    "DEFAULT_TYPE_PRIORS", "Defect", "DefectCampaign", "DefectInjector",
+    "DefectKind", "DefectSimulationRecord", "DefectUniverse",
+    "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE", "SamplingPlan", "Z_95",
+    "BlockScore", "DiagnosisReport", "diagnose", "diagnosis_accuracy",
+    "build_defect_universe", "combine_detected_likelihood",
+    "enumerate_device_defects", "exhaustive_coverage", "lwrs_coverage",
+    "lwrs_sample", "select_defects", "wilson_interval",
+]

@@ -1,0 +1,133 @@
+"""Likelihood-weighted (L-W) defect coverage and its confidence interval.
+
+Two estimators are provided, matching the two ways a campaign can walk the
+defect universe:
+
+* **exhaustive**: every defect is simulated; the L-W coverage is the exact
+  ratio ``sum(likelihood of detected) / sum(likelihood of all)`` and no
+  confidence interval is attached;
+* **LWRS**: defects are sampled with probability proportional to likelihood;
+  the unweighted detected fraction of the sample is an unbiased estimator of
+  the L-W coverage and a 95 % binomial (Wilson) confidence interval is
+  reported, which is how Table I of the paper quotes its ``+/-`` terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..circuit.errors import CoverageError
+from .model import Defect
+
+#: z-value of the 95 % two-sided normal quantile.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class CoverageEstimate:
+    """A coverage value with optional confidence interval.
+
+    Attributes
+    ----------
+    value:
+        The L-W coverage estimate, as a fraction in [0, 1].
+    ci_half_width:
+        Half-width of the 95 % confidence interval, or ``None`` when the
+        estimate is exact (exhaustive simulation).
+    n_detected / n_simulated:
+        Sample bookkeeping.
+    universe_size / universe_likelihood:
+        Size and total likelihood of the population the estimate refers to.
+    """
+
+    value: float
+    ci_half_width: Optional[float]
+    n_detected: int
+    n_simulated: int
+    universe_size: int
+    universe_likelihood: float
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.value
+
+    @property
+    def ci_percent(self) -> Optional[float]:
+        return None if self.ci_half_width is None else 100.0 * self.ci_half_width
+
+    def formatted(self, decimals: int = 2) -> str:
+        """Human-readable ``86.96% +/- 3.67%`` style string."""
+        text = f"{self.percent:.{decimals}f}%"
+        if self.ci_half_width is not None:
+            text += f" +/- {self.ci_percent:.{decimals}f}%"
+        return text
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = Z_95) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(center, half_width)``.  Preferred over the normal approximation
+    because campaign samples can be small and proportions close to 0 or 1.
+    """
+    if trials <= 0:
+        raise CoverageError("wilson_interval needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise CoverageError(
+            f"successes ({successes}) must be within [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(p_hat * (1.0 - p_hat) / trials
+                                   + z * z / (4.0 * trials * trials))
+    return center, half
+
+
+def exhaustive_coverage(detected: Sequence[bool],
+                        defects: Sequence[Defect]) -> CoverageEstimate:
+    """Exact L-W coverage when every defect of the population was simulated."""
+    if len(detected) != len(defects):
+        raise CoverageError("detected flags and defects must align")
+    if not defects:
+        raise CoverageError("cannot compute coverage of an empty population")
+    total = sum(d.likelihood for d in defects)
+    covered = sum(d.likelihood for d, hit in zip(defects, detected) if hit)
+    return CoverageEstimate(
+        value=covered / total,
+        ci_half_width=None,
+        n_detected=int(sum(bool(x) for x in detected)),
+        n_simulated=len(defects),
+        universe_size=len(defects),
+        universe_likelihood=total)
+
+
+def lwrs_coverage(detected: Sequence[bool], universe_size: int,
+                  universe_likelihood: float) -> CoverageEstimate:
+    """L-W coverage estimated from a likelihood-weighted random sample.
+
+    Under LWRS each sampled defect was drawn with probability proportional to
+    its likelihood, so the detected *fraction of the sample* estimates the
+    likelihood-weighted coverage of the population; the Wilson interval gives
+    the 95 % confidence band.
+    """
+    n = len(detected)
+    if n == 0:
+        raise CoverageError("cannot estimate coverage from an empty sample")
+    hits = int(sum(bool(x) for x in detected))
+    p_hat = hits / n
+    _, half = wilson_interval(hits, n)
+    return CoverageEstimate(
+        value=p_hat,
+        ci_half_width=half,
+        n_detected=hits,
+        n_simulated=n,
+        universe_size=universe_size,
+        universe_likelihood=universe_likelihood)
+
+
+def combine_detected_likelihood(defects: Iterable[Defect],
+                                detected: Iterable[bool]) -> float:
+    """Total likelihood of the detected defects (reporting helper)."""
+    return float(sum(d.likelihood for d, hit in zip(defects, detected) if hit))

@@ -1,0 +1,154 @@
+"""Defect diagnosis from SymBIST invariance signatures.
+
+SymBIST is a go/no-go test, but the *pattern* of invariance violations carries
+diagnostic information: each invariance observes a specific set of blocks
+(e.g. Eq. (3) checks the SC array, the Vcm generator and, indirectly, the
+bandgap), and whether a violation persists for the whole counter sweep or only
+at specific codes separates bias-path defects from code-dependent DAC defects
+(paper Fig. 5).  This module turns a failing
+:class:`~repro.core.controller.SymBistResult` into a ranked list of candidate
+blocks, using two evidence sources:
+
+* **structural evidence** -- the blocks each failing invariance declares it
+  covers (and, negatively, the blocks covered only by passing invariances);
+* **temporal evidence** -- violations at every counter code point to blocks in
+  the static bias/common-mode path, violations at a few codes point to the
+  code-steered blocks (sub-DACs, SC array, reference ladder).
+
+The result is a lightweight diagnosis of the kind a product engineer would use
+to steer physical failure analysis; it is *not* needed for the pass/fail
+decision of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.errors import CoverageError
+from ..core.controller import SymBistResult
+from ..core.invariance import Invariance, build_invariances
+
+#: Blocks steered by the counter code: defects there produce code-dependent
+#: violations (only some conversion periods), as in Fig. 5 of the paper.
+CODE_STEERED_BLOCKS = ("subdac1", "subdac2", "sc_array", "reference_buffer")
+#: Blocks in the static bias / common-mode path: defects there violate their
+#: invariance during the entire test.
+STATIC_PATH_BLOCKS = ("vcm_generator", "bandgap", "preamplifier",
+                      "offset_compensation")
+#: Fraction of violating cycles above which a violation counts as "persistent".
+PERSISTENT_FRACTION = 0.9
+
+
+@dataclass
+class BlockScore:
+    """Diagnosis score of one candidate block."""
+
+    block_path: str
+    score: float
+    supporting_invariances: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockScore({self.block_path}, {self.score:.2f})"
+
+
+@dataclass
+class DiagnosisReport:
+    """Ranked diagnosis produced from one failing SymBIST result."""
+
+    candidates: List[BlockScore]
+    failing_invariances: List[str]
+    persistent_invariances: List[str]
+    code_dependent_invariances: List[str]
+
+    @property
+    def top_candidate(self) -> Optional[str]:
+        return self.candidates[0].block_path if self.candidates else None
+
+    def ranked_blocks(self) -> List[str]:
+        return [c.block_path for c in self.candidates]
+
+    def score_of(self, block_path: str) -> float:
+        for candidate in self.candidates:
+            if candidate.block_path == block_path:
+                return candidate.score
+        return 0.0
+
+
+def diagnose(result: SymBistResult,
+             invariances: Optional[Sequence[Invariance]] = None
+             ) -> DiagnosisReport:
+    """Rank the A/M-S blocks most likely to contain the detected defect."""
+    if result.passed:
+        raise CoverageError("diagnosis requires a failing SymBIST result")
+    invariances = list(invariances) if invariances is not None \
+        else build_invariances()
+    by_name = {inv.name: inv for inv in invariances}
+
+    failing = result.failing_invariances
+    passing = [name for name in result.check_results if name not in failing]
+
+    persistent: List[str] = []
+    code_dependent: List[str] = []
+    for name in failing:
+        check = result.check_results[name]
+        fraction = len(check.violations) / max(check.n_cycles, 1)
+        if fraction >= PERSISTENT_FRACTION:
+            persistent.append(name)
+        else:
+            code_dependent.append(name)
+
+    scores: Dict[str, float] = {}
+    support: Dict[str, List[str]] = {}
+    for name in failing:
+        inv = by_name.get(name)
+        if inv is None:
+            continue
+        weight = 1.0 / max(len(inv.covered_blocks), 1)
+        for block in inv.covered_blocks:
+            scores[block] = scores.get(block, 0.0) + 1.0 + weight
+            support.setdefault(block, []).append(name)
+
+    # Negative evidence: a block covered by an invariance that passed is less
+    # likely to host the defect (the defect would usually disturb it too).
+    for name in passing:
+        inv = by_name.get(name)
+        if inv is None:
+            continue
+        for block in inv.covered_blocks:
+            if block in scores:
+                scores[block] -= 0.4
+
+    # Temporal evidence.
+    for block in list(scores):
+        if persistent and not code_dependent and block in STATIC_PATH_BLOCKS:
+            scores[block] += 1.0
+        if code_dependent and not persistent and block in CODE_STEERED_BLOCKS:
+            scores[block] += 1.0
+
+    candidates = [BlockScore(block_path=block, score=score,
+                             supporting_invariances=sorted(set(support.get(block, []))))
+                  for block, score in scores.items() if score > 0.0]
+    candidates.sort(key=lambda c: (-c.score, c.block_path))
+    return DiagnosisReport(candidates=candidates,
+                           failing_invariances=failing,
+                           persistent_invariances=persistent,
+                           code_dependent_invariances=code_dependent)
+
+
+def diagnosis_accuracy(records, results: Sequence[DiagnosisReport],
+                       top_n: int = 3) -> float:
+    """Fraction of detected defects whose true block is in the top-N diagnosis.
+
+    ``records`` are :class:`~repro.defects.simulator.DefectSimulationRecord`
+    objects (only detected ones are considered) aligned with ``results``.
+    """
+    pairs = [(record, report) for record, report in zip(records, results)
+             if record.detected]
+    if not pairs:
+        raise CoverageError("no detected defects to score diagnosis accuracy on")
+    hits = 0
+    for record, report in pairs:
+        if record.defect.block_path in report.ranked_blocks()[:top_n]:
+            hits += 1
+    return hits / len(pairs)

@@ -1,0 +1,71 @@
+"""Likelihood-Weighted Random Sampling (LWRS) of the defect universe.
+
+Paper context (Section V): "To reduce defect simulation time, we use the
+stop-on-detection and Likelihood-Weighted Random Sampling (LWRS) options.
+When the LWRS option is used, the 95 % confidence interval of the L-W defect
+coverage is also reported."
+
+LWRS draws defects with probability proportional to their likelihood.  The
+key statistical property (from the DefectSim methodology the paper cites) is
+that under likelihood-weighted sampling the *unweighted* detected fraction of
+the sample is an unbiased estimator of the likelihood-weighted coverage of the
+whole universe, and a binomial confidence interval applies directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.errors import CoverageError
+from .model import Defect
+from .universe import DefectUniverse
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """How a campaign walks the defect universe."""
+
+    #: Simulate every defect of the universe (exact coverage, no CI).
+    exhaustive: bool = True
+    #: Number of LWRS samples when not exhaustive.
+    n_samples: int = 100
+    #: Draw with replacement (True matches the classical LWRS estimator).
+    with_replacement: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.exhaustive and self.n_samples <= 0:
+            raise CoverageError("n_samples must be positive for LWRS sampling")
+
+
+def lwrs_sample(universe: DefectUniverse, n_samples: int,
+                rng: Optional[np.random.Generator] = None,
+                with_replacement: bool = True) -> List[Defect]:
+    """Draw ``n_samples`` defects with probability proportional to likelihood.
+
+    Sampling with replacement is the textbook LWRS scheme; without
+    replacement the estimator is slightly conservative but never simulates the
+    same defect twice (useful for small universes).
+    """
+    if len(universe) == 0:
+        raise CoverageError("cannot sample from an empty defect universe")
+    if n_samples <= 0:
+        raise CoverageError(f"n_samples must be positive, got {n_samples}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    probabilities = universe.probabilities()
+    if not with_replacement and n_samples > len(universe):
+        n_samples = len(universe)
+    indices = rng.choice(len(universe), size=n_samples,
+                         replace=with_replacement, p=probabilities)
+    return [universe.defects[int(i)] for i in indices]
+
+
+def select_defects(universe: DefectUniverse, plan: SamplingPlan,
+                   rng: Optional[np.random.Generator] = None) -> List[Defect]:
+    """Materialise a sampling plan into the list of defects to simulate."""
+    if plan.exhaustive:
+        return list(universe.defects)
+    return lwrs_sample(universe, plan.n_samples, rng,
+                       with_replacement=plan.with_replacement)

@@ -1,0 +1,31 @@
+"""Digital test substrate: gate-level models and standard digital BIST.
+
+The paper splits the IP into A/M-S blocks (covered by SymBIST) and purely
+digital blocks covered by "standard digital BIST" (scan + stuck-at ATPG /
+logic BIST).  This package provides that substrate: gate-level netlists of
+the SAR logic, SAR control and phase generator, the single-stuck-at fault
+model, serial fault simulation, random/greedy ATPG, scan-chain insertion and
+an LFSR/MISR logic BIST.
+"""
+
+from .atpg import AtpgResult, greedy_atpg, random_atpg
+from .bist import LogicBist, LogicBistResult
+from .blocks import (N_CONTROL_PULSES, SAR_BITS, build_phase_generator,
+                     build_sar_control, build_sar_logic,
+                     digital_ip_gate_count)
+from .faults import (FaultSimulationResult, ScanPattern, StuckAtFault,
+                     enumerate_stuck_at_faults, simulate_faults)
+from .gates import FlipFlop, Gate, GateKind, evaluate_gate
+from .lfsr import Lfsr, Misr, PRIMITIVE_TAPS
+from .netlist import DigitalNetlist, PinOverride, StemOverride
+from .scan import ScanChain, insert_scan
+
+__all__ = [
+    "AtpgResult", "DigitalNetlist", "FaultSimulationResult", "FlipFlop",
+    "Gate", "GateKind", "Lfsr", "LogicBist", "LogicBistResult", "Misr",
+    "N_CONTROL_PULSES", "PRIMITIVE_TAPS", "PinOverride", "SAR_BITS",
+    "ScanChain", "ScanPattern", "StemOverride", "StuckAtFault",
+    "build_phase_generator", "build_sar_control", "build_sar_logic",
+    "digital_ip_gate_count", "enumerate_stuck_at_faults", "evaluate_gate",
+    "greedy_atpg", "insert_scan", "random_atpg", "simulate_faults",
+]

@@ -1,0 +1,158 @@
+"""Gate-level models of the purely digital blocks of the SAR ADC IP.
+
+Three builders are provided, one per block named in the paper (Section III):
+
+* :func:`build_sar_logic` -- the successive-approximation register: a one-hot
+  sequence register marches from the MSB to the LSB, the bit under test is
+  ORed into the trial code, and the comparator decision is captured into the
+  corresponding result flop;
+* :func:`build_sar_control` -- the 12-pulse one-hot ring counter generating
+  ``P<0:11>``;
+* :func:`build_phase_generator` -- decodes the pulses into the sampling /
+  conversion / capture phases.
+
+These netlists are the device under test of the digital-BIST experiment (E9)
+and also document how large the digital part of the IP is for the area model.
+"""
+
+from __future__ import annotations
+
+from .gates import GateKind
+from .netlist import DigitalNetlist
+
+#: Number of result bits of the SAR logic.
+SAR_BITS = 10
+#: Number of control pulses of the SAR control block.
+N_CONTROL_PULSES = 12
+
+
+def build_sar_logic(n_bits: int = SAR_BITS) -> DigitalNetlist:
+    """Gate-level successive-approximation register.
+
+    Interface
+    ---------
+    inputs:
+        ``start`` (begin a conversion: loads the MSB marker) and ``comp``
+        (comparator decision for the bit under test).
+    outputs:
+        ``trial<i>`` (the code driven to the DAC during the conversion) and
+        ``b<i>`` (the accumulated result).
+    """
+    net = DigitalNetlist("sar_logic")
+    net.add_input("start")
+    net.add_input("comp")
+
+    for i in reversed(range(n_bits)):
+        seq_q = f"seq{i}_q"
+        bit_q = f"b{i}_q"
+        # Sequence register: one-hot marker of the bit under test.  The MSB
+        # stage reloads from `start`, the others shift from the stage above.
+        if i == n_bits - 1:
+            net.add_flop(f"seq{i}", d="start", q=seq_q)
+        else:
+            net.add_flop(f"seq{i}", d=f"seq{i + 1}_q", q=seq_q)
+
+        # Result register: capture the comparator decision while this bit is
+        # under test, hold the stored value otherwise, clear on start.
+        net.add_gate(f"g_keep{i}", GateKind.AND, [seq_q, "comp"],
+                     f"keep{i}")
+        net.add_gate(f"g_nsel{i}", GateKind.NOT, [seq_q], f"nsel{i}")
+        net.add_gate(f"g_hold{i}", GateKind.AND, [bit_q, f"nsel{i}"],
+                     f"hold{i}")
+        net.add_gate(f"g_next{i}", GateKind.OR, [f"keep{i}", f"hold{i}"],
+                     f"bnext{i}")
+        net.add_gate(f"g_nstart{i}", GateKind.NOT, ["start"], f"nstart{i}")
+        net.add_gate(f"g_bd{i}", GateKind.AND, [f"bnext{i}", f"nstart{i}"],
+                     f"bd{i}")
+        net.add_flop(f"b{i}", d=f"bd{i}", q=bit_q)
+
+        # Trial code: the stored bit ORed with the bit-under-test marker.
+        net.add_gate(f"g_trial{i}", GateKind.OR, [bit_q, seq_q], f"trial{i}")
+        net.add_output(f"trial{i}")
+        net.add_output(bit_q)
+    return net
+
+
+def build_sar_control(n_pulses: int = N_CONTROL_PULSES) -> DigitalNetlist:
+    """Gate-level one-hot ring counter producing the pulses ``P<0:11>``.
+
+    The ring self-initialises: pulse 0 is reloaded when no other pulse is
+    active (NOR of all other stages), which also makes the counter recover
+    from an illegal all-zero state after reset.
+    """
+    net = DigitalNetlist("sar_control")
+    net.add_input("enable")
+
+    # p0 reload condition: none of p0..p(n-2) active (i.e. the token is in the
+    # last stage or lost).  Built as an OR tree followed by an inverter so
+    # that every gate stays within the fan-in limit.
+    others = [f"p{i}_q" for i in range(n_pulses - 1)]
+    level = 0
+    while len(others) > 1:
+        merged = []
+        for pair_index in range(0, len(others) - 1, 2):
+            out = f"any{level}_{pair_index // 2}"
+            net.add_gate(f"g_any{level}_{pair_index // 2}", GateKind.OR,
+                         [others[pair_index], others[pair_index + 1]], out)
+            merged.append(out)
+        if len(others) % 2 == 1:
+            merged.append(others[-1])
+        others = merged
+        level += 1
+    net.add_gate("g_none", GateKind.NOT, [others[0]], "token_missing")
+    net.add_gate("g_wrap", GateKind.OR, [f"p{n_pulses - 1}_q", "token_missing"],
+                 "wrap")
+    net.add_gate("g_p0d", GateKind.AND, ["wrap", "enable"], "p0_d")
+    net.add_flop("p0", d="p0_d", q="p0_q", reset_value=1)
+    net.add_output("p0_q")
+    for i in range(1, n_pulses):
+        net.add_gate(f"g_p{i}d", GateKind.AND, [f"p{i - 1}_q", "enable"],
+                     f"p{i}_d")
+        net.add_flop(f"p{i}", d=f"p{i}_d", q=f"p{i}_q")
+        net.add_output(f"p{i}_q")
+    return net
+
+
+def build_phase_generator(n_pulses: int = N_CONTROL_PULSES) -> DigitalNetlist:
+    """Gate-level phase decoder: sampling / conversion / capture phases.
+
+    ``sample`` is active during pulse 0, ``capture`` during the last pulse and
+    ``convert`` during every other pulse.  ``track`` gates the input sampling
+    switches (sample AND enable).
+    """
+    net = DigitalNetlist("phase_generator")
+    net.add_input("enable")
+    for i in range(n_pulses):
+        net.add_input(f"p{i}")
+
+    net.add_gate("g_sample", GateKind.BUF, ["p0"], "sample")
+    net.add_output("sample")
+    net.add_gate("g_capture", GateKind.BUF, [f"p{n_pulses - 1}"], "capture")
+    net.add_output("capture")
+
+    # OR-tree over p1..p(n-2) for the conversion phase.
+    convert_inputs = [f"p{i}" for i in range(1, n_pulses - 1)]
+    previous = convert_inputs[0]
+    for index, net_name in enumerate(convert_inputs[1:], start=1):
+        out = f"cv{index}"
+        net.add_gate(f"g_cv{index}", GateKind.OR, [previous, net_name], out)
+        previous = out
+    net.add_gate("g_convert", GateKind.AND, [previous, "enable"], "convert")
+    net.add_output("convert")
+
+    net.add_gate("g_track", GateKind.AND, ["sample", "enable"], "track")
+    net.add_output("track")
+    # Comparator strobe: conversion phase and not sampling.
+    net.add_gate("g_nsample", GateKind.NOT, ["sample"], "nsample")
+    net.add_gate("g_strobe", GateKind.AND, ["convert", "nsample"], "strobe")
+    net.add_output("strobe")
+    return net
+
+
+def digital_ip_gate_count() -> int:
+    """Total gate count of the digital part of the IP (area model input)."""
+    total = 0
+    for builder in (build_sar_logic, build_sar_control, build_phase_generator):
+        netlist = builder()
+        total += netlist.n_gates + 4 * netlist.n_flops  # a flop ~ 4 gates
+    return total

@@ -1,0 +1,135 @@
+"""Stuck-at fault model and serial fault simulation for gate-level netlists.
+
+Faults are enumerated on every net stem (output of a gate, flip-flop output,
+primary input) and on every gate input pin, each stuck-at-0 and stuck-at-1 --
+the classic single-stuck-at model used by the "standard digital BIST" the
+paper assumes for the purely digital blocks.
+
+Fault simulation is serial (one fault at a time) over the *scan view* of the
+netlist: each pattern supplies both the primary inputs and the flip-flop
+states (as a scan load) and observes both the primary outputs and the next
+flip-flop states (as a scan unload), which is how scan-based ATPG observes a
+sequential block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.errors import DigitalTestError
+from .netlist import DigitalNetlist, PinOverride, StemOverride
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault.
+
+    ``pin`` is ``None`` for a stem (net) fault, or ``(gate_name, pin_index)``
+    for a gate input-pin fault.
+    """
+
+    net: str
+    stuck_value: int
+    pin: Optional[Tuple[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck_value not in (0, 1):
+            raise DigitalTestError("stuck value must be 0 or 1")
+
+    @property
+    def fault_id(self) -> str:
+        location = self.net if self.pin is None else \
+            f"{self.pin[0]}.in{self.pin[1]}({self.net})"
+        return f"{location}/sa{self.stuck_value}"
+
+    def override(self):
+        """The evaluation override implementing this fault."""
+        if self.pin is None:
+            return StemOverride(net=self.net, value=self.stuck_value)
+        return PinOverride(gate_name=self.pin[0], pin_index=self.pin[1],
+                           value=self.stuck_value)
+
+
+def enumerate_stuck_at_faults(netlist: DigitalNetlist,
+                              include_pin_faults: bool = True
+                              ) -> List[StuckAtFault]:
+    """All single stuck-at faults of a netlist."""
+    faults: List[StuckAtFault] = []
+    for net in netlist.nets():
+        for value in (0, 1):
+            faults.append(StuckAtFault(net=net, stuck_value=value))
+    if include_pin_faults:
+        for gate in netlist.gates:
+            for index, net in enumerate(gate.inputs):
+                for value in (0, 1):
+                    faults.append(StuckAtFault(net=net, stuck_value=value,
+                                               pin=(gate.name, index)))
+    return faults
+
+
+@dataclass(frozen=True)
+class ScanPattern:
+    """One scan test pattern: primary-input values plus the scanned-in state."""
+
+    inputs: Mapping[str, int]
+    state: Mapping[str, int]
+
+
+@dataclass
+class FaultSimulationResult:
+    """Outcome of simulating a pattern set against a fault list."""
+
+    detected: Dict[str, int] = field(default_factory=dict)  # fault_id -> pattern
+    undetected: List[StuckAtFault] = field(default_factory=list)
+    n_patterns: int = 0
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage(self) -> float:
+        if self.n_faults == 0:
+            raise DigitalTestError("no faults were simulated")
+        return len(self.detected) / self.n_faults
+
+
+def _scan_response(netlist: DigitalNetlist, pattern: ScanPattern,
+                   overrides: Sequence[object] = ()) -> Tuple[Tuple[int, ...],
+                                                              Tuple[int, ...]]:
+    """Primary outputs and captured next state for one scan pattern."""
+    outputs, next_state = netlist.step(pattern.inputs, pattern.state, overrides)
+    out_vec = tuple(outputs[net] for net in netlist.primary_outputs)
+    state_vec = tuple(next_state[f.q] for f in netlist.flops)
+    return out_vec, state_vec
+
+
+def simulate_faults(netlist: DigitalNetlist, patterns: Sequence[ScanPattern],
+                    faults: Optional[Sequence[StuckAtFault]] = None,
+                    drop_detected: bool = True) -> FaultSimulationResult:
+    """Serial stuck-at fault simulation with optional fault dropping."""
+    if not patterns:
+        raise DigitalTestError("at least one pattern is required")
+    fault_list = list(faults) if faults is not None else \
+        enumerate_stuck_at_faults(netlist)
+
+    good_responses = [_scan_response(netlist, p) for p in patterns]
+
+    result = FaultSimulationResult(n_patterns=len(patterns))
+    remaining = list(fault_list)
+    for fault in remaining:
+        override = fault.override()
+        detected_by = None
+        for index, pattern in enumerate(patterns):
+            faulty = _scan_response(netlist, pattern, (override,))
+            if faulty != good_responses[index]:
+                detected_by = index
+                break
+            if not drop_detected:
+                continue
+        if detected_by is not None:
+            result.detected[fault.fault_id] = detected_by
+        else:
+            result.undetected.append(fault)
+    return result

@@ -1,0 +1,99 @@
+"""Gate-level primitives for the purely digital blocks of the IP.
+
+The paper assumes the purely digital blocks (SAR control, phase generator,
+SAR logic) are tested "with standard digital BIST, i.e. with scan insertion
+and a combination of stuck-at, bridging, Iddq, and transitional ATPG"
+(Section II).  This package provides that substrate: combinational gates and
+D flip-flops, netlists, stuck-at fault modelling, fault simulation, ATPG,
+scan insertion and an LFSR/MISR logic BIST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from ..circuit.errors import DigitalTestError
+
+
+class GateKind(str, Enum):
+    """Supported combinational gate functions."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+    @property
+    def min_inputs(self) -> int:
+        return 1 if self in (GateKind.NOT, GateKind.BUF) else 2
+
+    @property
+    def max_inputs(self) -> int:
+        return 1 if self in (GateKind.NOT, GateKind.BUF) else 8
+
+
+def evaluate_gate(kind: GateKind, inputs: Sequence[int]) -> int:
+    """Evaluate one gate on binary inputs (0/1)."""
+    if any(v not in (0, 1) for v in inputs):
+        raise DigitalTestError(f"gate inputs must be 0/1, got {list(inputs)}")
+    if kind in (GateKind.NOT, GateKind.BUF):
+        if len(inputs) != 1:
+            raise DigitalTestError(f"{kind.value} gate takes exactly one input")
+        value = inputs[0]
+        return value if kind is GateKind.BUF else 1 - value
+    if len(inputs) < 2:
+        raise DigitalTestError(f"{kind.value} gate needs at least two inputs")
+    if kind is GateKind.AND:
+        return int(all(inputs))
+    if kind is GateKind.OR:
+        return int(any(inputs))
+    if kind is GateKind.NAND:
+        return int(not all(inputs))
+    if kind is GateKind.NOR:
+        return int(not any(inputs))
+    parity = 0
+    for value in inputs:
+        parity ^= value
+    if kind is GateKind.XOR:
+        return parity
+    return 1 - parity  # XNOR
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate instance."""
+
+    name: str
+    kind: GateKind
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        n = len(self.inputs)
+        if not self.kind.min_inputs <= n <= self.kind.max_inputs:
+            raise DigitalTestError(
+                f"gate {self.name!r} ({self.kind.value}): {n} inputs is outside "
+                f"[{self.kind.min_inputs}, {self.kind.max_inputs}]")
+        if not self.output:
+            raise DigitalTestError(f"gate {self.name!r} has no output net")
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A D flip-flop (the sequential element converted to a scan cell)."""
+
+    name: str
+    d: str
+    q: str
+    reset_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reset_value not in (0, 1):
+            raise DigitalTestError(
+                f"flip-flop {self.name!r}: reset value must be 0/1")

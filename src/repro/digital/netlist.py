@@ -1,0 +1,220 @@
+"""Gate-level netlists with combinational and sequential evaluation.
+
+A :class:`DigitalNetlist` holds primary inputs/outputs, combinational gates
+and D flip-flops.  Evaluation supports fault overrides (used by the stuck-at
+fault simulator): a *stem* override forces the value of a net after its driver
+has been evaluated, a *pin* override forces the value seen by one specific
+gate input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.errors import DigitalTestError
+from .gates import FlipFlop, Gate, GateKind, evaluate_gate
+
+
+@dataclass(frozen=True)
+class PinOverride:
+    """Force the value seen by input pin ``pin_index`` of gate ``gate_name``."""
+
+    gate_name: str
+    pin_index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class StemOverride:
+    """Force the value of net ``net`` regardless of its driver."""
+
+    net: str
+    value: int
+
+
+FaultOverride = object  # PinOverride | StemOverride (kept simple for py3.9)
+
+
+class DigitalNetlist:
+    """A named gate-level netlist."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise DigitalTestError("netlist name must be non-empty")
+        self.name = name
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._flops: Dict[str, FlipFlop] = {}
+        self._order: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------ build
+    def add_input(self, net: str) -> str:
+        if net in self.primary_inputs:
+            raise DigitalTestError(f"duplicate primary input {net!r}")
+        self.primary_inputs.append(net)
+        self._order = None
+        return net
+
+    def add_output(self, net: str) -> str:
+        if net in self.primary_outputs:
+            raise DigitalTestError(f"duplicate primary output {net!r}")
+        self.primary_outputs.append(net)
+        return net
+
+    def add_gate(self, name: str, kind: GateKind, inputs: Sequence[str],
+                 output: str) -> Gate:
+        if name in self._gates or name in self._flops:
+            raise DigitalTestError(f"duplicate element name {name!r}")
+        drivers = {g.output for g in self._gates.values()}
+        if output in drivers:
+            raise DigitalTestError(f"net {output!r} already has a driver")
+        gate = Gate(name=name, kind=kind, inputs=tuple(inputs), output=output)
+        self._gates[name] = gate
+        self._order = None
+        return gate
+
+    def add_flop(self, name: str, d: str, q: str,
+                 reset_value: int = 0) -> FlipFlop:
+        if name in self._gates or name in self._flops:
+            raise DigitalTestError(f"duplicate element name {name!r}")
+        flop = FlipFlop(name=name, d=d, q=q, reset_value=reset_value)
+        self._flops[name] = flop
+        self._order = None
+        return flop
+
+    # ----------------------------------------------------------------- access
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates.values())
+
+    @property
+    def flops(self) -> List[FlipFlop]:
+        return list(self._flops.values())
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self._gates[name]
+        except KeyError as exc:
+            raise DigitalTestError(f"no gate named {name!r}") from exc
+
+    @property
+    def n_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def n_flops(self) -> int:
+        return len(self._flops)
+
+    def nets(self) -> List[str]:
+        """Every net referenced in the netlist."""
+        nets = set(self.primary_inputs) | set(self.primary_outputs)
+        for gate in self._gates.values():
+            nets.update(gate.inputs)
+            nets.add(gate.output)
+        for flop in self._flops.values():
+            nets.add(flop.d)
+            nets.add(flop.q)
+        return sorted(nets)
+
+    # ------------------------------------------------------------- evaluation
+    def _topological_order(self) -> List[str]:
+        """Topological order of the combinational gates.
+
+        Flip-flop outputs and primary inputs are sources; an unresolvable
+        gate indicates a combinational loop.
+        """
+        if self._order is not None:
+            return self._order
+        known = set(self.primary_inputs) | {f.q for f in self._flops.values()}
+        remaining = dict(self._gates)
+        order: List[str] = []
+        while remaining:
+            ready = [name for name, gate in remaining.items()
+                     if all(net in known for net in gate.inputs)]
+            if not ready:
+                unresolved = sorted(remaining)
+                raise DigitalTestError(
+                    f"netlist {self.name!r} has a combinational loop or "
+                    f"undriven nets involving gates {unresolved[:5]}")
+            for name in ready:
+                order.append(name)
+                known.add(remaining[name].output)
+                del remaining[name]
+        self._order = order
+        return order
+
+    def reset_state(self) -> Dict[str, int]:
+        """State (flop q values) after reset."""
+        return {f.q: f.reset_value for f in self._flops.values()}
+
+    def evaluate(self, inputs: Mapping[str, int],
+                 state: Optional[Mapping[str, int]] = None,
+                 overrides: Sequence[FaultOverride] = ()) -> Dict[str, int]:
+        """Evaluate the combinational logic and return every net value.
+
+        ``inputs`` must provide every primary input; ``state`` provides the
+        flip-flop outputs (defaults to the reset state).
+        """
+        state = dict(state) if state is not None else self.reset_state()
+        values: Dict[str, int] = {}
+        for net in self.primary_inputs:
+            if net not in inputs:
+                raise DigitalTestError(f"missing value for primary input {net!r}")
+            values[net] = int(inputs[net])
+        values.update(state)
+
+        stem_overrides = {o.net: o.value for o in overrides
+                          if isinstance(o, StemOverride)}
+        pin_overrides = {(o.gate_name, o.pin_index): o.value for o in overrides
+                         if isinstance(o, PinOverride)}
+        # Stem overrides on inputs / flop outputs apply immediately.
+        for net, value in stem_overrides.items():
+            if net in values:
+                values[net] = value
+
+        for name in self._topological_order():
+            gate = self._gates[name]
+            in_values = []
+            for index, net in enumerate(gate.inputs):
+                if net not in values:
+                    raise DigitalTestError(
+                        f"gate {name!r}: net {net!r} is undriven")
+                value = values[net]
+                if (name, index) in pin_overrides:
+                    value = pin_overrides[(name, index)]
+                in_values.append(value)
+            out = evaluate_gate(gate.kind, in_values)
+            if gate.output in stem_overrides:
+                out = stem_overrides[gate.output]
+            values[gate.output] = out
+        return values
+
+    def outputs_of(self, values: Mapping[str, int]) -> Dict[str, int]:
+        """Extract the primary-output values from a full evaluation."""
+        missing = [net for net in self.primary_outputs if net not in values]
+        if missing:
+            raise DigitalTestError(f"evaluation is missing outputs {missing}")
+        return {net: values[net] for net in self.primary_outputs}
+
+    def step(self, inputs: Mapping[str, int],
+             state: Optional[Mapping[str, int]] = None,
+             overrides: Sequence[FaultOverride] = ()) -> Tuple[Dict[str, int],
+                                                               Dict[str, int]]:
+        """One clock cycle: evaluate, then capture flip-flop next states.
+
+        Returns ``(primary_outputs, next_state)``.
+        """
+        values = self.evaluate(inputs, state, overrides)
+        next_state: Dict[str, int] = {}
+        for flop in self._flops.values():
+            if flop.d not in values:
+                raise DigitalTestError(
+                    f"flip-flop {flop.name!r}: data net {flop.d!r} is undriven")
+            next_state[flop.q] = values[flop.d]
+        return self.outputs_of(values), next_state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DigitalNetlist({self.name!r}, {self.n_gates} gates, "
+                f"{self.n_flops} flops)")

@@ -1,0 +1,83 @@
+"""Scan-chain insertion model.
+
+Scan insertion replaces every flip-flop with a scan cell and stitches the
+cells into a chain.  For test-generation purposes the important consequence is
+that the flip-flop states become controllable (scan load) and observable
+(scan unload), so the sequential netlist can be tested as a combinational
+problem.  :class:`ScanChain` models the chain itself (ordering, load/unload
+shifting, test-time accounting) on top of the
+:class:`~repro.digital.netlist.DigitalNetlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from ..circuit.errors import DigitalTestError
+from .faults import ScanPattern
+from .netlist import DigitalNetlist
+
+
+@dataclass
+class ScanChain:
+    """A single scan chain covering every flip-flop of a netlist."""
+
+    netlist: DigitalNetlist
+    order: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        flop_qs = [f.q for f in self.netlist.flops]
+        if not self.order:
+            self.order = flop_qs
+        if sorted(self.order) != sorted(flop_qs):
+            raise DigitalTestError(
+                "scan order must contain every flip-flop exactly once")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def length(self) -> int:
+        return len(self.order)
+
+    def cycles_per_pattern(self) -> int:
+        """Scan-load + capture + (overlapped) scan-unload cycles per pattern."""
+        return self.length + 1
+
+    def test_cycles(self, n_patterns: int) -> int:
+        """Total test cycles for ``n_patterns`` (final unload included)."""
+        if n_patterns <= 0:
+            raise DigitalTestError("n_patterns must be positive")
+        return n_patterns * self.cycles_per_pattern() + self.length
+
+    # ------------------------------------------------------------------ shift
+    def load(self, bits: Sequence[int]) -> Dict[str, int]:
+        """Map a serial bit vector onto the flip-flop states (scan load)."""
+        if len(bits) != self.length:
+            raise DigitalTestError(
+                f"scan load needs {self.length} bits, got {len(bits)}")
+        if any(b not in (0, 1) for b in bits):
+            raise DigitalTestError("scan bits must be 0/1")
+        return {q: int(b) for q, b in zip(self.order, bits)}
+
+    def unload(self, state: Mapping[str, int]) -> List[int]:
+        """Serialise the flip-flop states into the scan-out order."""
+        missing = [q for q in self.order if q not in state]
+        if missing:
+            raise DigitalTestError(f"state is missing scan cells {missing}")
+        return [int(state[q]) for q in self.order]
+
+    # --------------------------------------------------------------- patterns
+    def make_pattern(self, inputs: Mapping[str, int],
+                     scan_bits: Sequence[int]) -> ScanPattern:
+        """Build a :class:`ScanPattern` from primary inputs and scan-in bits."""
+        return ScanPattern(inputs=dict(inputs), state=self.load(scan_bits))
+
+
+def insert_scan(netlist: DigitalNetlist) -> ScanChain:
+    """Insert a single scan chain covering every flip-flop of the netlist.
+
+    A purely combinational block yields a zero-length chain: patterns then
+    consist of primary-input values only, which is the correct degenerate
+    case for blocks like the phase generator.
+    """
+    return ScanChain(netlist=netlist)

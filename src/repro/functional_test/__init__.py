@@ -1,0 +1,28 @@
+"""Functional (specification-based) ADC test baseline.
+
+The paper motivates SymBIST by the cost of functional, conversion-based ADC
+testing.  This package implements that baseline: static linearity by ramp
+sweep and code-density histogram, dynamic performance by coherent sine
+capture, servo-loop transition measurement, and a specification-based
+pass/fail wrapper used for the baseline defect-detection experiment.
+"""
+
+from .baseline_bist import FunctionalBistBaseline, FunctionalTestOutcome
+from .histogram import (HistogramResult, histogram_test, ideal_sine_histogram,
+                        sine_samples)
+from .ramp import (LinearityResult, TransferCurve, linearity_from_curve,
+                   measure_transfer_curve, ramp_linearity_test,
+                   reduced_code_linearity_test, transition_levels)
+from .servo import (ServoMeasurement, major_transition_codes,
+                    measure_transition, servo_linearity_probe)
+from .sine_fit import DynamicResult, analyze_sine_capture, sine_fit_test
+
+__all__ = [
+    "DynamicResult", "FunctionalBistBaseline", "FunctionalTestOutcome",
+    "HistogramResult", "LinearityResult", "ServoMeasurement", "TransferCurve",
+    "analyze_sine_capture", "histogram_test", "ideal_sine_histogram",
+    "linearity_from_curve", "major_transition_codes", "measure_transfer_curve",
+    "measure_transition", "ramp_linearity_test", "reduced_code_linearity_test",
+    "servo_linearity_probe",
+    "sine_fit_test", "sine_samples", "transition_levels",
+]

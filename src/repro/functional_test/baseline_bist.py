@@ -1,0 +1,115 @@
+"""Functional-BIST baseline: specification-based defect detection.
+
+The introduction of the paper positions SymBIST against functional ADC BIST:
+measuring the converter's performances on chip and failing parts that miss
+their specification.  This module provides that baseline so that experiment
+E8 can compare the two approaches on the same defect sample:
+
+* detection criterion: the defective converter violates at least one datasheet
+  specification (DNL, INL, offset, gain error, missing codes, ENOB);
+* test cost: the number of conversions the functional test needs, converted
+  to seconds through the 12-cycle conversion time, which is what makes a
+  defect-simulation campaign with functional tests orders of magnitude slower
+  than with SymBIST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..adc.sar_adc import SarAdc
+from ..adc.spec import AdcSpecification, MeasuredPerformance, check_specification
+from ..circuit.errors import FunctionalTestError
+from ..core.test_time import TestTimeModel
+from .ramp import (LinearityResult, ramp_linearity_test,
+                   reduced_code_linearity_test)
+from .sine_fit import DynamicResult, sine_fit_test
+
+
+@dataclass
+class FunctionalTestOutcome:
+    """Result of running the functional test suite on one circuit."""
+
+    linearity: Optional[LinearityResult]
+    dynamic: Optional[DynamicResult]
+    violations: List[str]
+    gross_failure: bool
+    conversions_used: int
+
+    @property
+    def detected(self) -> bool:
+        """A defect is detected when any specification is violated."""
+        return self.gross_failure or bool(self.violations)
+
+    @property
+    def test_time(self) -> float:
+        """Functional test time in seconds at the IP clock rate."""
+        return TestTimeModel().functional_test_time(max(self.conversions_used, 1))
+
+
+@dataclass
+class FunctionalBistBaseline:
+    """Specification-based functional test of the SAR ADC.
+
+    Parameters
+    ----------
+    spec:
+        Datasheet limits used for the pass/fail decision.
+    linearity_span_codes / samples_per_code:
+        Window and density of the reduced-code static linearity sweep (the
+        full-ramp alternative costs thousands of conversions; reduced-code
+        testing is the standard compromise and is what the baseline uses).
+    sine_samples:
+        Number of conversions in the dynamic (ENOB) capture; set to 0 to skip
+        the dynamic test (static-only baseline).
+    """
+
+    spec: AdcSpecification = field(default_factory=AdcSpecification)
+    linearity_span_codes: int = 64
+    samples_per_code: int = 4
+    sine_samples: int = 256
+
+    @property
+    def ramp_points(self) -> int:
+        """Conversions used by the static linearity sweep."""
+        return self.linearity_span_codes * self.samples_per_code
+
+    def run(self, adc: SarAdc) -> FunctionalTestOutcome:
+        """Run the functional tests and apply the specification check."""
+        conversions = 0
+        linearity: Optional[LinearityResult] = None
+        dynamic: Optional[DynamicResult] = None
+        violations: List[str] = []
+        gross_failure = False
+
+        try:
+            linearity = reduced_code_linearity_test(
+                adc, span_codes=self.linearity_span_codes,
+                samples_per_code=self.samples_per_code)
+            conversions += self.ramp_points
+        except FunctionalTestError:
+            # Fewer than a handful of codes exercised: grossly defective part.
+            gross_failure = True
+            conversions += self.ramp_points
+
+        if self.sine_samples:
+            try:
+                dynamic = sine_fit_test(adc, n_samples=self.sine_samples)
+                conversions += self.sine_samples
+            except FunctionalTestError:
+                gross_failure = True
+                conversions += self.sine_samples
+
+        measured = MeasuredPerformance()
+        if linearity is not None:
+            measured = linearity.as_performance()
+        if dynamic is not None:
+            measured.enob_bits = dynamic.enob_bits
+        if linearity is not None or dynamic is not None:
+            violations = check_specification(measured, self.spec)
+
+        return FunctionalTestOutcome(linearity=linearity, dynamic=dynamic,
+                                     violations=violations,
+                                     gross_failure=gross_failure,
+                                     conversions_used=conversions)

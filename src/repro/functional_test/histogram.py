@@ -1,0 +1,131 @@
+"""Sinusoidal histogram (code-density) linearity test.
+
+The histogram test is the workhorse of functional ADC BIST (several of the
+works cited in the paper's introduction are histogram-based): a full-scale
+sine wave is converted many times, the number of hits per output code is
+compared against the ideal arcsine code-density, and DNL/INL follow from the
+ratio.  It needs thousands of conversions -- which is exactly the paper's
+argument for why functional, conversion-based testing is slow compared to the
+1.23 us SymBIST run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..adc.sar_adc import SarAdc
+from ..circuit.errors import FunctionalTestError
+from ..circuit.units import ADC_BITS
+
+
+@dataclass
+class HistogramResult:
+    """Code-density test output.
+
+    ``expected_histogram`` holds the ideal (arcsine) hit count of each
+    interior code; a code can only be declared *missing* when the stimulus was
+    expected to hit it several times, otherwise an empty bin merely reflects
+    an under-sampled capture rather than a converter defect.
+    """
+
+    histogram: np.ndarray
+    expected_histogram: np.ndarray
+    dnl_lsb: np.ndarray
+    inl_lsb: np.ndarray
+    first_code: int
+    last_code: int
+    n_samples: int
+
+    #: Minimum expected hits for a zero-count bin to count as a missing code.
+    MISSING_CODE_MIN_EXPECTED_HITS = 4.0
+
+    @property
+    def dnl_max_lsb(self) -> float:
+        return float(np.max(np.abs(self.dnl_lsb))) if self.dnl_lsb.size else 0.0
+
+    @property
+    def inl_max_lsb(self) -> float:
+        return float(np.max(np.abs(self.inl_lsb))) if self.inl_lsb.size else 0.0
+
+    @property
+    def missing_codes(self) -> int:
+        interior = self.histogram[self.first_code + 1:self.last_code]
+        expected = self.expected_histogram
+        if expected.size != interior.size:
+            return int(np.count_nonzero(interior == 0))
+        resolvable = expected >= self.MISSING_CODE_MIN_EXPECTED_HITS
+        return int(np.count_nonzero((interior == 0) & resolvable))
+
+
+def sine_samples(amplitude: float, n_samples: int, n_periods: int = 7,
+                 phase: float = 0.1) -> np.ndarray:
+    """Coherently-sampled sine stimulus values (differential volts)."""
+    if n_samples <= 0:
+        raise FunctionalTestError("n_samples must be positive")
+    if amplitude <= 0:
+        raise FunctionalTestError("amplitude must be positive")
+    n = np.arange(n_samples)
+    return amplitude * np.sin(2.0 * np.pi * n_periods * n / n_samples + phase)
+
+
+def ideal_sine_histogram(amplitude: float, offset: float, n_samples: int,
+                         code_edges: np.ndarray) -> np.ndarray:
+    """Expected hits per code for a sine of given amplitude/offset.
+
+    ``code_edges`` are the ideal input levels of the code transitions; the
+    arcsine cumulative distribution of the sine gives the probability mass in
+    each bin.
+    """
+    clipped = np.clip((code_edges - offset) / amplitude, -1.0, 1.0)
+    cdf = 0.5 + np.arcsin(clipped) / np.pi
+    return n_samples * np.diff(cdf)
+
+
+def histogram_test(adc: SarAdc, n_samples: int = 4096,
+                   amplitude: Optional[float] = None,
+                   n_bits: int = ADC_BITS) -> HistogramResult:
+    """Run the sinusoidal histogram test on the (possibly defective) ADC."""
+    if n_samples < 256:
+        raise FunctionalTestError(
+            "the histogram test needs at least 256 samples for meaningful "
+            "code-density statistics")
+    low, high = adc.ideal_input_range()
+    full_amplitude = 0.5 * (high - low)
+    amplitude = amplitude if amplitude is not None else 0.98 * full_amplitude
+    mid = 0.5 * (high + low)
+
+    stimulus = mid + sine_samples(amplitude, n_samples)
+    codes = np.asarray(adc.convert_many(stimulus), dtype=int)
+    histogram = np.bincount(codes, minlength=2 ** n_bits).astype(float)
+
+    nonzero = np.nonzero(histogram)[0]
+    if nonzero.size < 3:
+        raise FunctionalTestError(
+            "fewer than 3 codes were exercised; the converter is grossly "
+            "defective and the histogram test cannot proceed")
+    first_code, last_code = int(nonzero[0]), int(nonzero[-1])
+
+    # Ideal code density over the exercised range (end codes excluded: they
+    # absorb the clipped tails of the sine).
+    interior = np.arange(first_code + 1, last_code)
+    if interior.size == 0:
+        raise FunctionalTestError("no interior codes to analyse")
+    design_lsb = adc.code_to_input(1) - adc.code_to_input(0)
+    edges = np.asarray([adc.code_to_input(int(c)) for c in
+                        range(first_code + 1, last_code + 1)]) - mid
+    ideal = ideal_sine_histogram(amplitude, 0.0, n_samples, edges)
+    measured = histogram[interior]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(ideal > 0, measured / ideal, 1.0)
+    dnl = ratio - 1.0
+    inl = np.cumsum(dnl)
+    inl -= np.linspace(inl[0], inl[-1], inl.size)  # end-point correction
+
+    return HistogramResult(histogram=histogram, expected_histogram=ideal,
+                           dnl_lsb=dnl, inl_lsb=inl,
+                           first_code=first_code, last_code=last_code,
+                           n_samples=n_samples)

@@ -1,0 +1,69 @@
+"""Servo-loop measurement of individual code transition levels.
+
+The servo (feedback) method measures the analog input level at which the
+converter output toggles between two adjacent codes; it is the most accurate
+static technique and also the slowest, since every transition needs a binary
+search of analog levels, each step being one or more conversions.  It is used
+here both as a reference for the faster ramp/histogram methods and in the
+test-time comparison of experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..adc.sar_adc import SarAdc
+from ..circuit.errors import FunctionalTestError
+
+
+@dataclass
+class ServoMeasurement:
+    """Measured transition level of one output code."""
+
+    code: int
+    level: float
+    iterations: int
+    conversions_used: int
+
+
+def measure_transition(adc: SarAdc, code: int, tolerance: float = 1e-4,
+                       max_iterations: int = 24) -> ServoMeasurement:
+    """Binary-search the input level of the ``code-1 -> code`` transition."""
+    if code <= 0 or code >= 2 ** 10:
+        raise FunctionalTestError(
+            f"transition code must be within (0, 1023], got {code}")
+    low, high = adc.ideal_input_range()
+    span = high - low
+    lo, hi = low, high
+    conversions = 0
+    iterations = 0
+    op = adc.operating_point(input_diff=0.0)
+    while (hi - lo) > tolerance * span and iterations < max_iterations:
+        mid = 0.5 * (lo + hi)
+        observed = adc.convert(mid, op=op)
+        conversions += 1
+        iterations += 1
+        if observed >= code:
+            hi = mid
+        else:
+            lo = mid
+    return ServoMeasurement(code=code, level=0.5 * (lo + hi),
+                            iterations=iterations,
+                            conversions_used=conversions)
+
+
+def servo_linearity_probe(adc: SarAdc, codes: Sequence[int],
+                          tolerance: float = 1e-4) -> Dict[int, ServoMeasurement]:
+    """Measure a selected set of transitions (e.g. the major carrier codes)."""
+    if not codes:
+        raise FunctionalTestError("at least one code is required")
+    return {int(code): measure_transition(adc, int(code), tolerance)
+            for code in codes}
+
+
+def major_transition_codes(n_bits: int = 10) -> List[int]:
+    """The major-carry transitions (binary-weighted DAC stress points)."""
+    return [2 ** k for k in range(n_bits - 1, 0, -1)] + [2 ** (n_bits - 1) + 1]

@@ -1,0 +1,107 @@
+"""Tests for the bandgap block (repro.adc.bandgap)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import Bandgap
+from repro.circuit import VDD
+
+
+class TestNominalBehaviour:
+    def test_nominal_voltage_close_to_target(self):
+        out = Bandgap().evaluate()
+        assert out.vbg == pytest.approx(Bandgap.VBG_NOMINAL, abs=0.01)
+
+    def test_nominal_bias_current(self):
+        out = Bandgap().evaluate()
+        assert out.ibias == pytest.approx(Bandgap.IBIAS_NOMINAL, rel=0.05)
+
+    def test_observables_exported(self):
+        obs = Bandgap().observables()
+        assert set(obs) == {"VBG", "IBIAS"}
+
+    def test_evaluation_is_repeatable(self):
+        bg = Bandgap()
+        assert bg.evaluate().vbg == bg.evaluate().vbg
+
+
+class TestProcessVariation:
+    def test_variation_moves_output_slightly(self):
+        rng = np.random.default_rng(5)
+        values = []
+        for _ in range(30):
+            bg = Bandgap()
+            bg.sample_variation(rng)
+            values.append(bg.evaluate().vbg)
+        spread = max(values) - min(values)
+        assert 0.0 < spread < 0.08  # millivolt-level spread, not a collapse
+
+    def test_reset_variation_restores_nominal(self):
+        bg = Bandgap()
+        bg.sample_variation(np.random.default_rng(1))
+        bg.reset_variation()
+        from repro.circuit import reset_variation
+        reset_variation(bg.netlist)
+        assert bg.evaluate().vbg == pytest.approx(Bandgap().evaluate().vbg,
+                                                  abs=1e-9)
+
+
+class TestDefectResponse:
+    def test_ptat_resistor_low_shifts_voltage_up(self):
+        bg = Bandgap()
+        bg.netlist.device("r1").defect.value_scale = 0.5
+        assert bg.evaluate().vbg > Bandgap.VBG_NOMINAL + 0.05
+
+    def test_gain_resistor_low_shifts_voltage_down(self):
+        bg = Bandgap()
+        bg.netlist.device("r2").defect.value_scale = 0.5
+        assert bg.evaluate().vbg < Bandgap.VBG_NOMINAL - 0.1
+
+    def test_gain_resistor_open_rails_output(self):
+        bg = Bandgap()
+        bg.netlist.device("r2").defect.open_terminal = "p"
+        assert bg.evaluate().vbg == pytest.approx(VDD, abs=0.1)
+
+    def test_bias_resistor_open_kills_bias_current(self):
+        bg = Bandgap()
+        bg.netlist.device("r3").defect.open_terminal = "p"
+        assert bg.evaluate().ibias == 0.0
+
+    def test_bias_resistor_short_overdrives_current(self):
+        bg = Bandgap()
+        bg.netlist.device("r3").defect.shorted_terminals = ("p", "n")
+        assert bg.evaluate().ibias > 2 * Bandgap.IBIAS_NOMINAL
+
+    def test_bipolar_ce_short_collapses_core(self):
+        bg = Bandgap()
+        bg.netlist.device("q1").defect.shorted_terminals = ("c", "e")
+        assert bg.evaluate().vbg < 0.2
+
+    def test_unit_bipolar_be_short_removes_vbe(self):
+        bg = Bandgap()
+        bg.netlist.device("q1").defect.shorted_terminals = ("b", "e")
+        assert bg.evaluate().vbg < Bandgap.VBG_NOMINAL - 0.3
+
+    def test_tail_open_rails_output(self):
+        bg = Bandgap()
+        bg.netlist.device("mn_tail").defect.open_terminal = "d"
+        out = bg.evaluate()
+        assert out.vbg == pytest.approx(VDD, abs=0.15) or out.vbg < 0.2
+
+    def test_mirror_stuck_off_kills_distributed_bias(self):
+        bg = Bandgap()
+        bg.netlist.device("mp_mirror").defect.open_terminal = "d"
+        assert bg.evaluate().ibias == 0.0
+
+    def test_clear_defects_restores_nominal(self):
+        bg = Bandgap()
+        bg.netlist.device("r1").defect.value_scale = 1.5
+        bg.clear_defects()
+        assert bg.evaluate().vbg == pytest.approx(Bandgap.VBG_NOMINAL, abs=0.01)
+
+    def test_defect_count_matches_structure(self):
+        bg = Bandgap()
+        summary = bg.netlist.summary()
+        assert summary["pnp"] == 2
+        assert summary["resistor"] == 3
+        assert summary["nmos"] + summary["pmos"] == 8

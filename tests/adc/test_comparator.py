@@ -1,0 +1,194 @@
+"""Tests for the comparator chain (repro.adc.comparator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import (Bandgap, Comparator, ComparatorLatch, OffsetCompensation,
+                       Preamplifier, RsLatch)
+from repro.adc.comparator import LatchOutput
+from repro.circuit import VCM2_NOMINAL, VDD
+
+IBIAS = Bandgap.IBIAS_NOMINAL
+
+
+class TestPreamplifier:
+    def test_common_mode_invariance_defect_free(self):
+        """Paper Eq. (4): LIN+ + LIN- = 2*Vcm2 regardless of the input."""
+        pre = Preamplifier()
+        comp = OffsetCompensation()
+        for diff in (-0.5, -0.1, 0.0, 0.05, 0.3):
+            out = pre.evaluate(0.6 + diff / 2, 0.6 - diff / 2, IBIAS, comp)
+            assert out.lin_p + out.lin_m == pytest.approx(2 * VCM2_NOMINAL,
+                                                          abs=1e-6)
+
+    def test_polarity_follows_input(self):
+        pre = Preamplifier()
+        comp = OffsetCompensation()
+        pos = pre.evaluate(0.7, 0.5, IBIAS, comp)
+        neg = pre.evaluate(0.5, 0.7, IBIAS, comp)
+        assert pos.differential > 0 > neg.differential
+
+    def test_output_saturates_softly(self):
+        pre = Preamplifier()
+        comp = OffsetCompensation()
+        out = pre.evaluate(1.1, 0.1, IBIAS, comp)
+        assert out.differential <= 2 * Preamplifier.SWING_LIMIT + 1e-9
+
+    def test_no_bias_current_rails_common_mode(self):
+        pre = Preamplifier()
+        comp = OffsetCompensation()
+        out = pre.evaluate(0.65, 0.55, 0.0, comp)
+        assert out.common_mode == pytest.approx(VDD, abs=0.05)
+
+    def test_load_short_sticks_output_high(self):
+        pre = Preamplifier()
+        pre.netlist.device("r_load_p").defect.shorted_terminals = ("p", "n")
+        out = pre.evaluate(0.6, 0.6, IBIAS, OffsetCompensation())
+        assert out.lin_p == pytest.approx(VDD, abs=1e-6)
+
+    def test_input_device_open_breaks_common_mode(self):
+        pre = Preamplifier()
+        pre.netlist.device("mn_in_p").defect.open_terminal = "d"
+        out = pre.evaluate(0.6, 0.6, IBIAS, OffsetCompensation())
+        assert abs(out.lin_p + out.lin_m - 2 * VCM2_NOMINAL) > 0.1
+
+    @given(st.floats(min_value=-0.6, max_value=0.6))
+    @settings(max_examples=40, deadline=None)
+    def test_common_mode_property(self, diff):
+        out = Preamplifier().evaluate(0.6 + diff / 2, 0.6 - diff / 2, IBIAS,
+                                      OffsetCompensation())
+        assert out.lin_p + out.lin_m == pytest.approx(2 * VCM2_NOMINAL, abs=1e-6)
+
+
+class TestOffsetCompensation:
+    def test_nominal_compensation_factor(self):
+        factor, offset, stuck = OffsetCompensation().evaluate()
+        assert factor == pytest.approx(OffsetCompensation.COMPENSATION_FACTOR)
+        assert offset == pytest.approx(0.0, abs=1e-3)
+        assert stuck is None
+
+    def test_open_capacitor_disables_compensation(self):
+        oc = OffsetCompensation()
+        oc.netlist.device("c_az_p").defect.open_terminal = "p"
+        factor, _, _ = oc.evaluate()
+        assert factor == 0.0
+
+    def test_shorted_capacitor_pins_one_output(self):
+        oc = OffsetCompensation()
+        oc.netlist.device("c_az_n").defect.shorted_terminals = ("p", "n")
+        _, _, stuck = oc.evaluate()
+        assert stuck == "n"
+
+    def test_leaky_switch_injects_offset(self):
+        oc = OffsetCompensation()
+        oc.netlist.device("sw_az_p").defect.shorted_terminals = ("p", "n")
+        _, offset, _ = oc.evaluate()
+        assert abs(offset) > 0.05
+
+    def test_benign_cap_deviation_only_reduces_factor(self):
+        oc = OffsetCompensation()
+        oc.netlist.device("c_az_p").defect.value_scale = 1.5
+        factor, offset, stuck = oc.evaluate()
+        assert 0.5 < factor < OffsetCompensation.COMPENSATION_FACTOR + 1e-9
+        assert stuck is None
+
+
+class TestComparatorLatch:
+    def test_resolves_to_complementary_rails(self):
+        latch = ComparatorLatch()
+        high = latch.evaluate(0.8, 0.3)
+        low = latch.evaluate(0.3, 0.8)
+        assert (high.q_p, high.q_m) == (VDD, 0.0)
+        assert (low.q_p, low.q_m) == (0.0, VDD)
+
+    def test_clock_device_open_leaves_both_precharged(self):
+        latch = ComparatorLatch()
+        latch.netlist.device("mn_clk").defect.open_terminal = "d"
+        out = latch.evaluate(0.8, 0.3)
+        assert out.q_p == out.q_m == VDD
+
+    def test_cross_device_stuck_on_forces_output_low(self):
+        latch = ComparatorLatch()
+        latch.netlist.device("mn_cross_p").defect.shorted_terminals = ("d", "s")
+        out = latch.evaluate(0.8, 0.3)  # should have resolved high
+        assert out.q_p == pytest.approx(0.0)
+
+    def test_weak_level_from_stuck_off_pullup(self):
+        latch = ComparatorLatch()
+        latch.netlist.device("mp_cross_p").defect.open_terminal = "d"
+        out = latch.evaluate(0.8, 0.3)
+        assert 0.0 < out.q_p < VDD
+
+
+class TestRsLatch:
+    def test_set_and_reset(self):
+        rs = RsLatch()
+        set_out = rs.evaluate(LatchOutput(q_p=VDD, q_m=0.0))
+        assert set_out.decision == 1
+        reset_out = rs.evaluate(LatchOutput(q_p=0.0, q_m=VDD))
+        assert reset_out.decision == 0
+
+    def test_holds_previous_state_on_invalid_low_low(self):
+        rs = RsLatch()
+        rs.evaluate(LatchOutput(q_p=VDD, q_m=0.0))
+        held = rs.evaluate(LatchOutput(q_p=0.0, q_m=0.0))
+        assert held.decision == 1
+
+    def test_both_high_drives_both_outputs_high(self):
+        rs = RsLatch()
+        out = rs.evaluate(LatchOutput(q_p=VDD, q_m=VDD))
+        assert out.q_p == VDD and out.q_m == VDD
+
+    def test_weak_input_level_propagates(self):
+        rs = RsLatch()
+        out = rs.evaluate(LatchOutput(q_p=0.6, q_m=VDD))
+        assert 0.0 < out.q_p < VDD
+
+    def test_output_pullup_short_sticks_high(self):
+        rs = RsLatch()
+        rs.netlist.device("mp_nand_a").defect.shorted_terminals = ("d", "s")
+        out = rs.evaluate(LatchOutput(q_p=0.0, q_m=VDD))
+        assert out.q_p == pytest.approx(VDD)
+
+    def test_bulk_defect_is_benign(self):
+        rs = RsLatch()
+        rs.netlist.device("mn_nand_a").defect.shorted_terminals = ("s", "b")
+        out = rs.evaluate(LatchOutput(q_p=VDD, q_m=0.0))
+        assert (out.q_p, out.q_m) == (VDD, 0.0)
+
+    def test_reset_state_clears_memory(self):
+        rs = RsLatch()
+        rs.evaluate(LatchOutput(q_p=VDD, q_m=0.0))
+        rs.reset_state()
+        held = rs.evaluate(LatchOutput(q_p=0.0, q_m=0.0))
+        assert held.decision == 0
+
+
+class TestComparatorChain:
+    def test_full_chain_decision_and_invariances(self):
+        comp = Comparator()
+        out = comp.evaluate(0.65, 0.55, IBIAS)
+        assert out.decision == 1
+        assert out.q_p + out.q_m == pytest.approx(VDD, abs=1e-9)
+        assert out.lin_p + out.lin_m == pytest.approx(2 * VCM2_NOMINAL, abs=1e-6)
+
+    def test_sign_consistency_defect_free(self):
+        comp = Comparator()
+        for diff in (-0.3, -0.05, 0.05, 0.3):
+            out = comp.evaluate(0.6 + diff, 0.6, IBIAS)
+            lin_sign = out.lin_p > out.lin_m
+            q_sign = out.q_p > out.q_m
+            assert lin_sign == q_sign
+
+    def test_blocks_enumeration(self):
+        comp = Comparator()
+        names = [type(b).__name__ for b in comp.blocks]
+        assert names == ["Preamplifier", "ComparatorLatch", "RsLatch",
+                         "OffsetCompensation"]
+
+    def test_clear_defects_cascades(self):
+        comp = Comparator()
+        comp.preamplifier.netlist.device("mn_tail").defect.open_terminal = "d"
+        comp.clear_defects()
+        assert not any(b.has_defect for b in comp.blocks)

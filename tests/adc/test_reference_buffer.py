@@ -1,0 +1,111 @@
+"""Tests for the reference buffer / VREF ladder (repro.adc.reference_buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import Bandgap, ReferenceBuffer
+from repro.circuit import N_REF_LEVELS, VDD
+
+VBG = Bandgap.VBG_NOMINAL
+
+
+class TestNominalLadder:
+    def test_returns_33_levels(self):
+        vref = ReferenceBuffer().evaluate(VBG)
+        assert len(vref) == N_REF_LEVELS
+
+    def test_levels_monotonic(self):
+        vref = ReferenceBuffer().evaluate(VBG)
+        assert all(b > a for a, b in zip(vref, vref[1:]))
+
+    def test_bottom_is_ground(self):
+        vref = ReferenceBuffer().evaluate(VBG)
+        assert vref[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_top_close_to_bandgap_voltage(self):
+        vref = ReferenceBuffer().evaluate(VBG)
+        assert vref[32] == pytest.approx(VBG, rel=0.01)
+
+    def test_ladder_is_linear(self):
+        vref = ReferenceBuffer().evaluate(VBG)
+        for j in range(N_REF_LEVELS):
+            assert vref[j] == pytest.approx(j / 32 * vref[32], abs=1e-6)
+
+    def test_complementary_taps_sum_to_full_scale(self):
+        """The ratiometric symmetry behind the Eq. (2) invariances."""
+        vref = ReferenceBuffer().evaluate(VBG)
+        for j in range(N_REF_LEVELS):
+            assert vref[j] + vref[32 - j] == pytest.approx(vref[32], abs=1e-9)
+
+    def test_scales_with_bandgap_voltage(self):
+        buf = ReferenceBuffer()
+        nominal = buf.evaluate(VBG)
+        scaled = buf.evaluate(VBG * 0.9)
+        assert scaled[32] == pytest.approx(0.9 * nominal[32], rel=0.01)
+
+    def test_observables(self):
+        obs = ReferenceBuffer().observables(VBG)
+        assert set(obs) == {"VREF0", "VREF16", "VREF32"}
+
+
+class TestLadderDefects:
+    def test_segment_short_breaks_complementary_symmetry(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("rlad_10").defect.shorted_terminals = ("p", "n")
+        vref = buf.evaluate(VBG)
+        worst = max(abs(vref[j] + vref[32 - j] - vref[32])
+                    for j in range(N_REF_LEVELS))
+        assert worst > 0.01
+
+    def test_segment_open_collapses_lower_taps(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("rlad_16").defect.open_terminal = "p"
+        vref = buf.evaluate(VBG)
+        # Below the break the ladder is pulled towards ground through the
+        # remaining segments; above the break it floats towards the buffer.
+        assert vref[8] < 0.05
+        assert vref[24] > 0.9 * vref[32]
+
+    def test_segment_deviation_shifts_local_taps(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("rlad_05").defect.value_scale = 1.5
+        vref = buf.evaluate(VBG)
+        nominal = ReferenceBuffer().evaluate(VBG)
+        assert vref[5] != pytest.approx(nominal[5], abs=1e-4)
+
+    def test_ladder_defect_leaves_endpoints_pinned(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("rlad_20").defect.value_scale = 0.5
+        vref = buf.evaluate(VBG)
+        assert vref[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBufferDefects:
+    def test_buffer_defect_scales_ladder_uniformly(self):
+        """The key property behind the low L-W coverage of this block: a
+        buffer defect rescales every tap together, so the ratiometric
+        invariances cannot see it."""
+        buf = ReferenceBuffer()
+        buf.netlist.device("mn_tail").defect.open_terminal = "d"
+        vref = buf.evaluate(VBG)
+        full_scale = vref[32]
+        for j in range(N_REF_LEVELS):
+            assert vref[j] + vref[32 - j] == pytest.approx(full_scale, abs=1e-6)
+
+    def test_decoupling_cap_short_grounds_reference(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("c_comp").defect.shorted_terminals = ("p", "n")
+        vref = buf.evaluate(VBG)
+        assert vref[32] == pytest.approx(0.0, abs=1e-6)
+
+    def test_feedback_open_rails_reference(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("r_fb").defect.open_terminal = "p"
+        vref = buf.evaluate(VBG)
+        assert vref[32] == pytest.approx(VDD, rel=0.05)
+
+    def test_output_resistor_open_discharges_ladder(self):
+        buf = ReferenceBuffer()
+        buf.netlist.device("r_out").defect.open_terminal = "p"
+        vref = buf.evaluate(VBG)
+        assert vref[32] < 0.1 * VBG

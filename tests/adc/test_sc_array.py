@@ -1,0 +1,119 @@
+"""Tests for the switched-capacitor array (repro.adc.sc_array)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import Bandgap, ReferenceBuffer, ScArray, ScArrayInputs
+from repro.circuit import VCM_NOMINAL
+
+VREF = ReferenceBuffer().evaluate(Bandgap.VBG_NOMINAL)
+VCM = VCM_NOMINAL
+
+
+def balanced_inputs(code: int, input_diff: float = 0.275) -> ScArrayInputs:
+    """Inputs as they appear during a SymBIST cycle at the given code."""
+    return ScArrayInputs(
+        in_p=VCM + 0.5 * input_diff, in_m=VCM - 0.5 * input_diff,
+        m_p=VREF[code], m_m=VREF[32 - code],
+        l_p=VREF[code], l_m=VREF[32 - code],
+        vcm=VCM, vref_mid=VREF[16])
+
+
+class TestChargeRedistribution:
+    def test_common_mode_invariance_holds(self):
+        """Paper Eq. (3): DAC+ + DAC- = 2*Vcm for every code."""
+        sc = ScArray()
+        for code in range(0, 32, 3):
+            out = sc.evaluate(balanced_inputs(code))
+            assert out.dac_p + out.dac_m == pytest.approx(2 * VCM, abs=1e-6)
+
+    def test_differential_output_tracks_code(self):
+        sc = ScArray()
+        low = sc.evaluate(balanced_inputs(0))
+        high = sc.evaluate(balanced_inputs(31))
+        assert (high.dac_p - high.dac_m) > (low.dac_p - low.dac_m)
+
+    def test_zero_differential_input_centres_output(self):
+        sc = ScArray()
+        out = sc.evaluate(balanced_inputs(16, input_diff=0.0))
+        assert out.dac_p == pytest.approx(out.dac_m, abs=1e-3)
+
+    def test_input_polarity_flips_differential(self):
+        sc = ScArray()
+        pos = sc.evaluate(balanced_inputs(16, input_diff=0.4))
+        neg = sc.evaluate(balanced_inputs(16, input_diff=-0.4))
+        assert (pos.dac_p - pos.dac_m) == pytest.approx(
+            -(neg.dac_p - neg.dac_m), abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.floats(min_value=-0.5, max_value=0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_invariance_property_over_codes_and_inputs(self, code, diff):
+        """The Eq. (3) sum is independent of both the code and the FD input."""
+        out = ScArray().evaluate(balanced_inputs(code, input_diff=diff))
+        assert out.dac_p + out.dac_m == pytest.approx(2 * VCM, abs=1e-6)
+
+
+class TestCapacitorDefects:
+    def test_msb_cap_deviation_breaks_invariance(self):
+        sc = ScArray()
+        sc.netlist.device("cm_p").defect.value_scale = 1.5
+        residuals = []
+        for code in range(32):
+            out = sc.evaluate(balanced_inputs(code))
+            residuals.append(abs(out.dac_p + out.dac_m - 2 * VCM))
+        assert max(residuals) > 0.05
+        # Detectability is code dependent (paper Fig. 5 discussion).
+        assert min(residuals) < max(residuals) / 2
+
+    def test_msb_cap_short_pins_output_to_subdac_level(self):
+        sc = ScArray()
+        sc.netlist.device("cm_p").defect.shorted_terminals = ("p", "n")
+        out = sc.evaluate(balanced_inputs(5))
+        assert out.dac_p == pytest.approx(VREF[5], abs=1e-6)
+
+    def test_sampling_cap_open_removes_input_term(self):
+        sc = ScArray()
+        sc.netlist.device("cs_p").defect.open_terminal = "p"
+        out = sc.evaluate(balanced_inputs(16, input_diff=0.4))
+        nominal = ScArray().evaluate(balanced_inputs(16, input_diff=0.4))
+        assert out.dac_p != pytest.approx(nominal.dac_p, abs=1e-3)
+
+    def test_lsb_cap_defect_is_small_but_visible(self):
+        sc = ScArray()
+        sc.netlist.device("cl_n").defect.value_scale = 0.5
+        worst = 0.0
+        for code in (0, 31):
+            out = sc.evaluate(balanced_inputs(code))
+            worst = max(worst, abs(out.dac_p + out.dac_m - 2 * VCM))
+        assert worst > 1e-4
+
+
+class TestSwitchDefects:
+    def test_reset_switch_stuck_off_shifts_common_mode(self):
+        sc = ScArray()
+        sc.netlist.device("sw_rst_p").defect.open_terminal = "p"
+        out = sc.evaluate(balanced_inputs(16))
+        assert abs(out.dac_p + out.dac_m - 2 * VCM) > 0.2
+
+    def test_input_switch_stuck_open_loses_signal(self):
+        sc = ScArray()
+        sc.netlist.device("sw_in_p").defect.open_terminal = "p"
+        out = sc.evaluate(balanced_inputs(16, input_diff=0.4))
+        assert abs(out.dac_p + out.dac_m - 2 * VCM) > 0.05
+
+    def test_defect_on_one_side_only_affects_that_side(self):
+        sc = ScArray()
+        sc.netlist.device("cm_p").defect.value_scale = 1.5
+        out = sc.evaluate(balanced_inputs(0))
+        nominal = ScArray().evaluate(balanced_inputs(0))
+        assert out.dac_m == pytest.approx(nominal.dac_m, abs=1e-9)
+        assert out.dac_p != pytest.approx(nominal.dac_p, abs=1e-4)
+
+    def test_clear_defects_restores_invariance(self):
+        sc = ScArray()
+        sc.netlist.device("cm_p").defect.value_scale = 1.5
+        sc.clear_defects()
+        out = sc.evaluate(balanced_inputs(7))
+        assert out.dac_p + out.dac_m == pytest.approx(2 * VCM, abs=1e-6)

@@ -1,0 +1,139 @@
+"""Tests for the 5-bit sub-DACs (repro.adc.subdac)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import Bandgap, ReferenceBuffer, SubDac, make_subdac1, make_subdac2
+from repro.circuit import SimulationError
+
+
+@pytest.fixture(scope="module")
+def vref():
+    return ReferenceBuffer().evaluate(Bandgap.VBG_NOMINAL)
+
+
+class TestNominalSelection:
+    def test_output_selects_requested_tap(self, vref):
+        dac = make_subdac1()
+        for code in (0, 1, 7, 16, 31):
+            out = dac.evaluate(code, vref)
+            assert out.out_p == pytest.approx(vref[code], abs=1e-6)
+            assert out.out_n == pytest.approx(vref[32 - code], abs=1e-6)
+
+    def test_complementary_sum_is_full_scale(self, vref):
+        """Paper Eq. (2): OUT+ + OUT- = VREF[32] for every code."""
+        dac = make_subdac2()
+        for code in range(32):
+            out = dac.evaluate(code, vref)
+            assert out.out_p + out.out_n == pytest.approx(vref[32], abs=1e-6)
+
+    def test_code_out_of_range_rejected(self, vref):
+        dac = make_subdac1()
+        with pytest.raises(SimulationError):
+            dac.evaluate(32, vref)
+        with pytest.raises(SimulationError):
+            dac.evaluate(-1, vref)
+
+    def test_wrong_vref_length_rejected(self):
+        dac = make_subdac1()
+        with pytest.raises(SimulationError):
+            dac.evaluate(0, [0.0, 1.0])
+
+    def test_two_subdacs_are_structurally_identical(self):
+        d1, d2 = make_subdac1(), make_subdac2()
+        assert len(d1.netlist) == len(d2.netlist)
+        assert d1.block_path == "subdac1"
+        assert d2.block_path == "subdac2"
+
+    def test_fast_path_matches_full_path(self, vref):
+        """The defect-free shortcut must agree with the full mux evaluation."""
+        dac = make_subdac1()
+        fast = dac.evaluate(13, vref)
+        # Force the slow path by marking an unrelated benign defect state and
+        # clearing it via a device that does not affect code 13.
+        dac.netlist.device("drv_00_p").defect.shorted_terminals = ("s", "b")
+        slow = dac.evaluate(13, vref)
+        dac.clear_defects()
+        assert slow.out_p == pytest.approx(fast.out_p, abs=1e-9)
+        assert slow.out_n == pytest.approx(fast.out_n, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=31))
+    @settings(max_examples=32, deadline=None)
+    def test_complementary_property_all_codes(self, code):
+        vref_local = ReferenceBuffer().evaluate(Bandgap.VBG_NOMINAL)
+        out = make_subdac1().evaluate(code, vref_local)
+        assert out.out_p + out.out_n == pytest.approx(vref_local[32], abs=1e-6)
+
+
+class TestSwitchDefects:
+    def test_stuck_open_switch_floats_selected_tap(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("swp_07").defect.open_terminal = "p"
+        out = dac.evaluate(7, vref)
+        assert out.out_p == pytest.approx(0.0, abs=1e-6)  # leakage level
+        # Other codes are unaffected.
+        assert dac.evaluate(8, vref).out_p == pytest.approx(vref[8], abs=1e-6)
+
+    def test_stuck_closed_switch_averages_two_taps(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("swp_00").defect.shorted_terminals = ("p", "n")
+        out = dac.evaluate(20, vref)
+        expected = 0.5 * (vref[20] + vref[0])
+        assert out.out_p == pytest.approx(expected, abs=1e-3)
+
+    def test_control_open_switch_never_conducts(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("swn_16").defect.open_terminal = "ctrl"
+        out = dac.evaluate(16, vref)  # negative side uses tap 32-16 = 16
+        assert out.out_n == pytest.approx(0.0, abs=1e-6)
+
+
+class TestDriverDefects:
+    def test_pullup_short_forces_tap_always_on(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("drv_00_p").defect.shorted_terminals = ("d", "s")
+        out = dac.evaluate(31, vref)
+        expected = 0.5 * (vref[31] + vref[0])
+        assert out.out_p == pytest.approx(expected, abs=1e-3)
+
+    def test_pulldown_short_prevents_selection(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("drv_12_n").defect.shorted_terminals = ("d", "s")
+        out = dac.evaluate(12, vref)
+        assert out.out_p == pytest.approx(0.0, abs=1e-6)
+
+    def test_pullup_gate_short_prevents_selection(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("drv_05_p").defect.shorted_terminals = ("g", "s")
+        out = dac.evaluate(5, vref)
+        assert out.out_p == pytest.approx(0.0, abs=1e-6)
+
+    def test_benign_driver_defect_is_invisible(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("drv_09_n").defect.shorted_terminals = ("s", "b")
+        out = dac.evaluate(9, vref)
+        assert out.out_p == pytest.approx(vref[9], abs=1e-6)
+
+    def test_driver_defect_affects_both_outputs_via_shared_decoder(self, vref):
+        """Driver j is shared by the positive tap j and the negative tap 32-j."""
+        dac = make_subdac1()
+        dac.netlist.device("drv_03_p").defect.shorted_terminals = ("d", "s")
+        out = dac.evaluate(20, vref)
+        # Positive output: taps 20 and 3 fight; negative output: taps 12 and 29.
+        assert out.out_p == pytest.approx(0.5 * (vref[20] + vref[3]), abs=1e-3)
+        assert out.out_n == pytest.approx(0.5 * (vref[12] + vref[29]), abs=1e-3)
+
+
+class TestBufferDefects:
+    def test_follower_open_floats_output(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("bufp_sf").defect.open_terminal = "s"
+        assert dac.evaluate(10, vref).out_p == pytest.approx(0.0, abs=1e-6)
+
+    def test_bias_stuck_on_drops_output(self, vref):
+        dac = make_subdac1()
+        dac.netlist.device("bufn_bias").defect.shorted_terminals = ("d", "s")
+        nominal = vref[32 - 10]
+        assert dac.evaluate(10, vref).out_n < nominal - 0.05

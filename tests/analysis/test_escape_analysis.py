@@ -1,0 +1,90 @@
+"""Tests for the test-escape analysis (repro.analysis.escape_analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.analysis import EscapeAnalysisResult, EscapeRecord, analyze_escapes
+from repro.circuit import CoverageError
+from repro.defects import Defect, DefectKind, SamplingPlan
+from repro.functional_test import FunctionalBistBaseline
+
+
+def _dummy_record(violations, gross=False):
+    defect = Defect(defect_id="b/d:passive_high", block_path="b",
+                    device_name="d", kind=DefectKind.PASSIVE_HIGH)
+    return EscapeRecord(defect=defect, spec_violations=violations,
+                        gross_failure=gross)
+
+
+class TestEscapeRecordAggregation:
+    def test_functional_escape_flag(self):
+        assert _dummy_record(["dnl"]).is_functional_escape
+        assert _dummy_record([], gross=True).is_functional_escape
+        assert not _dummy_record([]).is_functional_escape
+
+    def test_result_counters(self):
+        result = EscapeAnalysisResult(
+            records=[_dummy_record(["dnl"]), _dummy_record([]),
+                     _dummy_record(["enob", "inl"])],
+            n_undetected_total=10)
+        assert result.n_analyzed == 3
+        assert result.n_functional_escapes == 2
+        assert result.n_benign == 1
+        assert result.functional_escape_fraction == pytest.approx(2 / 3)
+        assert result.violations_histogram() == {"dnl": 1, "enob": 1, "inl": 1}
+
+    def test_empty_analysis_fraction_raises(self):
+        result = EscapeAnalysisResult(records=[], n_undetected_total=0)
+        with pytest.raises(CoverageError):
+            result.functional_escape_fraction
+
+
+class TestAnalyzeEscapes:
+    def test_escapes_of_offset_compensation_are_mostly_benign(self, campaign,
+                                                              rng):
+        """The paper's expectation: most SymBIST escapes are functionally
+        benign (that is exactly why the L-W coverage understates quality for
+        blocks like the offset compensation)."""
+        result = campaign.run(SamplingPlan(exhaustive=True),
+                              blocks=["offset_compensation", "vcm_generator"],
+                              rng=rng)
+        analysis = analyze_escapes(
+            result, adc=campaign.adc, injector=campaign.injector,
+            baseline=FunctionalBistBaseline(linearity_span_codes=32,
+                                            samples_per_code=4,
+                                            sine_samples=0),
+            max_defects=12, rng=np.random.default_rng(3))
+        assert analysis.n_analyzed <= 12
+        assert analysis.n_undetected_total >= analysis.n_analyzed
+        assert analysis.functional_escape_fraction < 0.5
+        assert set(analysis.by_block()) <= {"offset_compensation",
+                                            "vcm_generator"}
+
+    def test_no_undetected_defects_short_circuit(self, campaign, rng):
+        result = campaign.run(SamplingPlan(exhaustive=True),
+                              blocks=["rs_latch"], rng=rng)
+        detected_only = [r for r in result.records if r.detected]
+        if len(detected_only) == len(result.records):
+            analysis = analyze_escapes(result, adc=campaign.adc,
+                                       injector=campaign.injector)
+            assert analysis.n_analyzed == 0
+        else:
+            analysis = analyze_escapes(
+                result, adc=campaign.adc, injector=campaign.injector,
+                baseline=FunctionalBistBaseline(linearity_span_codes=32,
+                                                samples_per_code=4,
+                                                sine_samples=0),
+                max_defects=4, rng=rng)
+            assert analysis.n_analyzed <= 4
+
+    def test_max_defects_caps_the_workload(self, campaign, rng):
+        result = campaign.run(SamplingPlan(exhaustive=True),
+                              blocks=["offset_compensation"], rng=rng)
+        analysis = analyze_escapes(
+            result, adc=campaign.adc, injector=campaign.injector,
+            baseline=FunctionalBistBaseline(linearity_span_codes=32,
+                                            samples_per_code=4,
+                                            sine_samples=0),
+            max_defects=3, rng=rng)
+        assert analysis.n_analyzed == 3

@@ -1,0 +1,100 @@
+"""Tests for repro.analysis.statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (StatisticsError, gaussian_exceedance_probability,
+                            per_test_to_per_run, percentile, proportion_ci,
+                            summarize)
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample_has_zero_std(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert math.isinf(stats.mean_ci95_half_width)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(StatisticsError):
+            summarize([])
+
+    def test_ci_half_width_shrinks_with_n(self):
+        small = summarize(list(range(10)))
+        large = summarize(list(range(10)) * 10)
+        assert large.mean_ci95_half_width < small.mean_ci95_half_width
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 50) == pytest.approx(50.0)
+        assert percentile(values, 95) == pytest.approx(95.0)
+        with pytest.raises(StatisticsError):
+            percentile([], 50)
+        with pytest.raises(StatisticsError):
+            percentile([1.0], 150)
+
+
+class TestProportionCi:
+    def test_matches_wilson_definition(self):
+        center, half = proportion_ci(87, 100)
+        assert 0.79 < center - half < center + half < 0.95
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StatisticsError):
+            proportion_ci(1, 0)
+        with pytest.raises(StatisticsError):
+            proportion_ci(5, 4)
+
+
+class TestGaussianTails:
+    def test_known_values(self):
+        assert gaussian_exceedance_probability(0.0) == pytest.approx(1.0)
+        assert gaussian_exceedance_probability(1.0) == pytest.approx(0.3173,
+                                                                     abs=1e-3)
+        assert gaussian_exceedance_probability(3.0) == pytest.approx(0.0027,
+                                                                     abs=1e-4)
+        assert gaussian_exceedance_probability(5.0) < 1e-6
+
+    def test_monotonically_decreasing(self):
+        ks = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        probs = [gaussian_exceedance_probability(k) for k in ks]
+        assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(StatisticsError):
+            gaussian_exceedance_probability(-1.0)
+
+
+class TestPerRunAggregation:
+    def test_single_check_is_identity(self):
+        assert per_test_to_per_run(0.01, 1) == pytest.approx(0.01)
+
+    def test_many_checks_increase_probability(self):
+        assert per_test_to_per_run(0.01, 10) > 0.09
+
+    def test_probability_stays_bounded(self):
+        assert per_test_to_per_run(0.5, 100) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StatisticsError):
+            per_test_to_per_run(1.5, 2)
+        with pytest.raises(StatisticsError):
+            per_test_to_per_run(0.1, 0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=1, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_valid_probability(self, p, n):
+        value = per_test_to_per_run(p, n)
+        assert 0.0 <= value <= 1.0
+        assert value >= p - 1e-12

@@ -1,0 +1,138 @@
+"""Tests for repro.circuit.components (devices and defect state)."""
+
+import pytest
+
+from repro.circuit import (ComponentError, DefectState, Device, DeviceKind,
+                           PullDirection, TERMINALS, capacitor, diode, nmos,
+                           npn, pmos, pnp, resistor, switch)
+
+
+class TestDeviceConstruction:
+    def test_resistor_terminals(self):
+        dev = resistor("r1", "a", "b", 1000.0)
+        assert dev.kind is DeviceKind.RESISTOR
+        assert dev.net_of("p") == "a"
+        assert dev.net_of("n") == "b"
+        assert dev.value == pytest.approx(1000.0)
+
+    def test_capacitor_value(self):
+        dev = capacitor("c1", "x", "y", 1e-12)
+        assert dev.effective_value() == pytest.approx(1e-12)
+
+    def test_switch_has_control_terminal(self):
+        dev = switch("s1", "a", "b", "en")
+        assert dev.net_of("ctrl") == "en"
+        assert dev.params["ron"] == pytest.approx(100.0)
+
+    def test_mos_terminal_order(self):
+        dev = nmos("m1", d="out", g="in", s="gnd")
+        assert dev.net_of("d") == "out"
+        assert dev.net_of("g") == "in"
+        assert dev.net_of("b") == "vss"
+
+    def test_pmos_default_bulk(self):
+        dev = pmos("m2", d="out", g="in", s="vdd")
+        assert dev.net_of("b") == "vdd"
+
+    def test_bipolar_and_diode_kinds(self):
+        assert npn("q1", "c", "b", "e").kind is DeviceKind.NPN
+        assert pnp("q2", "c", "b", "e").kind is DeviceKind.PNP
+        assert diode("d1", "a", "k").kind is DeviceKind.DIODE
+
+    def test_unknown_terminal_raises(self):
+        dev = resistor("r1", "a", "b", 10.0)
+        with pytest.raises(ComponentError):
+            dev.net_of("g")
+
+    def test_negative_passive_value_rejected(self):
+        with pytest.raises(ComponentError):
+            resistor("r1", "a", "b", -5.0)
+        with pytest.raises(ComponentError):
+            capacitor("c1", "a", "b", 0.0)
+
+    def test_zero_ron_switch_rejected(self):
+        with pytest.raises(ComponentError):
+            switch("s1", "a", "b", "en", ron=0.0)
+
+    def test_terminal_mismatch_rejected(self):
+        with pytest.raises(ComponentError):
+            Device("bad", DeviceKind.RESISTOR, {"p": "a"}, {"value": 1.0})
+        with pytest.raises(ComponentError):
+            Device("bad", DeviceKind.RESISTOR,
+                   {"p": "a", "n": "b", "x": "c"}, {"value": 1.0})
+
+    def test_terminal_table_consistency(self):
+        for kind, terms in TERMINALS.items():
+            assert len(terms) == len(set(terms))
+            assert len(terms) >= 2
+
+
+class TestDefectState:
+    def test_new_device_is_clean(self):
+        dev = resistor("r1", "a", "b", 10.0)
+        assert not dev.has_defect
+        assert dev.defect.is_clean
+
+    def test_short_marks_defective(self):
+        dev = nmos("m1", "d", "g", "s")
+        dev.defect.shorted_terminals = ("d", "s")
+        assert dev.has_defect
+        assert dev.is_shorted("d", "s")
+        assert dev.is_shorted("s", "d")  # order-insensitive
+        assert not dev.is_shorted("g", "s")
+
+    def test_open_marks_defective(self):
+        dev = nmos("m1", "d", "g", "s")
+        dev.defect.open_terminal = "g"
+        dev.defect.open_pull = PullDirection.DOWN
+        assert dev.has_defect
+        assert dev.is_open("g")
+        assert not dev.is_open("d")
+
+    def test_value_scale_marks_defective(self):
+        dev = capacitor("c1", "a", "b", 1e-12)
+        dev.defect.value_scale = 1.5
+        assert dev.has_defect
+        assert dev.effective_value() == pytest.approx(1.5e-12)
+
+    def test_clear_defect_restores_clean_state(self):
+        dev = resistor("r1", "a", "b", 10.0)
+        dev.defect.shorted_terminals = ("p", "n")
+        dev.defect.value_scale = 0.5
+        dev.clear_defect()
+        assert not dev.has_defect
+        assert dev.effective_value() == pytest.approx(10.0)
+
+    def test_defect_state_clear_resets_everything(self):
+        state = DefectState(shorted_terminals=("a", "b"), open_terminal="a",
+                            value_scale=2.0)
+        state.clear()
+        assert state.is_clean
+
+
+class TestAreaProxy:
+    def test_mos_area_scales_with_width(self):
+        small = nmos("m1", "d", "g", "s", w=1e-6)
+        large = nmos("m2", "d", "g", "s", w=10e-6)
+        assert large.area_proxy() == pytest.approx(10 * small.area_proxy())
+
+    def test_resistor_area_has_floor(self):
+        tiny = resistor("r1", "a", "b", 1.0)
+        assert tiny.area_proxy() >= 0.1
+
+    def test_capacitor_area_scales_with_value(self):
+        small = capacitor("c1", "a", "b", 1e-13)
+        large = capacitor("c2", "a", "b", 1e-12)
+        assert large.area_proxy() > small.area_proxy()
+
+    def test_bipolar_area_scales_with_emitter_area(self):
+        unit = pnp("q1", "c", "b", "e", area=1.0)
+        big = pnp("q2", "c", "b", "e", area=8.0)
+        assert big.area_proxy() == pytest.approx(8 * unit.area_proxy())
+
+    def test_all_proxies_positive(self):
+        devices = [resistor("r", "a", "b", 100.0), capacitor("c", "a", "b", 1e-15),
+                   switch("s", "a", "b", "e"), nmos("mn", "d", "g", "s"),
+                   pmos("mp", "d", "g", "s"), diode("dd", "a", "k"),
+                   npn("qn", "c", "b", "e"), pnp("qp", "c", "b", "e")]
+        assert all(dev.area_proxy() > 0 for dev in devices)

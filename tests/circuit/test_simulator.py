@@ -1,0 +1,101 @@
+"""Tests for the cycle-based transient engine (repro.circuit.simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (GlitchModel, SequenceStimulus, SimulationError,
+                           TransientSimulator)
+
+
+def ramp_stimulus(n):
+    return SequenceStimulus([{"x": float(i)} for i in range(n)])
+
+
+class TestSequenceStimulus:
+    def test_length_and_lookup(self):
+        stim = ramp_stimulus(4)
+        assert len(stim) == 4
+        assert stim.inputs_for_cycle(2)["x"] == 2.0
+
+    def test_out_of_range_cycle(self):
+        stim = ramp_stimulus(2)
+        with pytest.raises(SimulationError):
+            stim.inputs_for_cycle(2)
+        with pytest.raises(SimulationError):
+            stim.inputs_for_cycle(-1)
+
+
+class TestTransientSimulator:
+    def test_settled_samples_one_per_cycle(self):
+        sim = TransientSimulator(clock_frequency=1e6)
+        result = sim.run(ramp_stimulus(5),
+                         lambda cycle, inputs: {"y": 2 * inputs["x"]})
+        assert result.n_cycles == 5
+        assert result.settled["y"].values == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert result.duration == pytest.approx(5e-6)
+
+    def test_without_glitch_model_waveform_equals_settled(self):
+        sim = TransientSimulator(clock_frequency=1e6)
+        result = sim.run(ramp_stimulus(3),
+                         lambda cycle, inputs: {"y": inputs["x"]})
+        assert result.waveforms["y"].values == result.settled["y"].values
+
+    def test_glitch_model_adds_intra_cycle_samples(self):
+        sim = TransientSimulator(clock_frequency=1e6,
+                                 glitch_model=GlitchModel(samples_per_cycle=6))
+        result = sim.run(ramp_stimulus(4),
+                         lambda cycle, inputs: {"y": inputs["x"]})
+        assert len(result.waveforms["y"]) == 4 * 6
+        assert len(result.settled["y"]) == 4
+
+    def test_glitch_final_sample_is_settled_value(self):
+        model = GlitchModel(samples_per_cycle=5)
+        samples = model.intra_cycle_samples(0.0, 1.0, 1e-6)
+        assert samples[-1][1] == pytest.approx(1.0)
+        assert samples[-1][0] == pytest.approx(1e-6)
+
+    def test_glitch_amplitude_scales_with_step(self):
+        model = GlitchModel(samples_per_cycle=8, amplitude_floor=0.0)
+        small = model.intra_cycle_samples(0.0, 0.1, 1e-6)
+        large = model.intra_cycle_samples(0.0, 1.0, 1e-6)
+        small_peak = max(abs(v - 0.1) for _, v in small)
+        large_peak = max(abs(v - 1.0) for _, v in large)
+        assert large_peak > small_peak
+
+    def test_observable_filter(self):
+        sim = TransientSimulator(clock_frequency=1e6)
+        result = sim.run(ramp_stimulus(3),
+                         lambda cycle, inputs: {"a": 1.0, "b": 2.0},
+                         observables=["a"])
+        assert "a" in result.settled.names
+        assert "b" not in result.settled.names
+
+    def test_empty_stimulus_raises(self):
+        sim = TransientSimulator()
+        with pytest.raises(SimulationError):
+            sim.run(SequenceStimulus([]), lambda c, i: {"y": 0.0})
+
+    def test_empty_outputs_raise(self):
+        sim = TransientSimulator()
+        with pytest.raises(SimulationError):
+            sim.run(ramp_stimulus(2), lambda c, i: {})
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(SimulationError):
+            TransientSimulator(clock_frequency=0.0)
+
+    def test_evaluate_receives_cycle_index(self):
+        seen = []
+        sim = TransientSimulator()
+        sim.run(ramp_stimulus(4),
+                lambda cycle, inputs: (seen.append(cycle) or {"y": 0.0}))
+        assert seen == [0, 1, 2, 3]
+
+
+class TestVariationIntegration:
+    def test_glitch_model_with_rng_is_reproducible(self):
+        model_a = GlitchModel(rng=np.random.default_rng(3))
+        model_b = GlitchModel(rng=np.random.default_rng(3))
+        samples_a = model_a.intra_cycle_samples(0.0, 0.5, 1e-6)
+        samples_b = model_b.intra_cycle_samples(0.0, 0.5, 1e-6)
+        assert samples_a == samples_b

@@ -1,0 +1,140 @@
+"""Tests for the nodal-analysis solver (repro.circuit.solver)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import LinearNetwork, SolverError, solve_resistor_string
+
+
+class TestLinearNetwork:
+    def test_voltage_divider(self):
+        net = LinearNetwork()
+        net.set_voltage("top", 1.0)
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("top", "mid", 1000.0)
+        net.add_resistor("mid", "gnd", 1000.0)
+        assert net.solve()["mid"] == pytest.approx(0.5)
+
+    def test_unequal_divider(self):
+        net = LinearNetwork()
+        net.set_voltage("top", 1.2)
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("top", "mid", 3000.0)
+        net.add_resistor("mid", "gnd", 1000.0)
+        assert net.solve()["mid"] == pytest.approx(0.3)
+
+    def test_current_source_into_resistor(self):
+        net = LinearNetwork()
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("node", "gnd", 100.0)
+        net.add_current("node", 1e-3)
+        assert net.solve()["node"] == pytest.approx(0.1)
+
+    def test_fixed_nodes_returned_verbatim(self):
+        net = LinearNetwork()
+        net.set_voltage("a", 0.7)
+        net.set_voltage("b", 0.2)
+        net.add_resistor("a", "b", 50.0)
+        solution = net.solve()
+        assert solution["a"] == pytest.approx(0.7)
+        assert solution["b"] == pytest.approx(0.2)
+
+    def test_no_fixed_node_raises(self):
+        net = LinearNetwork()
+        net.add_resistor("a", "b", 10.0)
+        with pytest.raises(SolverError):
+            net.solve()
+
+    def test_floating_node_raises(self):
+        net = LinearNetwork()
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("a", "gnd", 10.0)
+        net.add_conductance("b", "c", 1e-3)  # island disconnected from gnd
+        with pytest.raises(SolverError):
+            net.solve()
+
+    def test_negative_conductance_rejected(self):
+        net = LinearNetwork()
+        with pytest.raises(SolverError):
+            net.add_conductance("a", "b", -1.0)
+
+    def test_negative_resistance_rejected(self):
+        net = LinearNetwork()
+        with pytest.raises(SolverError):
+            net.add_resistor("a", "b", -10.0)
+
+    def test_zero_resistance_acts_as_short(self):
+        net = LinearNetwork()
+        net.set_voltage("top", 1.0)
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("top", "mid", 0.0)
+        net.add_resistor("mid", "gnd", 1000.0)
+        assert net.solve()["mid"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_self_loop_is_ignored(self):
+        net = LinearNetwork()
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("a", "a", 100.0)
+        net.add_resistor("a", "gnd", 100.0)
+        assert net.solve()["a"] == pytest.approx(0.0)
+
+    def test_superposition_of_sources(self):
+        # Two current sources into the same node add linearly.
+        net = LinearNetwork()
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("n", "gnd", 200.0)
+        net.add_current("n", 1e-3)
+        net.add_current("n", 2e-3)
+        assert net.solve()["n"] == pytest.approx(0.6)
+
+
+class TestResistorString:
+    def test_uniform_string_is_linear(self):
+        taps = [f"t{i}" for i in range(5)]
+        sol = solve_resistor_string(taps, [100.0] * 4, v_top=1.0, v_bottom=0.0)
+        for i, tap in enumerate(taps):
+            assert sol[tap] == pytest.approx(i / 4)
+
+    def test_shorted_segment_shifts_taps(self):
+        taps = [f"t{i}" for i in range(5)]
+        resistances = [100.0, 100.0, 0.001, 100.0]
+        sol = solve_resistor_string(taps, resistances, 1.0, 0.0)
+        # The shorted segment collapses taps 2 and 3 onto each other.
+        assert sol["t3"] == pytest.approx(sol["t2"], abs=1e-4)
+
+    def test_extra_edge_short_between_taps(self):
+        taps = [f"t{i}" for i in range(5)]
+        sol = solve_resistor_string(taps, [100.0] * 4, 1.0, 0.0,
+                                    extra_edges=[("t1", "t3", 0.001)])
+        assert sol["t1"] == pytest.approx(sol["t3"], abs=1e-4)
+
+    def test_wrong_tap_count_raises(self):
+        with pytest.raises(SolverError):
+            solve_resistor_string(["a", "b"], [1.0, 2.0], 1.0, 0.0)
+
+    @given(st.lists(st.floats(min_value=10.0, max_value=1e5),
+                    min_size=2, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_taps_monotonic_for_positive_resistances(self, resistances):
+        """Property: with positive segment resistances the taps are monotonic."""
+        taps = [f"t{i}" for i in range(len(resistances) + 1)]
+        sol = solve_resistor_string(taps, resistances, v_top=1.2, v_bottom=0.0)
+        values = [sol[t] for t in taps]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(1.2)
+
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=10.0, max_value=10000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_divider_ratio_property(self, ratio, r_bottom):
+        """Property: a two-resistor divider follows the ratio formula."""
+        net = LinearNetwork()
+        net.set_voltage("top", 1.0)
+        net.set_voltage("gnd", 0.0)
+        net.add_resistor("top", "mid", ratio * r_bottom)
+        net.add_resistor("mid", "gnd", r_bottom)
+        assert net.solve()["mid"] == pytest.approx(1.0 / (1.0 + ratio),
+                                                   rel=1e-6)

@@ -1,0 +1,83 @@
+"""Tests for repro.circuit.units."""
+
+import math
+
+import pytest
+
+from repro.circuit import units
+
+
+class TestConstants:
+    def test_supply_is_positive(self):
+        assert units.VDD > 0
+
+    def test_common_mode_is_mid_rail(self):
+        assert units.VCM_NOMINAL == pytest.approx(units.VDD / 2)
+
+    def test_clock_frequency_matches_paper(self):
+        assert units.F_CLK == pytest.approx(156e6)
+
+    def test_short_resistance_matches_paper(self):
+        assert units.SHORT_RESISTANCE == pytest.approx(10.0)
+
+    def test_passive_deviation_is_fifty_percent(self):
+        assert units.PASSIVE_DEVIATION == pytest.approx(0.50)
+
+    def test_reference_levels_count(self):
+        assert units.N_REF_LEVELS == 33
+
+    def test_adc_resolution(self):
+        assert units.ADC_BITS == 10
+
+
+class TestDb:
+    def test_db_of_unity_is_zero(self):
+        assert units.db(1.0) == pytest.approx(0.0)
+
+    def test_db_of_ten_is_twenty(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+        with pytest.raises(ValueError):
+            units.db(-1.0)
+
+    def test_from_db_round_trips(self):
+        for value in (0.01, 0.5, 1.0, 3.0, 250.0):
+            assert units.from_db(units.db(value)) == pytest.approx(value)
+
+
+class TestLsbSize:
+    def test_ten_bit_lsb(self):
+        assert units.lsb_size(1.024, 10) == pytest.approx(0.001)
+
+    def test_default_bits(self):
+        assert units.lsb_size(1.0) == pytest.approx(1.0 / 1024)
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ValueError):
+            units.lsb_size(1.0, 0)
+
+
+class TestParallel:
+    def test_two_equal_resistors(self):
+        assert units.parallel(100.0, 100.0) == pytest.approx(50.0)
+
+    def test_single_resistor(self):
+        assert units.parallel(470.0) == pytest.approx(470.0)
+
+    def test_zero_shorts_the_combination(self):
+        assert units.parallel(100.0, 0.0, 50.0) == 0.0
+
+    def test_three_resistors(self):
+        expected = 1.0 / (1 / 10.0 + 1 / 20.0 + 1 / 40.0)
+        assert units.parallel(10.0, 20.0, 40.0) == pytest.approx(expected)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.parallel(-5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            units.parallel()

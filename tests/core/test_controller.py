@@ -1,0 +1,117 @@
+"""Tests for the SymBIST controller (repro.core.controller)."""
+
+import pytest
+
+from repro.adc import SarAdc
+from repro.circuit import BistConfigurationError, GlitchModel
+from repro.core import (CheckingMode, SymBistController, SymBistStimulus,
+                        WindowComparator, build_invariances, run_symbist)
+
+
+def make_controller(adc, deltas, **kwargs):
+    checkers = [WindowComparator(name=n, delta=d) for n, d in deltas.items()]
+    return SymBistController(adc, checkers, **kwargs)
+
+
+class TestDefectFreeRun:
+    def test_passes_and_reports_paper_test_time(self, adc, deltas):
+        result = make_controller(adc, deltas).run()
+        assert result.passed and not result.detected
+        assert result.cycles_scheduled == 192
+        assert result.cycles_run == 192
+        assert result.test_time * 1e6 == pytest.approx(1.23, abs=0.01)
+        assert result.first_detection is None
+        assert result.failing_invariances == []
+
+    def test_settled_residuals_one_per_code(self, adc, deltas):
+        result = make_controller(adc, deltas).run()
+        assert set(result.settled_residuals) == set(deltas)
+        assert all(len(v) == 32 for v in result.settled_residuals.values())
+
+    def test_parallel_mode_runs_single_pass(self, adc, deltas):
+        result = make_controller(adc, deltas, mode=CheckingMode.PARALLEL).run()
+        assert result.cycles_scheduled == 32
+        assert result.passed
+
+    def test_glitch_model_records_intra_cycle_samples(self, adc, deltas):
+        controller = make_controller(adc, deltas,
+                                     glitch_model=GlitchModel(samples_per_cycle=4))
+        result = controller.run()
+        assert len(result.waveforms["dac_sum"]) == 4 * 32
+
+    def test_run_symbist_wrapper(self, adc, deltas):
+        assert run_symbist(adc, deltas).passed
+
+
+class TestDefectDetection:
+    def test_vcm_defect_detected_by_dac_sum(self, adc, deltas):
+        adc.sarcell.vcm_generator.netlist.device("r_top").defect.value_scale = 1.5
+        result = make_controller(adc, deltas).run()
+        adc.clear_defects()
+        assert result.detected
+        assert "dac_sum" in result.failing_invariances
+
+    def test_ladder_defect_detected_by_subdac_sums(self, adc, deltas):
+        adc.reference_buffer.netlist.device("rlad_08").defect.shorted_terminals = \
+            ("p", "n")
+        result = make_controller(adc, deltas).run()
+        adc.clear_defects()
+        assert result.detected
+        assert {"msb_sum", "lsb_sum"} & set(result.failing_invariances)
+
+    def test_stop_on_detection_shortens_run(self, adc, deltas):
+        adc.sarcell.vcm_generator.netlist.device("r_top").defect.value_scale = 1.5
+        full = make_controller(adc, deltas).run()
+        stopped = make_controller(adc, deltas, stop_on_detection=True).run()
+        adc.clear_defects()
+        assert stopped.detected and full.detected
+        assert stopped.cycles_run < full.cycles_run
+        assert stopped.test_time < full.test_time
+
+    def test_first_detection_identifies_invariance_and_cycle(self, adc, deltas):
+        adc.sarcell.dac.sc_array.netlist.device("cm_p").defect.value_scale = 1.5
+        result = make_controller(adc, deltas).run()
+        adc.clear_defects()
+        assert result.detected
+        name, cycle = result.first_detection
+        assert name in result.failing_invariances
+        assert 0 <= cycle < 32
+
+    def test_sequential_order_determines_first_detection(self, adc, deltas):
+        """With sequential checking the schedule walks invariances in order,
+        so the reported first detection belongs to the earliest failing
+        invariance in declaration order."""
+        adc.reference_buffer.netlist.device("rlad_08").defect.shorted_terminals = \
+            ("p", "n")
+        result = make_controller(adc, deltas).run()
+        adc.clear_defects()
+        names = [inv.name for inv in build_invariances()]
+        failing_positions = [names.index(n) for n in result.failing_invariances]
+        assert names.index(result.first_detection[0]) == min(failing_positions)
+
+    def test_worst_residuals_reported(self, adc, deltas):
+        result = make_controller(adc, deltas).run()
+        worst = result.worst_residuals()
+        assert set(worst) == set(deltas)
+        assert all(v >= 0 for v in worst.values())
+
+
+class TestConfigurationErrors:
+    def test_missing_checker_rejected(self, adc, deltas):
+        incomplete = {k: v for k, v in deltas.items() if k != "dac_sum"}
+        checkers = [WindowComparator(name=n, delta=d)
+                    for n, d in incomplete.items()]
+        with pytest.raises(BistConfigurationError):
+            SymBistController(adc, checkers)
+
+    def test_extra_checkers_are_ignored(self, adc, deltas):
+        checkers = [WindowComparator(name=n, delta=d) for n, d in deltas.items()]
+        checkers.append(WindowComparator(name="unused", delta=1.0))
+        controller = SymBistController(adc, checkers)
+        assert set(controller.checkers) == set(deltas)
+
+    def test_custom_stimulus(self, adc, deltas):
+        stim = SymBistStimulus(input_diff=0.1, repeats=2)
+        result = make_controller(adc, deltas, stimulus=stim).run()
+        assert result.cycles_scheduled == 6 * 64
+        assert result.passed

@@ -1,0 +1,57 @@
+"""Tests for reporting helpers (repro.core.report)."""
+
+import pytest
+
+from repro.core import (format_confidence, format_percent, format_table,
+                        run_symbist, summarize_symbist_result, waveform_csv)
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.8696) == "86.96%"
+        assert format_percent(1.0, decimals=0) == "100%"
+
+    def test_format_confidence_with_interval(self):
+        assert format_confidence(0.8696, 0.0367) == "86.96% +/- 3.67%"
+
+    def test_format_confidence_without_interval(self):
+        assert format_confidence(0.942, None) == "94.20%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["block", "coverage"],
+                             [["bandgap", 0.9422], ["sc_array", 0.977]],
+                             title="Table I")
+        lines = table.splitlines()
+        assert lines[0] == "Table I"
+        assert "block" in lines[1] and "coverage" in lines[1]
+        assert len(lines) == 5
+        # every row has the same rendered width
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_format_table_handles_mixed_types(self):
+        table = format_table(["a", "b"], [[1, "x"], [2.5, None]])
+        assert "None" in table
+
+
+class TestResultSummaries:
+    def test_summary_of_passing_run(self, adc, deltas):
+        result = run_symbist(adc, deltas)
+        text = summarize_symbist_result(result)
+        assert "PASS" in text
+        assert "sequential" in text
+        assert "dac_sum" in text
+
+    def test_summary_of_failing_run_names_detection(self, adc, deltas):
+        adc.sarcell.vcm_generator.netlist.device("r_top").defect.value_scale = 1.5
+        result = run_symbist(adc, deltas)
+        adc.clear_defects()
+        text = summarize_symbist_result(result)
+        assert "FAIL" in text
+        assert "first detection" in text
+
+    def test_waveform_csv_shape(self, adc, deltas):
+        result = run_symbist(adc, deltas)
+        csv = waveform_csv(result, "dac_sum")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "time_s,residual_v"
+        assert len(lines) == 33  # header + one settled sample per counter code

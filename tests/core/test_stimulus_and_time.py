@@ -1,0 +1,131 @@
+"""Tests for the SymBIST stimulus and the test-time / area models."""
+
+import pytest
+
+from repro.circuit import BistConfigurationError, F_CLK, VCM_NOMINAL
+from repro.core import (CheckingMode, DEFAULT_DIGITAL_GATES, SymBistStimulus,
+                        TestTimeModel, area_overhead, ip_analog_area,
+                        symbist_infrastructure_area)
+
+
+class TestStimulus:
+    def test_default_matches_paper(self):
+        stim = SymBistStimulus()
+        assert stim.counter_bits == 5
+        assert stim.n_codes == 32
+        assert stim.n_cycles == 32
+        assert stim.input_cm == pytest.approx(VCM_NOMINAL)
+
+    def test_counter_sweeps_all_codes(self):
+        stim = SymBistStimulus()
+        codes = [stim.code_for_cycle(c) for c in range(stim.n_cycles)]
+        assert sorted(codes) == list(range(32))
+
+    def test_repeats_replay_the_sequence(self):
+        stim = SymBistStimulus(repeats=2)
+        assert stim.n_cycles == 64
+        assert stim.code_for_cycle(33) == 1
+
+    def test_dc_input_is_constant(self):
+        stim = SymBistStimulus(input_diff=0.3)
+        bundles = stim.bundles()
+        assert all(b["in_p"] - b["in_m"] == pytest.approx(0.3) for b in bundles)
+        assert len({b["in_p"] for b in bundles}) == 1
+
+    def test_out_of_range_cycle_rejected(self):
+        with pytest.raises(BistConfigurationError):
+            SymBistStimulus().code_for_cycle(32)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(BistConfigurationError):
+            SymBistStimulus(counter_bits=0)
+        with pytest.raises(BistConfigurationError):
+            SymBistStimulus(repeats=0)
+
+    def test_sequence_stimulus_adapter(self):
+        stim = SymBistStimulus()
+        seq = stim.as_sequence_stimulus()
+        assert len(seq) == 32
+        assert seq.inputs_for_cycle(7)["code"] == 7.0
+
+    def test_iteration_yields_all_bundles(self):
+        stim = SymBistStimulus()
+        assert len(list(stim)) == 32
+
+
+class TestTestTime:
+    def test_paper_sequential_test_time(self):
+        """Section IV-5: 6 * 2^5 / 156 MHz = 1.23 us."""
+        model = TestTimeModel()
+        assert model.test_time(CheckingMode.SEQUENTIAL) * 1e6 == pytest.approx(
+            1.23, abs=0.01)
+
+    def test_paper_ratio_to_conversion_time(self):
+        """Section IV-5: the test takes about 16x one conversion."""
+        model = TestTimeModel()
+        ratio = model.test_time_in_conversions(CheckingMode.SEQUENTIAL)
+        assert ratio == pytest.approx(16.0, abs=0.1)
+
+    def test_parallel_checking_is_six_times_faster(self):
+        model = TestTimeModel()
+        assert model.test_time(CheckingMode.SEQUENTIAL) == pytest.approx(
+            6 * model.test_time(CheckingMode.PARALLEL))
+
+    def test_cycle_counts(self):
+        model = TestTimeModel()
+        assert model.cycles_per_pass == 32
+        assert model.test_cycles(CheckingMode.SEQUENTIAL) == 192
+        assert model.test_cycles(CheckingMode.PARALLEL) == 32
+
+    def test_conversion_time_uses_12_cycles(self):
+        model = TestTimeModel()
+        assert model.conversion_time == pytest.approx(12 / F_CLK)
+
+    def test_functional_test_time_and_speedup(self):
+        model = TestTimeModel()
+        functional = model.functional_test_time(4096)
+        assert functional > 100 * model.test_time()
+        assert model.speedup_vs_functional(4096) == pytest.approx(
+            functional / model.test_time())
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(BistConfigurationError):
+            TestTimeModel(n_invariances=0)
+        with pytest.raises(BistConfigurationError):
+            TestTimeModel(clock_frequency=0.0)
+        with pytest.raises(BistConfigurationError):
+            TestTimeModel().functional_test_time(0)
+
+
+class TestAreaModel:
+    def test_overhead_below_five_percent(self, adc):
+        """Section IV-4: the SymBIST area overhead is estimated below 5 %."""
+        report = area_overhead(adc, mode=CheckingMode.SEQUENTIAL)
+        assert 0.0 < report.overhead_percent < 5.0
+
+    def test_parallel_checkers_cost_more_area(self, adc):
+        sequential = area_overhead(adc, mode=CheckingMode.SEQUENTIAL)
+        parallel = area_overhead(adc, mode=CheckingMode.PARALLEL)
+        assert parallel.bist_total_ge > sequential.bist_total_ge
+        assert parallel.overhead_percent > sequential.overhead_percent
+
+    def test_ip_area_positive_and_dominated_by_analog(self, adc):
+        analog = ip_analog_area(adc)
+        assert analog > DEFAULT_DIGITAL_GATES
+
+    def test_infrastructure_breakdown_keys(self):
+        breakdown = symbist_infrastructure_area()
+        assert set(breakdown) == {"counter", "window_comparators",
+                                  "checker_multiplexing", "tap_buffers",
+                                  "control_fsm"}
+        assert all(v > 0 for v in breakdown.values())
+
+    def test_sequential_mode_uses_single_comparator(self):
+        seq = symbist_infrastructure_area(mode=CheckingMode.SEQUENTIAL)
+        par = symbist_infrastructure_area(mode=CheckingMode.PARALLEL)
+        assert par["window_comparators"] == pytest.approx(
+            6 * seq["window_comparators"])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(BistConfigurationError):
+            symbist_infrastructure_area(n_invariances=0)

@@ -1,0 +1,90 @@
+"""Tests for the 2-pin test access mechanism (repro.core.tam)."""
+
+import pytest
+
+from repro.adc import SarAdc
+from repro.circuit import BistConfigurationError
+from repro.core import (INSTRUCTION_BITS, RESPONSE_BITS, SymBistTam,
+                        TamInstruction)
+
+
+def _bits_to_int(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+class TestProtocol:
+    def test_run_all_on_good_part(self, adc, deltas):
+        tam = SymBistTam(adc, deltas)
+        response = tam.shift_instruction(TamInstruction.RUN_ALL)
+        assert len(response) == RESPONSE_BITS
+        assert _bits_to_int(response) == 1  # pass
+
+    def test_status_before_any_run_is_fail(self, adc, deltas):
+        tam = SymBistTam(adc, deltas)
+        assert _bits_to_int(
+            tam.shift_instruction(TamInstruction.READ_STATUS)) == 0
+
+    def test_full_session_on_defective_part(self, deltas):
+        adc = SarAdc()
+        adc.sarcell.vcm_generator.netlist.device("r_top").defect.value_scale = 1.5
+        tam = SymBistTam(adc, deltas)
+        report = tam.run_and_report()
+        adc.clear_defects()
+        assert report["passed"] is False
+        assert "dac_sum" in report["failing_invariances"]
+        assert report["first_detection_cycle"] is not None
+        assert report["tck_cycles"] > 0
+        assert report["session_time"] > 0
+
+    def test_full_session_on_good_part(self, adc, deltas):
+        report = SymBistTam(adc, deltas).run_and_report()
+        assert report["passed"] is True
+        assert report["failing_invariances"] == []
+        assert report["first_detection_cycle"] is None
+
+    def test_run_single_invariance(self, deltas):
+        adc = SarAdc()
+        adc.reference_buffer.netlist.device("rlad_10").defect.shorted_terminals = \
+            ("p", "n")
+        tam = SymBistTam(adc, deltas)
+        # Invariance 0 is msb_sum: it must fail for a ladder defect.
+        fail = _bits_to_int(
+            tam.shift_instruction(TamInstruction.RUN_SINGLE_BASE + 0))
+        # Invariance 5 is latch_sum: it is unaffected by a ladder defect.
+        ok = _bits_to_int(
+            tam.shift_instruction(TamInstruction.RUN_SINGLE_BASE + 5))
+        adc.clear_defects()
+        assert fail == 0 and ok == 1
+
+    def test_fail_map_encodes_one_bit_per_invariance(self, deltas):
+        adc = SarAdc()
+        adc.reference_buffer.netlist.device("rlad_10").defect.shorted_terminals = \
+            ("p", "n")
+        tam = SymBistTam(adc, deltas)
+        tam.shift_instruction(TamInstruction.RUN_ALL)
+        fail_map = _bits_to_int(
+            tam.shift_instruction(TamInstruction.READ_FAIL_MAP))
+        adc.clear_defects()
+        assert fail_map & 0b000011  # msb_sum and/or lsb_sum bits set
+        assert not fail_map & 0b100000  # latch_sum bit clear
+
+    def test_idle_and_unknown_opcodes(self, adc, deltas):
+        tam = SymBistTam(adc, deltas)
+        assert _bits_to_int(tam.shift_instruction(TamInstruction.IDLE)) == 0
+        with pytest.raises(BistConfigurationError):
+            tam.shift_instruction(0x7F)
+        with pytest.raises(BistConfigurationError):
+            tam.shift_instruction(-1)
+
+    def test_session_accounts_shift_and_execute_cycles(self, adc, deltas):
+        tam = SymBistTam(adc, deltas)
+        tam.shift_instruction(TamInstruction.READ_STATUS)
+        shift_only = tam.session.tck_cycles
+        assert shift_only == INSTRUCTION_BITS + RESPONSE_BITS
+        tam.shift_instruction(TamInstruction.RUN_ALL)
+        assert tam.session.tck_cycles >= shift_only + 192
+
+    def test_missing_delta_rejected(self, adc, deltas):
+        incomplete = {k: v for k, v in deltas.items() if k != "sign"}
+        with pytest.raises(BistConfigurationError):
+            SymBistTam(adc, incomplete)

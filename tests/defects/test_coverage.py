@@ -1,0 +1,115 @@
+"""Tests for L-W coverage math (repro.defects.coverage)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import CoverageError
+from repro.defects import (Defect, DefectKind, exhaustive_coverage,
+                           lwrs_coverage, wilson_interval)
+
+
+def make_defects(likelihoods):
+    return [Defect(defect_id=f"b/d{i}:passive_high", block_path="b",
+                   device_name=f"d{i}", kind=DefectKind.PASSIVE_HIGH,
+                   likelihood=lik)
+            for i, lik in enumerate(likelihoods)]
+
+
+class TestWilsonInterval:
+    def test_half_successes_centered(self):
+        center, half = wilson_interval(50, 100)
+        assert center == pytest.approx(0.5, abs=0.01)
+        assert 0.08 < half < 0.12
+
+    def test_extreme_proportions_stay_in_unit_interval(self):
+        for successes, trials in ((0, 20), (20, 20), (1, 3)):
+            center, half = wilson_interval(successes, trials)
+            assert 0.0 <= center - half <= center + half <= 1.0
+
+    def test_more_trials_narrow_the_interval(self):
+        _, half_small = wilson_interval(10, 20)
+        _, half_large = wilson_interval(100, 200)
+        assert half_large < half_small
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(CoverageError):
+            wilson_interval(1, 0)
+        with pytest.raises(CoverageError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_contains_point_estimate(self, successes, trials):
+        successes = min(successes, trials)
+        center, half = wilson_interval(successes, trials)
+        p_hat = successes / trials
+        assert center - half - 1e-9 <= p_hat <= center + half + 1e-9
+
+
+class TestExhaustiveCoverage:
+    def test_weighted_ratio(self):
+        defects = make_defects([1.0, 1.0, 2.0])
+        estimate = exhaustive_coverage([True, False, True], defects)
+        assert estimate.value == pytest.approx(3.0 / 4.0)
+        assert estimate.ci_half_width is None
+        assert estimate.n_detected == 2
+
+    def test_all_detected_is_full_coverage(self):
+        defects = make_defects([0.5, 1.5])
+        assert exhaustive_coverage([True, True], defects).value == 1.0
+
+    def test_none_detected_is_zero(self):
+        defects = make_defects([0.5, 1.5])
+        assert exhaustive_coverage([False, False], defects).value == 0.0
+
+    def test_high_likelihood_undetected_dominates(self):
+        """The Table I effect: low L-W coverage despite many detections."""
+        defects = make_defects([1.0] * 9 + [100.0])
+        detected = [True] * 9 + [False]
+        estimate = exhaustive_coverage(detected, defects)
+        assert estimate.value < 0.1
+        assert estimate.n_detected == 9
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(CoverageError):
+            exhaustive_coverage([True], make_defects([1.0, 1.0]))
+        with pytest.raises(CoverageError):
+            exhaustive_coverage([], [])
+
+    def test_formatting(self):
+        defects = make_defects([1.0, 1.0])
+        estimate = exhaustive_coverage([True, False], defects)
+        assert estimate.formatted() == "50.00%"
+
+
+class TestLwrsCoverage:
+    def test_estimate_is_sample_fraction(self):
+        estimate = lwrs_coverage([True] * 87 + [False] * 13,
+                                 universe_size=2956,
+                                 universe_likelihood=1000.0)
+        assert estimate.value == pytest.approx(0.87)
+        assert estimate.ci_half_width is not None
+        assert estimate.universe_size == 2956
+
+    def test_ci_shrinks_with_sample_size(self):
+        small = lwrs_coverage([True] * 8 + [False] * 2, 100, 10.0)
+        large = lwrs_coverage([True] * 80 + [False] * 20, 100, 10.0)
+        assert large.ci_half_width < small.ci_half_width
+
+    def test_paper_style_formatting(self):
+        estimate = lwrs_coverage([True] * 87 + [False] * 13, 2956, 1.0)
+        text = estimate.formatted()
+        assert text.startswith("87.00% +/- ")
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(CoverageError):
+            lwrs_coverage([], 10, 1.0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_bounded_by_unit_interval(self, detected):
+        estimate = lwrs_coverage(detected, 1000, 1.0)
+        assert 0.0 <= estimate.value <= 1.0
+        assert 0.0 < estimate.ci_half_width <= 0.5 + 1e-9

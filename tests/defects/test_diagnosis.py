@@ -1,0 +1,81 @@
+"""Tests for invariance-signature defect diagnosis (repro.defects.diagnosis)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.circuit import CoverageError
+from repro.core import run_symbist
+from repro.defects import (DefectKind, SamplingPlan, diagnose,
+                           diagnosis_accuracy)
+
+
+def failing_result(deltas, mutate):
+    adc = SarAdc()
+    mutate(adc)
+    result = run_symbist(adc, deltas)
+    adc.clear_defects()
+    assert result.detected
+    return result
+
+
+class TestDiagnose:
+    def test_requires_failing_result(self, adc, deltas):
+        with pytest.raises(CoverageError):
+            diagnose(run_symbist(adc, deltas))
+
+    def test_vcm_defect_points_to_static_path(self, deltas):
+        result = failing_result(
+            deltas, lambda adc: setattr(
+                adc.sarcell.vcm_generator.netlist.device("r_top").defect,
+                "value_scale", 1.5))
+        report = diagnose(result)
+        assert "dac_sum" in report.persistent_invariances
+        assert report.top_candidate in ("vcm_generator", "bandgap")
+        assert report.score_of("vcm_generator") > report.score_of("rs_latch")
+
+    def test_subdac_defect_points_to_code_steered_blocks(self, deltas):
+        def mutate(adc):
+            adc.sarcell.dac.subdac1.netlist.device("swp_07").defect.open_terminal = "p"
+        report = diagnose(failing_result(deltas, mutate))
+        assert report.code_dependent_invariances
+        assert "subdac1" in report.ranked_blocks()[:3]
+
+    def test_latch_defect_points_to_latches(self, deltas):
+        def mutate(adc):
+            adc.sarcell.comparator.latch.netlist.device("mn_clk").defect.open_terminal = "d"
+        report = diagnose(failing_result(deltas, mutate))
+        assert set(report.ranked_blocks()[:3]) & {"comparator_latch", "rs_latch"}
+
+    def test_report_structure(self, deltas):
+        def mutate(adc):
+            adc.sarcell.dac.sc_array.netlist.device("cm_p").defect.value_scale = 1.5
+        report = diagnose(failing_result(deltas, mutate))
+        assert report.failing_invariances
+        assert all(c.score > 0 for c in report.candidates)
+        assert all(c.supporting_invariances for c in report.candidates)
+        scores = [c.score for c in report.candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert report.score_of("not_a_block") == 0.0
+
+
+class TestDiagnosisAccuracy:
+    def test_accuracy_over_a_small_campaign(self, campaign, rng):
+        result = campaign.run(SamplingPlan(exhaustive=False, n_samples=25),
+                              blocks=["vcm_generator", "sc_array", "subdac1"],
+                              rng=rng)
+        reports = []
+        records = []
+        for record in result.records:
+            if not record.detected:
+                continue
+            with campaign.injector.injected(record.defect):
+                run = campaign._build_controller().run()
+            records.append(record)
+            reports.append(diagnose(run))
+        accuracy = diagnosis_accuracy(records, reports, top_n=3)
+        assert 0.5 <= accuracy <= 1.0
+
+    def test_accuracy_requires_detected_defects(self):
+        with pytest.raises(CoverageError):
+            diagnosis_accuracy([], [])

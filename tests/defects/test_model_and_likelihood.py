@@ -1,0 +1,113 @@
+"""Tests for the defect model and the likelihood model."""
+
+import pytest
+
+from repro.circuit import DefectError, capacitor, nmos, npn, resistor, switch
+from repro.defects import (DEFAULT_TYPE_PRIORS, Defect, DefectKind,
+                           LikelihoodModel, enumerate_device_defects)
+
+
+class TestDefectDescription:
+    def test_short_requires_two_terminals(self):
+        with pytest.raises(DefectError):
+            Defect(defect_id="x", block_path="b", device_name="d",
+                   kind=DefectKind.SHORT, terminals=("d",))
+
+    def test_open_requires_one_terminal(self):
+        with pytest.raises(DefectError):
+            Defect(defect_id="x", block_path="b", device_name="d",
+                   kind=DefectKind.OPEN, terminals=("d", "s"))
+
+    def test_positive_likelihood_required(self):
+        with pytest.raises(DefectError):
+            Defect(defect_id="x", block_path="b", device_name="d",
+                   kind=DefectKind.PASSIVE_HIGH, likelihood=0.0)
+
+    def test_description_mentions_location_and_kind(self):
+        defect = Defect(defect_id="b/d:short:d-s", block_path="b",
+                        device_name="d", kind=DefectKind.SHORT,
+                        terminals=("d", "s"))
+        assert "short" in defect.description
+        assert "b/d" in defect.description
+
+    def test_reweighted_copy(self):
+        defect = Defect(defect_id="x", block_path="b", device_name="d",
+                        kind=DefectKind.PASSIVE_LOW)
+        heavier = defect.reweighted(3.5)
+        assert heavier.likelihood == 3.5
+        assert heavier.defect_id == defect.defect_id
+        assert defect.likelihood == 1.0  # original untouched
+
+
+class TestEnumeration:
+    def test_mos_defect_count(self):
+        defects = enumerate_device_defects("blk", nmos("m", "d", "g", "s"))
+        shorts = [d for d in defects if d.kind is DefectKind.SHORT]
+        opens = [d for d in defects if d.kind is DefectKind.OPEN]
+        assert len(shorts) == 6 and len(opens) == 4
+        assert len(defects) == 10
+
+    def test_switch_defect_count(self):
+        defects = enumerate_device_defects("blk", switch("s", "a", "b", "en"))
+        assert len(defects) == 6  # 3 shorts + 3 opens
+
+    def test_bjt_defect_count(self):
+        defects = enumerate_device_defects("blk", npn("q", "c", "b", "e"))
+        assert len(defects) == 6
+
+    def test_passive_defect_count_includes_deviations(self):
+        r_defects = enumerate_device_defects("blk", resistor("r", "a", "b", 1.0))
+        c_defects = enumerate_device_defects("blk", capacitor("c", "a", "b", 1e-12))
+        for defects in (r_defects, c_defects):
+            kinds = [d.kind for d in defects]
+            assert kinds.count(DefectKind.SHORT) == 1
+            assert kinds.count(DefectKind.OPEN) == 2
+            assert kinds.count(DefectKind.PASSIVE_HIGH) == 1
+            assert kinds.count(DefectKind.PASSIVE_LOW) == 1
+
+    def test_defect_ids_are_unique(self):
+        defects = enumerate_device_defects("blk", nmos("m", "d", "g", "s"))
+        ids = [d.defect_id for d in defects]
+        assert len(ids) == len(set(ids))
+
+    def test_open_defects_carry_a_pull(self):
+        defects = enumerate_device_defects("blk", nmos("m", "d", "g", "s"))
+        assert all(d.pull is not None for d in defects
+                   if d.kind is DefectKind.OPEN)
+
+
+class TestLikelihoodModel:
+    def test_default_priors_favour_shorts(self):
+        assert DEFAULT_TYPE_PRIORS[DefectKind.SHORT] > \
+            DEFAULT_TYPE_PRIORS[DefectKind.OPEN] > \
+            DEFAULT_TYPE_PRIORS[DefectKind.PASSIVE_HIGH]
+
+    def test_likelihood_scales_with_device_area(self):
+        model = LikelihoodModel()
+        small = nmos("m1", "d", "g", "s", w=1e-6)
+        large = nmos("m2", "d", "g", "s", w=10e-6)
+        defect_small = enumerate_device_defects("b", small)[0]
+        defect_large = enumerate_device_defects("b", large)[0]
+        assert model.likelihood(defect_large, large) == pytest.approx(
+            10 * model.likelihood(defect_small, small))
+
+    def test_block_scale_multiplies(self):
+        model = LikelihoodModel(block_scale={"noisy_block": 2.0})
+        dev = nmos("m", "d", "g", "s")
+        defect = enumerate_device_defects("noisy_block", dev)[0]
+        other = enumerate_device_defects("other", dev)[0]
+        assert model.likelihood(defect, dev) == pytest.approx(
+            2 * model.likelihood(other, dev))
+
+    def test_reweight_attaches_likelihood(self):
+        model = LikelihoodModel()
+        dev = resistor("r", "a", "b", 1e4)
+        defect = enumerate_device_defects("b", dev)[0]
+        weighted = model.reweight(defect, dev)
+        assert weighted.likelihood == pytest.approx(model.likelihood(defect, dev))
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(DefectError):
+            LikelihoodModel(type_priors={DefectKind.SHORT: 0.0})
+        with pytest.raises(DefectError):
+            LikelihoodModel(block_scale={"blk": -1.0})

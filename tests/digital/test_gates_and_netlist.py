@@ -1,0 +1,139 @@
+"""Tests for gate primitives and gate-level netlists (repro.digital)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import DigitalTestError
+from repro.digital import (DigitalNetlist, GateKind, PinOverride, StemOverride,
+                           evaluate_gate)
+
+
+class TestGateEvaluation:
+    def test_two_input_truth_tables(self):
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert evaluate_gate(GateKind.AND, [a, b]) == (a & b)
+            assert evaluate_gate(GateKind.OR, [a, b]) == (a | b)
+            assert evaluate_gate(GateKind.XOR, [a, b]) == (a ^ b)
+            assert evaluate_gate(GateKind.NAND, [a, b]) == 1 - (a & b)
+            assert evaluate_gate(GateKind.NOR, [a, b]) == 1 - (a | b)
+            assert evaluate_gate(GateKind.XNOR, [a, b]) == 1 - (a ^ b)
+
+    def test_inverter_and_buffer(self):
+        assert evaluate_gate(GateKind.NOT, [0]) == 1
+        assert evaluate_gate(GateKind.NOT, [1]) == 0
+        assert evaluate_gate(GateKind.BUF, [1]) == 1
+
+    def test_wide_gates(self):
+        assert evaluate_gate(GateKind.AND, [1, 1, 1, 0]) == 0
+        assert evaluate_gate(GateKind.OR, [0, 0, 0, 1]) == 1
+        assert evaluate_gate(GateKind.XOR, [1, 1, 1]) == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(DigitalTestError):
+            evaluate_gate(GateKind.AND, [1, 2])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DigitalTestError):
+            evaluate_gate(GateKind.NOT, [0, 1])
+        with pytest.raises(DigitalTestError):
+            evaluate_gate(GateKind.AND, [1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2,
+                    max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_demorgan_property(self, bits):
+        """Property: NAND == NOT(AND) and NOR == NOT(OR)."""
+        assert evaluate_gate(GateKind.NAND, bits) == \
+            1 - evaluate_gate(GateKind.AND, bits)
+        assert evaluate_gate(GateKind.NOR, bits) == \
+            1 - evaluate_gate(GateKind.OR, bits)
+
+
+def build_mux():
+    """2:1 mux: out = a when sel=0 else b."""
+    net = DigitalNetlist("mux")
+    for name in ("a", "b", "sel"):
+        net.add_input(name)
+    net.add_gate("g_nsel", GateKind.NOT, ["sel"], "nsel")
+    net.add_gate("g_a", GateKind.AND, ["a", "nsel"], "a_path")
+    net.add_gate("g_b", GateKind.AND, ["b", "sel"], "b_path")
+    net.add_gate("g_or", GateKind.OR, ["a_path", "b_path"], "out")
+    net.add_output("out")
+    return net
+
+
+class TestDigitalNetlist:
+    def test_mux_function(self):
+        net = build_mux()
+        assert net.evaluate({"a": 1, "b": 0, "sel": 0})["out"] == 1
+        assert net.evaluate({"a": 1, "b": 0, "sel": 1})["out"] == 0
+        assert net.evaluate({"a": 0, "b": 1, "sel": 1})["out"] == 1
+
+    def test_duplicate_names_rejected(self):
+        net = build_mux()
+        with pytest.raises(DigitalTestError):
+            net.add_gate("g_or", GateKind.AND, ["a", "b"], "x")
+        with pytest.raises(DigitalTestError):
+            net.add_input("a")
+
+    def test_two_drivers_rejected(self):
+        net = build_mux()
+        with pytest.raises(DigitalTestError):
+            net.add_gate("g_dup", GateKind.AND, ["a", "b"], "out")
+
+    def test_missing_input_value_rejected(self):
+        net = build_mux()
+        with pytest.raises(DigitalTestError):
+            net.evaluate({"a": 1, "b": 0})
+
+    def test_combinational_loop_detected(self):
+        net = DigitalNetlist("loop")
+        net.add_input("x")
+        net.add_gate("g1", GateKind.AND, ["x", "b"], "a")
+        net.add_gate("g2", GateKind.BUF, ["a"], "b")
+        net.add_output("a")
+        with pytest.raises(DigitalTestError):
+            net.evaluate({"x": 1})
+
+    def test_stem_override_forces_net(self):
+        net = build_mux()
+        values = net.evaluate({"a": 1, "b": 1, "sel": 0},
+                              overrides=[StemOverride(net="out", value=0)])
+        assert values["out"] == 0
+
+    def test_pin_override_only_affects_that_gate(self):
+        net = build_mux()
+        # Force the select pin of the a-path AND to 0 (pin fault), while the
+        # b-path still sees the real select value.
+        values = net.evaluate({"a": 1, "b": 1, "sel": 1},
+                              overrides=[PinOverride("g_b", 1, 0)])
+        assert values["b_path"] == 0
+        assert values["nsel"] == 0
+
+    def test_sequential_step(self):
+        net = DigitalNetlist("counter1")
+        net.add_input("en")
+        net.add_gate("g_next", GateKind.XOR, ["q", "en"], "d")
+        net.add_flop("ff", d="d", q="q")
+        net.add_output("q")
+        state = net.reset_state()
+        seq = []
+        for _ in range(4):
+            outs, state = net.step({"en": 1}, state)
+            seq.append(outs["q"])
+        assert seq == [0, 1, 0, 1]
+
+    def test_nets_listing(self):
+        net = build_mux()
+        nets = net.nets()
+        assert "out" in nets and "nsel" in nets and "a" in nets
+
+    def test_reset_state_uses_reset_values(self):
+        net = DigitalNetlist("rv")
+        net.add_input("x")
+        net.add_flop("ff", d="x", q="q", reset_value=1)
+        net.add_output("q")
+        assert net.reset_state() == {"q": 1}

@@ -1,0 +1,104 @@
+"""Tests for the LFSR / MISR primitives and the logic-BIST wrapper."""
+
+import pytest
+
+from repro.circuit import DigitalTestError
+from repro.digital import (Lfsr, LogicBist, Misr, StuckAtFault,
+                           build_sar_control, build_sar_logic)
+
+
+class TestLfsr:
+    def test_maximal_length_sequence(self):
+        lfsr = Lfsr(width=4, seed=1)
+        states = set()
+        for _ in range(lfsr.period):
+            lfsr.step()
+            states.add(lfsr.state)
+        assert len(states) == 15  # every non-zero state visited
+
+    def test_never_reaches_zero(self):
+        lfsr = Lfsr(width=5, seed=3)
+        for _ in range(2 * lfsr.period):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(DigitalTestError):
+            Lfsr(width=8, seed=0)
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(DigitalTestError):
+            Lfsr(width=13)
+
+    def test_bit_stream_is_reproducible(self):
+        a = Lfsr(width=16, seed=0xACE1).next_bits(64)
+        b = Lfsr(width=16, seed=0xACE1).next_bits(64)
+        assert a == b
+
+    def test_bit_stream_is_balanced(self):
+        bits = Lfsr(width=16, seed=0xACE1).next_bits(2000)
+        ones = sum(bits)
+        assert 0.4 < ones / len(bits) < 0.6
+
+    def test_negative_bit_request_rejected(self):
+        with pytest.raises(DigitalTestError):
+            Lfsr(width=8, seed=1).next_bits(-1)
+
+
+class TestMisr:
+    def test_signature_depends_on_data(self):
+        misr_a, misr_b = Misr(width=16), Misr(width=16)
+        misr_a.compact([1, 0, 1, 1])
+        misr_b.compact([1, 0, 1, 0])
+        assert misr_a.signature != misr_b.signature
+
+    def test_signature_depends_on_order(self):
+        misr_a, misr_b = Misr(width=16), Misr(width=16)
+        misr_a.compact([1, 0])
+        misr_a.compact([0, 1])
+        misr_b.compact([0, 1])
+        misr_b.compact([1, 0])
+        assert misr_a.signature != misr_b.signature
+
+    def test_reset_clears_signature(self):
+        misr = Misr(width=16)
+        misr.compact([1, 1, 1])
+        misr.reset()
+        assert misr.signature == 0
+
+    def test_too_wide_slice_rejected(self):
+        with pytest.raises(DigitalTestError):
+            Misr(width=4).compact([1, 0, 1, 0, 1])
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(DigitalTestError):
+            Misr(width=8).compact([2])
+
+
+class TestLogicBist:
+    def test_bist_on_sar_logic(self):
+        result = LogicBist(build_sar_logic()).run(n_patterns=40)
+        assert result.fault_coverage > 0.85
+        assert result.golden_signature != 0
+        assert result.test_cycles > 0
+        assert result.test_time > 0
+
+    def test_signature_detects_an_injected_fault(self):
+        bist = LogicBist(build_sar_logic())
+        fault = StuckAtFault(net="comp", stuck_value=1)
+        assert bist.detects_fault(fault, n_patterns=32)
+
+    def test_golden_signature_is_reproducible(self):
+        a = LogicBist(build_sar_control()).run(n_patterns=24)
+        b = LogicBist(build_sar_control()).run(n_patterns=24)
+        assert a.golden_signature == b.golden_signature
+
+    def test_more_patterns_do_not_reduce_coverage(self):
+        bist = LogicBist(build_sar_control())
+        short = bist.run(n_patterns=16)
+        long = bist.run(n_patterns=64)
+        assert long.fault_coverage >= short.fault_coverage - 1e-9
+
+    def test_invalid_pattern_count_rejected(self):
+        with pytest.raises(DigitalTestError):
+            LogicBist(build_sar_logic()).run(n_patterns=0)

@@ -1,0 +1,106 @@
+"""Tests for the dynamic test, the servo loop and the functional baseline."""
+
+import numpy as np
+import pytest
+
+from repro.adc import AdcSpecification, SarAdc
+from repro.circuit import FunctionalTestError
+from repro.functional_test import (FunctionalBistBaseline, analyze_sine_capture,
+                                   major_transition_codes, measure_transition,
+                                   servo_linearity_probe, sine_fit_test)
+
+
+class TestSineFit:
+    def test_ideal_quantised_sine_enob_near_ten_bits(self):
+        n = 1024
+        periods = 7
+        t = np.arange(n)
+        sine = 511.5 + 511.5 * np.sin(2 * np.pi * periods * t / n)
+        codes = np.round(sine)
+        result = analyze_sine_capture(codes, periods)
+        assert 9.5 < result.enob_bits < 10.3
+        assert result.sndr_db > 58.0
+
+    def test_defect_free_adc_dynamic_performance(self, adc):
+        result = sine_fit_test(adc, n_samples=256)
+        assert result.enob_bits > 9.0
+        assert result.sfdr_db > 50.0
+
+    def test_noisy_capture_degrades_enob(self):
+        n, periods = 512, 7
+        t = np.arange(n)
+        clean = 512 + 400 * np.sin(2 * np.pi * periods * t / n)
+        noisy = clean + np.random.default_rng(0).normal(0, 20, n)
+        assert analyze_sine_capture(np.round(noisy), periods).enob_bits < \
+            analyze_sine_capture(np.round(clean), periods).enob_bits - 2
+
+    def test_stuck_converter_reports_floor(self):
+        result = analyze_sine_capture(np.full(256, 512.0), 7)
+        assert result.enob_bits == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(FunctionalTestError):
+            analyze_sine_capture(np.zeros(16), 3)
+        with pytest.raises(FunctionalTestError):
+            analyze_sine_capture(np.zeros(256), 0)
+
+
+class TestServo:
+    def test_transition_level_matches_design(self, adc):
+        measurement = measure_transition(adc, 528, tolerance=1e-4)
+        assert abs(measurement.level - adc.code_to_input(528)) < 0.01
+        assert measurement.conversions_used > 5
+
+    def test_major_transition_codes(self):
+        codes = major_transition_codes()
+        assert 512 in codes and 2 in codes
+        assert all(0 < c < 1024 for c in codes)
+
+    def test_probe_returns_one_measurement_per_code(self, adc):
+        results = servo_linearity_probe(adc, [256, 512, 768], tolerance=1e-3)
+        assert set(results) == {256, 512, 768}
+        assert results[256].level < results[512].level < results[768].level
+
+    def test_invalid_codes_rejected(self, adc):
+        with pytest.raises(FunctionalTestError):
+            measure_transition(adc, 0)
+        with pytest.raises(FunctionalTestError):
+            servo_linearity_probe(adc, [])
+
+
+class TestFunctionalBaseline:
+    def test_defect_free_part_passes(self, adc):
+        outcome = FunctionalBistBaseline(sine_samples=128).run(adc)
+        assert not outcome.detected
+        assert outcome.violations == []
+        assert not outcome.gross_failure
+        assert outcome.conversions_used > 300
+
+    def test_catastrophic_defect_detected_as_gross_failure(self):
+        adc = SarAdc()
+        adc.bandgap.netlist.device("r3").defect.open_terminal = "p"
+        outcome = FunctionalBistBaseline(sine_samples=128).run(adc)
+        assert outcome.detected
+
+    def test_linearity_defect_detected_by_spec_check(self):
+        adc = SarAdc()
+        adc.sarcell.dac.sc_array.netlist.device("cm_p").defect.value_scale = 1.5
+        outcome = FunctionalBistBaseline(sine_samples=128).run(adc)
+        assert outcome.detected
+        assert outcome.violations
+
+    def test_test_time_is_orders_of_magnitude_above_symbist(self, adc):
+        """The motivation of the paper: functional test is slow."""
+        outcome = FunctionalBistBaseline(sine_samples=128).run(adc)
+        symbist_time = 1.23e-6
+        assert outcome.test_time > 20 * symbist_time
+
+    def test_static_only_baseline(self, adc):
+        outcome = FunctionalBistBaseline(sine_samples=0).run(adc)
+        assert outcome.dynamic is None
+        assert not outcome.detected
+
+    def test_custom_specification(self, adc):
+        strict = AdcSpecification(min_enob_bits=10.5)  # unreachable
+        outcome = FunctionalBistBaseline(spec=strict, sine_samples=128).run(adc)
+        assert "enob" in outcome.violations

@@ -1,0 +1,116 @@
+"""Tests for the static functional tests (ramp and histogram)."""
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.circuit import FunctionalTestError
+from repro.functional_test import (TransferCurve, histogram_test,
+                                   ideal_sine_histogram, linearity_from_curve,
+                                   measure_transfer_curve,
+                                   ramp_linearity_test,
+                                   reduced_code_linearity_test, sine_samples,
+                                   transition_levels)
+
+
+class TestTransferCurve:
+    def test_measure_transfer_curve_shape(self, adc):
+        curve = measure_transfer_curve(adc, n_points=64)
+        assert curve.n_points == 64
+        assert curve.codes.min() >= 0 and curve.codes.max() <= 1023
+
+    def test_codes_monotonic_for_defect_free_adc(self, adc):
+        curve = measure_transfer_curve(adc, n_points=64)
+        assert np.all(np.diff(curve.codes) >= 0)
+
+    def test_transition_levels_sorted(self, adc):
+        curve = measure_transfer_curve(adc, n_points=128)
+        codes, levels = transition_levels(curve)
+        assert np.all(np.diff(codes) > 0)
+        assert np.all(np.diff(levels) > 0)
+
+    def test_misaligned_curve_rejected(self):
+        with pytest.raises(FunctionalTestError):
+            TransferCurve(inputs=np.zeros(5), codes=np.zeros(4))
+
+    def test_too_few_points_rejected(self, adc):
+        with pytest.raises(FunctionalTestError):
+            measure_transfer_curve(adc, n_points=2)
+
+
+class TestLinearity:
+    def test_defect_free_reduced_code_linearity(self, adc):
+        result = reduced_code_linearity_test(adc, span_codes=32,
+                                             samples_per_code=4)
+        assert result.dnl_max_lsb < 0.6
+        assert result.inl_max_lsb < 0.8
+        assert result.missing_codes == 0
+        assert abs(result.offset_lsb) < 2.0
+
+    def test_linearity_performance_container(self, adc):
+        result = reduced_code_linearity_test(adc, span_codes=16,
+                                             samples_per_code=4)
+        perf = result.as_performance()
+        assert perf.dnl_max_lsb == pytest.approx(result.dnl_max_lsb)
+        assert perf.missing_codes == result.missing_codes
+
+    def test_subdac_defect_causes_missing_codes(self):
+        adc = SarAdc()
+        adc.sarcell.dac.subdac2.netlist.device("swp_16").defect.open_terminal = "p"
+        result = reduced_code_linearity_test(adc, span_codes=64,
+                                             samples_per_code=4)
+        assert result.missing_codes > 0 or result.dnl_max_lsb > 1.0
+
+    def test_gross_defect_raises_functional_error(self):
+        adc = SarAdc()
+        # Kill the comparator bias: the converter gets stuck at one code.
+        adc.bandgap.netlist.device("r3").defect.open_terminal = "p"
+        with pytest.raises(FunctionalTestError):
+            reduced_code_linearity_test(adc, span_codes=16, samples_per_code=4)
+
+    def test_coarse_sweep_does_not_invent_missing_codes(self, adc):
+        result = ramp_linearity_test(adc, n_points=128)
+        assert result.missing_codes == 0
+
+    def test_curve_with_too_few_codes_rejected(self):
+        curve = TransferCurve(inputs=np.linspace(0, 1, 8),
+                              codes=np.array([5, 5, 5, 5, 6, 6, 6, 6]))
+        with pytest.raises(FunctionalTestError):
+            linearity_from_curve(curve)
+
+
+class TestHistogram:
+    def test_sine_samples_bounds(self):
+        samples = sine_samples(0.5, 512)
+        assert samples.max() <= 0.5 + 1e-12
+        assert samples.min() >= -0.5 - 1e-12
+        assert len(samples) == 512
+
+    def test_ideal_histogram_total_mass(self):
+        edges = np.linspace(-0.9, 0.9, 50)
+        hist = ideal_sine_histogram(1.0, 0.0, 1000, edges)
+        assert hist.sum() < 1000
+        assert np.all(hist >= 0)
+
+    def test_ideal_histogram_bathtub_shape(self):
+        edges = np.linspace(-0.95, 0.95, 100)
+        hist = ideal_sine_histogram(1.0, 0.0, 10000, edges)
+        assert hist[0] > hist[len(hist) // 2]
+        assert hist[-1] > hist[len(hist) // 2]
+
+    def test_histogram_test_on_defect_free_adc(self, adc):
+        result = histogram_test(adc, n_samples=1024)
+        assert result.n_samples == 1024
+        assert result.missing_codes <= 2
+        assert result.dnl_max_lsb < 1.5
+        assert result.first_code < 100 and result.last_code > 900
+
+    def test_histogram_requires_enough_samples(self, adc):
+        with pytest.raises(FunctionalTestError):
+            histogram_test(adc, n_samples=64)
+
+    def test_invalid_sine_parameters_rejected(self):
+        with pytest.raises(FunctionalTestError):
+            sine_samples(0.0, 100)
+        with pytest.raises(FunctionalTestError):
+            sine_samples(1.0, 0)

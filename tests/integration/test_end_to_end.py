@@ -1,0 +1,110 @@
+"""End-to-end integration tests: calibrate -> test -> campaign -> report.
+
+These tests exercise the full SymBIST flow the way the benchmarks and the
+paper's experiments do, across package boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import (CheckingMode, SymBistController, TestTimeModel,
+                        WindowComparator, area_overhead, calibrate_windows,
+                        format_confidence, run_symbist,
+                        summarize_symbist_result)
+from repro.defects import DefectCampaign, DefectKind, SamplingPlan
+from repro.digital import LogicBist, build_sar_logic
+from repro.functional_test import FunctionalBistBaseline
+
+
+class TestFullSymBistFlow:
+    def test_calibrate_then_pass_defect_free_population(self, deltas):
+        """No defect-free instance (with fresh process variations) may fail:
+        that would be yield loss, which k = 5 is chosen to avoid."""
+        rng = np.random.default_rng(99)
+        for _ in range(5):
+            adc = SarAdc()
+            adc.sample_variation(rng)
+            assert run_symbist(adc, deltas).passed
+
+    def test_defect_injection_campaign_and_table_row(self, deltas, rng):
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        result = campaign.run(SamplingPlan(exhaustive=False, n_samples=60),
+                              rng=rng)
+        overall = result.overall_report()
+        assert 0.5 < overall.coverage.value <= 1.0
+        text = format_confidence(overall.coverage.value,
+                                 overall.coverage.ci_half_width)
+        assert "%" in text and "+/-" in text
+
+    def test_whole_ip_coverage_in_paper_band(self, deltas):
+        """Paper Table I: 86.96 % +/- 3.67 % for the complete A/M-S part.
+
+        With a behavioral substrate the absolute value differs; the check is
+        that the overall likelihood-weighted coverage lands in the same high
+        band (>= 70 %) with the same qualitative block ranking.
+        """
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        result = campaign.run(SamplingPlan(exhaustive=False, n_samples=120),
+                              rng=np.random.default_rng(17))
+        assert result.overall_report().coverage.value >= 0.70
+
+    def test_block_ranking_matches_table1_shape(self, deltas):
+        """High-coverage blocks (SC array, bandgap) must rank above the
+        low-L-W blocks (reference buffer, offset compensation)."""
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        rng = np.random.default_rng(23)
+        coverage = {}
+        for block, n in (("sc_array", None), ("bandgap", None),
+                         ("reference_buffer", 60), ("offset_compensation", None)):
+            plan = SamplingPlan(exhaustive=n is None, n_samples=n or 1)
+            res = campaign.run(plan, blocks=[block], rng=rng)
+            coverage[block] = res.overall_report().coverage.value
+        assert coverage["sc_array"] > 0.9
+        assert coverage["bandgap"] > 0.7
+        assert coverage["reference_buffer"] < 0.2
+        assert coverage["offset_compensation"] < 0.4
+        assert min(coverage["sc_array"], coverage["bandgap"]) > \
+            max(coverage["reference_buffer"], coverage["offset_compensation"])
+
+    def test_test_time_and_area_claims_hold_together(self, adc, deltas):
+        result = run_symbist(adc, deltas)
+        model = TestTimeModel()
+        assert result.test_time == pytest.approx(model.test_time(), rel=1e-9)
+        assert result.test_time * 1e6 == pytest.approx(1.23, abs=0.01)
+        assert area_overhead(adc).overhead_percent < 5.0
+
+    def test_sequential_and_parallel_agree_on_detection(self, deltas):
+        adc = SarAdc()
+        adc.sarcell.dac.sc_array.netlist.device("cm_p").defect.value_scale = 1.5
+        checkers = [WindowComparator(name=n, delta=d) for n, d in deltas.items()]
+        seq = SymBistController(adc, checkers, mode=CheckingMode.SEQUENTIAL).run()
+        par = SymBistController(adc, checkers, mode=CheckingMode.PARALLEL).run()
+        adc.clear_defects()
+        assert seq.detected == par.detected is True
+        assert seq.failing_invariances == par.failing_invariances
+
+    def test_symbist_vs_functional_baseline_on_same_defect(self, deltas):
+        """Both approaches should catch a hard DAC defect; SymBIST does it
+        orders of magnitude faster."""
+        adc = SarAdc()
+        adc.sarcell.dac.subdac1.netlist.device("swp_16").defect.open_terminal = "p"
+        symbist = run_symbist(adc, deltas)
+        functional = FunctionalBistBaseline(sine_samples=128).run(adc)
+        adc.clear_defects()
+        assert symbist.detected
+        assert functional.detected
+        assert functional.test_time / symbist.test_time > 20
+
+    def test_report_rendering_end_to_end(self, adc, deltas):
+        text = summarize_symbist_result(run_symbist(adc, deltas))
+        assert "PASS" in text
+
+    def test_digital_and_analog_test_cover_whole_ip(self, deltas):
+        """Paper Fig. 1: A/M-S blocks via SymBIST, digital blocks via standard
+        digital BIST -- together they constitute the IP-level test."""
+        adc = SarAdc()
+        analog = run_symbist(adc, deltas)
+        digital = LogicBist(build_sar_logic()).run(n_patterns=32)
+        assert analog.passed
+        assert digital.fault_coverage > 0.85

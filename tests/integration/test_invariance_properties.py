@@ -1,0 +1,102 @@
+"""Property-based tests of the central SymBIST invariants.
+
+These are the load-bearing properties of the whole method: the invariances
+hold on defect-free circuits for *any* fully-differential input and *any*
+counter code (paper Section IV-1), across process variations; and the defect
+machinery never leaks state between simulations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adc import SarAdc
+from repro.circuit import VDD
+from repro.core import build_invariances, evaluate_all
+from repro.defects import DefectInjector, build_defect_universe
+
+# One shared instance for the hypothesis-driven tests (building a SarAdc is
+# cheap but not free; the properties only need a defect-free instance).
+_ADC = SarAdc()
+_INVARIANCES = build_invariances()
+
+
+@given(code=st.integers(min_value=0, max_value=31),
+       input_diff=st.floats(min_value=-0.6, max_value=0.6))
+@settings(max_examples=60, deadline=None)
+def test_invariances_hold_for_any_code_and_fd_input(code, input_diff):
+    """Paper: the invariances 'hold true for any FD input and at every
+    conversion cycle'."""
+    op = _ADC.operating_point(input_diff=input_diff)
+    signals = _ADC.evaluate_test_cycle(code, op)
+    residuals = evaluate_all(_INVARIANCES, signals)
+    assert abs(residuals["msb_sum"]) < 1e-3
+    assert abs(residuals["lsb_sum"]) < 1e-3
+    assert abs(residuals["dac_sum"]) < 2e-3
+    assert abs(residuals["preamp_cm"]) < 2e-2
+    assert residuals["sign"] == 0.0
+    assert abs(residuals["latch_sum"]) < 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_invariances_hold_under_process_variation(seed):
+    """Process variations only move the residuals by millivolts (that is what
+    the k*sigma window absorbs), never break the symmetry outright."""
+    adc = SarAdc()
+    adc.sample_variation(np.random.default_rng(seed))
+    op = adc.operating_point()
+    signals = adc.evaluate_test_cycle(11, op)
+    residuals = evaluate_all(_INVARIANCES, signals)
+    assert abs(residuals["msb_sum"]) < 0.02
+    assert abs(residuals["lsb_sum"]) < 0.02
+    assert abs(residuals["dac_sum"]) < 0.05
+    assert abs(residuals["latch_sum"]) < 1e-9
+
+
+@given(defect_index=st.integers(min_value=0, max_value=10 ** 9))
+@settings(max_examples=25, deadline=None)
+def test_injection_round_trip_never_leaks_state(defect_index):
+    """Property: inject-any-defect then remove leaves the IP bit-identical in
+    behaviour (the campaign relies on this to simulate thousands of defects
+    on one instance)."""
+    adc = SarAdc()
+    hierarchy = adc.build_hierarchy()
+    universe = build_defect_universe(hierarchy)
+    defect = universe.defects[defect_index % len(universe)]
+    reference = adc.evaluate_test_cycle(9)
+    injector = DefectInjector(hierarchy)
+    with injector.injected(defect):
+        pass
+    after = adc.evaluate_test_cycle(9)
+    assert after == reference
+
+
+@given(code=st.integers(min_value=0, max_value=31),
+       scale=st.sampled_from([0.5, 1.5]),
+       side=st.sampled_from(["p", "n"]))
+@settings(max_examples=30, deadline=None)
+def test_single_sided_cap_defect_never_increases_symmetry(code, scale, side):
+    """Property: a single-sided capacitor deviation can only keep or worsen
+    the Eq. (3) residual, never improve it beyond the defect-free value."""
+    adc = SarAdc()
+    op = adc.operating_point()
+    clean = abs(adc.evaluate_test_cycle(code, op)["DAC+"]
+                + adc.evaluate_test_cycle(code, op)["DAC-"] - 2 * op.vref[16] * 0)
+    clean_res = abs(adc.evaluate_test_cycle(code, op)["DAC+"]
+                    + adc.evaluate_test_cycle(code, op)["DAC-"] - VDD)
+    adc.sarcell.dac.sc_array.netlist.device(f"cm_{side}").defect.value_scale = scale
+    signals = adc.evaluate_test_cycle(code, op)
+    defective_res = abs(signals["DAC+"] + signals["DAC-"] - VDD)
+    adc.clear_defects()
+    assert defective_res >= clean_res - 1e-9
+
+
+@given(st.integers(min_value=0, max_value=31))
+@settings(max_examples=32, deadline=None)
+def test_latch_outputs_always_complementary_when_defect_free(code):
+    signals = _ADC.evaluate_test_cycle(code)
+    assert signals["Q+"] + signals["Q-"] == pytest.approx(VDD, abs=1e-9)
+    assert signals["Q+"] in (0.0, VDD)
