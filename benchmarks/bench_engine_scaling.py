@@ -1,0 +1,78 @@
+"""Engine scaling -- campaign throughput at workers=1 versus workers=N.
+
+Measures the defect-campaign throughput of the execution engine
+(:mod:`repro.engine`) on the serial backend and on a sharded process pool,
+plus the warm-cache replay rate.  On multi-core runners the pool should
+approach linear speedup (the per-defect simulations are independent, exactly
+like the per-defect SPICE jobs an industrial DefectSim farm distributes); on
+single-CPU runners the parallel case is skipped.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.adc import SarAdc
+from repro.core import format_table
+from repro.defects import DefectCampaign, SamplingPlan
+from repro.engine import MultiprocessBackend, ResultCache, SerialBackend
+
+BENCHMARK_SEED = 20200309
+
+#: LWRS budget of the benchmark campaign (>=100 defects, like the paper's
+#: whole-IP row).
+N_DEFECTS = 120
+
+#: Pool width of the parallel case.
+N_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _run(campaign, backend, cache=None):
+    rng = np.random.default_rng(BENCHMARK_SEED)
+    return campaign.run(SamplingPlan(exhaustive=False, n_samples=N_DEFECTS),
+                        rng=rng, backend=backend, cache=cache)
+
+
+def _coverage_key(result):
+    return [(r.defect.defect_id, r.detected, r.detection_cycle)
+            for r in result.records]
+
+
+def test_engine_scaling(benchmark, deltas, tmp_path):
+    """Throughput at workers=1 vs workers=N, plus warm-cache replay."""
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+
+    serial = benchmark.pedantic(_run, args=(campaign, SerialBackend()),
+                                rounds=1, iterations=1)
+    rows = [["serial", 1, serial.engine_report.n_executed,
+             f"{serial.engine_report.wall_time:.2f}",
+             f"{serial.engine_report.tasks_per_second:.1f}"]]
+
+    if N_WORKERS > 1:
+        parallel = _run(campaign, MultiprocessBackend(max_workers=N_WORKERS))
+        assert _coverage_key(parallel) == _coverage_key(serial)
+        rows.append(["multiprocess", N_WORKERS,
+                     parallel.engine_report.n_executed,
+                     f"{parallel.engine_report.wall_time:.2f}",
+                     f"{parallel.engine_report.tasks_per_second:.1f}"])
+
+    cache = ResultCache(str(tmp_path / "cache"), namespace="defects")
+    cold = _run(campaign, SerialBackend(), cache=cache)
+    warm = _run(campaign, SerialBackend(), cache=cache)
+    assert _coverage_key(warm) == _coverage_key(serial)
+    assert warm.engine_report.n_cache_hits == warm.engine_report.n_tasks
+    assert warm.engine_report.wall_time < 0.1 * cold.engine_report.wall_time
+    rows.append(["serial + warm cache", 1, warm.engine_report.n_executed,
+                 f"{warm.engine_report.wall_time:.2f}",
+                 f"{warm.engine_report.tasks_per_second:.1f}"])
+
+    print()
+    print(format_table(
+        ["backend", "workers", "#executed", "wall (s)", "defects/s"],
+        rows, title=f"engine scaling ({N_DEFECTS} LWRS defects, whole IP)"))
+
+    if N_WORKERS == 1:
+        pytest.skip("single-CPU runner: parallel scaling not measurable")

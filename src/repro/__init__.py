@@ -27,6 +27,10 @@ Subpackages
     servo loop, specification-based detection).
 ``repro.analysis``
     Monte Carlo driver, statistics helpers and the yield-loss-versus-k model.
+``repro.engine``
+    Campaign-execution engine: task graphs, serial/multiprocess backends,
+    deterministic per-task seeding, content-addressed result caching and the
+    ``repro-campaign`` CLI.
 
 Quickstart
 ----------
@@ -39,21 +43,49 @@ Quickstart
 >>> result = run_symbist(adc, calibration.deltas)
 >>> result.passed
 True
+
+Scaling campaigns
+-----------------
+Every heavyweight workload (window calibration, defect campaigns, Monte
+Carlo analyses, the yield-loss sweep) routes through the campaign engine and
+accepts ``backend=`` / ``cache=`` arguments:
+
+>>> from repro.engine import MultiprocessBackend, ResultCache
+>>> backend = MultiprocessBackend(max_workers=4)        # shard over 4 procs
+>>> cache = ResultCache(".repro-cache", namespace="calibration")
+>>> calibration = calibrate_windows(n_monte_carlo=25,
+...                                 rng=np.random.default_rng(0),
+...                                 backend=backend, cache=cache)
+
+Each unit of work (one defect injection + test, one Monte Carlo sample, one
+``(k, yield)`` point) is a :class:`~repro.engine.Task` with its own
+``np.random.SeedSequence`` child, so results are byte-identical whatever the
+worker count or completion order; cached artifacts are keyed by task spec +
+seed + library version, so repeated runs are near-free.  The same machinery
+is available from the shell as ``repro-campaign`` (see
+:mod:`repro.engine.cli`), e.g.::
+
+    repro-campaign campaign --workers 4 --cache-dir .repro-cache
 """
 
-from . import adc, analysis, circuit, core, defects, digital, functional_test
+from . import (adc, analysis, circuit, core, defects, digital, engine,
+               functional_test)
 from .adc import SarAdc
 from .circuit import ReproError
 from .core import (SymBistController, SymBistResult, SymBistStimulus,
                    WindowCalibration, calibrate_windows, run_symbist)
 from .defects import DefectCampaign, SamplingPlan, build_defect_universe
+from .engine import (CampaignEngine, CampaignReport, MultiprocessBackend,
+                     ResultCache, SerialBackend, Task, TaskGraph)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "DefectCampaign", "ReproError", "SamplingPlan", "SarAdc",
-    "SymBistController", "SymBistResult", "SymBistStimulus",
-    "WindowCalibration", "__version__", "adc", "analysis",
-    "build_defect_universe", "calibrate_windows", "circuit", "core",
-    "defects", "digital", "functional_test", "run_symbist",
+    "CampaignEngine", "CampaignReport", "DefectCampaign",
+    "MultiprocessBackend", "ReproError", "ResultCache", "SamplingPlan",
+    "SarAdc", "SerialBackend", "SymBistController", "SymBistResult",
+    "SymBistStimulus", "Task", "TaskGraph", "WindowCalibration",
+    "__version__", "adc", "analysis", "build_defect_universe",
+    "calibrate_windows", "circuit", "core", "defects", "digital", "engine",
+    "functional_test", "run_symbist",
 ]

@@ -58,6 +58,14 @@ class AnalogBlock:
     def parameter_names(self) -> List[str]:
         return list(self._parameters.keys())
 
+    def variation_state(self) -> Dict[str, float]:
+        """Current sampled values of every behavioral parameter.
+
+        Used (together with the structural netlist) to fingerprint the IP
+        state for campaign result caching.
+        """
+        return dict(self._sampled)
+
     # -------------------------------------------------------------- variation
     def sample_variation(self, rng: np.random.Generator,
                          spec: Optional[VariationSpec] = None) -> None:

@@ -12,9 +12,9 @@ from .components import (DefectState, Device, DeviceKind, PullDirection,
                          TERMINALS, capacitor, diode, nmos, npn, pmos, pnp,
                          resistor, switch)
 from .errors import (BistConfigurationError, CalibrationError, ComponentError,
-                     CoverageError, DefectError, DigitalTestError,
+                     CoverageError, DefectError, DigitalTestError, EngineError,
                      FunctionalTestError, NetlistError, ReproError,
-                     SimulationError, SolverError)
+                     SimulationError, SolverError, TaskExecutionError)
 from .netlist import HierarchyEntry, Netlist, NetlistHierarchy
 from .signals import Trace, WaveformSet
 from .simulator import (ClockedStimulus, GlitchModel, SequenceStimulus,
@@ -33,11 +33,12 @@ __all__ = [
     "VDD", "VSS", "WEAK_PULL_RESISTANCE",
     "BistConfigurationError", "CalibrationError", "ClockedStimulus",
     "ComponentError", "CoverageError", "DefectError", "DefectState", "Device",
-    "DeviceKind", "DigitalTestError", "FunctionalTestError",
+    "DeviceKind", "DigitalTestError", "EngineError", "FunctionalTestError",
     "GaussianParameter", "GlitchModel", "HierarchyEntry", "LinearNetwork",
     "Netlist", "NetlistError", "NetlistHierarchy", "PullDirection",
     "ReproError", "SequenceStimulus", "SimulationError", "SimulationResult",
-    "SolverError", "TERMINALS", "Trace", "TransientSimulator",
+    "SolverError", "TERMINALS", "TaskExecutionError", "Trace",
+    "TransientSimulator",
     "VariationSpec", "WaveformSet",
     "capacitor", "db", "diode", "from_db", "lsb_size", "nmos", "npn",
     "parallel", "pmos", "pnp", "reset_variation", "resistor",

@@ -45,6 +45,14 @@ class CoverageError(ReproError):
     """Raised when coverage computation receives inconsistent campaign data."""
 
 
+class EngineError(ReproError):
+    """Raised by the campaign-execution engine (tasks, backends, cache)."""
+
+
+class TaskExecutionError(EngineError):
+    """Raised when a campaign task fails inside a worker."""
+
+
 class DigitalTestError(ReproError):
     """Raised by the digital (gate-level) test substrate."""
 

@@ -15,12 +15,20 @@ pooled residuals; the window half-width is ``delta = k * sigma + |mean|``
 does not eat into the k-sigma guard band), with a per-invariance floor for the
 inherently discrete invariances (the sign-consistency and complementary-rail
 checks have zero variance when defect-free).
+
+The Monte Carlo sweep executes through the campaign engine
+(:mod:`repro.engine`): each process-variation instance is one task with its
+own per-sample seed, so a calibration sharded across a
+:class:`~repro.engine.MultiprocessBackend` pool is bit-identical to the
+serial run, and repeated calibrations against a
+:class:`~repro.engine.ResultCache` replay the stored residuals instead of
+re-simulating.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence)
 
 import numpy as np
 
@@ -28,6 +36,8 @@ from ..adc.sar_adc import SarAdc
 from ..circuit.errors import CalibrationError
 from ..circuit.units import VDD
 from ..circuit.variation import VariationSpec
+from ..engine import (CampaignEngine, ExecutionBackend, ResultCache, Task,
+                      TaskGraph, callable_token)
 from .invariance import Invariance, build_invariances
 from .stimulus import SymBistStimulus
 from .window_comparator import WindowComparator
@@ -81,34 +91,88 @@ class WindowCalibration:
                                  residual_pools=self.residual_pools)
 
 
+def _residual_worker(context: Mapping[str, Any], task: Task,
+                     rng: np.random.Generator) -> Dict[str, List[float]]:
+    """Engine worker: per-cycle residuals of one defect-free MC instance."""
+    stimulus: SymBistStimulus = context["stimulus"]
+    invariances: Sequence[Invariance] = context["invariances"]
+    adc = context["adc_factory"]()
+    adc.sample_variation(rng, context["variation_spec"])
+    op = adc.operating_point(input_diff=stimulus.input_diff,
+                             input_cm=stimulus.input_cm)
+    adc.sarcell.comparator.rs_latch.reset_state()
+    rows: Dict[str, List[float]] = {inv.name: [] for inv in invariances}
+    for cycle in range(stimulus.n_cycles):
+        code = stimulus.code_for_cycle(cycle)
+        signals = adc.evaluate_test_cycle(code, op)
+        for inv in invariances:
+            rows[inv.name].append(inv.evaluate(signals))
+    return rows
+
+
 def collect_defect_free_residuals(
         adc_factory: Callable[[], SarAdc] = SarAdc,
         invariances: Optional[Sequence[Invariance]] = None,
         stimulus: Optional[SymBistStimulus] = None,
         n_monte_carlo: int = 100,
         rng: Optional[np.random.Generator] = None,
-        variation_spec: Optional[VariationSpec] = None
-        ) -> Dict[str, List[float]]:
-    """Monte Carlo residual pools of every invariance on defect-free circuits."""
+        variation_spec: Optional[VariationSpec] = None,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
+    """Monte Carlo residual pools of every invariance on defect-free circuits.
+
+    Each Monte Carlo instance is one engine task with its own seed: when
+    ``rng`` is given, the per-sample seeds are drawn from it up front in one
+    vectorised draw (same ``rng`` seed, same pools -- on any backend); when
+    it is omitted the engine spawns ``SeedSequence(0)`` children.  Pools are
+    assembled in sample order, ``n_cycles`` consecutive residuals per
+    instance, which is the layout :func:`repro.analysis.empirical_yield_loss`
+    relies on.
+
+    Caching (via ``cache``) is only applied for the standard invariance set;
+    custom ``invariances`` carry arbitrary callables that a content hash
+    cannot describe, so those runs always simulate.
+    """
     if n_monte_carlo <= 0:
         raise CalibrationError("n_monte_carlo must be positive")
-    invariances = list(invariances) if invariances is not None \
+    custom_invariances = invariances is not None
+    invariances = list(invariances) if custom_invariances \
         else build_invariances()
     stimulus = stimulus or SymBistStimulus()
-    rng = rng if rng is not None else np.random.default_rng(0)
+
+    if rng is None:
+        seeds: List[Any] = list(
+            np.random.SeedSequence(0).spawn(n_monte_carlo))
+    else:
+        seeds = [int(s) for s in
+                 rng.integers(0, 2 ** 63 - 1, size=n_monte_carlo)]
+
+    # A stable factory token is required for cache keys; callables without a
+    # qualified name (e.g. instances with __call__) have only an
+    # address-bearing repr, so their runs are never cached.
+    factory_name = callable_token(adc_factory)
+    tasks = TaskGraph()
+    for index in range(n_monte_carlo):
+        spec: Optional[Dict[str, Any]] = None
+        if not custom_invariances and factory_name is not None:
+            spec = {"driver": "symbist-calibration",
+                    "factory": factory_name,
+                    "stimulus": asdict(stimulus),
+                    "variation": asdict(variation_spec)
+                    if variation_spec is not None else None,
+                    "invariances": [inv.name for inv in invariances]}
+        tasks.add(Task(task_id=f"calib/{index}", payload=index,
+                       seed=seeds[index], spec=spec))
+
+    engine = CampaignEngine(backend=backend, cache=cache)
+    context = {"adc_factory": adc_factory, "invariances": invariances,
+               "stimulus": stimulus, "variation_spec": variation_spec}
+    run = engine.run(tasks, _residual_worker, context=context)
 
     pools: Dict[str, List[float]] = {inv.name: [] for inv in invariances}
-    for _ in range(n_monte_carlo):
-        adc = adc_factory()
-        adc.sample_variation(rng, variation_spec)
-        op = adc.operating_point(input_diff=stimulus.input_diff,
-                                 input_cm=stimulus.input_cm)
-        adc.sarcell.comparator.rs_latch.reset_state()
-        for cycle in range(stimulus.n_cycles):
-            code = stimulus.code_for_cycle(cycle)
-            signals = adc.evaluate_test_cycle(code, op)
-            for inv in invariances:
-                pools[inv.name].append(inv.evaluate(signals))
+    for rows in run.results:
+        for name, values in rows.items():
+            pools[name].extend(values)
     return pools
 
 
@@ -120,7 +184,9 @@ def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
                       rng: Optional[np.random.Generator] = None,
                       variation_spec: Optional[VariationSpec] = None,
                       delta_floors: Optional[Mapping[str, float]] = None,
-                      keep_pools: bool = False) -> WindowCalibration:
+                      keep_pools: bool = False,
+                      backend: Optional[ExecutionBackend] = None,
+                      cache: Optional[ResultCache] = None) -> WindowCalibration:
     """Run the Monte Carlo analysis and derive the comparison windows.
 
     Parameters
@@ -135,11 +201,15 @@ def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
         When True the raw residual pools are kept on the returned object
         (useful for the yield-loss study); they are dropped otherwise to keep
         the calibration object light.
+    backend / cache:
+        Campaign-engine execution backend and result cache (see
+        :mod:`repro.engine`); the default is serial, uncached execution.
     """
     if k <= 0:
         raise CalibrationError(f"k must be positive, got {k}")
     pools = collect_defect_free_residuals(
-        adc_factory, invariances, stimulus, n_monte_carlo, rng, variation_spec)
+        adc_factory, invariances, stimulus, n_monte_carlo, rng, variation_spec,
+        backend=backend, cache=cache)
 
     floors = dict(DEFAULT_DELTA_FLOORS)
     if delta_floors:

@@ -17,14 +17,16 @@ from .likelihood import DEFAULT_TYPE_PRIORS, LikelihoodModel
 from .model import Defect, DefectKind, enumerate_device_defects
 from .sampling import SamplingPlan, lwrs_sample, select_defects
 from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
-                        DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE)
+                        DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE,
+                        RECORD_CODEC)
 from .universe import DefectUniverse, build_defect_universe
 
 __all__ = [
     "BlockCoverageReport", "CampaignResult", "CoverageEstimate",
     "DEFAULT_TYPE_PRIORS", "Defect", "DefectCampaign", "DefectInjector",
     "DefectKind", "DefectSimulationRecord", "DefectUniverse",
-    "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE", "SamplingPlan", "Z_95",
+    "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE", "RECORD_CODEC",
+    "SamplingPlan", "Z_95",
     "BlockScore", "DiagnosisReport", "diagnose", "diagnosis_accuracy",
     "build_defect_universe", "combine_detected_likelihood",
     "enumerate_device_defects", "exhaustive_coverage", "lwrs_coverage",

@@ -13,31 +13,45 @@ on top of the behavioral IP model:
 
 Because the underlying electrical engine is a behavioral model rather than a
 SPICE netlist, wall-clock times are not comparable to the paper's
-"defect simulation time" column.  The runner therefore also reports a
-*modelled* transistor-level simulation time: the number of test clock cycles
-each defect simulation had to cover multiplied by a calibrated
-seconds-per-cycle constant, so that the effect of stop-on-detection on the
-campaign cost is reproduced.
+"defect simulation time" column.  The runner therefore reports both the
+*real* (``time.perf_counter``) wall-clock time and a *modelled*
+transistor-level simulation time: the number of test clock cycles each defect
+simulation had to cover multiplied by a calibrated seconds-per-cycle
+constant, so that the effect of stop-on-detection on the campaign cost is
+reproduced.
+
+Campaigns execute through the campaign engine (:mod:`repro.engine`): each
+defect is one deterministic task, so passing
+``backend=MultiprocessBackend(max_workers=N)`` to :meth:`DefectCampaign.run`
+shards the defect list across a process pool with byte-identical coverage
+results, and passing a :class:`~repro.engine.ResultCache` makes repeated
+campaigns replay stored per-defect records instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..adc.sar_adc import SarAdc
+from ..circuit.components import PullDirection
 from ..circuit.errors import CoverageError
 from ..core.controller import SymBistController, SymBistResult
 from ..core.stimulus import SymBistStimulus
 from ..core.test_time import CheckingMode
 from ..core.window_comparator import WindowComparator
+from ..engine import (CampaignEngine, CampaignReport, ExecutionBackend,
+                      ResultCache, ResultCodec, Task, TaskGraph, TaskOutcome)
 from .coverage import CoverageEstimate, exhaustive_coverage, lwrs_coverage
 from .injection import DefectInjector
 from .likelihood import LikelihoodModel
-from .model import Defect
+from .model import Defect, DefectKind
 from .sampling import SamplingPlan, select_defects
 from .universe import DefectUniverse, build_defect_universe
 
@@ -86,11 +100,31 @@ class CampaignResult:
     universe: DefectUniverse
     plan: SamplingPlan
     stop_on_detection: bool
+    #: Engine instrumentation (backend, cache hits, wall time) of the run.
+    engine_report: Optional[CampaignReport] = None
 
     # ----------------------------------------------------------------- access
     @property
     def n_simulated(self) -> int:
         return len(self.records)
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Real and modelled campaign cost, plus engine wall time.
+
+        ``wall_time`` and ``modeled_sim_time`` sum the per-record costs of
+        the simulations that *produced* the records -- for cache-replayed
+        records that is the original (cold-run) cost.  ``engine_wall_time``
+        is what this particular run actually took, so a warm replay shows a
+        large ``wall_time`` next to a near-zero ``engine_wall_time``.
+        """
+        summary = {
+            "wall_time": sum(r.wall_time for r in self.records),
+            "modeled_sim_time": sum(r.modeled_sim_time for r in self.records),
+        }
+        if self.engine_report is not None:
+            summary["engine_wall_time"] = self.engine_report.wall_time
+            summary["cache_hit_rate"] = self.engine_report.cache_hit_rate
+        return summary
 
     @property
     def n_detected(self) -> int:
@@ -154,6 +188,79 @@ class CampaignResult:
             coverage=self._coverage(self.records, self.universe))
 
 
+# --------------------------------------------------------------------- engine
+#: Per-process campaign state of the engine workers.  In the parent process
+#: the running campaign registers itself here before dispatching, so the
+#: serial backend (and fork-started pool workers, which inherit the dict)
+#: reuse the existing hierarchy/injector; spawn-started workers find the dict
+#: empty and rebuild the campaign once per process from the task context.
+_WORKER_STATE: Dict[str, "DefectCampaign"] = {}
+
+
+def _worker_campaign(context: Mapping[str, Any]) -> "DefectCampaign":
+    token = context["token"]
+    campaign = _WORKER_STATE.get(token)
+    if campaign is None:
+        campaign = DefectCampaign(
+            adc=context["adc"], deltas=context["deltas"],
+            stimulus=context["stimulus"], mode=context["mode"],
+            stop_on_detection=context["stop_on_detection"],
+            likelihood_model=context["likelihood_model"],
+            seconds_per_cycle=context["seconds_per_cycle"])
+        _WORKER_STATE.clear()
+        _WORKER_STATE[token] = campaign
+    return campaign
+
+
+def _defect_worker(context: Mapping[str, Any], task: Task,
+                   rng: np.random.Generator) -> DefectSimulationRecord:
+    """Engine worker: inject one defect and run the SymBIST test."""
+    return _worker_campaign(context).simulate_defect(task.payload)
+
+
+def _record_to_jsonable(record: DefectSimulationRecord) -> Dict[str, Any]:
+    defect = record.defect
+    return {
+        "defect": {
+            "defect_id": defect.defect_id,
+            "block_path": defect.block_path,
+            "device_name": defect.device_name,
+            "kind": defect.kind.value,
+            "terminals": list(defect.terminals),
+            "pull": defect.pull.value if defect.pull is not None else None,
+            "likelihood": defect.likelihood,
+        },
+        "detected": record.detected,
+        "detecting_invariance": record.detecting_invariance,
+        "detection_cycle": record.detection_cycle,
+        "cycles_run": record.cycles_run,
+        "modeled_sim_time": record.modeled_sim_time,
+        "wall_time": record.wall_time,
+    }
+
+
+def _record_from_jsonable(data: Mapping[str, Any]) -> DefectSimulationRecord:
+    raw = data["defect"]
+    defect = Defect(
+        defect_id=raw["defect_id"], block_path=raw["block_path"],
+        device_name=raw["device_name"], kind=DefectKind(raw["kind"]),
+        terminals=tuple(raw["terminals"]),
+        pull=PullDirection(raw["pull"]) if raw["pull"] is not None else None,
+        likelihood=raw["likelihood"])
+    return DefectSimulationRecord(
+        defect=defect, detected=data["detected"],
+        detecting_invariance=data["detecting_invariance"],
+        detection_cycle=data["detection_cycle"],
+        cycles_run=data["cycles_run"],
+        modeled_sim_time=data["modeled_sim_time"],
+        wall_time=data["wall_time"])
+
+
+#: Cache codec turning per-defect records into JSON artifacts and back.
+RECORD_CODEC = ResultCodec(encode=_record_to_jsonable,
+                           decode=_record_from_jsonable)
+
+
 class DefectCampaign:
     """Runs SymBIST defect-simulation campaigns on the SAR ADC IP."""
 
@@ -175,8 +282,44 @@ class DefectCampaign:
         self.stop_on_detection = stop_on_detection
         self.seconds_per_cycle = seconds_per_cycle
         self.hierarchy = self.adc.build_hierarchy()
+        self.likelihood_model = likelihood_model
         self.universe = build_defect_universe(self.hierarchy, likelihood_model)
         self.injector = DefectInjector(self.hierarchy)
+
+    def _adc_fingerprint(self) -> str:
+        """Content fingerprint of the device under test, as it is *now*.
+
+        Taken per run (after ``clear_defects``) so campaigns against
+        different IP states never share cache artifacts.  Two pieces fully
+        determine per-defect outcomes (given the test spec): the structural
+        hierarchy (device parameters and defect states) and each block's
+        sampled behavioral parameters.  Transient simulation state (latch
+        memories) is deliberately excluded -- it drifts between runs without
+        affecting results, since every test run resets it.
+        """
+        behavioral = [(blk.block_path, sorted(blk.variation_state().items()))
+                      for blk in self.adc.analog_blocks]
+        return hashlib.sha256(
+            pickle.dumps((self.hierarchy, behavioral),
+                         protocol=4)).hexdigest()[:16]
+
+    def _task_spec(self, defect: Defect, adc_fingerprint: str) -> Dict[str, Any]:
+        """Cache key material: everything a per-defect record depends on.
+
+        The defect's likelihood is part of the key because cached records
+        decode the full :class:`Defect` -- including the likelihood that
+        coverage estimators weight by -- so campaigns run under different
+        likelihood models must never share artifacts.
+        """
+        return {"driver": "symbist-defect-campaign",
+                "defect_id": defect.defect_id,
+                "likelihood": defect.likelihood,
+                "adc": adc_fingerprint,
+                "deltas": self.deltas,
+                "stimulus": asdict(self.stimulus),
+                "mode": self.mode.value,
+                "stop_on_detection": self.stop_on_detection,
+                "seconds_per_cycle": self.seconds_per_cycle}
 
     # ------------------------------------------------------------------- runs
     def _build_controller(self) -> SymBistController:
@@ -207,8 +350,9 @@ class DefectCampaign:
     def run(self, plan: Optional[SamplingPlan] = None,
             rng: Optional[np.random.Generator] = None,
             blocks: Optional[Sequence[str]] = None,
-            progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None
-            ) -> CampaignResult:
+            progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional[ResultCache] = None) -> CampaignResult:
         """Run a campaign over the whole IP or a subset of blocks.
 
         Parameters
@@ -222,7 +366,18 @@ class DefectCampaign:
             per-block rows of Table I with per-block LWRS budgets).
         progress:
             Optional callback ``progress(index, total, record)`` invoked after
-            each defect simulation.
+            each defect simulation (in defect order on the serial backend, in
+            completion order otherwise).
+        backend:
+            Campaign-engine execution backend; the default serial backend
+            reproduces the historical in-process loop exactly, while a
+            :class:`~repro.engine.MultiprocessBackend` shards the defects
+            across worker processes with identical results.
+        cache:
+            Optional :class:`~repro.engine.ResultCache`; per-defect records
+            are stored as JSON artifacts keyed by the full campaign spec, so
+            re-running an identical campaign replays them instead of
+            simulating.
         """
         plan = plan or SamplingPlan(exhaustive=True)
         universe = self.universe
@@ -234,19 +389,47 @@ class DefectCampaign:
         defects = select_defects(universe, plan, rng)
 
         self.adc.clear_defects()
-        records: List[DefectSimulationRecord] = []
+        adc_fingerprint = self._adc_fingerprint()
+        tasks = TaskGraph()
         for index, defect in enumerate(defects):
-            record = self.simulate_defect(defect)
-            records.append(record)
-            if progress is not None:
-                progress(index, len(defects), record)
-        return CampaignResult(records=records, universe=universe, plan=plan,
-                              stop_on_detection=self.stop_on_detection)
+            # LWRS samples with replacement, so the same defect may appear
+            # several times; the task id is indexed to stay unique while the
+            # spec (hence the cache key) depends on the defect alone.
+            tasks.add(Task(task_id=f"defect/{index}/{defect.defect_id}",
+                           payload=defect,
+                           spec=self._task_spec(defect, adc_fingerprint),
+                           deterministic=True, group=defect.block_path))
+
+        engine_progress = None
+        if progress is not None:
+            def engine_progress(outcome: TaskOutcome) -> None:
+                progress(outcome.index, outcome.total, outcome.result)
+
+        token = uuid.uuid4().hex
+        context = {"token": token, "adc": self.adc, "deltas": self.deltas,
+                   "stimulus": self.stimulus, "mode": self.mode,
+                   "stop_on_detection": self.stop_on_detection,
+                   "likelihood_model": self.likelihood_model,
+                   "seconds_per_cycle": self.seconds_per_cycle}
+        _WORKER_STATE.clear()
+        _WORKER_STATE[token] = self
+        try:
+            engine = CampaignEngine(backend=backend, cache=cache)
+            run = engine.run(tasks, _defect_worker, context=context,
+                             codec=RECORD_CODEC, progress=engine_progress)
+        finally:
+            _WORKER_STATE.pop(token, None)
+        return CampaignResult(records=list(run.results), universe=universe,
+                              plan=plan,
+                              stop_on_detection=self.stop_on_detection,
+                              engine_report=run.report)
 
     def run_per_block(self, n_samples_per_block: int,
                       rng: Optional[np.random.Generator] = None,
                       exhaustive_threshold: Optional[int] = None,
-                      progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None
+                      progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None,
+                      backend: Optional[ExecutionBackend] = None,
+                      cache: Optional[ResultCache] = None
                       ) -> Dict[str, CampaignResult]:
         """Run one campaign per block, like the per-block rows of Table I.
 
@@ -267,5 +450,6 @@ class DefectCampaign:
                                     n_samples=n_samples_per_block)
             results[block_path] = self.run(plan=plan, rng=rng,
                                            blocks=[block_path],
-                                           progress=progress)
+                                           progress=progress,
+                                           backend=backend, cache=cache)
         return results

@@ -1,0 +1,40 @@
+"""Campaign-execution engine: sharded workers, seeding, result caching.
+
+Every heavyweight workload of the reproduction -- window calibration, defect
+campaigns (Table I), Monte Carlo analyses, the yield-loss-versus-k sweep --
+decomposes into many *independent* simulations.  This subpackage is the shared
+infrastructure that executes such workloads:
+
+* :mod:`repro.engine.task` -- :class:`Task`/:class:`TaskGraph`, describing the
+  units of work;
+* :mod:`repro.engine.backends` -- pluggable executors:
+  :class:`SerialBackend` (default, bit-identical to the historical loops) and
+  :class:`MultiprocessBackend` (chunked sharding over a process pool);
+* :mod:`repro.engine.executor` -- :class:`CampaignEngine`, which adds
+  deterministic per-task seeding (``SeedSequence.spawn``; results do not
+  depend on worker count or completion order), content-addressed result
+  caching and :class:`CampaignReport` instrumentation;
+* :mod:`repro.engine.cache` -- :class:`ResultCache`, the JSON-on-disk
+  artifact store keyed by task spec + seed + code version;
+* :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry point.
+
+The drivers in :mod:`repro.analysis.monte_carlo`,
+:mod:`repro.core.calibration`, :mod:`repro.defects.simulator` and
+:mod:`repro.analysis.yield_loss` all route their work through this engine;
+passing ``backend=MultiprocessBackend(max_workers=N)`` and/or a
+:class:`ResultCache` to any of them parallelises/caches that workload without
+changing its results.
+"""
+
+from .backends import (ExecutionBackend, MultiprocessBackend, SerialBackend)
+from .cache import MISS, ResultCache, callable_token, canonical_json
+from .executor import (CampaignEngine, CampaignReport, EngineRun,
+                       IDENTITY_CODEC, ResultCodec, TaskOutcome)
+from .task import Task, TaskGraph
+
+__all__ = [
+    "CampaignEngine", "CampaignReport", "EngineRun", "ExecutionBackend",
+    "IDENTITY_CODEC", "MISS", "MultiprocessBackend", "ResultCache",
+    "ResultCodec", "SerialBackend", "Task", "TaskGraph", "TaskOutcome",
+    "callable_token", "canonical_json",
+]

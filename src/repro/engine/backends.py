@@ -1,0 +1,178 @@
+"""Execution backends of the campaign engine.
+
+A backend maps a picklable function over a list of work items and returns the
+results *in submission order*, whatever order the items actually complete in.
+Two backends are provided:
+
+* :class:`SerialBackend` -- runs items one by one in the calling process; the
+  default, bit-identical to the historical serial loops of the drivers.
+* :class:`MultiprocessBackend` -- shards the items into chunks and executes
+  them on a :class:`concurrent.futures.ProcessPoolExecutor`.  Because every
+  task carries its own seed material (see :mod:`repro.engine.executor`) the
+  results are identical to the serial backend regardless of worker count,
+  chunking or completion order.
+
+Workers and their context must be picklable for the multiprocess backend
+(module-level functions, dataclasses, numpy objects); closures and lambdas
+only work with the serial backend.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..circuit.errors import EngineError
+
+#: An item handed to a backend: ``(index, task, seed_material)``.
+WorkItem = Any
+#: ``fn(item) -> (index, result, duration_seconds)``.
+WorkFn = Callable[[WorkItem], Any]
+#: Optional per-completion callback ``on_result(outcome_tuple)``.
+ResultCallback = Optional[Callable[[Any], None]]
+
+
+class ExecutionBackend(ABC):
+    """Maps a function over independent work items, preserving item order."""
+
+    #: Short name used in reports.
+    name: str = "backend"
+
+    #: Number of OS processes doing the work (1 for in-process execution).
+    workers: int = 1
+
+    @abstractmethod
+    def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
+                  on_result: ResultCallback = None) -> List[Any]:
+        """Apply ``fn`` to every item; results returned in item order.
+
+        ``on_result`` is invoked in the calling process once per completed
+        item, in completion order (== submission order for the serial
+        backend).
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every item in the calling process, in submission order."""
+
+    name = "serial"
+    workers = 1
+
+    def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
+                  on_result: ResultCallback = None) -> List[Any]:
+        results = []
+        for item in items:
+            outcome = fn(item)
+            if on_result is not None:
+                on_result(outcome)
+            results.append(outcome)
+        return results
+
+
+def _run_chunk(fn: WorkFn, chunk: List[WorkItem]) -> List[Any]:
+    """Executed inside a pool worker: run one shard of items.
+
+    Each item is reported as an ``(ok, value)`` pair rather than letting the
+    first failure abort the shard, so items completed before a failing
+    chunk-mate still reach the parent (and e.g. its result cache).
+    """
+    outcomes = []
+    for item in chunk:
+        try:
+            outcomes.append((True, fn(item)))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Chunked fan-out over a :class:`ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Items per shard.  Defaults to ``ceil(n / (4 * workers))`` so each
+        worker receives ~4 shards -- large enough to amortise the per-shard
+        pickling of the worker context, small enough to balance load.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        import os
+        if max_workers is not None and max_workers <= 0:
+            raise EngineError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise EngineError(f"chunk_size must be positive, got {chunk_size}")
+        self.workers = max_workers or (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+
+    def _chunks(self, items: Sequence[WorkItem]) -> List[List[WorkItem]]:
+        size = self.chunk_size or max(
+            1, math.ceil(len(items) / (4 * self.workers)))
+        return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+    def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
+                  on_result: ResultCallback = None) -> List[Any]:
+        if not items:
+            return []
+        # Lazy import: keeps the serial path free of multiprocessing plumbing.
+        from concurrent.futures import (CancelledError, FIRST_COMPLETED,
+                                        ProcessPoolExecutor, wait)
+        from concurrent.futures.process import BrokenProcessPool
+
+        chunks = self._chunks(items)
+        ordered: List[Any] = [None] * len(items)
+        offsets = {}
+        start = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = set()
+            for chunk in chunks:
+                future = pool.submit(_run_chunk, fn, chunk)
+                offsets[future] = (start, len(chunk))
+                pending.add(future)
+                start += len(chunk)
+            try:
+                failure: Optional[BaseException] = None
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        offset, _ = offsets[future]
+                        try:
+                            outcomes = future.result()
+                        except CancelledError:
+                            continue
+                        except Exception as exc:
+                            if failure is None:
+                                failure = exc
+                            continue
+                        for position, (ok, value) in enumerate(outcomes):
+                            if not ok:
+                                if failure is None:
+                                    failure = value
+                                continue
+                            ordered[offset + position] = value
+                            if on_result is not None:
+                                on_result(value)
+                    if failure is not None and pending:
+                        # Stop chunks that have not started, but keep
+                        # draining the ones already running: their completed
+                        # work must still reach on_result (which e.g.
+                        # persists results to the cache) before the failure
+                        # propagates.
+                        pending = {f for f in pending if not f.cancel()}
+                if failure is not None:
+                    raise failure
+            except BrokenProcessPool as exc:
+                raise EngineError(
+                    "a campaign worker process died unexpectedly (crashed or "
+                    "was killed); rerun serially to locate the failing task"
+                ) from exc
+            finally:
+                for future in pending:
+                    future.cancel()
+        return ordered

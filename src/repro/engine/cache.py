@@ -1,0 +1,167 @@
+"""Content-addressed result cache / artifact store of the campaign engine.
+
+Each cached artifact is one JSON file on disk whose name is the SHA-256 of a
+canonical JSON rendering of everything the result depends on::
+
+    key = sha256({"namespace", "version", "spec", "seed"})
+
+* ``namespace`` separates workload families (defect campaigns, calibration,
+  yield-loss points) sharing one cache directory,
+* ``version`` is the library version (any release invalidates the cache),
+* ``spec`` is the task's own JSON description -- changing any part of the
+  task spec (deltas, stimulus, defect id, sampling mode, ...) changes the key,
+* ``seed`` is the per-task seed material, omitted for deterministic tasks.
+
+Repeated campaign/calibration runs with identical specs are therefore
+near-free: the engine replays the stored artifacts instead of simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..circuit.errors import EngineError
+
+#: Sentinel distinguishing "no cached entry" from a cached ``None`` result.
+MISS = object()
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON rendering used for cache keys."""
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise EngineError(
+            f"task spec is not JSON-serialisable: {exc}") from exc
+
+
+class ResultCache:
+    """JSON-on-disk artifact store keyed by content hashes.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the artifacts (created on demand).
+    namespace:
+        Workload family; part of every key.
+    version:
+        Code-version token mixed into every key; defaults to the installed
+        :mod:`repro` version so upgrading the library invalidates the cache.
+    """
+
+    def __init__(self, cache_dir: str, namespace: str = "default",
+                 version: Optional[str] = None) -> None:
+        if not cache_dir:
+            raise EngineError("cache_dir must be a non-empty path")
+        self.cache_dir = str(cache_dir)
+        self.namespace = namespace
+        if version is None:
+            from .. import __version__
+            version = __version__
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------- keys
+    def key_for(self, spec: Mapping[str, Any],
+                seed_material: Optional[str] = None) -> str:
+        payload = {"namespace": self.namespace, "version": self.version,
+                   "spec": spec, "seed": seed_material}
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # ---------------------------------------------------------------- storage
+    def get(self, key: str) -> Any:
+        """Stored result for ``key``, or the :data:`MISS` sentinel."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (OSError, json.JSONDecodeError):
+            # A torn or corrupt artifact is treated as a miss and overwritten.
+            self.misses += 1
+            return MISS
+        if not isinstance(entry, dict):
+            # Valid JSON but not an artifact (externally overwritten): miss.
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return entry.get("result")
+
+    def put(self, key: str, result: Any, task_id: Optional[str] = None,
+            spec: Optional[Mapping[str, Any]] = None) -> None:
+        """Store one artifact atomically (write + rename)."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        entry = {"key": key, "task_id": task_id, "spec": spec,
+                 "result": result}
+        try:
+            body = json.dumps(entry, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise EngineError(
+                f"result of task {task_id!r} is not JSON-serialisable; "
+                f"provide a codec to the engine: {exc}") from exc
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- management
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.cache_dir)
+                       if name.endswith(".json"))
+        except FileNotFoundError:
+            return 0
+
+    def keys(self) -> List[str]:
+        try:
+            return sorted(name[:-len(".json")]
+                          for name in os.listdir(self.cache_dir)
+                          if name.endswith(".json"))
+        except FileNotFoundError:
+            return []
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            try:
+                os.unlink(self._path(key))
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "artifacts": len(self)}
+
+
+def callable_token(fn: Any) -> Optional[str]:
+    """Stable cache-key token for a callable, or None if it has none.
+
+    Only callables with a qualified name (functions, classes) can be
+    content-addressed; instances with ``__call__`` or partials have only an
+    address-bearing repr, so callers must skip caching for them.
+    """
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if qualname and module:
+        return f"{module}.{qualname}"
+    return None

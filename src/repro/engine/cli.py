@@ -1,0 +1,189 @@
+"""``repro-campaign`` -- run calibrations and defect campaigns from the shell.
+
+The command line drives the two heavyweight workloads of the reproduction
+through the campaign engine, with sharded workers and a persistent artifact
+cache::
+
+    repro-campaign calibrate --monte-carlo 100 --workers 4 --cache-dir .cache
+    repro-campaign campaign --blocks sc_array vcm_generator --workers 4
+    repro-campaign campaign --samples 60 --cache-dir .cache --json out.json
+
+``--workers 1`` (the default) executes serially; any higher count shards the
+work across a process pool with byte-identical results.  ``--cache-dir``
+makes repeated runs near-free: every per-defect record and per-sample
+residual set is stored as a content-addressed JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+def _build_backend(workers: int):
+    from . import MultiprocessBackend, SerialBackend
+    if workers <= 1:
+        return SerialBackend()
+    return MultiprocessBackend(max_workers=workers)
+
+
+def _build_cache(cache_dir: Optional[str], namespace: str):
+    from . import ResultCache
+    if cache_dir is None:
+        return None
+    return ResultCache(cache_dir, namespace=namespace)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = serial; results are "
+                             "identical for any value)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory of the content-addressed result "
+                             "cache; omit to disable caching")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="root seed of every random draw")
+    parser.add_argument("--monte-carlo", type=int, default=50,
+                        help="Monte Carlo samples of the window calibration")
+    parser.add_argument("--k", type=float, default=5.0,
+                        help="window guard-band multiplier (delta = k*sigma)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the machine-readable results to this file")
+
+
+def _calibrate(args: argparse.Namespace):
+    from ..core import calibrate_windows
+    return calibrate_windows(
+        k=args.k, n_monte_carlo=args.monte_carlo,
+        rng=np.random.default_rng(args.seed),
+        backend=_build_backend(args.workers),
+        cache=_build_cache(args.cache_dir, "calibration"))
+
+
+def _emit(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from ..core import format_table
+    calibration = _calibrate(args)
+    rows = [[name, f"{calibration.sigmas[name]:.3e}",
+             f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
+            for name, delta in calibration.deltas.items()]
+    print(format_table(
+        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], rows,
+        title="SymBIST window calibration"))
+    _emit(args, {"k": args.k, "n_samples": calibration.n_samples,
+                 "sigmas": calibration.sigmas, "means": calibration.means,
+                 "deltas": calibration.deltas})
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from ..adc import SarAdc
+    from ..core import format_confidence, format_table
+    from ..defects import DefectCampaign, SamplingPlan
+
+    backend = _build_backend(args.workers)
+    cache = _build_cache(args.cache_dir, "defects")
+
+    print(f"calibrating comparison windows (delta = {args.k:g} sigma, "
+          f"{args.monte_carlo} MC samples)...")
+    calibration = _calibrate(args)
+    campaign = DefectCampaign(
+        adc=SarAdc(), deltas=calibration.deltas,
+        stop_on_detection=not args.no_stop_on_detection)
+    rng = np.random.default_rng(args.seed)
+    print(f"defect universe: {len(campaign.universe)} defects across "
+          f"{len(campaign.universe.block_paths())} A/M-S blocks")
+
+    blocks = args.blocks or campaign.universe.block_paths()
+    rows: List[List[Any]] = []
+    results_json: List[Dict[str, Any]] = []
+    engine_lines: List[str] = []
+    for block in blocks:
+        block_universe = campaign.universe.by_block(block)
+        exhaustive = args.exhaustive or \
+            len(block_universe) <= args.exhaustive_threshold
+        plan = SamplingPlan(exhaustive=exhaustive, n_samples=args.samples)
+        result = campaign.run(plan, blocks=[block], rng=rng,
+                              backend=backend, cache=cache)
+        report = result.block_report(block)
+        timing = result.timing_summary()
+        engine_lines.append(f"  {block}: {result.engine_report.summary()}")
+        rows.append([block, report.n_defects, report.n_simulated,
+                     f"{timing['engine_wall_time']:.2f}",
+                     f"{report.modeled_sim_time:.0f}",
+                     format_confidence(report.coverage.value,
+                                       report.coverage.ci_half_width)])
+        results_json.append({
+            "block": block, "n_defects": report.n_defects,
+            "n_simulated": report.n_simulated,
+            "coverage": report.coverage.value,
+            "ci_half_width": report.coverage.ci_half_width,
+            "timing": timing,
+            "engine": result.engine_report.summary()})
+
+    print()
+    print(format_table(
+        ["A/M-S block", "#defects", "#simulated", "engine wall (s)",
+         "model sim time (s)", "L-W defect coverage"],
+        rows, title="SymBIST defect-simulation campaign (Table I style)"))
+    print()
+    print("engine:")
+    for line in engine_lines:
+        print(line)
+    _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
+                 "blocks": results_json})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="SymBIST reproduction campaigns through the "
+                    "parallel/cached execution engine")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="Monte Carlo window calibration (delta = k*sigma)")
+    _add_common_arguments(calibrate)
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    campaign = sub.add_parser(
+        "campaign", help="defect-simulation campaign (Table I style)")
+    _add_common_arguments(campaign)
+    campaign.add_argument("--blocks", nargs="*", default=None,
+                          help="restrict the campaign to these block paths")
+    campaign.add_argument("--samples", type=int, default=60,
+                          help="LWRS budget for blocks too large to exhaust")
+    campaign.add_argument("--exhaustive", action="store_true",
+                          help="simulate every defect of every block")
+    campaign.add_argument("--exhaustive-threshold", type=int, default=120,
+                          help="blocks with at most this many defects are "
+                               "simulated exhaustively")
+    campaign.add_argument("--no-stop-on-detection", action="store_true",
+                          help="run the full test even after detection")
+    campaign.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from ..circuit import ReproError
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

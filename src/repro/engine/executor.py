@@ -1,0 +1,270 @@
+"""Campaign executor: seeding, cache orchestration, instrumentation.
+
+:class:`CampaignEngine` takes a :class:`~repro.engine.task.TaskGraph` and a
+*worker* callable and produces one result per task plus a
+:class:`CampaignReport` of timing/progress instrumentation.  The execution
+pipeline is:
+
+1. derive one ``np.random.SeedSequence`` child per task (by task index, from
+   the engine root seed) -- identical seeds whatever backend runs the task;
+2. resolve tasks against the :class:`~repro.engine.cache.ResultCache` (when
+   configured and the task carries a ``spec``);
+3. hand the remaining tasks to the execution backend
+   (:class:`~repro.engine.backends.SerialBackend` by default);
+4. store freshly computed results back into the cache and assemble all
+   results in task order.
+
+The worker contract is ``worker(context, task, rng) -> result``.  ``context``
+is an arbitrary (picklable, for multiprocess execution) object shared by all
+tasks of a run; ``rng`` is a ``numpy`` generator seeded from the task's own
+``SeedSequence`` child, so results are independent of worker count and
+completion order.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+import numpy as np
+
+from ..circuit.errors import EngineError, TaskExecutionError
+from .backends import ExecutionBackend, SerialBackend
+from .cache import MISS, ResultCache
+from .task import Task, TaskGraph
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One completed task, as seen by progress callbacks."""
+
+    index: int
+    task: Task
+    result: Any
+    duration: float
+    from_cache: bool
+    done: int
+    total: int
+
+
+#: ``progress(outcome)`` -- invoked once per completed task, in completion
+#: order (cache hits first, then live executions as they finish).
+ProgressCallback = Callable[[TaskOutcome], None]
+
+
+@dataclass(frozen=True)
+class ResultCodec:
+    """Converts worker results to/from the JSON stored by the cache."""
+
+    encode: Callable[[Any], Any]
+    decode: Callable[[Any], Any]
+
+
+#: Codec for results that are natively JSON-serialisable.
+IDENTITY_CODEC = ResultCodec(encode=lambda value: value,
+                             decode=lambda value: value)
+
+
+@dataclass
+class CampaignReport:
+    """Timing and progress instrumentation of one engine run."""
+
+    backend: str
+    workers: int
+    n_tasks: int
+    n_executed: int
+    n_cache_hits: int
+    wall_time: float
+    task_durations: Dict[str, float] = field(default_factory=dict)
+    group_durations: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cache_hits / self.n_tasks if self.n_tasks else 0.0
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.n_tasks / self.wall_time if self.wall_time > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest for logs and CLIs."""
+        parts = [f"{self.n_tasks} tasks via {self.backend}"
+                 f" ({self.workers} worker{'s' if self.workers != 1 else ''})",
+                 f"{self.n_executed} executed",
+                 f"{self.n_cache_hits} cached"
+                 f" ({100.0 * self.cache_hit_rate:.0f}%)",
+                 f"{self.wall_time:.2f}s wall",
+                 f"{self.tasks_per_second:.1f} tasks/s"]
+        return ", ".join(parts)
+
+
+@dataclass
+class EngineRun:
+    """Results (in task order) and instrumentation of one engine run."""
+
+    results: List[Any]
+    report: CampaignReport
+    task_ids: List[str] = field(default_factory=list)
+
+    def result_for(self, task_id: str) -> Any:
+        try:
+            return self.results[self.task_ids.index(task_id)]
+        except ValueError as exc:
+            raise EngineError(f"run has no task {task_id!r}") from exc
+
+
+def _seed_token(seed_material: Any) -> str:
+    """Stable string identifying seed material inside cache keys."""
+    if seed_material is None:
+        return "none"
+    if isinstance(seed_material, np.random.SeedSequence):
+        return (f"entropy:{seed_material.entropy}"
+                f"/spawn:{tuple(seed_material.spawn_key)}")
+    return f"int:{int(seed_material)}"
+
+
+def _execute_task(worker: Callable[[Any, Task, np.random.Generator], Any],
+                  context: Any,
+                  item: Tuple[int, Task, Any]) -> Tuple[int, Any, float]:
+    """Run one task (in whatever process the backend chose).
+
+    Module-level (and wrapped with :func:`functools.partial`) so the
+    multiprocess backend can pickle it.  Failures are re-raised as
+    :class:`TaskExecutionError` naming the task, so the parent process can
+    attribute crashes even across the pool boundary.
+    """
+    index, task, seed_material = item
+    rng = np.random.default_rng(seed_material)
+    start = time.perf_counter()
+    try:
+        result = worker(context, task, rng)
+    except TaskExecutionError:
+        raise
+    except Exception as exc:
+        raise TaskExecutionError(
+            f"task {task.task_id!r} failed: {type(exc).__name__}: {exc}") \
+            from exc
+    return index, result, time.perf_counter() - start
+
+
+class CampaignEngine:
+    """Executes a task graph through a backend with seeding + caching.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend; defaults to :class:`SerialBackend` (bit-identical
+        to the historical in-process loops).
+    cache:
+        Optional :class:`ResultCache`; only tasks carrying a ``spec``
+        participate.
+    seed:
+        Root seed (``int`` or ``SeedSequence``) from which one child
+        ``SeedSequence`` per task is spawned, by task index.
+    progress:
+        Optional default :data:`ProgressCallback`.
+    """
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 cache: Optional[ResultCache] = None,
+                 seed: Union[int, np.random.SeedSequence] = 0,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        self.backend = backend or SerialBackend()
+        self.cache = cache
+        self.seed = seed
+        self.progress = progress
+
+    # -------------------------------------------------------------------- run
+    def run(self, tasks: Union[TaskGraph, Sequence[Task]],
+            worker: Callable[[Any, Task, np.random.Generator], Any],
+            context: Any = None,
+            codec: Optional[ResultCodec] = None,
+            progress: Optional[ProgressCallback] = None) -> EngineRun:
+        """Execute every task; results come back in task order."""
+        graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
+        codec = codec or IDENTITY_CODEC
+        progress = progress or self.progress
+        n_tasks = len(graph)
+        started = time.perf_counter()
+
+        root = self.seed if isinstance(self.seed, np.random.SeedSequence) \
+            else np.random.SeedSequence(self.seed)
+        # Children are derived statelessly (not via root.spawn, which
+        # advances the parent's spawn counter) so repeated runs of the same
+        # engine -- or one sharing a caller-owned SeedSequence -- always see
+        # identical per-task seeds.  For a fresh root this matches spawn().
+        children = [np.random.SeedSequence(entropy=root.entropy,
+                                           spawn_key=tuple(root.spawn_key)
+                                           + (i,))
+                    for i in range(n_tasks)]
+        seeds = [task.seed if task.seed is not None else children[i]
+                 for i, task in enumerate(graph)]
+
+        results: List[Any] = [None] * n_tasks
+        durations: Dict[str, float] = {}
+        done = 0
+
+        # ------------------------------------------------------ cache lookup
+        keys: List[Optional[str]] = [None] * n_tasks
+        pending: List[Tuple[int, Task, Any]] = []
+        for i, task in enumerate(graph):
+            if self.cache is not None and task.spec is not None:
+                seed_token = None if task.deterministic \
+                    else _seed_token(seeds[i])
+                keys[i] = self.cache.key_for(task.spec, seed_token)
+                stored = self.cache.get(keys[i])
+                if stored is not MISS:
+                    results[i] = codec.decode(stored)
+                    durations[task.task_id] = 0.0
+                    done += 1
+                    if progress is not None:
+                        progress(TaskOutcome(index=i, task=task,
+                                             result=results[i], duration=0.0,
+                                             from_cache=True, done=done,
+                                             total=n_tasks))
+                    continue
+            pending.append((i, task, seeds[i]))
+        n_cache_hits = done
+
+        # --------------------------------------------------------- execution
+        def on_result(outcome: Tuple[int, Any, float]) -> None:
+            nonlocal done
+            index, result, duration = outcome
+            done += 1
+            task = graph[index]
+            # Store per completion (not after the whole run) so results of
+            # completed tasks survive a later task failure or interrupt.
+            if self.cache is not None and keys[index] is not None:
+                self.cache.put(keys[index], codec.encode(result),
+                               task_id=task.task_id, spec=task.spec)
+            if progress is not None:
+                progress(TaskOutcome(index=index, task=task, result=result,
+                                     duration=duration, from_cache=False,
+                                     done=done, total=n_tasks))
+
+        fn = functools.partial(_execute_task, worker, context)
+        for index, result, duration in self.backend.map_items(
+                fn, pending, on_result=on_result):
+            results[index] = result
+            durations[graph[index].task_id] = duration
+
+        # ------------------------------------------------------------ report
+        group_durations: Dict[str, float] = {}
+        for task in graph:
+            if task.group is not None:
+                group_durations[task.group] = \
+                    group_durations.get(task.group, 0.0) \
+                    + durations.get(task.task_id, 0.0)
+        report = CampaignReport(
+            backend=self.backend.name,
+            workers=self.backend.workers,
+            n_tasks=n_tasks,
+            n_executed=len(pending),
+            n_cache_hits=n_cache_hits,
+            wall_time=time.perf_counter() - started,
+            task_durations=durations,
+            group_durations=group_durations)
+        return EngineRun(results=results, report=report, task_ids=graph.ids())

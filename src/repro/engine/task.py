@@ -1,0 +1,113 @@
+"""Task abstraction of the campaign-execution engine.
+
+A :class:`Task` describes one independent unit of work of a campaign -- one
+defect injection + SymBIST run, one Monte Carlo sample, one ``(k, yield)``
+point -- without saying anything about *how* it is executed.  The work itself
+is performed by a *worker* callable (see :mod:`repro.engine.executor`) applied
+to the task; keeping the two separate is what lets the same campaign run
+serially, across a process pool, or straight out of the result cache.
+
+A :class:`TaskGraph` is an ordered collection of independent tasks.  All
+current workloads are embarrassingly parallel, so the graph carries no edges;
+it exists to give campaigns a stable task order (the order that defines
+deterministic per-task seeding and result assembly) and fast id lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+from ..circuit.errors import EngineError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of campaign work.
+
+    Attributes
+    ----------
+    task_id:
+        Unique, stable identifier within one campaign (used in progress
+        reporting, error messages and cache records).
+    payload:
+        The worker's input (a defect, a sample index, a ``k`` value, ...).
+        Must be picklable when the task is executed by a process-pool backend.
+    spec:
+        Optional JSON-serialisable description of *what the task computes*.
+        When present (and a cache is configured) it becomes part of the
+        content-addressed cache key, so any change to the spec invalidates
+        cached results.  Tasks without a spec are never cached.
+    seed:
+        Optional explicit seed material (an ``int`` or
+        ``np.random.SeedSequence``) for the task's random generator.  When
+        omitted the engine derives one child ``SeedSequence`` per task from
+        the campaign root seed, so results are independent of worker count
+        and completion order.
+    deterministic:
+        True when the worker ignores its random generator (e.g. defect
+        simulation).  Deterministic tasks exclude the seed material from
+        their cache key, so cached results survive task reordering.
+    group:
+        Optional label used to aggregate timings in reports (e.g. the block
+        path of a defect).
+    """
+
+    task_id: str
+    payload: Any = None
+    spec: Optional[Mapping[str, Any]] = None
+    seed: Optional[Any] = None
+    deterministic: bool = False
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise EngineError("a task needs a non-empty task_id")
+
+
+class TaskGraph:
+    """Ordered collection of independent tasks with unique ids."""
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: List[Task] = []
+        self._by_id: Dict[str, int] = {}
+        for task in tasks:
+            self.add(task)
+
+    def add(self, task: Task) -> None:
+        if task.task_id in self._by_id:
+            raise EngineError(
+                f"duplicate task id {task.task_id!r} in the task graph")
+        self._by_id[task.task_id] = len(self._tasks)
+        self._tasks.append(task)
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self._tasks[index]
+
+    def index_of(self, task_id: str) -> int:
+        try:
+            return self._by_id[task_id]
+        except KeyError as exc:
+            raise EngineError(
+                f"task {task_id!r} is not in the graph") from exc
+
+    def get(self, task_id: str) -> Task:
+        return self._tasks[self.index_of(task_id)]
+
+    def ids(self) -> List[str]:
+        return [t.task_id for t in self._tasks]
+
+    def groups(self) -> List[str]:
+        """Group labels present in the graph, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for task in self._tasks:
+            if task.group is not None:
+                seen.setdefault(task.group, None)
+        return list(seen.keys())

@@ -1,0 +1,250 @@
+"""Tests for the execution backends and the campaign engine itself."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import EngineError, TaskExecutionError
+from repro.engine import (CampaignEngine, MultiprocessBackend, ResultCache,
+                          ResultCodec, SerialBackend, Task, TaskGraph)
+
+
+# Module-level workers so the multiprocess backend can pickle them.
+def square_worker(context, task, rng):
+    return task.payload ** 2
+
+
+def draw_worker(context, task, rng):
+    return float(rng.normal())
+
+
+def failing_worker(context, task, rng):
+    if task.payload == 3:
+        raise ValueError("boom on task 3")
+    return task.payload
+
+
+def context_worker(context, task, rng):
+    return context["offset"] + task.payload
+
+
+def tasks_of(n, **kwargs):
+    return TaskGraph([Task(task_id=f"t{i}", payload=i, **kwargs)
+                      for i in range(n)])
+
+
+class TestSerialBackend:
+    def test_maps_in_order(self):
+        run = CampaignEngine(backend=SerialBackend()).run(
+            tasks_of(5), square_worker)
+        assert run.results == [0, 1, 4, 9, 16]
+        assert run.report.backend == "serial"
+        assert run.report.n_executed == 5
+        assert run.report.n_cache_hits == 0
+
+    def test_context_shared_by_all_tasks(self):
+        run = CampaignEngine().run(tasks_of(3), context_worker,
+                                   context={"offset": 10})
+        assert run.results == [10, 11, 12]
+
+    def test_error_names_the_task(self):
+        with pytest.raises(TaskExecutionError, match="t3"):
+            CampaignEngine().run(tasks_of(5), failing_worker)
+
+    def test_progress_callback(self):
+        seen = []
+        CampaignEngine().run(
+            tasks_of(3), square_worker,
+            progress=lambda outcome: seen.append(
+                (outcome.index, outcome.done, outcome.total,
+                 outcome.from_cache)))
+        assert seen == [(0, 1, 3, False), (1, 2, 3, False), (2, 3, 3, False)]
+
+    def test_empty_graph(self):
+        run = CampaignEngine().run(TaskGraph(), square_worker)
+        assert run.results == []
+        assert run.report.n_tasks == 0
+
+    def test_result_for(self):
+        run = CampaignEngine().run(tasks_of(3), square_worker)
+        assert run.result_for("t2") == 4
+        with pytest.raises(EngineError):
+            run.result_for("missing")
+
+
+class TestMultiprocessBackend:
+    def test_matches_serial_results(self):
+        serial = CampaignEngine(backend=SerialBackend()).run(
+            tasks_of(10), square_worker)
+        parallel = CampaignEngine(
+            backend=MultiprocessBackend(max_workers=3)).run(
+            tasks_of(10), square_worker)
+        assert parallel.results == serial.results
+        assert parallel.report.backend == "multiprocess"
+        assert parallel.report.workers == 3
+
+    def test_seeded_draws_independent_of_worker_count(self):
+        serial = CampaignEngine(seed=42).run(tasks_of(8), draw_worker)
+        two = CampaignEngine(
+            seed=42, backend=MultiprocessBackend(max_workers=2)).run(
+            tasks_of(8), draw_worker)
+        four = CampaignEngine(
+            seed=42,
+            backend=MultiprocessBackend(max_workers=4, chunk_size=1)).run(
+            tasks_of(8), draw_worker)
+        assert two.results == serial.results
+        assert four.results == serial.results
+
+    def test_different_root_seeds_differ(self):
+        a = CampaignEngine(seed=1).run(tasks_of(4), draw_worker)
+        b = CampaignEngine(seed=2).run(tasks_of(4), draw_worker)
+        assert a.results != b.results
+
+    def test_seedsequence_root_is_reusable(self):
+        """A caller-owned SeedSequence root must give identical seeds on
+        every run (children are derived statelessly, not spawned)."""
+        root = np.random.SeedSequence(5)
+        engine = CampaignEngine(seed=root)
+        first = engine.run(tasks_of(4), draw_worker)
+        second = engine.run(tasks_of(4), draw_worker)
+        from_int = CampaignEngine(seed=5).run(tasks_of(4), draw_worker)
+        assert first.results == second.results == from_int.results
+
+    def test_explicit_task_seed_wins(self):
+        explicit = TaskGraph([Task(task_id="t", seed=123)])
+        run_a = CampaignEngine(seed=1).run(explicit, draw_worker)
+        run_b = CampaignEngine(seed=2).run(
+            TaskGraph([Task(task_id="t", seed=123)]), draw_worker)
+        assert run_a.results == run_b.results
+
+    def test_worker_error_propagates_across_pool(self):
+        with pytest.raises(TaskExecutionError, match="t3"):
+            CampaignEngine(backend=MultiprocessBackend(max_workers=2)).run(
+                tasks_of(5), failing_worker)
+
+    def test_chunking_covers_all_items(self):
+        backend = MultiprocessBackend(max_workers=2, chunk_size=3)
+        chunks = backend._chunks(list(range(8)))
+        assert [len(c) for c in chunks] == [3, 3, 2]
+        assert [x for chunk in chunks for x in chunk] == list(range(8))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(EngineError):
+            MultiprocessBackend(max_workers=0)
+        with pytest.raises(EngineError):
+            MultiprocessBackend(chunk_size=0)
+
+
+class TestEngineCaching:
+    def test_cache_hit_skips_execution(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="test")
+        def build():
+            return TaskGraph([Task(task_id=f"t{i}", payload=i,
+                                   spec={"op": "square", "i": i},
+                                   deterministic=True)
+                              for i in range(4)])
+        cold = CampaignEngine(cache=cache).run(build(), square_worker)
+        warm = CampaignEngine(cache=cache).run(build(), square_worker)
+        assert warm.results == cold.results == [0, 1, 4, 9]
+        assert cold.report.n_cache_hits == 0 and cold.report.n_executed == 4
+        assert warm.report.n_cache_hits == 4 and warm.report.n_executed == 0
+        assert warm.report.cache_hit_rate == 1.0
+
+    def test_spec_change_invalidates(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first = CampaignEngine(cache=cache).run(
+            [Task(task_id="t", payload=2, spec={"v": 1}, deterministic=True)],
+            square_worker)
+        second = CampaignEngine(cache=cache).run(
+            [Task(task_id="t", payload=2, spec={"v": 2}, deterministic=True)],
+            square_worker)
+        assert first.report.n_executed == second.report.n_executed == 1
+
+    def test_seeded_tasks_key_on_seed(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = {"op": "draw"}
+        a = CampaignEngine(seed=1, cache=cache).run(
+            [Task(task_id="t", spec=spec)], draw_worker)
+        b = CampaignEngine(seed=2, cache=cache).run(
+            [Task(task_id="t", spec=spec)], draw_worker)
+        a_again = CampaignEngine(seed=1, cache=cache).run(
+            [Task(task_id="t", spec=spec)], draw_worker)
+        assert a.results != b.results
+        assert a_again.results == a.results
+        assert a_again.report.n_cache_hits == 1
+
+    def test_tasks_without_spec_never_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        CampaignEngine(cache=cache).run(tasks_of(3), square_worker)
+        assert len(cache) == 0
+
+    def test_codec_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        codec = ResultCodec(encode=lambda v: {"wrapped": v},
+                            decode=lambda d: d["wrapped"])
+        def build():
+            return [Task(task_id="t", payload=3, spec={"op": "square"},
+                         deterministic=True)]
+        cold = CampaignEngine(cache=cache).run(build(), square_worker,
+                                               codec=codec)
+        warm = CampaignEngine(cache=cache).run(build(), square_worker,
+                                               codec=codec)
+        assert cold.results == warm.results == [9]
+
+    def test_multiprocess_drains_completed_chunks_on_failure(self, tmp_path):
+        """Chunks that finished before (or alongside) a failure must still
+        reach the cache; only unstarted chunks are abandoned."""
+        cache = ResultCache(str(tmp_path), namespace="test")
+        graph = TaskGraph([Task(task_id=f"t{i}", payload=i,
+                                spec={"op": "fail-at-3", "i": i},
+                                deterministic=True)
+                           for i in range(6)])
+        backend = MultiprocessBackend(max_workers=1, chunk_size=2)
+        with pytest.raises(TaskExecutionError, match="t3"):
+            CampaignEngine(cache=cache, backend=backend).run(
+                graph, failing_worker)
+        # Chunk [t0, t1] completed, and t2 finished before its chunk-mate t3
+        # raised: at least those three artifacts must be on disk.  Chunk
+        # [t4, t5] may contribute two more if the worker picked it up before
+        # the parent's best-effort cancellation; only t3 itself is never
+        # stored.
+        assert len(cache) >= 3
+        assert len(cache) <= 5
+
+    def test_completed_results_cached_despite_later_failure(self, tmp_path):
+        cache = ResultCache(str(tmp_path), namespace="test")
+        graph = TaskGraph([Task(task_id=f"t{i}", payload=i,
+                                spec={"op": "fail-at-3", "i": i},
+                                deterministic=True)
+                           for i in range(4)])
+        with pytest.raises(TaskExecutionError):
+            CampaignEngine(cache=cache).run(graph, failing_worker)
+        # Tasks 0..2 completed before t3 failed: their artifacts must exist.
+        assert len(cache) == 3
+
+    def test_cached_tasks_fire_progress(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        def build():
+            return [Task(task_id="t", payload=2, spec={"op": "square"},
+                         deterministic=True)]
+        CampaignEngine(cache=cache).run(build(), square_worker)
+        seen = []
+        CampaignEngine(cache=cache).run(
+            build(), square_worker,
+            progress=lambda outcome: seen.append(outcome.from_cache))
+        assert seen == [True]
+
+
+class TestReport:
+    def test_summary_mentions_backend_and_counts(self):
+        run = CampaignEngine().run(tasks_of(3), square_worker)
+        summary = run.report.summary()
+        assert "3 tasks" in summary
+        assert "serial" in summary
+
+    def test_group_durations(self):
+        graph = TaskGraph([Task(task_id="a", payload=1, group="g1"),
+                           Task(task_id="b", payload=2, group="g1"),
+                           Task(task_id="c", payload=3, group="g2")])
+        run = CampaignEngine().run(graph, square_worker)
+        assert set(run.report.group_durations) == {"g1", "g2"}
+        assert run.report.task_durations.keys() == {"a", "b", "c"}

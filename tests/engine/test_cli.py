@@ -1,0 +1,63 @@
+"""Tests for the ``repro-campaign`` command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.engine.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.samples == 60
+        assert not args.no_stop_on_detection
+
+    def test_calibrate_options(self):
+        args = build_parser().parse_args(
+            ["calibrate", "--monte-carlo", "7", "--workers", "3", "--k", "4"])
+        assert args.monte_carlo == 7
+        assert args.workers == 3
+        assert args.k == 4.0
+
+
+class TestCalibrateCommand:
+    def test_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "cal.json"
+        status = main(["calibrate", "--monte-carlo", "3",
+                       "--json", str(out)])
+        assert status == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["deltas"]) == {"msb_sum", "lsb_sum", "dac_sum",
+                                          "preamp_cm", "sign", "latch_sum"}
+        assert payload["k"] == 5.0
+        assert "SymBIST window calibration" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_block_campaign_with_cache_and_workers(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "campaign.json"
+        argv = ["campaign", "--blocks", "vcm_generator",
+                "--monte-carlo", "3", "--workers", "2",
+                "--cache-dir", str(cache_dir), "--json", str(out)]
+        assert main(argv) == 0
+        cold = json.loads(out.read_text())
+        assert cold["blocks"][0]["block"] == "vcm_generator"
+        assert cold["blocks"][0]["n_simulated"] == \
+            cold["blocks"][0]["n_defects"]
+        assert 0.0 <= cold["blocks"][0]["coverage"] <= 1.0
+        assert "L-W defect coverage" in capsys.readouterr().out
+
+        # Warm rerun: same coverage, everything replayed from the cache.
+        assert main(argv) == 0
+        warm = json.loads(out.read_text())
+        assert warm["blocks"][0]["coverage"] == cold["blocks"][0]["coverage"]
+        assert "100% " in warm["blocks"][0]["engine"] \
+            or "(100%)" in warm["blocks"][0]["engine"]
