@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Parallel + cached defect campaign through the execution engine.
+"""Calibrate -> campaign as one task graph, parallel + cached.
 
-Demonstrates the campaign-execution subsystem (:mod:`repro.engine`):
+Demonstrates the dependency-aware pipeline executor (:mod:`repro.engine`):
 
-* the same defect campaign run on the serial backend and on a sharded
-  process pool, with byte-identical coverage results;
-* a warm re-run against the content-addressed result cache, replaying the
-  stored per-defect artifacts instead of simulating.
+* the paper's two-phase workflow (window calibration on defect-free
+  circuits, then the defect campaign against those windows) running as ONE
+  task graph via :func:`repro.engine.calibrate_then_campaign` -- Monte Carlo
+  samples feed a ``windows`` reduction task, which feeds one task per
+  defect, with no stage barrier in between;
+* the same workflow run the historical way (two separate invocations with
+  hand-carried state), asserting the two are **bit-identical**: same window
+  deltas, same per-defect detections, same coverage;
+* a sharded multiprocess run and a warm cache replay, both again
+  bit-identical, with cached calibration parents unblocking the campaign
+  stage immediately.
 
 Run with::
 
@@ -16,7 +23,7 @@ Run with::
 
 The equivalent shell one-liner is::
 
-    repro-campaign campaign --workers 4 --cache-dir .repro-cache
+    repro-campaign pipeline --workers 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -29,21 +36,36 @@ import numpy as np
 from repro.adc import SarAdc
 from repro.core import calibrate_windows, format_confidence, format_table
 from repro.defects import DefectCampaign, SamplingPlan
-from repro.engine import MultiprocessBackend, ResultCache, SerialBackend
+from repro.engine import (MultiprocessBackend, ResultCache,
+                          calibrate_then_campaign)
 
 
-def run_campaign(campaign, blocks, samples, rng_seed, backend, cache):
-    rng = np.random.default_rng(rng_seed)
+def manual_two_invocation_flow(args):
+    """The historical flow: calibrate, then campaign, state carried by hand."""
+    calibration = calibrate_windows(
+        n_monte_carlo=args.monte_carlo, rng=np.random.default_rng(args.seed))
+    campaign = DefectCampaign(adc=SarAdc(), deltas=calibration.deltas)
+    rng = np.random.default_rng(args.seed)
+    results = {}
+    for block in args.blocks:
+        block_universe = campaign.universe.by_block(block)
+        exhaustive = len(block_universe) <= args.exhaustive_threshold
+        plan = SamplingPlan(exhaustive=exhaustive, n_samples=args.samples)
+        results[block] = campaign.run(plan, blocks=[block], rng=rng)
+    return calibration, results
+
+
+def record_digest(result):
+    """Everything that must match bit-for-bit between the two flows."""
+    return [(r.defect.defect_id, r.detected, r.detecting_invariance,
+             r.detection_cycle, r.cycles_run) for r in result.records]
+
+
+def rows_for(outcome_results):
     rows = []
-    for block in blocks:
-        exhaustive = len(campaign.universe.by_block(block)) <= 2 * samples
-        plan = SamplingPlan(exhaustive=exhaustive, n_samples=samples)
-        result = campaign.run(plan, blocks=[block], rng=rng,
-                              backend=backend, cache=cache)
+    for block, result in outcome_results.items():
         report = result.block_report(block)
-        rows.append([block, report.n_simulated,
-                     f"{result.engine_report.wall_time:.2f}",
-                     f"{100.0 * result.engine_report.cache_hit_rate:.0f}%",
+        rows.append([block, report.n_simulated, result.n_detected,
                      format_confidence(report.coverage.value,
                                        report.coverage.ci_half_width)])
     return rows
@@ -55,6 +77,7 @@ def main() -> None:
                         help="process-pool width of the parallel run")
     parser.add_argument("--samples", type=int, default=40,
                         help="LWRS budget for blocks too large to exhaust")
+    parser.add_argument("--exhaustive-threshold", type=int, default=80)
     parser.add_argument("--monte-carlo", type=int, default=20)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--blocks", nargs="*",
@@ -64,40 +87,52 @@ def main() -> None:
                         help="persistent cache directory (defaults to a "
                              "temporary one)")
     args = parser.parse_args()
+    headers = ["block", "#simulated", "#detected", "L-W coverage"]
+    pipeline_kwargs = dict(
+        n_monte_carlo=args.monte_carlo, seed=args.seed, blocks=args.blocks,
+        samples=args.samples, exhaustive_threshold=args.exhaustive_threshold)
 
-    print("calibrating comparison windows (delta = 5 sigma)...")
-    calibration = calibrate_windows(n_monte_carlo=args.monte_carlo,
-                                    rng=np.random.default_rng(args.seed))
-    campaign = DefectCampaign(adc=SarAdc(), deltas=calibration.deltas)
+    print("1) manual two-invocation flow (calibrate, then campaign)...")
+    calibration, manual = manual_two_invocation_flow(args)
+
+    print("2) the same workflow as ONE task graph, serial...")
+    serial = calibrate_then_campaign(**pipeline_kwargs)
+    print()
+    print(format_table(headers, rows_for(serial.results),
+                       title="pipeline, serial"))
+    print(f"   {serial.report.summary()}")
+
+    assert serial.calibration.deltas == calibration.deltas, \
+        "pipeline windows differ from calibrate_windows"
+    for block in args.blocks:
+        assert record_digest(serial.results[block]) == \
+            record_digest(manual[block]), f"records differ for {block}"
+    print("   bit-identical to the manual flow "
+          "(windows, detections, cycle counts)")
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-cache-")
-    cache = ResultCache(cache_dir, namespace="defects")
-    headers = ["block", "#simulated", "engine wall (s)", "cache hits",
-               "L-W coverage"]
+    print(f"3) sharded across {args.workers} workers, cold cache...")
+    parallel = calibrate_then_campaign(
+        backend=MultiprocessBackend(max_workers=args.workers),
+        cache=ResultCache(cache_dir, namespace="pipeline"),
+        **pipeline_kwargs)
+    print(f"   {parallel.report.summary()}")
 
-    serial = run_campaign(campaign, args.blocks, args.samples, args.seed,
-                          SerialBackend(), None)
-    print()
-    print(format_table(headers, serial, title="serial backend (no cache)"))
+    print("4) warm cache replay (parents short-circuit instantly)...")
+    warm = calibrate_then_campaign(
+        cache=ResultCache(cache_dir, namespace="pipeline"),
+        **pipeline_kwargs)
+    print(f"   {warm.report.summary()}")
 
-    parallel = run_campaign(campaign, args.blocks, args.samples, args.seed,
-                            MultiprocessBackend(max_workers=args.workers),
-                            cache)
+    for block in args.blocks:
+        assert record_digest(parallel.results[block]) == \
+            record_digest(manual[block])
+        assert record_digest(warm.results[block]) == \
+            record_digest(manual[block])
+    assert warm.report.n_cache_hits == warm.report.n_tasks
     print()
-    print(format_table(
-        headers, parallel,
-        title=f"multiprocess backend ({args.workers} workers, cold cache)"))
-
-    warm = run_campaign(campaign, args.blocks, args.samples, args.seed,
-                        SerialBackend(), cache)
-    print()
-    print(format_table(headers, warm, title="warm cache replay"))
-
-    identical = all(s[-1] == p[-1] == w[-1]
-                    for s, p, w in zip(serial, parallel, warm))
-    print()
-    print(f"coverage identical across serial / parallel / cached: "
-          f"{identical}")
+    print("serial / parallel / cached pipeline all bit-identical to the "
+          "manual two-invocation flow")
     print(f"cache directory: {cache_dir}")
 
 

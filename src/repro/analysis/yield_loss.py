@@ -149,7 +149,20 @@ def yield_loss_sweep(calibration: Optional[WindowCalibration] = None,
     """Yield loss across a sweep of ``k`` values (the E5 experiment).
 
     Each ``k`` is one deterministic engine task, so the sweep can be sharded
-    (``backend=MultiprocessBackend(...)``) or cached like any other campaign.
+    or cached like any other campaign.
+
+    Parameters
+    ----------
+    backend:
+        Campaign-engine execution backend (see :mod:`repro.engine`); the
+        default serial backend reproduces the historical loop exactly, and
+        ``MultiprocessBackend(max_workers=N)`` shards the ``k`` points
+        across processes with identical results.
+    cache:
+        Optional :class:`~repro.engine.ResultCache`; per-``k`` points are
+        stored keyed by ``k``, ``n_cycles`` and a digest of the
+        calibration's residual pools, so re-running an identical sweep
+        replays them instead of recomputing.
     """
     # The pools digest is cache-key material only; hashing ~n_samples*cycles
     # floats is pointless on uncached sweeps.

@@ -110,6 +110,24 @@ def _residual_worker(context: Mapping[str, Any], task: Task,
     return rows
 
 
+def calibration_task_spec(factory_name: str,
+                          stimulus: SymBistStimulus,
+                          variation_spec: Optional[VariationSpec],
+                          invariance_names: Sequence[str]) -> Dict[str, Any]:
+    """Cache-key spec of one defect-free Monte Carlo residual task.
+
+    Shared by :func:`collect_defect_free_residuals` and the
+    ``calibrate -> campaign`` pipeline so both produce identical cache keys:
+    a calibration cached by one flow is replayed by the other.
+    """
+    return {"driver": "symbist-calibration",
+            "factory": factory_name,
+            "stimulus": asdict(stimulus),
+            "variation": asdict(variation_spec)
+            if variation_spec is not None else None,
+            "invariances": list(invariance_names)}
+
+
 def collect_defect_free_residuals(
         adc_factory: Callable[[], SarAdc] = SarAdc,
         invariances: Optional[Sequence[Invariance]] = None,
@@ -132,6 +150,18 @@ def collect_defect_free_residuals(
     Caching (via ``cache``) is only applied for the standard invariance set;
     custom ``invariances`` carry arbitrary callables that a content hash
     cannot describe, so those runs always simulate.
+
+    Parameters
+    ----------
+    backend:
+        Campaign-engine execution backend (see :mod:`repro.engine`); the
+        default serial backend reproduces the historical loop exactly, and
+        ``MultiprocessBackend(max_workers=N)`` shards the Monte Carlo
+        instances across processes with bit-identical pools.
+    cache:
+        Optional :class:`~repro.engine.ResultCache`; per-instance residual
+        rows are stored keyed by factory, stimulus, variation spec and
+        per-sample seed, so repeated calibrations replay them.
     """
     if n_monte_carlo <= 0:
         raise CalibrationError("n_monte_carlo must be positive")
@@ -155,12 +185,9 @@ def collect_defect_free_residuals(
     for index in range(n_monte_carlo):
         spec: Optional[Dict[str, Any]] = None
         if not custom_invariances and factory_name is not None:
-            spec = {"driver": "symbist-calibration",
-                    "factory": factory_name,
-                    "stimulus": asdict(stimulus),
-                    "variation": asdict(variation_spec)
-                    if variation_spec is not None else None,
-                    "invariances": [inv.name for inv in invariances]}
+            spec = calibration_task_spec(
+                factory_name, stimulus, variation_spec,
+                [inv.name for inv in invariances])
         tasks.add(Task(task_id=f"calib/{index}", payload=index,
                        seed=seeds[index], spec=spec))
 
@@ -174,6 +201,37 @@ def collect_defect_free_residuals(
         for name, values in rows.items():
             pools[name].extend(values)
     return pools
+
+
+def windows_from_pools(pools: Mapping[str, Sequence[float]], k: float,
+                       delta_floors: Optional[Mapping[str, float]] = None
+                       ) -> "tuple[Dict[str, float], Dict[str, float], Dict[str, float]]":
+    """Derive ``(sigmas, means, deltas)`` from residual pools.
+
+    The reduction step of :func:`calibrate_windows`, shared with the
+    ``calibrate -> campaign`` pipeline (:mod:`repro.engine.pipeline`) so both
+    paths produce bit-identical windows from the same pools: per invariance,
+    ``sigma``/``mean`` over the pooled residuals and
+    ``delta = max(k * sigma + |mean|, floor)``.
+    """
+    if k <= 0:
+        raise CalibrationError(f"k must be positive, got {k}")
+    floors = dict(DEFAULT_DELTA_FLOORS)
+    if delta_floors:
+        floors.update(delta_floors)
+
+    sigmas: Dict[str, float] = {}
+    means: Dict[str, float] = {}
+    deltas: Dict[str, float] = {}
+    for name, residuals in pools.items():
+        values = np.asarray(residuals, dtype=float)
+        sigma = float(np.std(values))
+        mean = float(np.mean(values))
+        floor = floors.get(name, GENERIC_DELTA_FLOOR)
+        sigmas[name] = sigma
+        means[name] = mean
+        deltas[name] = max(k * sigma + abs(mean), floor)
+    return sigmas, means, deltas
 
 
 def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
@@ -210,23 +268,7 @@ def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
     pools = collect_defect_free_residuals(
         adc_factory, invariances, stimulus, n_monte_carlo, rng, variation_spec,
         backend=backend, cache=cache)
-
-    floors = dict(DEFAULT_DELTA_FLOORS)
-    if delta_floors:
-        floors.update(delta_floors)
-
-    sigmas: Dict[str, float] = {}
-    means: Dict[str, float] = {}
-    deltas: Dict[str, float] = {}
-    for name, residuals in pools.items():
-        values = np.asarray(residuals, dtype=float)
-        sigma = float(np.std(values))
-        mean = float(np.mean(values))
-        floor = floors.get(name, GENERIC_DELTA_FLOOR)
-        sigmas[name] = sigma
-        means[name] = mean
-        deltas[name] = max(k * sigma + abs(mean), floor)
-
+    sigmas, means, deltas = windows_from_pools(pools, k, delta_floors)
     return WindowCalibration(k=k, n_samples=n_monte_carlo, sigmas=sigmas,
                              means=means, deltas=deltas,
                              residual_pools=pools if keep_pools else {})

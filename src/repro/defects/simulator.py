@@ -188,6 +188,25 @@ class CampaignResult:
             coverage=self._coverage(self.records, self.universe))
 
 
+def adc_fingerprint(adc: SarAdc, hierarchy: Any) -> str:
+    """Content fingerprint of the device under test, as it is *now*.
+
+    Taken per run (after ``clear_defects``) so campaigns against different IP
+    states never share cache artifacts.  Two pieces fully determine
+    per-defect outcomes (given the test spec): the structural hierarchy
+    (device parameters and defect states) and each block's sampled behavioral
+    parameters.  Transient simulation state (latch memories) is deliberately
+    excluded -- it drifts between runs without affecting results, since every
+    test run resets it.  Module-level so the ``calibrate -> campaign``
+    pipeline (:mod:`repro.engine.pipeline`) can fingerprint the IP without a
+    calibrated :class:`DefectCampaign` in hand.
+    """
+    behavioral = [(blk.block_path, sorted(blk.variation_state().items()))
+                  for blk in adc.analog_blocks]
+    return hashlib.sha256(
+        pickle.dumps((hierarchy, behavioral), protocol=4)).hexdigest()[:16]
+
+
 # --------------------------------------------------------------------- engine
 #: Per-process campaign state of the engine workers.  In the parent process
 #: the running campaign registers itself here before dispatching, so the
@@ -287,21 +306,7 @@ class DefectCampaign:
         self.injector = DefectInjector(self.hierarchy)
 
     def _adc_fingerprint(self) -> str:
-        """Content fingerprint of the device under test, as it is *now*.
-
-        Taken per run (after ``clear_defects``) so campaigns against
-        different IP states never share cache artifacts.  Two pieces fully
-        determine per-defect outcomes (given the test spec): the structural
-        hierarchy (device parameters and defect states) and each block's
-        sampled behavioral parameters.  Transient simulation state (latch
-        memories) is deliberately excluded -- it drifts between runs without
-        affecting results, since every test run resets it.
-        """
-        behavioral = [(blk.block_path, sorted(blk.variation_state().items()))
-                      for blk in self.adc.analog_blocks]
-        return hashlib.sha256(
-            pickle.dumps((self.hierarchy, behavioral),
-                         protocol=4)).hexdigest()[:16]
+        return adc_fingerprint(self.adc, self.hierarchy)
 
     def _task_spec(self, defect: Defect, adc_fingerprint: str) -> Dict[str, Any]:
         """Cache key material: everything a per-defect record depends on.
@@ -437,6 +442,9 @@ class DefectCampaign:
         ``n_samples_per_block`` when the threshold is omitted) are simulated
         exhaustively, mirroring the paper where small blocks have
         ``#defects == #defects simulated``; larger blocks use LWRS.
+
+        ``backend``/``cache`` follow the :meth:`run` conventions and are
+        shared by every per-block campaign of the sweep.
         """
         threshold = exhaustive_threshold if exhaustive_threshold is not None \
             else n_samples_per_block

@@ -1,21 +1,31 @@
-"""Campaign-execution engine: sharded workers, seeding, result caching.
+"""Campaign-execution engine: sharded workers, seeding, caching, pipelines.
 
 Every heavyweight workload of the reproduction -- window calibration, defect
 campaigns (Table I), Monte Carlo analyses, the yield-loss-versus-k sweep --
-decomposes into many *independent* simulations.  This subpackage is the shared
-infrastructure that executes such workloads:
+decomposes into many simulations, some independent and some consuming other
+simulations' results.  This subpackage is the shared infrastructure that
+executes such workloads:
 
-* :mod:`repro.engine.task` -- :class:`Task`/:class:`TaskGraph`, describing the
-  units of work;
+* :mod:`repro.engine.task` -- :class:`Task`/:class:`TaskGraph`, describing
+  the units of work and the dependency edges between them (a DAG by
+  construction: parents are added before children);
 * :mod:`repro.engine.backends` -- pluggable executors:
   :class:`SerialBackend` (default, bit-identical to the historical loops) and
-  :class:`MultiprocessBackend` (chunked sharding over a process pool);
+  :class:`MultiprocessBackend` (chunked sharding over a process pool), each
+  offering batch (``map_items``) and incremental (``stream``) interfaces;
 * :mod:`repro.engine.executor` -- :class:`CampaignEngine`, which adds
-  deterministic per-task seeding (``SeedSequence.spawn``; results do not
-  depend on worker count or completion order), content-addressed result
-  caching and :class:`CampaignReport` instrumentation;
+  deterministic per-task seeding (``SeedSequence`` children by task index;
+  results do not depend on worker count or completion order),
+  content-addressed result caching, topological scheduling of dependency
+  graphs (no stage barriers; failed tasks skip their descendants; cached
+  parents unblock children immediately) and :class:`CampaignReport`
+  instrumentation;
 * :mod:`repro.engine.cache` -- :class:`ResultCache`, the JSON-on-disk
-  artifact store keyed by task spec + seed + code version;
+  artifact store keyed by task spec + seed + code version, with optional
+  ``max_bytes``/``max_age`` LRU eviction;
+* :mod:`repro.engine.pipeline` -- the :class:`Pipeline` API (named stages
+  over one task graph) and the built-in :func:`calibrate_then_campaign`
+  workflow running window calibration and the defect campaign as one graph;
 * :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry point.
 
 The drivers in :mod:`repro.analysis.monte_carlo`,
@@ -26,15 +36,25 @@ passing ``backend=MultiprocessBackend(max_workers=N)`` and/or a
 changing its results.
 """
 
-from .backends import (ExecutionBackend, MultiprocessBackend, SerialBackend)
+from .backends import (ExecutionBackend, MultiprocessBackend, SerialBackend,
+                       WorkStream)
 from .cache import MISS, ResultCache, callable_token, canonical_json
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
-                       IDENTITY_CODEC, ResultCodec, TaskOutcome)
+                       IDENTITY_CODEC, ResultCodec, STATUS_CACHED,
+                       STATUS_EXECUTED, STATUS_FAILED, STATUS_SKIPPED,
+                       TaskOutcome)
+from .pipeline import (CalibrateCampaignOutcome, CalibrateCampaignPlan,
+                       Pipeline, PipelineResult, PipelineStage,
+                       build_calibrate_then_campaign, calibrate_then_campaign)
 from .task import Task, TaskGraph
 
 __all__ = [
-    "CampaignEngine", "CampaignReport", "EngineRun", "ExecutionBackend",
-    "IDENTITY_CODEC", "MISS", "MultiprocessBackend", "ResultCache",
-    "ResultCodec", "SerialBackend", "Task", "TaskGraph", "TaskOutcome",
+    "CalibrateCampaignOutcome", "CalibrateCampaignPlan", "CampaignEngine",
+    "CampaignReport", "EngineRun", "ExecutionBackend", "IDENTITY_CODEC",
+    "MISS", "MultiprocessBackend", "Pipeline", "PipelineResult",
+    "PipelineStage", "ResultCache", "ResultCodec", "STATUS_CACHED",
+    "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED", "SerialBackend",
+    "Task", "TaskGraph", "TaskOutcome", "WorkStream",
+    "build_calibrate_then_campaign", "calibrate_then_campaign",
     "callable_token", "canonical_json",
 ]

@@ -1,16 +1,29 @@
 """Execution backends of the campaign engine.
 
-A backend maps a picklable function over a list of work items and returns the
-results *in submission order*, whatever order the items actually complete in.
+A backend runs a picklable function over work items.  It offers two
+interfaces:
+
+* :meth:`ExecutionBackend.map_items` -- batch mode: map the function over a
+  fixed list of independent items and return the results *in submission
+  order*, whatever order the items actually complete in.  Used for flat
+  (edge-free) task graphs, where the full work list is known up front and
+  chunking can amortise per-item overhead.
+* :meth:`ExecutionBackend.stream` -- incremental mode: open a
+  :class:`WorkStream` that accepts items one at a time and yields outcomes
+  as they complete.  Used by the dependency-aware graph scheduler
+  (:mod:`repro.engine.executor`), which only learns that a task is runnable
+  when its parents finish.
+
 Two backends are provided:
 
 * :class:`SerialBackend` -- runs items one by one in the calling process; the
   default, bit-identical to the historical serial loops of the drivers.
-* :class:`MultiprocessBackend` -- shards the items into chunks and executes
-  them on a :class:`concurrent.futures.ProcessPoolExecutor`.  Because every
-  task carries its own seed material (see :mod:`repro.engine.executor`) the
-  results are identical to the serial backend regardless of worker count,
-  chunking or completion order.
+* :class:`MultiprocessBackend` -- executes on a
+  :class:`concurrent.futures.ProcessPoolExecutor`; chunked sharding in batch
+  mode, per-item submission in stream mode.  Because every task carries its
+  own seed material (see :mod:`repro.engine.executor`) the results are
+  identical to the serial backend regardless of worker count, chunking or
+  completion order.
 
 Workers and their context must be picklable for the multiprocess backend
 (module-level functions, dataclasses, numpy objects); closures and lambdas
@@ -21,20 +34,147 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional, Sequence
+from collections import deque
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..circuit.errors import EngineError
 
-#: An item handed to a backend: ``(index, task, seed_material)``.
+#: An item handed to a backend: ``(index, task, seed_material)`` in batch
+#: mode, ``(index, task, seed_material, inputs)`` in stream (graph) mode.
 WorkItem = Any
 #: ``fn(item) -> (index, result, duration_seconds)``.
 WorkFn = Callable[[WorkItem], Any]
 #: Optional per-completion callback ``on_result(outcome_tuple)``.
 ResultCallback = Optional[Callable[[Any], None]]
+#: A stream outcome: ``(item, ok, value)`` where ``value`` is ``fn(item)``'s
+#: return value when ``ok`` and the raised exception otherwise.
+StreamOutcome = Tuple[WorkItem, bool, Any]
+
+
+class WorkStream(ABC):
+    """Incremental submission channel opened by :meth:`ExecutionBackend.stream`.
+
+    The graph scheduler submits items as their dependencies resolve and
+    drains completions one at a time; a stream therefore never sees the whole
+    work list and must not reorder bookkeeping around it.  Item failures are
+    *reported*, not raised: :meth:`next_outcome` returns ``(item, ok, value)``
+    triples so the scheduler can mark the task failed, skip its descendants
+    and keep the rest of the graph running.
+
+    Streams are context managers; :meth:`close` releases any pool resources.
+    """
+
+    @abstractmethod
+    def submit(self, item: WorkItem) -> None:
+        """Queue one item for execution."""
+
+    @abstractmethod
+    def next_outcome(self) -> StreamOutcome:
+        """Block until one submitted item finishes; return its outcome.
+
+        Raises :class:`EngineError` when nothing is pending or the backing
+        pool died.
+        """
+
+    def close(self) -> None:
+        """Release backend resources; pending items may be abandoned."""
+
+    def __enter__(self) -> "WorkStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _SerialWorkStream(WorkStream):
+    """FIFO stream running items in the calling process on demand."""
+
+    def __init__(self, fn: WorkFn) -> None:
+        self._fn = fn
+        self._queue: deque = deque()
+
+    def submit(self, item: WorkItem) -> None:
+        self._queue.append(item)
+
+    def next_outcome(self) -> StreamOutcome:
+        if not self._queue:
+            raise EngineError("no submitted work is pending on the stream")
+        item = self._queue.popleft()
+        try:
+            return item, True, self._fn(item)
+        except Exception as exc:
+            return item, False, exc
+
+
+# Per-process slot for the stream work function, installed once per pool
+# worker by the initializer so submissions only pickle the (small) item
+# instead of re-shipping the function + campaign context every time.
+_STREAM_FN: Optional[WorkFn] = None
+
+
+def _stream_initializer(fn: WorkFn) -> None:
+    global _STREAM_FN
+    _STREAM_FN = fn
+
+
+def _stream_run_item(item: WorkItem) -> Tuple[bool, Any]:
+    try:
+        return True, _STREAM_FN(item)
+    except Exception as exc:
+        return False, exc
+
+
+class _PoolWorkStream(WorkStream):
+    """Stream over a :class:`ProcessPoolExecutor`, one future per item."""
+
+    def __init__(self, fn: WorkFn, max_workers: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+        self._pool = ProcessPoolExecutor(max_workers=max_workers,
+                                         initializer=_stream_initializer,
+                                         initargs=(fn,))
+        self._items: dict = {}
+        self._pending: set = set()
+        self._ready: deque = deque()
+
+    def submit(self, item: WorkItem) -> None:
+        future = self._pool.submit(_stream_run_item, item)
+        self._items[future] = item
+        self._pending.add(future)
+
+    def next_outcome(self) -> StreamOutcome:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+        if self._ready:
+            return self._ready.popleft()
+        if not self._pending:
+            raise EngineError("no submitted work is pending on the stream")
+        done, self._pending = wait(self._pending,
+                                   return_when=FIRST_COMPLETED)
+        for future in done:
+            item = self._items.pop(future)
+            try:
+                ok, value = future.result()
+            except BrokenProcessPool as exc:
+                raise EngineError(
+                    "a campaign worker process died unexpectedly (crashed "
+                    "or was killed); rerun serially to locate the failing "
+                    "task") from exc
+            except Exception as exc:
+                # e.g. the worker's result (or exception) failed to pickle
+                # on its way back: report it as that item's failure instead
+                # of aborting the whole stream.
+                ok, value = False, exc
+            self._ready.append((item, ok, value))
+        return self._ready.popleft()
+
+    def close(self) -> None:
+        for future in self._pending:
+            future.cancel()
+        self._pool.shutdown(wait=True)
 
 
 class ExecutionBackend(ABC):
-    """Maps a function over independent work items, preserving item order."""
+    """Maps a function over work items, in batch or incremental mode."""
 
     #: Short name used in reports.
     name: str = "backend"
@@ -51,6 +191,14 @@ class ExecutionBackend(ABC):
         item, in completion order (== submission order for the serial
         backend).
         """
+
+    def stream(self, fn: WorkFn) -> WorkStream:
+        """Open an incremental :class:`WorkStream` executing ``fn``.
+
+        The default runs items in the calling process (correct for any
+        backend); pool backends override it to fan submissions out.
+        """
+        return _SerialWorkStream(fn)
 
 
 class SerialBackend(ExecutionBackend):
@@ -115,6 +263,9 @@ class MultiprocessBackend(ExecutionBackend):
         size = self.chunk_size or max(
             1, math.ceil(len(items) / (4 * self.workers)))
         return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+    def stream(self, fn: WorkFn) -> WorkStream:
+        return _PoolWorkStream(fn, self.workers)
 
     def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
                   on_result: ResultCallback = None) -> List[Any]:

@@ -14,6 +14,25 @@ canonical JSON rendering of everything the result depends on::
 
 Repeated campaign/calibration runs with identical specs are therefore
 near-free: the engine replays the stored artifacts instead of simulating.
+
+Eviction policy
+---------------
+An unbounded artifact store eventually fills the disk, so the cache supports
+three complementary bounds, all optional:
+
+* ``max_age`` (seconds): artifacts expire a fixed time after creation.  The
+  creation timestamp is stored *inside* the artifact, so expiry survives
+  process restarts; expired artifacts are treated as misses on read and
+  deleted.
+* ``max_bytes``: a size budget over the whole cache directory.  When a write
+  pushes the directory over budget, least-recently-*used* artifacts are
+  deleted until it fits.  Recency is the file's mtime, which :meth:`get`
+  refreshes on every hit (LRU-on-read), so hot artifacts survive while stale
+  ones age out.
+* :meth:`evict` can also be called directly for an explicit GC pass.
+
+Both bounds are enforced opportunistically on :meth:`put`; a cache opened
+read-only never deletes anything except artifacts it observes to be expired.
 """
 
 from __future__ import annotations
@@ -22,7 +41,8 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Dict, List, Mapping, Optional
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.errors import EngineError
 
@@ -51,20 +71,41 @@ class ResultCache:
     version:
         Code-version token mixed into every key; defaults to the installed
         :mod:`repro` version so upgrading the library invalidates the cache.
+    max_bytes:
+        Optional size budget for the cache directory; writes that exceed it
+        evict least-recently-used artifacts (see :meth:`evict`).
+    max_age:
+        Optional artifact lifetime in seconds, measured from creation.
+        Expired artifacts read as misses (and are deleted on sight); they are
+        also removed by the eviction pass that runs on every write.
     """
 
     def __init__(self, cache_dir: str, namespace: str = "default",
-                 version: Optional[str] = None) -> None:
+                 version: Optional[str] = None,
+                 max_bytes: Optional[int] = None,
+                 max_age: Optional[float] = None) -> None:
         if not cache_dir:
             raise EngineError("cache_dir must be a non-empty path")
+        if max_bytes is not None and max_bytes <= 0:
+            raise EngineError(f"max_bytes must be positive, got {max_bytes}")
+        if max_age is not None and max_age <= 0:
+            raise EngineError(f"max_age must be positive, got {max_age}")
         self.cache_dir = str(cache_dir)
         self.namespace = namespace
         if version is None:
             from .. import __version__
             version = __version__
         self.version = version
+        self.max_bytes = max_bytes
+        self.max_age = max_age
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Amortised eviction bookkeeping: a (conservatively over-counted)
+        # running byte total and the time of the last age sweep, so put()
+        # does not scan the whole directory on every write.
+        self._approx_bytes: Optional[int] = None
+        self._last_age_sweep = 0.0
 
     # ------------------------------------------------------------------- keys
     def key_for(self, spec: Mapping[str, Any],
@@ -78,7 +119,11 @@ class ResultCache:
 
     # ---------------------------------------------------------------- storage
     def get(self, key: str) -> Any:
-        """Stored result for ``key``, or the :data:`MISS` sentinel."""
+        """Stored result for ``key``, or the :data:`MISS` sentinel.
+
+        A hit refreshes the artifact's mtime so size-budget eviction removes
+        least-recently-*used* artifacts first (LRU-on-read).
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -94,15 +139,27 @@ class ResultCache:
             # Valid JSON but not an artifact (externally overwritten): miss.
             self.misses += 1
             return MISS
+        if self._expired(entry):
+            self._unlink(path)
+            self.misses += 1
+            return MISS
         self.hits += 1
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass  # recency tracking is best-effort
         return entry.get("result")
 
     def put(self, key: str, result: Any, task_id: Optional[str] = None,
             spec: Optional[Mapping[str, Any]] = None) -> None:
-        """Store one artifact atomically (write + rename)."""
+        """Store one artifact atomically (write + rename).
+
+        Triggers an eviction pass when the running size total exceeds
+        ``max_bytes`` or an age sweep is due (see :meth:`_eviction_due`).
+        """
         os.makedirs(self.cache_dir, exist_ok=True)
         entry = {"key": key, "task_id": task_id, "spec": spec,
-                 "result": result}
+                 "result": result, "created": time.time()}
         try:
             body = json.dumps(entry, sort_keys=True)
         except (TypeError, ValueError) as exc:
@@ -120,6 +177,111 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self._eviction_due(len(body)):
+            self.evict()
+
+    def _eviction_due(self, bytes_written: int) -> bool:
+        """Whether this write warrants a (full-scan) eviction pass.
+
+        The size budget is tracked with a running total seeded by one
+        directory scan and bumped per write; it only over-counts (overwrites
+        and external deletions are not subtracted), which at worst triggers
+        an early pass -- :meth:`evict` re-measures exactly.  Age sweeps are
+        rate-limited to one per tenth of ``max_age``; in between, expired
+        artifacts are still deleted lazily by :meth:`get`.
+        """
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += bytes_written
+            if self._approx_bytes > self.max_bytes:
+                return True
+        if self.max_age is not None and \
+                time.time() - self._last_age_sweep >= self.max_age / 10.0:
+            return True
+        return False
+
+    # --------------------------------------------------------------- eviction
+    def _expired(self, entry: Mapping[str, Any]) -> bool:
+        if self.max_age is None:
+            return False
+        created = entry.get("created")
+        if not isinstance(created, (int, float)):
+            return False  # pre-eviction artifact without a timestamp
+        return time.time() - created > self.max_age
+
+    def _unlink(self, path: str) -> bool:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        self.evictions += 1
+        return True
+
+    def _artifact_stats(self) -> List[Tuple[float, int, str]]:
+        """``(mtime, size, path)`` of every artifact, oldest first."""
+        stats = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+        stats.sort()
+        return stats
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all artifacts."""
+        return sum(size for _, size, _ in self._artifact_stats())
+
+    def evict(self) -> int:
+        """Enforce ``max_age`` then ``max_bytes``; returns artifacts removed.
+
+        ``max_age`` removal keys off the file mtime: because the mtime is
+        refreshed on reads it is never older than the creation time, so an
+        artifact whose mtime has aged past ``max_age`` is guaranteed to be
+        expired (artifacts recently *read* are left for :meth:`get`'s exact
+        creation-time check).  ``max_bytes`` removal then drops
+        least-recently-used artifacts until the directory is below a
+        low-water mark slightly under the budget (so steady writes do not
+        re-trigger a scan every time).
+        """
+        removed = 0
+        stats = self._artifact_stats()
+        if self.max_age is not None:
+            cutoff = time.time() - self.max_age
+            fresh = []
+            for mtime, size, path in stats:
+                if mtime < cutoff:
+                    removed += self._unlink(path)
+                else:
+                    fresh.append((mtime, size, path))
+            stats = fresh
+            self._last_age_sweep = time.time()
+        total = sum(size for _, size, _ in stats)
+        if self.max_bytes is not None and total > self.max_bytes:
+            # Trim below a low-water mark (95% of the budget), not to the
+            # budget exactly: a cache sitting at capacity would otherwise
+            # re-trigger a full directory scan on every subsequent write.
+            target = int(self.max_bytes * 0.95)
+            for mtime, size, path in stats:
+                if total <= target:
+                    break
+                if self._unlink(path):
+                    removed += 1
+                    total -= size
+        self._approx_bytes = total
+        return removed
 
     # ------------------------------------------------------------- management
     def __len__(self) -> int:
@@ -146,11 +308,12 @@ class ResultCache:
                 removed += 1
             except FileNotFoundError:
                 pass
+        self._approx_bytes = 0
         return removed
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "artifacts": len(self)}
+                "artifacts": len(self), "evictions": self.evictions}
 
 
 def callable_token(fn: Any) -> Optional[str]:

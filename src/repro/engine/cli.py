@@ -1,17 +1,23 @@
 """``repro-campaign`` -- run calibrations and defect campaigns from the shell.
 
-The command line drives the two heavyweight workloads of the reproduction
+The command line drives the heavyweight workloads of the reproduction
 through the campaign engine, with sharded workers and a persistent artifact
 cache::
 
     repro-campaign calibrate --monte-carlo 100 --workers 4 --cache-dir .cache
     repro-campaign campaign --blocks sc_array vcm_generator --workers 4
-    repro-campaign campaign --samples 60 --cache-dir .cache --json out.json
+    repro-campaign pipeline --workers 4 --cache-dir .cache --json out.json
+
+``calibrate`` and ``campaign`` are the two phases run separately; the
+``pipeline`` subcommand runs both as one dependency-aware task graph
+(calibration samples -> window reduction -> per-defect simulations) with
+bit-identical results to the two-invocation flow under the same ``--seed``.
 
 ``--workers 1`` (the default) executes serially; any higher count shards the
 work across a process pool with byte-identical results.  ``--cache-dir``
 makes repeated runs near-free: every per-defect record and per-sample
-residual set is stored as a content-addressed JSON artifact.
+residual set is stored as a content-addressed JSON artifact, optionally
+bounded by ``--cache-max-bytes`` / ``--cache-max-age`` LRU eviction.
 """
 
 from __future__ import annotations
@@ -31,11 +37,13 @@ def _build_backend(workers: int):
     return MultiprocessBackend(max_workers=workers)
 
 
-def _build_cache(cache_dir: Optional[str], namespace: str):
+def _build_cache(args: argparse.Namespace, namespace: str):
     from . import ResultCache
-    if cache_dir is None:
+    if args.cache_dir is None:
         return None
-    return ResultCache(cache_dir, namespace=namespace)
+    return ResultCache(args.cache_dir, namespace=namespace,
+                       max_bytes=args.cache_max_bytes,
+                       max_age=args.cache_max_age)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +53,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="directory of the content-addressed result "
                              "cache; omit to disable caching")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="cache size budget; least-recently-used "
+                             "artifacts are evicted past it")
+    parser.add_argument("--cache-max-age", type=float, default=None,
+                        help="cache artifact lifetime in seconds; older "
+                             "artifacts expire (survives restarts)")
     parser.add_argument("--seed", type=int, default=1,
                         help="root seed of every random draw")
     parser.add_argument("--monte-carlo", type=int, default=50,
@@ -61,7 +75,7 @@ def _calibrate(args: argparse.Namespace):
         k=args.k, n_monte_carlo=args.monte_carlo,
         rng=np.random.default_rng(args.seed),
         backend=_build_backend(args.workers),
-        cache=_build_cache(args.cache_dir, "calibration"))
+        cache=_build_cache(args, "calibration"))
 
 
 def _emit(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
@@ -86,13 +100,38 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _block_json(block: str, result: Any,
+                per_block_engine: bool = True) -> Dict[str, Any]:
+    """Machine-readable per-block payload, shared by campaign and pipeline
+    so the two subcommands never drift apart in JSON schema.
+
+    ``per_block_engine=False`` drops the engine keys from ``timing``
+    (``engine_wall_time``, ``cache_hit_rate``): in a pipeline run one engine
+    report spans every stage, so those numbers are graph-wide, not
+    per-block, and are reported once at the top level instead.
+    """
+    report = result.block_report(block)
+    timing = result.timing_summary()
+    if not per_block_engine:
+        timing.pop("engine_wall_time", None)
+        timing.pop("cache_hit_rate", None)
+    return {
+        "block": block, "n_defects": report.n_defects,
+        "n_simulated": report.n_simulated,
+        "n_detected": result.n_detected,
+        "n_escaped": result.n_simulated - result.n_detected,
+        "coverage": report.coverage.value,
+        "ci_half_width": report.coverage.ci_half_width,
+        "timing": timing}
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from ..adc import SarAdc
     from ..core import format_confidence, format_table
     from ..defects import DefectCampaign, SamplingPlan
 
     backend = _build_backend(args.workers)
-    cache = _build_cache(args.cache_dir, "defects")
+    cache = _build_cache(args, "defects")
 
     print(f"calibrating comparison windows (delta = {args.k:g} sigma, "
           f"{args.monte_carlo} MC samples)...")
@@ -123,13 +162,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                      f"{report.modeled_sim_time:.0f}",
                      format_confidence(report.coverage.value,
                                        report.coverage.ci_half_width)])
-        results_json.append({
-            "block": block, "n_defects": report.n_defects,
-            "n_simulated": report.n_simulated,
-            "coverage": report.coverage.value,
-            "ci_half_width": report.coverage.ci_half_width,
-            "timing": timing,
-            "engine": result.engine_report.summary()})
+        results_json.append(dict(_block_json(block, result),
+                                 engine=result.engine_report.summary()))
 
     print()
     print(format_table(
@@ -143,6 +177,73 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
                  "blocks": results_json})
     return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from ..core import format_confidence, format_table
+    from . import calibrate_then_campaign
+
+    print(f"running calibrate -> campaign as one task graph "
+          f"(delta = {args.k:g} sigma, {args.monte_carlo} MC samples, "
+          f"seed {args.seed})...")
+    # Namespace "calibration" (not a pipeline-private one) so the calibrate
+    # stage replays artifacts written by `repro-campaign calibrate` and vice
+    # versa; the windows/defect artifacts cannot collide with them because
+    # their specs carry distinct "driver" fields.
+    outcome = calibrate_then_campaign(
+        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
+        blocks=args.blocks, samples=args.samples,
+        exhaustive=args.exhaustive,
+        exhaustive_threshold=args.exhaustive_threshold,
+        stop_on_detection=not args.no_stop_on_detection,
+        backend=_build_backend(args.workers),
+        cache=_build_cache(args, "calibration"))
+
+    calibration = outcome.calibration
+    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
+                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
+                for name, delta in calibration.deltas.items()]
+    print()
+    print(format_table(
+        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
+        title="SymBIST window calibration (pipeline stage 1)"))
+
+    rows: List[List[Any]] = []
+    results_json: List[Dict[str, Any]] = []
+    for block, result in outcome.results.items():
+        report = result.block_report(block)
+        rows.append([block, report.n_defects, report.n_simulated,
+                     result.n_detected,
+                     f"{report.modeled_sim_time:.0f}",
+                     format_confidence(report.coverage.value,
+                                       report.coverage.ci_half_width)])
+        results_json.append(_block_json(block, result,
+                                        per_block_engine=False))
+    print()
+    print(format_table(
+        ["A/M-S block", "#defects", "#simulated", "#detected",
+         "model sim time (s)", "L-W defect coverage"],
+        rows, title="SymBIST defect campaign (pipeline stage 2)"))
+    print()
+    print(f"engine: {outcome.report.summary()}")
+    _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
+                 "k": args.k, "seed": args.seed, "blocks": results_json,
+                 "engine": outcome.report.summary()})
+    return 0
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocks", nargs="*", default=None,
+                        help="restrict the campaign to these block paths")
+    parser.add_argument("--samples", type=int, default=60,
+                        help="LWRS budget for blocks too large to exhaust")
+    parser.add_argument("--exhaustive", action="store_true",
+                        help="simulate every defect of every block")
+    parser.add_argument("--exhaustive-threshold", type=int, default=120,
+                        help="blocks with at most this many defects are "
+                             "simulated exhaustively")
+    parser.add_argument("--no-stop-on-detection", action="store_true",
+                        help="run the full test even after detection")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,18 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser(
         "campaign", help="defect-simulation campaign (Table I style)")
     _add_common_arguments(campaign)
-    campaign.add_argument("--blocks", nargs="*", default=None,
-                          help="restrict the campaign to these block paths")
-    campaign.add_argument("--samples", type=int, default=60,
-                          help="LWRS budget for blocks too large to exhaust")
-    campaign.add_argument("--exhaustive", action="store_true",
-                          help="simulate every defect of every block")
-    campaign.add_argument("--exhaustive-threshold", type=int, default=120,
-                          help="blocks with at most this many defects are "
-                               "simulated exhaustively")
-    campaign.add_argument("--no-stop-on-detection", action="store_true",
-                          help="run the full test even after detection")
+    _add_campaign_arguments(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="calibrate -> campaign as one dependency-aware task graph")
+    _add_common_arguments(pipeline)
+    _add_campaign_arguments(pipeline)
+    pipeline.set_defaults(func=cmd_pipeline)
     return parser
 
 

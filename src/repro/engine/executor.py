@@ -1,4 +1,4 @@
-"""Campaign executor: seeding, cache orchestration, instrumentation.
+"""Campaign executor: seeding, cache orchestration, graph scheduling.
 
 :class:`CampaignEngine` takes a :class:`~repro.engine.task.TaskGraph` and a
 *worker* callable and produces one result per task plus a
@@ -14,9 +14,21 @@ pipeline is:
 4. store freshly computed results back into the cache and assemble all
    results in task order.
 
-The worker contract is ``worker(context, task, rng) -> result``.  ``context``
-is an arbitrary (picklable, for multiprocess execution) object shared by all
-tasks of a run; ``rng`` is a ``numpy`` generator seeded from the task's own
+Flat graphs (no dependency edges) are executed in one batch through
+:meth:`~repro.engine.backends.ExecutionBackend.map_items`.  Graphs *with*
+edges go through a topological scheduler instead: tasks are dispatched to the
+backend's :class:`~repro.engine.backends.WorkStream` the moment their last
+parent completes (no stage barriers), a cache hit on a parent unblocks its
+children immediately without touching the backend, and a failed task marks
+every descendant ``skipped`` while the rest of the graph keeps running.
+
+Worker contract
+---------------
+Flat graphs: ``worker(context, task, rng) -> result``.  Dependency graphs:
+``worker(context, task, rng, inputs) -> result`` where ``inputs`` maps each
+parent task id to its result (empty for root tasks).  ``context`` is an
+arbitrary (picklable, for multiprocess execution) object shared by all tasks
+of a run; ``rng`` is a ``numpy`` generator seeded from the task's own
 ``SeedSequence`` child, so results are independent of worker count and
 completion order.
 """
@@ -25,6 +37,7 @@ from __future__ import annotations
 
 import functools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -35,6 +48,12 @@ from ..circuit.errors import EngineError, TaskExecutionError
 from .backends import ExecutionBackend, SerialBackend
 from .cache import MISS, ResultCache
 from .task import Task, TaskGraph
+
+#: Per-task terminal states recorded in :attr:`EngineRun.statuses`.
+STATUS_EXECUTED = "executed"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+STATUS_SKIPPED = "skipped"
 
 
 @dataclass(frozen=True)
@@ -51,7 +70,9 @@ class TaskOutcome:
 
 
 #: ``progress(outcome)`` -- invoked once per completed task, in completion
-#: order (cache hits first, then live executions as they finish).
+#: order (cache hits first, then live executions as they finish).  Failed and
+#: skipped tasks are not reported through progress; read
+#: :attr:`EngineRun.statuses` instead.
 ProgressCallback = Callable[[TaskOutcome], None]
 
 
@@ -67,6 +88,10 @@ class ResultCodec:
 IDENTITY_CODEC = ResultCodec(encode=lambda value: value,
                              decode=lambda value: value)
 
+#: A codec argument: one codec for every task, or a per-task resolver
+#: (used by pipelines whose stages store different result shapes).
+CodecArg = Optional[Union[ResultCodec, Callable[[Task], ResultCodec]]]
+
 
 @dataclass
 class CampaignReport:
@@ -80,6 +105,10 @@ class CampaignReport:
     wall_time: float
     task_durations: Dict[str, float] = field(default_factory=dict)
     group_durations: Dict[str, float] = field(default_factory=dict)
+    #: Tasks whose worker raised (dependency-graph runs only).
+    n_failed: int = 0
+    #: Tasks never dispatched because an ancestor failed.
+    n_skipped: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -95,9 +124,12 @@ class CampaignReport:
                  f" ({self.workers} worker{'s' if self.workers != 1 else ''})",
                  f"{self.n_executed} executed",
                  f"{self.n_cache_hits} cached"
-                 f" ({100.0 * self.cache_hit_rate:.0f}%)",
-                 f"{self.wall_time:.2f}s wall",
-                 f"{self.tasks_per_second:.1f} tasks/s"]
+                 f" ({100.0 * self.cache_hit_rate:.0f}%)"]
+        if self.n_failed or self.n_skipped:
+            parts.append(f"{self.n_failed} failed")
+            parts.append(f"{self.n_skipped} skipped")
+        parts.extend([f"{self.wall_time:.2f}s wall",
+                      f"{self.tasks_per_second:.1f} tasks/s"])
         return ", ".join(parts)
 
 
@@ -108,12 +140,30 @@ class EngineRun:
     results: List[Any]
     report: CampaignReport
     task_ids: List[str] = field(default_factory=list)
+    #: Terminal state per task id: ``executed``, ``cached``, ``failed`` or
+    #: ``skipped``.  Failed/skipped tasks have ``None`` in :attr:`results`.
+    statuses: Dict[str, str] = field(default_factory=dict)
+    #: Error message per failed task id.
+    errors: Dict[str, str] = field(default_factory=dict)
 
     def result_for(self, task_id: str) -> Any:
         try:
             return self.results[self.task_ids.index(task_id)]
         except ValueError as exc:
             raise EngineError(f"run has no task {task_id!r}") from exc
+
+    @property
+    def ok(self) -> bool:
+        """True when every task completed (none failed or skipped)."""
+        return not self.errors and \
+            STATUS_SKIPPED not in self.statuses.values()
+
+    def failed_tasks(self) -> List[str]:
+        return [tid for tid in self.task_ids if tid in self.errors]
+
+    def skipped_tasks(self) -> List[str]:
+        return [tid for tid in self.task_ids
+                if self.statuses.get(tid) == STATUS_SKIPPED]
 
 
 def _seed_token(seed_material: Any) -> str:
@@ -129,7 +179,7 @@ def _seed_token(seed_material: Any) -> str:
 def _execute_task(worker: Callable[[Any, Task, np.random.Generator], Any],
                   context: Any,
                   item: Tuple[int, Task, Any]) -> Tuple[int, Any, float]:
-    """Run one task (in whatever process the backend chose).
+    """Run one flat-graph task (in whatever process the backend chose).
 
     Module-level (and wrapped with :func:`functools.partial`) so the
     multiprocess backend can pickle it.  Failures are re-raised as
@@ -148,6 +198,35 @@ def _execute_task(worker: Callable[[Any, Task, np.random.Generator], Any],
             f"task {task.task_id!r} failed: {type(exc).__name__}: {exc}") \
             from exc
     return index, result, time.perf_counter() - start
+
+
+def _execute_graph_task(
+        worker: Callable[[Any, Task, np.random.Generator,
+                          Mapping[str, Any]], Any],
+        context: Any,
+        item: Tuple[int, Task, Any, Mapping[str, Any]]) \
+        -> Tuple[int, Any, float]:
+    """Run one dependency-graph task; parent results arrive as ``inputs``."""
+    index, task, seed_material, inputs = item
+    rng = np.random.default_rng(seed_material)
+    start = time.perf_counter()
+    try:
+        result = worker(context, task, rng, inputs)
+    except TaskExecutionError:
+        raise
+    except Exception as exc:
+        raise TaskExecutionError(
+            f"task {task.task_id!r} failed: {type(exc).__name__}: {exc}") \
+            from exc
+    return index, result, time.perf_counter() - start
+
+
+def _resolve_codec(codec: CodecArg) -> Callable[[Task], ResultCodec]:
+    if codec is None:
+        return lambda task: IDENTITY_CODEC
+    if isinstance(codec, ResultCodec):
+        return lambda task: codec
+    return codec
 
 
 class CampaignEngine:
@@ -177,48 +256,100 @@ class CampaignEngine:
         self.seed = seed
         self.progress = progress
 
-    # -------------------------------------------------------------------- run
-    def run(self, tasks: Union[TaskGraph, Sequence[Task]],
-            worker: Callable[[Any, Task, np.random.Generator], Any],
-            context: Any = None,
-            codec: Optional[ResultCodec] = None,
-            progress: Optional[ProgressCallback] = None) -> EngineRun:
-        """Execute every task; results come back in task order."""
-        graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
-        codec = codec or IDENTITY_CODEC
-        progress = progress or self.progress
-        n_tasks = len(graph)
-        started = time.perf_counter()
+    # ---------------------------------------------------------------- helpers
+    def _task_seeds(self, graph: TaskGraph) -> List[Any]:
+        """Per-task seed material, independent of backend and run count.
 
+        Children are derived statelessly (not via ``root.spawn``, which
+        advances the parent's spawn counter) so repeated runs of the same
+        engine -- or one sharing a caller-owned SeedSequence -- always see
+        identical per-task seeds.  For a fresh root this matches ``spawn()``.
+        """
         root = self.seed if isinstance(self.seed, np.random.SeedSequence) \
             else np.random.SeedSequence(self.seed)
-        # Children are derived statelessly (not via root.spawn, which
-        # advances the parent's spawn counter) so repeated runs of the same
-        # engine -- or one sharing a caller-owned SeedSequence -- always see
-        # identical per-task seeds.  For a fresh root this matches spawn().
         children = [np.random.SeedSequence(entropy=root.entropy,
                                            spawn_key=tuple(root.spawn_key)
                                            + (i,))
-                    for i in range(n_tasks)]
-        seeds = [task.seed if task.seed is not None else children[i]
-                 for i, task in enumerate(graph)]
+                    for i in range(len(graph))]
+        return [task.seed if task.seed is not None else children[i]
+                for i, task in enumerate(graph)]
+
+    def _cache_key(self, task: Task, seed_material: Any) -> Optional[str]:
+        if self.cache is None or task.spec is None:
+            return None
+        seed_token = None if task.deterministic else _seed_token(seed_material)
+        return self.cache.key_for(task.spec, seed_token)
+
+    # -------------------------------------------------------------------- run
+    def run(self, tasks: Union[TaskGraph, Sequence[Task]],
+            worker: Callable[..., Any],
+            context: Any = None,
+            codec: CodecArg = None,
+            progress: Optional[ProgressCallback] = None,
+            on_failure: str = "raise") -> EngineRun:
+        """Execute every task; results come back in task order.
+
+        Parameters
+        ----------
+        tasks:
+            A :class:`TaskGraph` or sequence of tasks.  Graphs with
+            dependency edges are executed by the topological scheduler and
+            their worker receives a fourth ``inputs`` argument (parent id ->
+            parent result).
+        worker:
+            ``worker(context, task, rng)`` for flat graphs,
+            ``worker(context, task, rng, inputs)`` for dependency graphs.
+        codec:
+            A :class:`ResultCodec`, or a per-task resolver
+            ``codec_for(task) -> ResultCodec`` for heterogeneous graphs.
+        on_failure:
+            ``"raise"`` (default): raise :class:`TaskExecutionError` on task
+            failure.  For dependency graphs the scheduler first finishes all
+            runnable work and attaches the completed :class:`EngineRun` to
+            the exception as ``.run``; flat graphs keep the historical batch
+            behaviour (the backend raises after draining already-running
+            work, with no ``.run`` attribute).  ``"skip"``: never raise for
+            task failures; return the run with failed/skipped tasks recorded
+            in :attr:`EngineRun.statuses` / :attr:`EngineRun.errors` and
+            ``None`` results.  Flat graphs run with ``"skip"`` are routed
+            through the graph scheduler so partial results survive.
+        """
+        graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
+        if on_failure not in ("raise", "skip"):
+            raise EngineError(
+                f"on_failure must be 'raise' or 'skip', got {on_failure!r}")
+        codec_for = _resolve_codec(codec)
+        progress = progress or self.progress
+        if graph.has_edges or on_failure == "skip":
+            return self._run_graph(graph, worker, context, codec_for,
+                                   progress, on_failure)
+        return self._run_flat(graph, worker, context, codec_for, progress)
+
+    # -------------------------------------------------------- flat (batch) run
+    def _run_flat(self, graph: TaskGraph, worker: Callable[..., Any],
+                  context: Any,
+                  codec_for: Callable[[Task], ResultCodec],
+                  progress: Optional[ProgressCallback]) -> EngineRun:
+        n_tasks = len(graph)
+        started = time.perf_counter()
+        seeds = self._task_seeds(graph)
 
         results: List[Any] = [None] * n_tasks
         durations: Dict[str, float] = {}
+        statuses: Dict[str, str] = {}
         done = 0
 
         # ------------------------------------------------------ cache lookup
         keys: List[Optional[str]] = [None] * n_tasks
         pending: List[Tuple[int, Task, Any]] = []
         for i, task in enumerate(graph):
-            if self.cache is not None and task.spec is not None:
-                seed_token = None if task.deterministic \
-                    else _seed_token(seeds[i])
-                keys[i] = self.cache.key_for(task.spec, seed_token)
+            keys[i] = self._cache_key(task, seeds[i])
+            if keys[i] is not None:
                 stored = self.cache.get(keys[i])
                 if stored is not MISS:
-                    results[i] = codec.decode(stored)
+                    results[i] = codec_for(task).decode(stored)
                     durations[task.task_id] = 0.0
+                    statuses[task.task_id] = STATUS_CACHED
                     done += 1
                     if progress is not None:
                         progress(TaskOutcome(index=i, task=task,
@@ -235,10 +366,11 @@ class CampaignEngine:
             index, result, duration = outcome
             done += 1
             task = graph[index]
+            statuses[task.task_id] = STATUS_EXECUTED
             # Store per completion (not after the whole run) so results of
             # completed tasks survive a later task failure or interrupt.
             if self.cache is not None and keys[index] is not None:
-                self.cache.put(keys[index], codec.encode(result),
+                self.cache.put(keys[index], codec_for(task).encode(result),
                                task_id=task.task_id, spec=task.spec)
             if progress is not None:
                 progress(TaskOutcome(index=index, task=task, result=result,
@@ -251,20 +383,161 @@ class CampaignEngine:
             results[index] = result
             durations[graph[index].task_id] = duration
 
-        # ------------------------------------------------------------ report
+        report = self._build_report(graph, durations, n_tasks,
+                                    n_executed=len(pending),
+                                    n_cache_hits=n_cache_hits,
+                                    started=started)
+        return EngineRun(results=results, report=report,
+                         task_ids=graph.ids(), statuses=statuses)
+
+    # --------------------------------------------------- dependency-graph run
+    def _run_graph(self, graph: TaskGraph, worker: Callable[..., Any],
+                   context: Any,
+                   codec_for: Callable[[Task], ResultCodec],
+                   progress: Optional[ProgressCallback],
+                   on_failure: str) -> EngineRun:
+        """Topological scheduling with cache short-circuits + failure skips.
+
+        Tasks are dispatched the moment their last parent completes; there is
+        no barrier between "stages".  A task found in the cache completes
+        without touching the backend, so fully cached subtrees unblock their
+        descendants immediately.  When a task fails, every descendant is
+        marked ``skipped`` (never dispatched) while independent branches keep
+        executing.
+        """
+        n_tasks = len(graph)
+        started = time.perf_counter()
+        seeds = self._task_seeds(graph)
+
+        results: List[Any] = [None] * n_tasks
+        durations: Dict[str, float] = {}
+        statuses: Dict[str, str] = {}
+        errors: Dict[str, str] = {}
+        keys: List[Optional[str]] = [None] * n_tasks
+
+        # An edge-free graph lands here only for on_failure="skip"; its
+        # worker still follows the 3-argument flat contract.
+        has_edges = graph.has_edges
+        remaining = [len(task.depends_on) for task in graph]
+        ready: deque = deque(i for i, task in enumerate(graph)
+                             if not task.depends_on)
+        done = 0
+        n_cache_hits = 0
+        n_executed = 0
+        in_flight = 0
+
+        def complete(index: int, result: Any, duration: float,
+                     from_cache: bool) -> None:
+            """Record a finished task and release its children."""
+            nonlocal done
+            task = graph[index]
+            results[index] = result
+            durations[task.task_id] = duration
+            statuses[task.task_id] = STATUS_CACHED if from_cache \
+                else STATUS_EXECUTED
+            done += 1
+            if progress is not None:
+                progress(TaskOutcome(index=index, task=task, result=result,
+                                     duration=duration, from_cache=from_cache,
+                                     done=done, total=n_tasks))
+            for child_id in graph.dependents(task.task_id):
+                child_index = graph.index_of(child_id)
+                remaining[child_index] -= 1
+                if remaining[child_index] == 0 and \
+                        statuses.get(child_id) != STATUS_SKIPPED:
+                    ready.append(child_index)
+
+        def fail(index: int, exc: BaseException) -> None:
+            """Record a failure and mark the whole subtree below it skipped."""
+            task = graph[index]
+            statuses[task.task_id] = STATUS_FAILED
+            errors[task.task_id] = str(exc)
+            for desc_id in graph.descendants(task.task_id):
+                statuses.setdefault(desc_id, STATUS_SKIPPED)
+
+        fn = functools.partial(
+            _execute_graph_task if has_edges else _execute_task,
+            worker, context)
+        with self.backend.stream(fn) as stream:
+            while ready or in_flight:
+                # Dispatch everything runnable; cache hits complete inline
+                # (and may push newly unblocked children back onto `ready`).
+                while ready:
+                    index = ready.popleft()
+                    task = graph[index]
+                    if statuses.get(task.task_id) == STATUS_SKIPPED:
+                        continue
+                    keys[index] = self._cache_key(task, seeds[index])
+                    if keys[index] is not None:
+                        stored = self.cache.get(keys[index])
+                        if stored is not MISS:
+                            n_cache_hits += 1
+                            complete(index, codec_for(task).decode(stored),
+                                     0.0, from_cache=True)
+                            continue
+                    if has_edges:
+                        inputs = {dep: results[graph.index_of(dep)]
+                                  for dep in task.depends_on}
+                        stream.submit((index, task, seeds[index], inputs))
+                    else:
+                        stream.submit((index, task, seeds[index]))
+                    in_flight += 1
+                if not in_flight:
+                    continue
+                item, ok, value = stream.next_outcome()
+                in_flight -= 1
+                index = item[0]
+                if ok:
+                    _, result, duration = value
+                    n_executed += 1
+                    task = graph[index]
+                    if self.cache is not None and keys[index] is not None:
+                        self.cache.put(keys[index],
+                                       codec_for(task).encode(result),
+                                       task_id=task.task_id, spec=task.spec)
+                    complete(index, result, duration, from_cache=False)
+                else:
+                    fail(index, value)
+
+        n_skipped = sum(1 for status in statuses.values()
+                        if status == STATUS_SKIPPED)
+        report = self._build_report(graph, durations, n_tasks,
+                                    n_executed=n_executed,
+                                    n_cache_hits=n_cache_hits,
+                                    started=started,
+                                    n_failed=len(errors),
+                                    n_skipped=n_skipped)
+        run = EngineRun(results=results, report=report, task_ids=graph.ids(),
+                        statuses=statuses, errors=errors)
+        if errors and on_failure == "raise":
+            first_id = run.failed_tasks()[0]
+            error = TaskExecutionError(
+                f"{len(errors)} task(s) failed and {n_skipped} dependent "
+                f"task(s) were skipped; first failure: {first_id!r}: "
+                f"{errors[first_id]}")
+            error.run = run
+            raise error
+        return run
+
+    # ------------------------------------------------------------ report
+    def _build_report(self, graph: TaskGraph, durations: Dict[str, float],
+                      n_tasks: int, n_executed: int, n_cache_hits: int,
+                      started: float, n_failed: int = 0,
+                      n_skipped: int = 0) -> CampaignReport:
         group_durations: Dict[str, float] = {}
         for task in graph:
-            if task.group is not None:
+            if task.group is not None and task.task_id in durations:
                 group_durations[task.group] = \
                     group_durations.get(task.group, 0.0) \
-                    + durations.get(task.task_id, 0.0)
-        report = CampaignReport(
+                    + durations[task.task_id]
+        return CampaignReport(
             backend=self.backend.name,
             workers=self.backend.workers,
             n_tasks=n_tasks,
-            n_executed=len(pending),
+            n_executed=n_executed,
             n_cache_hits=n_cache_hits,
             wall_time=time.perf_counter() - started,
             task_durations=durations,
-            group_durations=group_durations)
-        return EngineRun(results=results, report=report, task_ids=graph.ids())
+            group_durations=group_durations,
+            n_failed=n_failed,
+            n_skipped=n_skipped)

@@ -1,0 +1,560 @@
+"""Multi-stage pipelines over the campaign engine's dependency graph.
+
+A :class:`Pipeline` is a thin declarative layer on top of
+:class:`~repro.engine.task.TaskGraph`: it groups tasks into named *stages*,
+each with its own worker callable, worker context and result codec, and runs
+the whole graph through one :class:`~repro.engine.CampaignEngine` invocation.
+Dependencies cross stage boundaries freely and there are **no stage
+barriers** -- the scheduler dispatches any task the moment its parents
+complete, so a fast branch of a later stage can overtake a slow branch of an
+earlier one.
+
+The built-in :func:`calibrate_then_campaign` pipeline wires the paper's core
+workflow into a single graph::
+
+    calib/0 ... calib/N-1          (defect-free Monte Carlo instances)
+            \\   |   /
+             windows               (pool residuals, delta = k*sigma + |mean|)
+            /   |   \\
+    campaign/<block>/<i>/...       (one defect injection + SymBIST run each)
+
+One root seed drives every random draw (the same draws, in the same order,
+as running ``repro-campaign calibrate`` followed by ``repro-campaign
+campaign`` with that seed), one :class:`~repro.engine.CampaignReport` spans
+all stages, and a warm :class:`~repro.engine.ResultCache` short-circuits
+completed parents so their children dispatch immediately.
+
+Stage workers follow the dependency-graph worker contract
+``worker(stage_context, task, rng, inputs)`` (see
+:meth:`repro.engine.CampaignEngine.run`); they must be module-level
+callables, and stage contexts picklable, for multiprocess execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from ..circuit.errors import CalibrationError, CoverageError, EngineError
+from .backends import ExecutionBackend
+from .cache import ResultCache, callable_token, canonical_json
+from .executor import (CampaignEngine, CampaignReport, EngineRun,
+                       IDENTITY_CODEC, ProgressCallback, ResultCodec,
+                       STATUS_CACHED, STATUS_EXECUTED)
+from .task import Task, TaskGraph
+
+#: Stage worker contract: ``worker(stage_context, task, rng, inputs)``.
+StageWorker = Callable[[Any, Task, np.random.Generator, Mapping[str, Any]],
+                       Any]
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One named stage of a pipeline.
+
+    Attributes
+    ----------
+    name:
+        Stage label; the default ``group`` of its tasks (for per-stage
+        timings in the report).
+    worker:
+        Module-level callable executing the stage's tasks, signature
+        ``worker(context, task, rng, inputs)``.
+    context:
+        Stage-private worker context (picklable for multiprocess backends).
+    codec:
+        :class:`~repro.engine.ResultCodec` converting the stage's results
+        to/from the JSON stored by the result cache.
+    """
+
+    name: str
+    worker: StageWorker
+    context: Any = None
+    codec: ResultCodec = IDENTITY_CODEC
+
+
+def _dispatch_worker(context: Mapping[str, Any], task: Task,
+                     rng: np.random.Generator,
+                     inputs: Optional[Mapping[str, Any]] = None) -> Any:
+    """Engine worker of every pipeline: route the task to its stage worker."""
+    worker, stage_context = context["stages"][context["stage_of"][task.task_id]]
+    return worker(stage_context, task, rng,
+                  inputs if inputs is not None else {})
+
+
+@dataclass
+class PipelineResult:
+    """Per-stage view over one engine run of a pipeline graph."""
+
+    run: EngineRun
+    stage_names: List[str]
+    stage_of: Dict[str, str]
+
+    @property
+    def report(self) -> CampaignReport:
+        """The single :class:`CampaignReport` spanning every stage."""
+        return self.run.report
+
+    @property
+    def ok(self) -> bool:
+        return self.run.ok
+
+    def result_for(self, task_id: str) -> Any:
+        return self.run.result_for(task_id)
+
+    def _stage_task_ids(self, stage: str) -> List[str]:
+        if stage not in self.stage_names:
+            raise EngineError(f"pipeline has no stage {stage!r}")
+        return [tid for tid in self.run.task_ids
+                if self.stage_of.get(tid) == stage]
+
+    def stage_results(self, stage: str) -> Dict[str, Any]:
+        """Results of one stage's *completed* tasks, in task order."""
+        index = {tid: i for i, tid in enumerate(self.run.task_ids)}
+        return {tid: self.run.results[index[tid]]
+                for tid in self._stage_task_ids(stage)
+                if self.run.statuses.get(tid) in (STATUS_EXECUTED,
+                                                  STATUS_CACHED)}
+
+    def stage_statuses(self, stage: str) -> Dict[str, str]:
+        """Terminal status of every task of one stage, in task order."""
+        return {tid: self.run.statuses.get(tid, "unknown")
+                for tid in self._stage_task_ids(stage)}
+
+
+class Pipeline:
+    """Declarative multi-stage task graph executed as one engine run.
+
+    Usage::
+
+        pipeline = Pipeline("my-flow")
+        pipeline.add_stage("produce", produce_worker, context=...)
+        pipeline.add_stage("reduce", reduce_worker)
+        for i in range(10):
+            pipeline.add_task("produce", Task(task_id=f"p/{i}", payload=i))
+        pipeline.add_task("reduce", Task(
+            task_id="total", depends_on=tuple(f"p/{i}" for i in range(10))))
+        result = pipeline.run(backend=MultiprocessBackend(max_workers=4))
+        total = result.result_for("total")
+    """
+
+    def __init__(self, name: str = "pipeline") -> None:
+        self.name = name
+        self._stages: Dict[str, PipelineStage] = {}
+        self._graph = TaskGraph()
+        self._stage_of: Dict[str, str] = {}
+
+    # ---------------------------------------------------------------- building
+    def add_stage(self, name: str, worker: StageWorker, context: Any = None,
+                  codec: Optional[ResultCodec] = None) -> PipelineStage:
+        """Declare a stage; must happen before tasks are added to it."""
+        if name in self._stages:
+            raise EngineError(
+                f"pipeline {self.name!r} already has a stage {name!r}")
+        stage = PipelineStage(name=name, worker=worker, context=context,
+                              codec=codec or IDENTITY_CODEC)
+        self._stages[name] = stage
+        return stage
+
+    def add_task(self, stage: str, task: Task) -> Task:
+        """Add a task to a stage; dependencies may span stages.
+
+        Tasks without an explicit ``group`` inherit the stage name, so the
+        run report aggregates timings per stage by default.
+        """
+        if stage not in self._stages:
+            raise EngineError(
+                f"pipeline {self.name!r} has no stage {stage!r}; declare it "
+                f"with add_stage() first")
+        if task.group is None:
+            task = replace(task, group=stage)
+        self._graph.add(task)
+        self._stage_of[task.task_id] = stage
+        return task
+
+    # ------------------------------------------------------------------ access
+    @property
+    def graph(self) -> TaskGraph:
+        return self._graph
+
+    def stage_names(self) -> List[str]:
+        return list(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    # --------------------------------------------------------------------- run
+    def run(self, backend: Optional[ExecutionBackend] = None,
+            cache: Optional[ResultCache] = None,
+            seed: Any = 0,
+            progress: Optional[ProgressCallback] = None,
+            on_failure: str = "raise") -> PipelineResult:
+        """Execute the whole graph through one :class:`CampaignEngine` run.
+
+        ``on_failure="skip"`` returns a result whose
+        :meth:`PipelineResult.stage_statuses` mark failed tasks ``failed``
+        and their descendants ``skipped``; the default re-raises the engine's
+        :class:`~repro.circuit.errors.TaskExecutionError` (which carries the
+        completed :class:`~repro.engine.EngineRun` as ``.run``).
+        """
+        if not len(self._graph):
+            raise EngineError(f"pipeline {self.name!r} has no tasks")
+        engine = CampaignEngine(backend=backend, cache=cache, seed=seed,
+                                progress=progress)
+        context = {"stages": {name: (stage.worker, stage.context)
+                              for name, stage in self._stages.items()},
+                   "stage_of": dict(self._stage_of)}
+        stages, stage_of = self._stages, self._stage_of
+
+        def codec_for(task: Task) -> ResultCodec:
+            return stages[stage_of[task.task_id]].codec
+
+        run = engine.run(self._graph, _dispatch_worker, context=context,
+                         codec=codec_for, on_failure=on_failure)
+        return PipelineResult(run=run, stage_names=list(self._stages),
+                              stage_of=dict(self._stage_of))
+
+
+# ===================================================================== built-in
+# calibrate -> campaign: the paper's two-phase workflow as one graph.
+
+def _calibration_stage_worker(context: Mapping[str, Any], task: Task,
+                              rng: np.random.Generator,
+                              inputs: Mapping[str, Any]) -> Any:
+    """One defect-free Monte Carlo instance (root task, ignores inputs)."""
+    from ..core.calibration import _residual_worker
+    return _residual_worker(context, task, rng)
+
+
+def _windows_stage_worker(context: Mapping[str, Any], task: Task,
+                          rng: np.random.Generator,
+                          inputs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Pool the parents' residuals and derive the comparison windows.
+
+    Pools are assembled in ``task.depends_on`` order (== Monte Carlo sample
+    order), reproducing :func:`repro.core.calibrate_windows` float-for-float.
+    """
+    from ..core.calibration import windows_from_pools
+    names = context["invariance_names"]
+    pools: Dict[str, List[float]] = {name: [] for name in names}
+    for dep in task.depends_on:
+        rows = inputs[dep]
+        for name in names:
+            pools[name].extend(rows[name])
+    sigmas, means, deltas = windows_from_pools(
+        pools, context["k"], context.get("delta_floors"))
+    return {"k": context["k"], "n_samples": len(task.depends_on),
+            "sigmas": sigmas, "means": means, "deltas": deltas}
+
+
+def _campaign_stage_worker(context: Mapping[str, Any], task: Task,
+                           rng: np.random.Generator,
+                           inputs: Mapping[str, Any]) -> Any:
+    """Inject one defect and run SymBIST with the calibrated windows.
+
+    The campaign object is built once per process (keyed by the run token)
+    the first time a defect task lands there; the windows arrive as the
+    result of the single ``windows`` parent.  Deltas are re-ordered to the
+    canonical invariance order so checker order -- hence any
+    stop-on-detection tie-break -- never depends on JSON key ordering of a
+    cache-replayed windows artifact.
+    """
+    from ..defects.simulator import _worker_campaign
+    windows = inputs[task.depends_on[0]]
+    deltas = {name: windows["deltas"][name]
+              for name in context["invariance_names"]
+              if name in windows["deltas"]}
+    campaign = _worker_campaign({**context, "deltas": deltas})
+    return campaign.simulate_defect(task.payload)
+
+
+@dataclass
+class CalibrateCampaignOutcome:
+    """Everything produced by one ``calibrate -> campaign`` pipeline run."""
+
+    #: The calibration derived by the ``windows`` task (None if it failed).
+    calibration: Optional[Any]
+    #: One :class:`~repro.defects.simulator.CampaignResult` per fully
+    #: completed block, in campaign block order; blocks with failed or
+    #: skipped tasks are absent (inspect :attr:`pipeline` for their status).
+    results: Dict[str, Any]
+    #: The single report spanning calibration and campaign stages.
+    report: CampaignReport
+    #: Per-stage statuses and raw results.
+    pipeline: PipelineResult
+
+    @property
+    def ok(self) -> bool:
+        return self.pipeline.ok
+
+
+@dataclass
+class CalibrateCampaignPlan:
+    """A built (not yet run) ``calibrate -> campaign`` pipeline.
+
+    Produced by :func:`build_calibrate_then_campaign`; holds the pipeline
+    graph plus the metadata (per-block sampling plans, universes and task
+    ids) needed to assemble per-block campaign results after the run.
+    """
+
+    pipeline: Pipeline
+    k: float
+    n_monte_carlo: int
+    stop_on_detection: bool
+    invariance_names: List[str]
+    blocks: List[str]
+    block_plans: Dict[str, Any]
+    block_universes: Dict[str, Any]
+    block_task_ids: Dict[str, List[str]]
+    calibration_task_ids: List[str] = field(default_factory=list)
+    windows_task_id: str = "windows"
+    #: Key of the per-process campaign built by the campaign stage workers;
+    #: used to release the parent-process instance after the run.
+    worker_token: str = ""
+
+    def run(self, backend: Optional[ExecutionBackend] = None,
+            cache: Optional[ResultCache] = None,
+            progress: Optional[ProgressCallback] = None,
+            on_failure: str = "raise") -> CalibrateCampaignOutcome:
+        """Execute the graph and assemble the two-stage outcome."""
+        from ..core.calibration import WindowCalibration
+        from ..defects.simulator import _WORKER_STATE, CampaignResult
+
+        try:
+            result = self.pipeline.run(backend=backend, cache=cache,
+                                       progress=progress,
+                                       on_failure=on_failure)
+        finally:
+            # Serial runs build the campaign in this process; drop it so the
+            # ADC/hierarchy/injector do not outlive the run (mirrors
+            # DefectCampaign.run's own cleanup).
+            _WORKER_STATE.pop(self.worker_token, None)
+
+        calibration = None
+        windows = result.stage_results("windows").get(self.windows_task_id)
+        if windows is not None:
+            order = [name for name in self.invariance_names
+                     if name in windows["deltas"]]
+            calibration = WindowCalibration(
+                k=self.k, n_samples=self.n_monte_carlo,
+                sigmas={name: windows["sigmas"][name] for name in order},
+                means={name: windows["means"][name] for name in order},
+                deltas={name: windows["deltas"][name] for name in order})
+
+        records = result.stage_results("campaign")
+        results: Dict[str, Any] = {}
+        for block in self.blocks:
+            task_ids = self.block_task_ids[block]
+            if not all(tid in records for tid in task_ids):
+                continue
+            results[block] = CampaignResult(
+                records=[records[tid] for tid in task_ids],
+                universe=self.block_universes[block],
+                plan=self.block_plans[block],
+                stop_on_detection=self.stop_on_detection,
+                engine_report=result.report)
+        return CalibrateCampaignOutcome(calibration=calibration,
+                                        results=results,
+                                        report=result.report,
+                                        pipeline=result)
+
+
+def build_calibrate_then_campaign(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None
+) -> CalibrateCampaignPlan:
+    """Build the paper's calibrate -> campaign workflow as one task graph.
+
+    The graph reproduces, draw for draw, what ``repro-campaign calibrate
+    --seed S`` followed by ``repro-campaign campaign --seed S`` computes:
+
+    * calibration per-sample seeds are drawn up front from
+      ``default_rng(seed)`` exactly like
+      :func:`~repro.core.collect_defect_free_residuals`;
+    * LWRS defect sampling walks the blocks in the same order with a fresh
+      ``default_rng(seed)``, exactly like the ``campaign`` subcommand;
+    * the ``windows`` reduction pools residuals in sample order and applies
+      :func:`~repro.core.calibration.windows_from_pools`.
+
+    Escape/detection counts and window deltas of the pipeline run are
+    therefore bit-identical to the manual two-invocation flow with the same
+    root seed, on any backend.
+
+    Parameters mirror the ``repro-campaign campaign`` options; see
+    :class:`CalibrateCampaignPlan` / :meth:`CalibrateCampaignPlan.run` for
+    execution.
+    """
+    from ..adc.sar_adc import SarAdc
+    from ..core.calibration import calibration_task_spec
+    from ..core.invariance import build_invariances
+    from ..core.stimulus import SymBistStimulus
+    from ..core.test_time import CheckingMode
+    from ..defects.sampling import SamplingPlan, select_defects
+    from ..defects.simulator import (MODEL_SECONDS_PER_CYCLE, RECORD_CODEC,
+                                     adc_fingerprint)
+    from ..defects.universe import build_defect_universe
+
+    if n_monte_carlo <= 0:
+        raise EngineError(
+            f"n_monte_carlo must be positive, got {n_monte_carlo}")
+    if k <= 0:
+        # Same up-front check as calibrate_windows: fail before any Monte
+        # Carlo work runs, not inside the windows reduction task.
+        raise CalibrationError(f"k must be positive, got {k}")
+    adc_factory = adc_factory or SarAdc
+    stimulus = SymBistStimulus()
+    invariances = build_invariances()
+    invariance_names = [inv.name for inv in invariances]
+    mode = CheckingMode.SEQUENTIAL
+
+    pipeline = Pipeline("calibrate-then-campaign")
+
+    # ------------------------------------------------------- calibrate stage
+    # Same per-sample seed draws as collect_defect_free_residuals(rng=...).
+    calib_seeds = [int(s) for s in np.random.default_rng(seed).integers(
+        0, 2 ** 63 - 1, size=n_monte_carlo)]
+    factory_token = callable_token(adc_factory)
+    cacheable = factory_token is not None
+    calib_spec = calibration_task_spec(
+        factory_token, stimulus, variation_spec, invariance_names) \
+        if cacheable else None
+    pipeline.add_stage(
+        "calibrate", _calibration_stage_worker,
+        context={"adc_factory": adc_factory, "invariances": invariances,
+                 "stimulus": stimulus, "variation_spec": variation_spec})
+    calib_ids = []
+    for i, calib_seed in enumerate(calib_seeds):
+        task = Task(task_id=f"calib/{i}", payload=i, seed=calib_seed,
+                    spec=calib_spec)
+        pipeline.add_task("calibrate", task)
+        calib_ids.append(task.task_id)
+
+    # --------------------------------------------------------- windows stage
+    windows_spec = None
+    if cacheable:
+        windows_spec = {
+            "driver": "symbist-pipeline-windows",
+            "calibration": calib_spec,
+            "k": k,
+            "n_monte_carlo": n_monte_carlo,
+            "seeds": hashlib.sha256(
+                canonical_json(calib_seeds).encode()).hexdigest(),
+            "delta_floors": dict(delta_floors) if delta_floors else None}
+    pipeline.add_stage(
+        "windows", _windows_stage_worker,
+        context={"invariance_names": invariance_names, "k": k,
+                 "delta_floors": dict(delta_floors) if delta_floors
+                 else None})
+    windows_id = "windows"
+    pipeline.add_task("windows", Task(
+        task_id=windows_id, spec=windows_spec, deterministic=True,
+        depends_on=tuple(calib_ids), group="calibrate"))
+
+    # -------------------------------------------------------- campaign stage
+    adc = adc_factory()
+    adc.clear_defects()
+    hierarchy = adc.build_hierarchy()
+    fingerprint = adc_fingerprint(adc, hierarchy)
+    universe = build_defect_universe(hierarchy, None)
+    worker_token = uuid.uuid4().hex
+    pipeline.add_stage(
+        "campaign", _campaign_stage_worker, codec=RECORD_CODEC,
+        context={"token": worker_token, "adc": adc,
+                 "stimulus": stimulus, "mode": mode,
+                 "stop_on_detection": stop_on_detection,
+                 "likelihood_model": None,
+                 "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE,
+                 "invariance_names": invariance_names})
+
+    # Same block order and the same LWRS draws, from the same fresh rng, as
+    # the campaign subcommand's per-block loop.
+    sampling_rng = np.random.default_rng(seed)
+    block_list = list(blocks) if blocks else universe.block_paths()
+    block_plans: Dict[str, Any] = {}
+    block_universes: Dict[str, Any] = {}
+    block_task_ids: Dict[str, List[str]] = {}
+    for block in block_list:
+        block_universe = universe.by_block(block)
+        if len(block_universe) == 0:
+            raise CoverageError(
+                f"no defects to simulate for block {block!r}")
+        block_exhaustive = exhaustive or \
+            len(block_universe) <= exhaustive_threshold
+        plan = SamplingPlan(exhaustive=block_exhaustive, n_samples=samples)
+        defects = select_defects(block_universe, plan, sampling_rng)
+        task_ids = []
+        for j, defect in enumerate(defects):
+            spec = None
+            if cacheable:
+                spec = {"driver": "symbist-pipeline-defect",
+                        "defect_id": defect.defect_id,
+                        "likelihood": defect.likelihood,
+                        "adc": fingerprint,
+                        "windows": windows_spec,
+                        "mode": mode.value,
+                        "stop_on_detection": stop_on_detection,
+                        "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+            task = Task(task_id=f"campaign/{block}/{j}/{defect.defect_id}",
+                        payload=defect, spec=spec, deterministic=True,
+                        group=block, depends_on=(windows_id,))
+            pipeline.add_task("campaign", task)
+            task_ids.append(task.task_id)
+        block_plans[block] = plan
+        block_universes[block] = block_universe
+        block_task_ids[block] = task_ids
+
+    return CalibrateCampaignPlan(
+        pipeline=pipeline, k=k, n_monte_carlo=n_monte_carlo,
+        stop_on_detection=stop_on_detection,
+        invariance_names=invariance_names, blocks=block_list,
+        block_plans=block_plans, block_universes=block_universes,
+        block_task_ids=block_task_ids, calibration_task_ids=calib_ids,
+        windows_task_id=windows_id, worker_token=worker_token)
+
+
+def calibrate_then_campaign(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_failure: str = "raise",
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None
+) -> CalibrateCampaignOutcome:
+    """Run window calibration and the defect campaign as one task graph.
+
+    Convenience wrapper: :func:`build_calibrate_then_campaign` followed by
+    :meth:`CalibrateCampaignPlan.run`.  ``backend``/``cache`` follow the
+    usual engine conventions (serial and uncached by default); all other
+    parameters mirror the ``repro-campaign campaign`` options.
+    """
+    plan = build_calibrate_then_campaign(
+        k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
+        samples=samples, exhaustive=exhaustive,
+        exhaustive_threshold=exhaustive_threshold,
+        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
+        variation_spec=variation_spec, delta_floors=delta_floors)
+    return plan.run(backend=backend, cache=cache, progress=progress,
+                    on_failure=on_failure)

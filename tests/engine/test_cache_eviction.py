@@ -1,0 +1,158 @@
+"""Tests for :class:`ResultCache` eviction (max_bytes / max_age / LRU)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.circuit import EngineError
+from repro.engine import MISS, ResultCache
+
+
+def _put(cache, i, pad=0):
+    key = cache.key_for({"i": i})
+    cache.put(key, {"i": i, "pad": "x" * pad})
+    return key
+
+
+def _backdate(cache, key, seconds):
+    """Shift an artifact's mtime into the past (simulates idle time)."""
+    path = os.path.join(cache.cache_dir, f"{key}.json")
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def _rewrite_created(cache, key, seconds_ago):
+    """Rewrite the stored creation timestamp (simulates elapsed wall time)."""
+    path = os.path.join(cache.cache_dir, f"{key}.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    entry["created"] = time.time() - seconds_ago
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle)
+
+
+class TestValidation:
+    def test_rejects_non_positive_max_bytes(self, tmp_path):
+        with pytest.raises(EngineError):
+            ResultCache(str(tmp_path), max_bytes=0)
+
+    def test_rejects_non_positive_max_age(self, tmp_path):
+        with pytest.raises(EngineError):
+            ResultCache(str(tmp_path), max_age=-1.0)
+
+
+class TestMaxBytes:
+    def test_under_budget_keeps_everything(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=10_000_000)
+        keys = [_put(cache, i) for i in range(5)]
+        assert len(cache) == 5
+        assert all(cache.get(k) is not MISS for k in keys)
+        assert cache.evictions == 0
+
+    def test_over_budget_evicts_least_recently_used_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        old = _put(cache, 0, pad=200)
+        young = _put(cache, 1, pad=200)
+        _backdate(cache, old, seconds=100)
+        _backdate(cache, young, seconds=10)
+
+        # Budget holds two artifacts (with headroom for timestamp-length
+        # jitter) but not three: the write must evict exactly one, and it
+        # must be the least recently used.
+        bounded = ResultCache(str(tmp_path),
+                              max_bytes=cache.total_bytes() + 100)
+        _put(bounded, 2, pad=200)
+        assert bounded.get(old) is MISS
+        assert bounded.get(young) is not MISS
+        assert bounded.evictions >= 1
+
+    def test_read_refreshes_recency(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first = _put(cache, 0, pad=200)
+        second = _put(cache, 1, pad=200)
+        _backdate(cache, first, seconds=100)
+        _backdate(cache, second, seconds=50)
+
+        bounded = ResultCache(str(tmp_path),
+                              max_bytes=cache.total_bytes() + 100)
+        assert bounded.get(first) is not MISS  # LRU touch: now the youngest
+        _put(bounded, 2, pad=200)
+        assert bounded.get(second) is MISS  # evicted instead of `first`
+        assert bounded.get(first) is not MISS
+
+    def test_max_bytes_boundary(self, tmp_path):
+        unbounded = ResultCache(str(tmp_path))
+        for i in range(3):
+            _put(unbounded, i)
+        total = unbounded.total_bytes()
+
+        exact = ResultCache(str(tmp_path), max_bytes=total)
+        assert exact.evict() == 0  # exactly at budget: nothing to do
+        assert len(exact) == 3
+
+        over = ResultCache(str(tmp_path), max_bytes=total - 1)
+        assert over.evict() == 1  # one byte over: exactly one artifact goes
+        assert len(over) == 2
+
+
+class TestMaxAge:
+    def test_expiry_survives_process_restart(self, tmp_path):
+        # First "process": write an artifact, no eviction policy at all.
+        writer = ResultCache(str(tmp_path))
+        key = _put(writer, 0)
+        _rewrite_created(writer, key, seconds_ago=100)
+
+        # Second "process": a fresh instance sees the stored creation time.
+        reader = ResultCache(str(tmp_path), max_age=50)
+        assert reader.get(key) is MISS
+        assert len(reader) == 0  # expired artifact deleted on sight
+
+    def test_fresh_artifact_survives(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_age=3600)
+        key = _put(cache, 0)
+        assert cache.get(key) is not MISS
+        assert cache.evict() == 0
+
+    def test_evict_removes_idle_artifacts(self, tmp_path):
+        writer = ResultCache(str(tmp_path))
+        stale = _put(writer, 0)
+        fresh = _put(writer, 1)
+        _backdate(writer, stale, seconds=100)
+
+        bounded = ResultCache(str(tmp_path), max_age=50)
+        assert bounded.evict() == 1
+        assert bounded.get(stale) is MISS
+        assert bounded.get(fresh) is not MISS
+
+    def test_put_triggers_age_eviction(self, tmp_path):
+        writer = ResultCache(str(tmp_path))
+        stale = _put(writer, 0)
+        _backdate(writer, stale, seconds=100)
+
+        bounded = ResultCache(str(tmp_path), max_age=50)
+        _put(bounded, 1)  # the write sweeps the stale artifact
+        assert bounded.evictions == 1
+        assert len(bounded) == 1
+
+    def test_legacy_artifact_without_timestamp_is_kept(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_age=50)
+        key = _put(cache, 0)
+        path = os.path.join(cache.cache_dir, f"{key}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        del entry["created"]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.get(key) is not MISS
+
+
+class TestStats:
+    def test_eviction_counter_in_stats(self, tmp_path):
+        writer = ResultCache(str(tmp_path))
+        key = _put(writer, 0)
+        _backdate(writer, key, seconds=100)
+        bounded = ResultCache(str(tmp_path), max_age=50)
+        bounded.evict()
+        assert bounded.stats()["evictions"] == 1

@@ -26,6 +26,20 @@ class TestParser:
         assert args.workers == 3
         assert args.k == 4.0
 
+    def test_pipeline_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.workers == 1
+        assert args.samples == 60
+        assert args.cache_max_bytes is None
+        assert args.cache_max_age is None
+
+    def test_cache_eviction_options(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--cache-dir", "c", "--cache-max-bytes", "1000",
+             "--cache-max-age", "3600"])
+        assert args.cache_max_bytes == 1000
+        assert args.cache_max_age == 3600.0
+
 
 class TestCalibrateCommand:
     def test_writes_json(self, tmp_path, capsys):
@@ -61,3 +75,55 @@ class TestCampaignCommand:
         assert warm["blocks"][0]["coverage"] == cold["blocks"][0]["coverage"]
         assert "100% " in warm["blocks"][0]["engine"] \
             or "(100%)" in warm["blocks"][0]["engine"]
+
+
+class TestPipelineCommand:
+    def test_matches_two_invocation_flow(self, tmp_path, capsys):
+        """`pipeline --workers 2` == `calibrate` + `campaign` run serially."""
+        pipe_out = tmp_path / "pipe.json"
+        camp_out = tmp_path / "camp.json"
+        common = ["--monte-carlo", "3", "--blocks", "vcm_generator",
+                  "--seed", "1"]
+        assert main(["pipeline", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", str(pipe_out)] + common) == 0
+        assert main(["campaign", "--json", str(camp_out)] + common) == 0
+
+        pipe = json.loads(pipe_out.read_text())
+        camp = json.loads(camp_out.read_text())
+        assert pipe["deltas"] == camp["deltas"]
+        for p, c in zip(pipe["blocks"], camp["blocks"]):
+            assert p["block"] == c["block"]
+            assert p["n_simulated"] == c["n_simulated"]
+            assert p["n_detected"] == c["n_detected"]
+            assert p["n_escaped"] == c["n_escaped"]
+            assert p["coverage"] == c["coverage"]
+            assert p["ci_half_width"] == c["ci_half_width"]
+        assert "pipeline stage 2" in capsys.readouterr().out
+
+    def test_warm_rerun_is_fully_cached(self, tmp_path, capsys):
+        argv = ["pipeline", "--monte-carlo", "3",
+                "--blocks", "vcm_generator",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(tmp_path / "out.json")]
+        assert main(argv) == 0
+        cold = json.loads((tmp_path / "out.json").read_text())
+        assert main(argv) == 0
+        warm = json.loads((tmp_path / "out.json").read_text())
+        assert warm["deltas"] == cold["deltas"]
+        for w, c in zip(warm["blocks"], cold["blocks"]):
+            assert w["n_detected"] == c["n_detected"]
+            assert w["coverage"] == c["coverage"]
+        assert "(100%)" in warm["engine"]
+
+    def test_calibrate_artifacts_are_shared_with_pipeline(self, tmp_path):
+        """`calibrate --cache-dir X` warms the pipeline's calibrate stage."""
+        cache = str(tmp_path / "cache")
+        common = ["--monte-carlo", "3", "--seed", "1", "--cache-dir", cache]
+        assert main(["calibrate"] + common) == 0
+        out = tmp_path / "out.json"
+        assert main(["pipeline", "--blocks", "vcm_generator",
+                     "--json", str(out)] + common) == 0
+        engine = json.loads(out.read_text())["engine"]
+        # 3 Monte Carlo parents replayed from the standalone calibrate run.
+        assert "3 cached" in engine

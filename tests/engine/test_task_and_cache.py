@@ -65,7 +65,8 @@ class TestResultCache:
         assert cache.get(key) is MISS
         cache.put(key, {"value": 42}, task_id="t")
         assert cache.get(key) == {"value": 42}
-        assert cache.stats() == {"hits": 1, "misses": 1, "artifacts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "artifacts": 1,
+                                 "evictions": 0}
 
     def test_cached_none_is_not_a_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path))
