@@ -1,11 +1,13 @@
 """Engine scaling -- campaign throughput at workers=1 versus workers=N.
 
 Measures the defect-campaign throughput of the execution engine
-(:mod:`repro.engine`) on the serial backend and on a sharded process pool,
-plus the warm-cache replay rate.  On multi-core runners the pool should
-approach linear speedup (the per-defect simulations are independent, exactly
-like the per-defect SPICE jobs an industrial DefectSim farm distributes); on
-single-CPU runners the parallel case is skipped.
+(:mod:`repro.engine`) on the serial backend and on sharded process pools
+(multiprocess and shared-memory transports), plus the warm-cache replay
+rate, and compares the bytes each pool transport ships per task.  On
+multi-core runners the pools should approach linear speedup (the per-defect
+simulations are independent, exactly like the per-defect SPICE jobs an
+industrial DefectSim farm distributes); on single-CPU runners the
+wall-clock scaling cases are skipped but the payload comparison still runs.
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ import pytest
 from repro.adc import SarAdc
 from repro.core import format_table
 from repro.defects import DefectCampaign, SamplingPlan
-from repro.engine import MultiprocessBackend, ResultCache, SerialBackend
+from repro.engine import (MultiprocessBackend, ResultCache, SerialBackend,
+                          SharedMemoryBackend)
 
 BENCHMARK_SEED = 20200309
 
@@ -59,6 +62,12 @@ def test_engine_scaling(benchmark, deltas, tmp_path):
                      f"{parallel.engine_report.wall_time:.2f}",
                      f"{parallel.engine_report.tasks_per_second:.1f}"])
 
+        shm = _run(campaign, SharedMemoryBackend(max_workers=N_WORKERS))
+        assert _coverage_key(shm) == _coverage_key(serial)
+        rows.append(["shm", N_WORKERS, shm.engine_report.n_executed,
+                     f"{shm.engine_report.wall_time:.2f}",
+                     f"{shm.engine_report.tasks_per_second:.1f}"])
+
     cache = ResultCache(str(tmp_path / "cache"), namespace="defects")
     cold = _run(campaign, SerialBackend(), cache=cache)
     warm = _run(campaign, SerialBackend(), cache=cache)
@@ -76,3 +85,42 @@ def test_engine_scaling(benchmark, deltas, tmp_path):
 
     if N_WORKERS == 1:
         pytest.skip("single-CPU runner: parallel scaling not measurable")
+
+
+def test_payload_bytes_multiprocess_vs_shm(deltas):
+    """Bytes shipped per task: re-pickled context versus shared segment.
+
+    The multiprocess backend re-pickles the work function -- and the
+    campaign context it closes over (the behavioral ADC, windows, defect
+    universe) -- into every chunk submission; the shared-memory backend
+    ships the context once through a segment and submits bare items.  On
+    the default campaign the per-task payload must shrink by >=10x.
+    """
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+    workers = max(2, N_WORKERS)
+    mp_backend = MultiprocessBackend(max_workers=workers,
+                                     measure_payload=True)
+    shm_backend = SharedMemoryBackend(max_workers=workers,
+                                      measure_payload=True)
+    mp_result = _run(campaign, mp_backend)
+    shm_result = _run(campaign, shm_backend)
+    assert _coverage_key(shm_result) == _coverage_key(mp_result)
+
+    mp_payload = mp_backend.last_payload
+    shm_payload = shm_backend.last_payload
+    rows = [
+        ["multiprocess", mp_payload.n_items,
+         f"{mp_payload.per_task_bytes:,.0f}", f"{mp_payload.task_bytes:,}",
+         f"{mp_payload.context_bytes:,}"],
+        ["shm", shm_payload.n_items,
+         f"{shm_payload.per_task_bytes:,.0f}", f"{shm_payload.task_bytes:,}",
+         f"{shm_payload.context_bytes:,}"],
+    ]
+    print()
+    print(format_table(
+        ["backend", "#tasks", "bytes/task", "task bytes total",
+         "shared context bytes"],
+        rows, title=f"pool payload bytes ({N_DEFECTS} LWRS defects)"))
+    ratio = mp_payload.per_task_bytes / shm_payload.per_task_bytes
+    print(f"per-task payload ratio (multiprocess / shm): {ratio:.1f}x")
+    assert ratio >= 10.0

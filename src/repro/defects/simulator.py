@@ -25,7 +25,11 @@ defect is one deterministic task, so passing
 ``backend=MultiprocessBackend(max_workers=N)`` to :meth:`DefectCampaign.run`
 shards the defect list across a process pool with byte-identical coverage
 results, and passing a :class:`~repro.engine.ResultCache` makes repeated
-campaigns replay stored per-defect records instead of re-simulating.
+campaigns replay stored per-defect records instead of re-simulating.  A
+:class:`~repro.engine.SharedMemoryBackend` ships the campaign context (the
+behavioral ADC, windows, universe) to the workers once through a
+shared-memory segment instead of re-pickling it per task shard -- same
+results, far smaller per-task payloads.
 """
 
 from __future__ import annotations
@@ -237,18 +241,33 @@ def _defect_worker(context: Mapping[str, Any], task: Task,
     return _worker_campaign(context).simulate_defect(task.payload)
 
 
-def _record_to_jsonable(record: DefectSimulationRecord) -> Dict[str, Any]:
-    defect = record.defect
+def defect_to_jsonable(defect: Defect) -> Dict[str, Any]:
+    """JSON rendering of one :class:`Defect`, shared by every cache codec
+    that stores defects (per-defect campaign records, escape analyses)."""
     return {
-        "defect": {
-            "defect_id": defect.defect_id,
-            "block_path": defect.block_path,
-            "device_name": defect.device_name,
-            "kind": defect.kind.value,
-            "terminals": list(defect.terminals),
-            "pull": defect.pull.value if defect.pull is not None else None,
-            "likelihood": defect.likelihood,
-        },
+        "defect_id": defect.defect_id,
+        "block_path": defect.block_path,
+        "device_name": defect.device_name,
+        "kind": defect.kind.value,
+        "terminals": list(defect.terminals),
+        "pull": defect.pull.value if defect.pull is not None else None,
+        "likelihood": defect.likelihood,
+    }
+
+
+def defect_from_jsonable(raw: Mapping[str, Any]) -> Defect:
+    """Inverse of :func:`defect_to_jsonable`."""
+    return Defect(
+        defect_id=raw["defect_id"], block_path=raw["block_path"],
+        device_name=raw["device_name"], kind=DefectKind(raw["kind"]),
+        terminals=tuple(raw["terminals"]),
+        pull=PullDirection(raw["pull"]) if raw["pull"] is not None else None,
+        likelihood=raw["likelihood"])
+
+
+def _record_to_jsonable(record: DefectSimulationRecord) -> Dict[str, Any]:
+    return {
+        "defect": defect_to_jsonable(record.defect),
         "detected": record.detected,
         "detecting_invariance": record.detecting_invariance,
         "detection_cycle": record.detection_cycle,
@@ -259,15 +278,8 @@ def _record_to_jsonable(record: DefectSimulationRecord) -> Dict[str, Any]:
 
 
 def _record_from_jsonable(data: Mapping[str, Any]) -> DefectSimulationRecord:
-    raw = data["defect"]
-    defect = Defect(
-        defect_id=raw["defect_id"], block_path=raw["block_path"],
-        device_name=raw["device_name"], kind=DefectKind(raw["kind"]),
-        terminals=tuple(raw["terminals"]),
-        pull=PullDirection(raw["pull"]) if raw["pull"] is not None else None,
-        likelihood=raw["likelihood"])
     return DefectSimulationRecord(
-        defect=defect, detected=data["detected"],
+        defect=defect_from_jsonable(data["defect"]), detected=data["detected"],
         detecting_invariance=data["detecting_invariance"],
         detection_cycle=data["detection_cycle"],
         cycles_run=data["cycles_run"],
@@ -377,7 +389,10 @@ class DefectCampaign:
             Campaign-engine execution backend; the default serial backend
             reproduces the historical in-process loop exactly, while a
             :class:`~repro.engine.MultiprocessBackend` shards the defects
-            across worker processes with identical results.
+            across worker processes with identical results and a
+            :class:`~repro.engine.SharedMemoryBackend` additionally ships
+            the campaign context (ADC, windows, universe) only once per run
+            instead of once per shard.
         cache:
             Optional :class:`~repro.engine.ResultCache`; per-defect records
             are stored as JSON artifacts keyed by the full campaign spec, so

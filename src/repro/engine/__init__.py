@@ -10,9 +10,12 @@ executes such workloads:
   the units of work and the dependency edges between them (a DAG by
   construction: parents are added before children);
 * :mod:`repro.engine.backends` -- pluggable executors:
-  :class:`SerialBackend` (default, bit-identical to the historical loops) and
-  :class:`MultiprocessBackend` (chunked sharding over a process pool), each
-  offering batch (``map_items``) and incremental (``stream``) interfaces;
+  :class:`SerialBackend` (default, bit-identical to the historical loops),
+  :class:`MultiprocessBackend` (chunked sharding over a process pool) and
+  :class:`SharedMemoryBackend` (process pool whose campaign context is
+  pickled once into a shared-memory segment instead of re-shipped per
+  shard), each offering batch (``map_items``) and incremental (``stream``)
+  interfaces;
 * :mod:`repro.engine.executor` -- :class:`CampaignEngine`, which adds
   deterministic per-task seeding (``SeedSequence`` children by task index;
   results do not depend on worker count or completion order),
@@ -24,8 +27,10 @@ executes such workloads:
   artifact store keyed by task spec + seed + code version, with optional
   ``max_bytes``/``max_age`` LRU eviction;
 * :mod:`repro.engine.pipeline` -- the :class:`Pipeline` API (named stages
-  over one task graph) and the built-in :func:`calibrate_then_campaign`
-  workflow running window calibration and the defect campaign as one graph;
+  over one task graph) and the built-in workflows:
+  :func:`calibrate_then_campaign` (window calibration + defect campaign as
+  one graph) and :func:`yield_loss_study` (calibration + campaign +
+  yield-loss sweep + functional escape analysis as one graph);
 * :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry point.
 
 The drivers in :mod:`repro.analysis.monte_carlo`,
@@ -36,8 +41,8 @@ passing ``backend=MultiprocessBackend(max_workers=N)`` and/or a
 changing its results.
 """
 
-from .backends import (ExecutionBackend, MultiprocessBackend, SerialBackend,
-                       WorkStream)
+from .backends import (ExecutionBackend, MultiprocessBackend, PayloadReport,
+                       SerialBackend, SharedMemoryBackend, WorkStream)
 from .cache import MISS, ResultCache, callable_token, canonical_json
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ResultCodec, STATUS_CACHED,
@@ -45,16 +50,20 @@ from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        TaskOutcome)
 from .pipeline import (CalibrateCampaignOutcome, CalibrateCampaignPlan,
                        Pipeline, PipelineResult, PipelineStage,
-                       build_calibrate_then_campaign, calibrate_then_campaign)
+                       YieldLossStudyOutcome, YieldLossStudyPlan,
+                       build_calibrate_then_campaign, build_yield_loss_study,
+                       calibrate_then_campaign, yield_loss_study)
 from .task import Task, TaskGraph
 
 __all__ = [
     "CalibrateCampaignOutcome", "CalibrateCampaignPlan", "CampaignEngine",
     "CampaignReport", "EngineRun", "ExecutionBackend", "IDENTITY_CODEC",
-    "MISS", "MultiprocessBackend", "Pipeline", "PipelineResult",
-    "PipelineStage", "ResultCache", "ResultCodec", "STATUS_CACHED",
-    "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED", "SerialBackend",
-    "Task", "TaskGraph", "TaskOutcome", "WorkStream",
-    "build_calibrate_then_campaign", "calibrate_then_campaign",
-    "callable_token", "canonical_json",
+    "MISS", "MultiprocessBackend", "PayloadReport", "Pipeline",
+    "PipelineResult", "PipelineStage", "ResultCache", "ResultCodec",
+    "STATUS_CACHED", "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED",
+    "SerialBackend", "SharedMemoryBackend", "Task", "TaskGraph",
+    "TaskOutcome", "WorkStream", "YieldLossStudyOutcome",
+    "YieldLossStudyPlan", "build_calibrate_then_campaign",
+    "build_yield_loss_study", "calibrate_then_campaign", "callable_token",
+    "canonical_json", "yield_loss_study",
 ]

@@ -14,18 +14,29 @@ interfaces:
   (:mod:`repro.engine.executor`), which only learns that a task is runnable
   when its parents finish.
 
-Two backends are provided:
+Three backends are provided:
 
 * :class:`SerialBackend` -- runs items one by one in the calling process; the
   default, bit-identical to the historical serial loops of the drivers.
 * :class:`MultiprocessBackend` -- executes on a
   :class:`concurrent.futures.ProcessPoolExecutor`; chunked sharding in batch
-  mode, per-item submission in stream mode.  Because every task carries its
-  own seed material (see :mod:`repro.engine.executor`) the results are
-  identical to the serial backend regardless of worker count, chunking or
-  completion order.
+  mode, per-item submission in stream mode.  Each batch-mode chunk submission
+  re-pickles the work function -- and therefore the whole campaign context it
+  closes over (the behavioral ADC, the calibrated windows, ...) -- through
+  the pool's pipe.
+* :class:`SharedMemoryBackend` -- like the multiprocess backend, but the work
+  function (with its captured campaign context) is pickled **once** into a
+  ``multiprocessing.shared_memory`` segment at pool startup; each worker
+  rehydrates it read-only in the pool initializer, so per-task submissions
+  shrink to the bare work items (task id, seed material, small spec dict).
+  At realistic campaign sizes this removes the context re-pickling that
+  dominates the multiprocess backend's dispatch cost.
 
-Workers and their context must be picklable for the multiprocess backend
+Because every task carries its own seed material (see
+:mod:`repro.engine.executor`) the pool backends produce results identical to
+the serial backend regardless of worker count, chunking or completion order.
+
+Workers and their context must be picklable for the pool backends
 (module-level functions, dataclasses, numpy objects); closures and lambdas
 only work with the serial backend.
 """
@@ -33,11 +44,19 @@ only work with the serial backend.
 from __future__ import annotations
 
 import math
+import pickle
+import struct
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.errors import EngineError
+
+#: Pickle protocol of every payload shipped to pool workers (submissions,
+#: shared segments, and the opt-in payload measurements -- one protocol so
+#: measured bytes match shipped bytes).
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 #: An item handed to a backend: ``(index, task, seed_material)`` in batch
 #: mode, ``(index, task, seed_material, inputs)`` in stream (graph) mode.
@@ -106,38 +125,144 @@ class _SerialWorkStream(WorkStream):
             return item, False, exc
 
 
-# Per-process slot for the stream work function, installed once per pool
-# worker by the initializer so submissions only pickle the (small) item
-# instead of re-shipping the function + campaign context every time.
-_STREAM_FN: Optional[WorkFn] = None
+@dataclass
+class PayloadReport:
+    """Bytes pickled to pool workers during one backend run (opt-in).
+
+    Populated on :attr:`MultiprocessBackend.last_payload` when the backend is
+    constructed with ``measure_payload=True``; measuring re-pickles every
+    submission, so it is meant for benchmarks, not production runs.
+
+    ``task_bytes`` counts the per-submission payloads.  For the multiprocess
+    backend every batch chunk re-pickles the work function -- hence the whole
+    campaign context it closes over -- alongside its items; for the
+    shared-memory backend submissions carry the bare items only.
+    ``context_bytes`` counts what ships up front instead of per submission:
+    the one-time shared segment for the shm backend, and the
+    once-per-worker initializer pickling of the function for the
+    multiprocess backend's stream mode (zero in its batch mode, where the
+    function rides inside every ``task_bytes`` submission).
+    """
+
+    n_items: int = 0
+    task_bytes: int = 0
+    context_bytes: int = 0
+
+    @property
+    def per_task_bytes(self) -> float:
+        """Average bytes shipped per work item, excluding the shared segment."""
+        return self.task_bytes / self.n_items if self.n_items else 0.0
 
 
-def _stream_initializer(fn: WorkFn) -> None:
-    global _STREAM_FN
-    _STREAM_FN = fn
+# Per-process slot for the pool work function, installed once per worker by
+# the pool initializer so submissions only pickle the (small) items instead
+# of re-shipping the function + campaign context every time.  The
+# multiprocess backend ships the function through the initializer arguments
+# (pickled once per worker process); the shared-memory backend ships only a
+# segment name and the initializer rehydrates the function from the segment.
+_WORKER_FN: Optional[WorkFn] = None
 
 
-def _stream_run_item(item: WorkItem) -> Tuple[bool, Any]:
+def _install_fn(fn: WorkFn) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _install_shared_fn(segment_name: str) -> None:
+    _install_fn(_SharedObject.load(segment_name))
+
+
+def _run_installed_item(item: WorkItem) -> Tuple[bool, Any]:
     try:
-        return True, _STREAM_FN(item)
+        return True, _WORKER_FN(item)
     except Exception as exc:
         return False, exc
 
 
-class _PoolWorkStream(WorkStream):
-    """Stream over a :class:`ProcessPoolExecutor`, one future per item."""
+def _run_installed_chunk(chunk: List[WorkItem]) -> List[Any]:
+    return _run_chunk(_WORKER_FN, chunk)
 
-    def __init__(self, fn: WorkFn, max_workers: int) -> None:
+
+class _SharedObject:
+    """One pickled object living in a ``multiprocessing.shared_memory`` segment.
+
+    The creating process owns the segment and must call :meth:`destroy`
+    exactly once (idempotent) when the pool is done; worker processes attach
+    by name through :meth:`load`, copy the bytes out and detach immediately,
+    so the segment disappears from ``/dev/shm`` the moment the owner unlinks
+    it.  The payload is length-prefixed because the kernel may round the
+    segment up to a whole page.
+    """
+
+    _HEADER = struct.Struct("<Q")
+
+    def __init__(self, obj: Any) -> None:
+        from multiprocessing import shared_memory
+        body = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        self.nbytes = len(body)
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=self._HEADER.size + len(body))
+        self._segment.buf[:self._HEADER.size] = self._HEADER.pack(len(body))
+        self._segment.buf[self._HEADER.size:self._HEADER.size + len(body)] = \
+            body
+        self.name = self._segment.name
+
+    @classmethod
+    def load(cls, name: str) -> Any:
+        """Attach to a segment by name, unpickle its object, detach."""
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            (size,) = cls._HEADER.unpack(
+                bytes(segment.buf[:cls._HEADER.size]))
+            return pickle.loads(
+                bytes(segment.buf[cls._HEADER.size:cls._HEADER.size + size]))
+        finally:
+            segment.close()
+
+    def destroy(self) -> None:
+        """Close and unlink the segment; safe to call more than once."""
+        if self._segment is None:
+            return
+        segment, self._segment = self._segment, None
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class _PoolWorkStream(WorkStream):
+    """Stream over a :class:`ProcessPoolExecutor`, one future per item.
+
+    The work function reaches the workers through the pool initializer
+    (``pool_kwargs``); submissions pickle only the item and invoke
+    ``run_item``, which resolves the per-process function slot.  ``on_close``
+    releases whatever shipped the function (e.g. the shared-memory segment).
+    """
+
+    def __init__(self, max_workers: int, pool_kwargs: Dict[str, Any],
+                 run_item: Callable[[WorkItem], Tuple[bool, Any]],
+                 report: Optional[PayloadReport] = None,
+                 on_close: Optional[Callable[[], None]] = None) -> None:
         from concurrent.futures import ProcessPoolExecutor
         self._pool = ProcessPoolExecutor(max_workers=max_workers,
-                                         initializer=_stream_initializer,
-                                         initargs=(fn,))
+                                         **pool_kwargs)
+        self._run_item = run_item
+        self._report = report
+        self._on_close = on_close
         self._items: dict = {}
         self._pending: set = set()
         self._ready: deque = deque()
 
     def submit(self, item: WorkItem) -> None:
-        future = self._pool.submit(_stream_run_item, item)
+        if self._report is not None:
+            self._report.n_items += 1
+            self._report.task_bytes += len(
+                pickle.dumps(item, protocol=_PICKLE_PROTOCOL))
+        future = self._pool.submit(self._run_item, item)
         self._items[future] = item
         self._pending.add(future)
 
@@ -168,9 +293,13 @@ class _PoolWorkStream(WorkStream):
         return self._ready.popleft()
 
     def close(self) -> None:
-        for future in self._pending:
-            future.cancel()
-        self._pool.shutdown(wait=True)
+        try:
+            for future in self._pending:
+                future.cancel()
+            self._pool.shutdown(wait=True)
+        finally:
+            if self._on_close is not None:
+                self._on_close()
 
 
 class ExecutionBackend(ABC):
@@ -234,6 +363,60 @@ def _run_chunk(fn: WorkFn, chunk: List[WorkItem]) -> List[Any]:
     return outcomes
 
 
+class _FnShipment:
+    """Batch-mode shipping strategy of :class:`MultiprocessBackend`.
+
+    The work function travels inside every chunk submission, so each shard
+    re-pickles it (and the campaign context it closes over) through the
+    pool's pipe.
+    """
+
+    pool_kwargs: Dict[str, Any] = {}
+
+    def __init__(self, fn: WorkFn,
+                 report: Optional[PayloadReport] = None) -> None:
+        self._fn = fn
+        self._report = report
+
+    def submit(self, pool: Any, chunk: List[WorkItem]) -> Any:
+        if self._report is not None:
+            self._report.n_items += len(chunk)
+            self._report.task_bytes += len(
+                pickle.dumps((self._fn, chunk), protocol=_PICKLE_PROTOCOL))
+        return pool.submit(_run_chunk, self._fn, chunk)
+
+    def close(self) -> None:
+        pass
+
+
+class _SharedShipment:
+    """Batch-mode shipping strategy of :class:`SharedMemoryBackend`.
+
+    The work function is pickled once into a shared-memory segment; the pool
+    initializer rehydrates it per worker, and chunk submissions carry only
+    the items.
+    """
+
+    def __init__(self, fn: WorkFn,
+                 report: Optional[PayloadReport] = None) -> None:
+        self._segment = _SharedObject(fn)
+        self.pool_kwargs = {"initializer": _install_shared_fn,
+                            "initargs": (self._segment.name,)}
+        self._report = report
+        if report is not None:
+            report.context_bytes = self._segment.nbytes
+
+    def submit(self, pool: Any, chunk: List[WorkItem]) -> Any:
+        if self._report is not None:
+            self._report.n_items += len(chunk)
+            self._report.task_bytes += len(
+                pickle.dumps(chunk, protocol=_PICKLE_PROTOCOL))
+        return pool.submit(_run_installed_chunk, chunk)
+
+    def close(self) -> None:
+        self._segment.destroy()
+
+
 class MultiprocessBackend(ExecutionBackend):
     """Chunked fan-out over a :class:`ProcessPoolExecutor`.
 
@@ -245,12 +428,17 @@ class MultiprocessBackend(ExecutionBackend):
         Items per shard.  Defaults to ``ceil(n / (4 * workers))`` so each
         worker receives ~4 shards -- large enough to amortise the per-shard
         pickling of the worker context, small enough to balance load.
+    measure_payload:
+        When True, every run records the bytes shipped to the pool on
+        :attr:`last_payload` (a :class:`PayloadReport`).  Measuring
+        re-pickles each submission, so leave it off outside benchmarks.
     """
 
     name = "multiprocess"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 measure_payload: bool = False) -> None:
         import os
         if max_workers is not None and max_workers <= 0:
             raise EngineError(f"max_workers must be positive, got {max_workers}")
@@ -258,14 +446,36 @@ class MultiprocessBackend(ExecutionBackend):
             raise EngineError(f"chunk_size must be positive, got {chunk_size}")
         self.workers = max_workers or (os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.measure_payload = measure_payload
+        #: Payload measurement of the most recent run (None unless
+        #: ``measure_payload`` is set).
+        self.last_payload: Optional[PayloadReport] = None
 
     def _chunks(self, items: Sequence[WorkItem]) -> List[List[WorkItem]]:
         size = self.chunk_size or max(
             1, math.ceil(len(items) / (4 * self.workers)))
         return [list(items[i:i + size]) for i in range(0, len(items), size)]
 
+    def _new_report(self) -> Optional[PayloadReport]:
+        self.last_payload = PayloadReport() if self.measure_payload else None
+        return self.last_payload
+
+    # ------------------------------------------------------ shipping strategy
+    def _shipment(self, fn: WorkFn) -> Any:
+        """Batch-mode shipping strategy; overridden by the shm backend."""
+        return _FnShipment(fn, self._new_report())
+
     def stream(self, fn: WorkFn) -> WorkStream:
-        return _PoolWorkStream(fn, self.workers)
+        report = self._new_report()
+        if report is not None:
+            # The initializer arguments re-pickle the function (and its
+            # captured campaign context) once per worker process.
+            report.context_bytes = self.workers * len(
+                pickle.dumps(fn, protocol=_PICKLE_PROTOCOL))
+        return _PoolWorkStream(self.workers,
+                               {"initializer": _install_fn, "initargs": (fn,)},
+                               _run_installed_item,
+                               report=report)
 
     def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
                   on_result: ResultCallback = None) -> List[Any]:
@@ -280,50 +490,102 @@ class MultiprocessBackend(ExecutionBackend):
         ordered: List[Any] = [None] * len(items)
         offsets = {}
         start = 0
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            pending = set()
-            for chunk in chunks:
-                future = pool.submit(_run_chunk, fn, chunk)
-                offsets[future] = (start, len(chunk))
-                pending.add(future)
-                start += len(chunk)
-            try:
-                failure: Optional[BaseException] = None
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        offset, _ = offsets[future]
-                        try:
-                            outcomes = future.result()
-                        except CancelledError:
-                            continue
-                        except Exception as exc:
-                            if failure is None:
-                                failure = exc
-                            continue
-                        for position, (ok, value) in enumerate(outcomes):
-                            if not ok:
-                                if failure is None:
-                                    failure = value
+        shipment = self._shipment(fn)
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers,
+                                     **shipment.pool_kwargs) as pool:
+                pending = set()
+                for chunk in chunks:
+                    future = shipment.submit(pool, chunk)
+                    offsets[future] = (start, len(chunk))
+                    pending.add(future)
+                    start += len(chunk)
+                try:
+                    failure: Optional[BaseException] = None
+                    while pending:
+                        done, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                        for future in done:
+                            offset, _ = offsets[future]
+                            try:
+                                outcomes = future.result()
+                            except CancelledError:
                                 continue
-                            ordered[offset + position] = value
-                            if on_result is not None:
-                                on_result(value)
-                    if failure is not None and pending:
-                        # Stop chunks that have not started, but keep
-                        # draining the ones already running: their completed
-                        # work must still reach on_result (which e.g.
-                        # persists results to the cache) before the failure
-                        # propagates.
-                        pending = {f for f in pending if not f.cancel()}
-                if failure is not None:
-                    raise failure
-            except BrokenProcessPool as exc:
-                raise EngineError(
-                    "a campaign worker process died unexpectedly (crashed or "
-                    "was killed); rerun serially to locate the failing task"
-                ) from exc
-            finally:
-                for future in pending:
-                    future.cancel()
+                            except Exception as exc:
+                                if failure is None:
+                                    failure = exc
+                                continue
+                            for position, (ok, value) in enumerate(outcomes):
+                                if not ok:
+                                    if failure is None:
+                                        failure = value
+                                    continue
+                                ordered[offset + position] = value
+                                if on_result is not None:
+                                    on_result(value)
+                        if failure is not None and pending:
+                            # Stop chunks that have not started, but keep
+                            # draining the ones already running: their
+                            # completed work must still reach on_result
+                            # (which e.g. persists results to the cache)
+                            # before the failure propagates.
+                            pending = {f for f in pending if not f.cancel()}
+                    if failure is not None:
+                        raise failure
+                except BrokenProcessPool as exc:
+                    raise EngineError(
+                        "a campaign worker process died unexpectedly "
+                        "(crashed or was killed); rerun serially to locate "
+                        "the failing task") from exc
+                finally:
+                    for future in pending:
+                        future.cancel()
+        finally:
+            # After the pool has fully shut down (the `with` exit waits), so
+            # no worker can still be attached to a shared segment.
+            shipment.close()
         return ordered
+
+
+class SharedMemoryBackend(MultiprocessBackend):
+    """Multiprocess execution with the campaign context shared, not shipped.
+
+    Identical scheduling, chunking and failure semantics to
+    :class:`MultiprocessBackend`; only the transport differs.  The work
+    function -- together with the campaign context it closes over (the
+    behavioral ADC spec, calibration windows, defect universe, ...) -- is
+    pickled **once** into a ``multiprocessing.shared_memory`` segment when
+    the pool starts, and every worker rehydrates it read-only in its pool
+    initializer.  Submissions then carry only the bare work items (task id,
+    seed material, small spec dict), so per-task payload bytes shrink by the
+    size of the context times the number of shards.
+
+    The owning process unlinks the segment when the run finishes (batch
+    mode) or the stream is closed, so no ``/dev/shm`` entries outlive the
+    engine.  Results are bit-identical to the serial and multiprocess
+    backends under the same seed: the transport never touches seeding or
+    completion-order bookkeeping.
+    """
+
+    name = "shm"
+
+    def _shipment(self, fn: WorkFn) -> Any:
+        return _SharedShipment(fn, self._new_report())
+
+    def stream(self, fn: WorkFn) -> WorkStream:
+        report = self._new_report()
+        segment = _SharedObject(fn)
+        if report is not None:
+            report.context_bytes = segment.nbytes
+        try:
+            return _PoolWorkStream(self.workers,
+                                   {"initializer": _install_shared_fn,
+                                    "initargs": (segment.name,)},
+                                   _run_installed_item,
+                                   report=report,
+                                   on_close=segment.destroy)
+        except BaseException:
+            # Pool construction failed; nobody will ever call close(), so
+            # the segment must be unlinked here or it outlives the engine.
+            segment.destroy()
+            raise

@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -131,8 +132,9 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return MISS
-        except (OSError, json.JSONDecodeError):
-            # A torn or corrupt artifact is treated as a miss and overwritten.
+        except (OSError, ValueError):
+            # A torn or corrupt artifact (bad JSON, or not even UTF-8) is
+            # treated as a miss and overwritten.
             self.misses += 1
             return MISS
         if not isinstance(entry, dict):
@@ -244,17 +246,50 @@ class ResultCache:
         """Current on-disk size of all artifacts."""
         return sum(size for _, size, _ in self._artifact_stats())
 
+    #: ``put`` writes artifacts with ``sort_keys=True``, so ``"created"`` is
+    #: the first key and a bounded prefix read suffices during GC sweeps.
+    _CREATED_PREFIX_RE = re.compile(r'^\{\s*"created":\s*(-?[0-9.eE+]+)')
+
+    def _created_of(self, path: str) -> Optional[float]:
+        """Stored creation timestamp of one artifact, or None.
+
+        Reads only the first few bytes in the common case (our own sorted
+        JSON layout) so an eviction sweep over a large cache does not parse
+        every result payload; artifacts with an unexpected layout fall back
+        to a full parse.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                match = self._CREATED_PREFIX_RE.match(handle.read(64))
+                if match:
+                    try:
+                        return float(match.group(1))
+                    except ValueError:
+                        return None
+                handle.seek(0)
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            # Unreadable, non-UTF-8 or non-JSON file: no timestamp.
+            return None
+        if not isinstance(entry, Mapping):
+            return None
+        created = entry.get("created")
+        return created if isinstance(created, (int, float)) else None
+
     def evict(self) -> int:
         """Enforce ``max_age`` then ``max_bytes``; returns artifacts removed.
 
-        ``max_age`` removal keys off the file mtime: because the mtime is
-        refreshed on reads it is never older than the creation time, so an
+        ``max_age`` removal first keys off the file mtime: because the mtime
+        is refreshed on reads it is never older than the creation time, so an
         artifact whose mtime has aged past ``max_age`` is guaranteed to be
-        expired (artifacts recently *read* are left for :meth:`get`'s exact
-        creation-time check).  ``max_bytes`` removal then drops
-        least-recently-used artifacts until the directory is below a
-        low-water mark slightly under the budget (so steady writes do not
-        re-trigger a scan every time).
+        expired and is unlinked without opening it.  Artifacts with a fresh
+        mtime may *still* be expired -- reads refresh the mtime of an
+        artifact created long ago (LRU-on-read) -- so the sweep then checks
+        their stored creation timestamps; a GC pass therefore removes every
+        expired artifact, not only the ones that happened to sit idle.
+        ``max_bytes`` removal then drops least-recently-used artifacts until
+        the directory is below a low-water mark slightly under the budget
+        (so steady writes do not re-trigger a scan every time).
         """
         removed = 0
         stats = self._artifact_stats()
@@ -263,6 +298,10 @@ class ResultCache:
             fresh = []
             for mtime, size, path in stats:
                 if mtime < cutoff:
+                    removed += self._unlink(path)
+                    continue
+                created = self._created_of(path)
+                if created is not None and created < cutoff:
                     removed += self._unlink(path)
                 else:
                     fresh.append((mtime, size, path))

@@ -7,17 +7,25 @@ cache::
     repro-campaign calibrate --monte-carlo 100 --workers 4 --cache-dir .cache
     repro-campaign campaign --blocks sc_array vcm_generator --workers 4
     repro-campaign pipeline --workers 4 --cache-dir .cache --json out.json
+    repro-campaign yield-study --workers 4 --backend shm --json study.json
+    repro-campaign cache stats --cache-dir .cache
 
 ``calibrate`` and ``campaign`` are the two phases run separately; the
 ``pipeline`` subcommand runs both as one dependency-aware task graph
 (calibration samples -> window reduction -> per-defect simulations) with
 bit-identical results to the two-invocation flow under the same ``--seed``.
+``yield-study`` extends that graph with the yield-loss sweep and the
+functional escape analysis -- the paper's full experiment as one graph.
+``cache`` inspects and garbage-collects a cache directory.
 
 ``--workers 1`` (the default) executes serially; any higher count shards the
-work across a process pool with byte-identical results.  ``--cache-dir``
-makes repeated runs near-free: every per-defect record and per-sample
-residual set is stored as a content-addressed JSON artifact, optionally
-bounded by ``--cache-max-bytes`` / ``--cache-max-age`` LRU eviction.
+work across a process pool with byte-identical results.  ``--backend shm``
+ships the campaign context (the behavioral ADC, windows, universe) to the
+workers once through a shared-memory segment instead of re-pickling it per
+task shard.  ``--cache-dir`` makes repeated runs near-free: every per-defect
+record and per-sample residual set is stored as a content-addressed JSON
+artifact, optionally bounded by ``--cache-max-bytes`` / ``--cache-max-age``
+LRU eviction.
 """
 
 from __future__ import annotations
@@ -30,11 +38,15 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 
-def _build_backend(workers: int):
-    from . import MultiprocessBackend, SerialBackend
-    if workers <= 1:
+def _build_backend(args: argparse.Namespace):
+    from . import MultiprocessBackend, SerialBackend, SharedMemoryBackend
+    choice = getattr(args, "backend", None)
+    if choice is None:
+        choice = "serial" if args.workers <= 1 else "multiprocess"
+    if choice == "serial":
         return SerialBackend()
-    return MultiprocessBackend(max_workers=workers)
+    cls = SharedMemoryBackend if choice == "shm" else MultiprocessBackend
+    return cls(max_workers=max(args.workers, 1))
 
 
 def _build_cache(args: argparse.Namespace, namespace: str):
@@ -50,6 +62,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial; results are "
                              "identical for any value)")
+    parser.add_argument("--backend", choices=("serial", "multiprocess", "shm"),
+                        default=None,
+                        help="execution backend (default: serial when "
+                             "--workers 1, multiprocess otherwise; shm ships "
+                             "the campaign context once via shared memory)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory of the content-addressed result "
                              "cache; omit to disable caching")
@@ -74,7 +91,7 @@ def _calibrate(args: argparse.Namespace):
     return calibrate_windows(
         k=args.k, n_monte_carlo=args.monte_carlo,
         rng=np.random.default_rng(args.seed),
-        backend=_build_backend(args.workers),
+        backend=_build_backend(args),
         cache=_build_cache(args, "calibration"))
 
 
@@ -130,7 +147,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from ..core import format_confidence, format_table
     from ..defects import DefectCampaign, SamplingPlan
 
-    backend = _build_backend(args.workers)
+    backend = _build_backend(args)
     cache = _build_cache(args, "defects")
 
     print(f"calibrating comparison windows (delta = {args.k:g} sigma, "
@@ -196,7 +213,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         exhaustive=args.exhaustive,
         exhaustive_threshold=args.exhaustive_threshold,
         stop_on_detection=not args.no_stop_on_detection,
-        backend=_build_backend(args.workers),
+        backend=_build_backend(args),
         cache=_build_cache(args, "calibration"))
 
     calibration = outcome.calibration
@@ -230,6 +247,158 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
                  "k": args.k, "seed": args.seed, "blocks": results_json,
                  "engine": outcome.report.summary()})
     return 0
+
+
+def cmd_yield_study(args: argparse.Namespace) -> int:
+    from ..core import format_confidence, format_table
+    from . import yield_loss_study
+
+    print(f"running calibrate -> campaign -> yield sweep -> escape analysis "
+          f"as one task graph (delta = {args.k:g} sigma, "
+          f"{args.monte_carlo} MC samples, seed {args.seed})...")
+    # Namespace "calibration" for the same reason as the pipeline subcommand:
+    # the shared stages replay each other's artifacts; the study-only stages
+    # carry distinct "driver" fields and cannot collide.
+    outcome = yield_loss_study(
+        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
+        blocks=args.blocks, samples=args.samples,
+        exhaustive=args.exhaustive,
+        exhaustive_threshold=args.exhaustive_threshold,
+        stop_on_detection=not args.no_stop_on_detection,
+        k_values=args.k_values,
+        max_escape_defects=args.max_escape_defects,
+        backend=_build_backend(args),
+        cache=_build_cache(args, "calibration"))
+
+    calibration = outcome.calibration
+    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
+                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
+                for name, delta in calibration.deltas.items()]
+    print()
+    print(format_table(
+        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
+        title="SymBIST window calibration (study stage 1)"))
+
+    camp_rows: List[List[Any]] = []
+    blocks_json: List[Dict[str, Any]] = []
+    for block, result in outcome.results.items():
+        report = result.block_report(block)
+        camp_rows.append([block, report.n_defects, report.n_simulated,
+                          result.n_detected,
+                          format_confidence(report.coverage.value,
+                                            report.coverage.ci_half_width)])
+        blocks_json.append(_block_json(block, result,
+                                       per_block_engine=False))
+    print()
+    print(format_table(
+        ["A/M-S block", "#defects", "#simulated", "#detected",
+         "L-W defect coverage"],
+        camp_rows, title="SymBIST defect campaign (study stage 2)"))
+
+    yield_rows = [[f"{p.k:g}", f"{p.analytic_ppm:.3g}",
+                   f"{p.empirical:.4f}" if p.empirical is not None else "-",
+                   f"{p.empirical_ci_half_width:.4f}"
+                   if p.empirical_ci_half_width is not None else "-"]
+                  for p in outcome.yield_points]
+    print()
+    print(format_table(
+        ["k", "analytic (ppm)", "empirical", "95% CI"],
+        yield_rows, title="yield loss versus k (study stage 3)"))
+
+    escapes = outcome.escapes
+    print()
+    print(f"escape analysis: {escapes.n_analyzed} of "
+          f"{escapes.n_undetected_total} undetected defects analysed, "
+          f"{escapes.n_functional_escapes} functional escapes, "
+          f"{escapes.n_benign} benign")
+    for name, count in sorted(escapes.violations_histogram().items()):
+        print(f"  {name}: {count}")
+    print()
+    print(f"engine: {outcome.report.summary()}")
+    _emit(args, {
+        "deltas": calibration.deltas, "workers": args.workers,
+        "k": args.k, "seed": args.seed, "blocks": blocks_json,
+        "yield_loss": [{"k": p.k, "analytic_per_run": p.analytic_per_run,
+                        "analytic_ppm": p.analytic_ppm,
+                        "empirical": p.empirical,
+                        "empirical_ci_half_width": p.empirical_ci_half_width}
+                       for p in outcome.yield_points],
+        "escapes": {"n_undetected_total": escapes.n_undetected_total,
+                    "n_analyzed": escapes.n_analyzed,
+                    "n_functional_escapes": escapes.n_functional_escapes,
+                    "n_benign": escapes.n_benign,
+                    "violations": escapes.violations_histogram()},
+        "engine": outcome.report.summary()})
+    return 0
+
+
+def _open_cache(args: argparse.Namespace):
+    from . import ResultCache
+    return ResultCache(args.cache_dir,
+                       max_bytes=args.cache_max_bytes,
+                       max_age=args.cache_max_age)
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    import time
+    cache = _open_cache(args)
+    artifacts = len(cache)
+    total = cache.total_bytes()
+    ages: List[float] = []
+    now = time.time()
+    for key in cache.keys():
+        created = cache._created_of(cache._path(key))
+        if created is not None:
+            ages.append(now - created)
+    expired = None
+    if args.cache_max_age is not None:
+        expired = sum(1 for age in ages if age > args.cache_max_age)
+    print(f"cache {args.cache_dir}: {artifacts} artifacts, {total} bytes")
+    if ages:
+        print(f"  age: oldest {max(ages):.0f}s, newest {min(ages):.0f}s")
+    if expired is not None:
+        print(f"  expired (> {args.cache_max_age:g}s): {expired}")
+    payload = {"cache_dir": args.cache_dir, "artifacts": artifacts,
+               "total_bytes": total,
+               "oldest_age": max(ages) if ages else None,
+               "newest_age": min(ages) if ages else None}
+    if expired is not None:
+        payload["expired"] = expired
+    _emit(args, payload)
+    return 0
+
+
+def cmd_cache_evict(args: argparse.Namespace) -> int:
+    from ..circuit.errors import EngineError
+    if args.cache_max_bytes is None and args.cache_max_age is None:
+        raise EngineError(
+            "cache evict needs at least one bound: --cache-max-bytes "
+            "and/or --cache-max-age")
+    cache = _open_cache(args)
+    before = cache.total_bytes()
+    removed = cache.evict()
+    after = cache.total_bytes()
+    print(f"cache {args.cache_dir}: evicted {removed} artifacts "
+          f"({before - after} bytes), {len(cache)} artifacts "
+          f"({after} bytes) kept")
+    _emit(args, {"cache_dir": args.cache_dir, "evicted": removed,
+                 "freed_bytes": before - after, "artifacts": len(cache),
+                 "total_bytes": after})
+    return 0
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", required=True,
+                        help="directory of the content-addressed result "
+                             "cache")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="size budget; least-recently-used artifacts "
+                             "beyond it are evicted")
+    parser.add_argument("--cache-max-age", type=float, default=None,
+                        help="artifact lifetime in seconds; older artifacts "
+                             "are expired")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the machine-readable results to this file")
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -270,6 +439,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(pipeline)
     _add_campaign_arguments(pipeline)
     pipeline.set_defaults(func=cmd_pipeline)
+
+    study = sub.add_parser(
+        "yield-study",
+        help="calibrate -> campaign -> yield sweep -> escape analysis as "
+             "one task graph")
+    _add_common_arguments(study)
+    _add_campaign_arguments(study)
+    study.add_argument("--k-values", type=float, nargs="+",
+                       default=[2.0, 3.0, 4.0, 5.0, 6.0],
+                       help="window multipliers of the yield-loss sweep")
+    study.add_argument("--max-escape-defects", type=int, default=20,
+                       help="functional-test budget: analyse at most this "
+                            "many undetected defects")
+    study.set_defaults(func=cmd_yield_study)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect a result-cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser(
+        "stats", help="artifact count, footprint and age of a cache")
+    _add_cache_arguments(stats)
+    stats.set_defaults(func=cmd_cache_stats)
+    evict = cache_sub.add_parser(
+        "evict", help="apply --cache-max-bytes/--cache-max-age bounds now")
+    _add_cache_arguments(evict)
+    evict.set_defaults(func=cmd_cache_evict)
     return parser
 
 

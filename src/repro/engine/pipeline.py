@@ -558,3 +558,271 @@ def calibrate_then_campaign(
         variation_spec=variation_spec, delta_floors=delta_floors)
     return plan.run(backend=backend, cache=cache, progress=progress,
                     on_failure=on_failure)
+
+
+# ===================================================================== built-in
+# yield-loss study: calibrate -> campaign -> yield sweep -> escape analysis.
+
+def _yield_stage_worker(context: Mapping[str, Any], task: Task,
+                        rng: np.random.Generator,
+                        inputs: Mapping[str, Any]) -> Any:
+    """One empirical ``(k, yield)`` point from the pooled parent residuals.
+
+    Pools are assembled in ``task.depends_on`` order (== Monte Carlo sample
+    order), and sigma/mean derive through
+    :func:`repro.core.calibration.windows_from_pools`, so the point is
+    float-for-float what ``calibrate_windows(keep_pools=True)`` followed by
+    :func:`repro.analysis.empirical_yield_loss` computes.
+    """
+    from ..analysis.yield_loss import empirical_yield_loss
+    from ..core.calibration import WindowCalibration, windows_from_pools
+    names = context["invariance_names"]
+    pools: Dict[str, List[float]] = {name: [] for name in names}
+    for dep in task.depends_on:
+        rows = inputs[dep]
+        for name in names:
+            pools[name].extend(rows[name])
+    sigmas, means, deltas = windows_from_pools(
+        pools, context["k"], context.get("delta_floors"))
+    calibration = WindowCalibration(
+        k=context["k"], n_samples=len(task.depends_on), sigmas=sigmas,
+        means=means, deltas=deltas, residual_pools=pools)
+    return empirical_yield_loss(calibration, task.payload,
+                                context["n_cycles"])
+
+
+def _escape_stage_worker(context: Mapping[str, Any], task: Task,
+                         rng: np.random.Generator,
+                         inputs: Mapping[str, Any]) -> Any:
+    """Functional escape analysis over the campaign's undetected defects.
+
+    Parent order is campaign task order, so the undetected-defect list -- and
+    therefore the ``max_defects`` subsample drawn by
+    :func:`repro.analysis.analyze_escapes` from its deterministic default rng
+    -- matches the manual flow over the same records.
+    """
+    from ..analysis.escape_analysis import analyze_escapes
+    from ..defects.sampling import SamplingPlan
+    from ..defects.simulator import CampaignResult
+    from ..defects.universe import DefectUniverse
+    records = [inputs[dep] for dep in task.depends_on]
+    # Only undetected_defects() is consulted; universe/plan are inert here.
+    result = CampaignResult(records=records, universe=DefectUniverse([]),
+                            plan=SamplingPlan(exhaustive=True),
+                            stop_on_detection=context["stop_on_detection"])
+    return analyze_escapes(result, adc=context["adc_factory"](),
+                           max_defects=context["max_escape_defects"])
+
+
+@dataclass
+class YieldLossStudyOutcome:
+    """Everything produced by one end-to-end yield-loss study run."""
+
+    #: Stage-1/2 outputs, exactly as :func:`calibrate_then_campaign` returns
+    #: them (calibration windows + one CampaignResult per completed block).
+    calibration: Optional[Any]
+    results: Dict[str, Any]
+    #: One :class:`~repro.analysis.YieldLossPoint` per requested ``k``, in
+    #: ``k_values`` order; points whose task failed or was skipped are absent.
+    yield_points: List[Any]
+    #: The functional escape analysis
+    #: (:class:`~repro.analysis.EscapeAnalysisResult`), or None when its task
+    #: failed or was skipped.
+    escapes: Optional[Any]
+    #: The single report spanning all four stages.
+    report: CampaignReport
+    #: Per-stage statuses and raw results.
+    pipeline: PipelineResult
+
+    @property
+    def ok(self) -> bool:
+        return self.pipeline.ok
+
+
+@dataclass
+class YieldLossStudyPlan:
+    """A built (not yet run) end-to-end yield-loss study.
+
+    Produced by :func:`build_yield_loss_study`: the
+    :func:`build_calibrate_then_campaign` graph extended with a ``yield``
+    stage (one empirical yield-loss point per ``k``, fed by the calibration
+    samples) and an ``escape`` stage (one functional escape analysis fed by
+    every campaign task).
+    """
+
+    base: CalibrateCampaignPlan
+    k_values: List[float]
+    yield_task_ids: List[str]
+    escape_task_id: str = "escape"
+
+    @property
+    def pipeline(self) -> Pipeline:
+        return self.base.pipeline
+
+    def run(self, backend: Optional[ExecutionBackend] = None,
+            cache: Optional[ResultCache] = None,
+            progress: Optional[ProgressCallback] = None,
+            on_failure: str = "raise") -> YieldLossStudyOutcome:
+        """Execute the graph and assemble the four-stage outcome."""
+        outcome = self.base.run(backend=backend, cache=cache,
+                                progress=progress, on_failure=on_failure)
+        result = outcome.pipeline
+        yield_results = result.stage_results("yield")
+        escapes = result.stage_results("escape").get(self.escape_task_id)
+        return YieldLossStudyOutcome(
+            calibration=outcome.calibration,
+            results=outcome.results,
+            yield_points=[yield_results[tid] for tid in self.yield_task_ids
+                          if tid in yield_results],
+            escapes=escapes,
+            report=outcome.report,
+            pipeline=result)
+
+
+def build_yield_loss_study(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        k_values: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
+        n_cycles: int = 32,
+        max_escape_defects: Optional[int] = 20,
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None
+) -> YieldLossStudyPlan:
+    """Build the paper's full yield-loss study as one task graph.
+
+    Four stages, one graph, no stage barriers::
+
+        calib/0 ... calib/N-1        (defect-free Monte Carlo instances)
+          |    \\      |
+          |     windows              (delta = k*sigma + |mean|)
+          |    /   |   \\
+          |  campaign/<block>/...    (one defect injection + SymBIST each)
+          |        \\   |   /
+          |         escape           (functional test of undetected defects)
+        yield/k=2 ... yield/k=6      (empirical yield loss per k)
+
+    The calibration samples feed both the ``windows`` reduction and every
+    ``yield`` point, so the yield sweep runs concurrently with the defect
+    campaign; the ``escape`` stage starts as soon as the last defect task
+    finishes.  With the same root ``seed`` the outcome is bit-identical to
+    the manual flow (``calibrate_windows(keep_pools=True)`` +
+    ``DefectCampaign.run`` + ``empirical_yield_loss`` per ``k`` +
+    ``analyze_escapes``) on any backend.
+
+    Parameters follow :func:`build_calibrate_then_campaign`;
+    ``k_values``/``n_cycles`` mirror :func:`repro.analysis.yield_loss_sweep`
+    and ``max_escape_defects`` mirrors
+    :func:`repro.analysis.analyze_escapes`.
+    """
+    from ..adc.sar_adc import SarAdc
+
+    if n_cycles <= 0:
+        raise EngineError(f"n_cycles must be positive, got {n_cycles}")
+    if not k_values:
+        raise EngineError("k_values must name at least one k")
+    base = build_calibrate_then_campaign(
+        k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
+        samples=samples, exhaustive=exhaustive,
+        exhaustive_threshold=exhaustive_threshold,
+        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
+        variation_spec=variation_spec, delta_floors=delta_floors)
+    pipeline = base.pipeline
+    graph = pipeline.graph
+    windows_spec = graph.get(base.windows_task_id).spec
+    cacheable = windows_spec is not None
+
+    # --------------------------------------------------------- yield stage
+    from ..analysis.yield_loss import POINT_CODEC
+    pipeline.add_stage(
+        "yield", _yield_stage_worker, codec=POINT_CODEC,
+        context={"invariance_names": base.invariance_names, "k": k,
+                 "n_cycles": n_cycles,
+                 "delta_floors": dict(delta_floors) if delta_floors
+                 else None})
+    yield_ids = []
+    for index, k_value in enumerate(k_values):
+        spec = None
+        if cacheable:
+            # Everything an empirical point depends on: the residual pools
+            # (determined by the calibration spec + per-sample seeds, both
+            # inside the windows spec) and the point's own parameters.
+            spec = {"driver": "symbist-study-yield", "k": float(k_value),
+                    "n_cycles": n_cycles,
+                    "calibration": windows_spec["calibration"],
+                    "seeds": windows_spec["seeds"]}
+        task = Task(task_id=f"yield/{index}/k={k_value:g}",
+                    payload=float(k_value), spec=spec, deterministic=True,
+                    depends_on=tuple(base.calibration_task_ids))
+        pipeline.add_task("yield", task)
+        yield_ids.append(task.task_id)
+
+    # -------------------------------------------------------- escape stage
+    factory = adc_factory or SarAdc
+    campaign_ids = [tid for block in base.blocks
+                    for tid in base.block_task_ids[block]]
+    escape_spec = None
+    if cacheable:
+        defect_specs = [graph.get(tid).spec for tid in campaign_ids]
+        escape_spec = {
+            "driver": "symbist-study-escape",
+            "records": hashlib.sha256(
+                canonical_json(defect_specs).encode()).hexdigest(),
+            "max_defects": max_escape_defects,
+            "factory": callable_token(factory)}
+    from ..analysis.escape_analysis import ESCAPE_CODEC
+    pipeline.add_stage(
+        "escape", _escape_stage_worker, codec=ESCAPE_CODEC,
+        context={"adc_factory": factory,
+                 "stop_on_detection": stop_on_detection,
+                 "max_escape_defects": max_escape_defects})
+    pipeline.add_task("escape", Task(
+        task_id="escape", spec=escape_spec, deterministic=True,
+        depends_on=tuple(campaign_ids)))
+
+    return YieldLossStudyPlan(base=base, k_values=[float(v) for v in k_values],
+                              yield_task_ids=yield_ids)
+
+
+def yield_loss_study(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        k_values: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
+        n_cycles: int = 32,
+        max_escape_defects: Optional[int] = 20,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_failure: str = "raise",
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None
+) -> YieldLossStudyOutcome:
+    """Run the end-to-end yield-loss study as one task graph.
+
+    Convenience wrapper: :func:`build_yield_loss_study` followed by
+    :meth:`YieldLossStudyPlan.run`.  ``backend``/``cache`` follow the usual
+    engine conventions (serial and uncached by default).
+    """
+    plan = build_yield_loss_study(
+        k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
+        samples=samples, exhaustive=exhaustive,
+        exhaustive_threshold=exhaustive_threshold,
+        stop_on_detection=stop_on_detection, k_values=k_values,
+        n_cycles=n_cycles, max_escape_defects=max_escape_defects,
+        adc_factory=adc_factory, variation_spec=variation_spec,
+        delta_floors=delta_floors)
+    return plan.run(backend=backend, cache=cache, progress=progress,
+                    on_failure=on_failure)

@@ -136,6 +136,50 @@ class TestMaxAge:
         assert bounded.evictions == 1
         assert len(bounded) == 1
 
+    def test_read_path_expiry_counts_as_eviction(self, tmp_path):
+        """Regression: a ``max_age`` expiry discovered by :meth:`get` must
+        count as both a miss and an eviction, and delete the artifact."""
+        writer = ResultCache(str(tmp_path))
+        key = _put(writer, 0)
+        _rewrite_created(writer, key, seconds_ago=100)
+
+        reader = ResultCache(str(tmp_path), max_age=50)
+        assert reader.get(key) is MISS
+        assert reader.stats()["evictions"] == 1
+        assert reader.stats()["misses"] == 1
+        assert reader.stats()["hits"] == 0
+        assert len(reader) == 0
+
+    def test_evict_collects_recently_read_expired_artifacts(self, tmp_path):
+        """Regression: reads refresh the mtime (LRU-on-read), so an expired
+        artifact can look recently used; a GC pass must still remove it by
+        its stored creation timestamp, or it leaks until someone happens to
+        ``get`` its exact key again."""
+        writer = ResultCache(str(tmp_path))
+        stale = _put(writer, 0)
+        fresh = _put(writer, 1)
+        _rewrite_created(writer, stale, seconds_ago=100)
+        # A read refreshes the expired artifact's mtime.
+        assert ResultCache(str(tmp_path)).get(stale) is not MISS
+
+        bounded = ResultCache(str(tmp_path), max_age=50)
+        assert bounded.evict() == 1
+        assert bounded.evictions == 1
+        assert bounded.get(stale) is MISS
+        assert bounded.get(fresh) is not MISS
+
+    def test_non_utf8_artifact_neither_crashes_sweep_nor_get(self, tmp_path):
+        """Regression: a torn binary file in the cache dir must not abort
+        the GC sweep (which now opens fresh-mtime artifacts) or reads."""
+        cache = ResultCache(str(tmp_path), max_age=50)
+        good = _put(cache, 0)
+        junk = os.path.join(cache.cache_dir, "0" * 64 + ".json")
+        with open(junk, "wb") as handle:
+            handle.write(b"\xff\xfe\x00garbage")
+        assert cache.evict() == 0  # junk has no timestamp: kept, not fatal
+        assert cache.get(good) is not MISS
+        assert cache.get("0" * 64) is MISS  # junk reads as a plain miss
+
     def test_legacy_artifact_without_timestamp_is_kept(self, tmp_path):
         cache = ResultCache(str(tmp_path), max_age=50)
         key = _put(cache, 0)

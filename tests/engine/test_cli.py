@@ -12,6 +12,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["campaign", "--backend", "shm"])
+        assert args.backend == "shm"
+        assert build_parser().parse_args(["campaign"]).backend is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "bogus"])
+
+    def test_backend_resolution(self):
+        from repro.engine.cli import _build_backend
+        assert _build_backend(
+            build_parser().parse_args(["campaign"])).name == "serial"
+        assert _build_backend(build_parser().parse_args(
+            ["campaign", "--workers", "2"])).name == "multiprocess"
+        shm = _build_backend(build_parser().parse_args(
+            ["campaign", "--workers", "2", "--backend", "shm"]))
+        assert shm.name == "shm"
+        assert shm.workers == 2
+        # an explicit pool backend with --workers 1 still runs a 1-wide pool
+        assert _build_backend(build_parser().parse_args(
+            ["campaign", "--backend", "shm"])).name == "shm"
+
+    def test_yield_study_defaults(self):
+        args = build_parser().parse_args(["yield-study"])
+        assert args.k_values == [2.0, 3.0, 4.0, 5.0, 6.0]
+        assert args.max_escape_defects == 20
+        assert args.workers == 1
+
+    def test_cache_subcommands(self):
+        args = build_parser().parse_args(
+            ["cache", "stats", "--cache-dir", "c"])
+        assert args.cache_command == "stats"
+        args = build_parser().parse_args(
+            ["cache", "evict", "--cache-dir", "c",
+             "--cache-max-age", "60"])
+        assert args.cache_command == "evict"
+        assert args.cache_max_age == 60.0
+        with pytest.raises(SystemExit):  # --cache-dir is mandatory here
+            build_parser().parse_args(["cache", "stats"])
+
     def test_campaign_defaults(self):
         args = build_parser().parse_args(["campaign"])
         assert args.workers == 1
@@ -116,6 +155,78 @@ class TestPipelineCommand:
             assert w["coverage"] == c["coverage"]
         assert "(100%)" in warm["engine"]
 
+class TestYieldStudyCommand:
+    def test_end_to_end_on_shm_backend(self, tmp_path, capsys):
+        out = tmp_path / "study.json"
+        common = ["yield-study", "--monte-carlo", "3",
+                  "--blocks", "vcm_generator", "--k-values", "3", "5",
+                  "--max-escape-defects", "2",
+                  "--cache-dir", str(tmp_path / "cache"),
+                  "--json", str(out)]
+        assert main(common + ["--workers", "2", "--backend", "shm"]) == 0
+        cold = json.loads(out.read_text())
+        assert [p["k"] for p in cold["yield_loss"]] == [3.0, 5.0]
+        assert all(p["analytic_ppm"] > 0 for p in cold["yield_loss"])
+        assert cold["escapes"]["n_analyzed"] <= 2
+        assert cold["escapes"]["n_analyzed"] == \
+            cold["escapes"]["n_functional_escapes"] + \
+            cold["escapes"]["n_benign"]
+        printed = capsys.readouterr().out
+        assert "yield loss versus k" in printed
+        assert "escape analysis:" in printed
+        assert "via shm" in printed
+
+        # Warm serial rerun must replay the shm run's artifacts bit-for-bit.
+        assert main(common) == 0
+        warm = json.loads(out.read_text())
+        assert warm["yield_loss"] == cold["yield_loss"]
+        assert warm["escapes"] == cold["escapes"]
+        assert warm["deltas"] == cold["deltas"]
+        assert "(100%)" in warm["engine"]
+
+
+class TestCacheCommand:
+    def _warm_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["calibrate", "--monte-carlo", "3",
+                     "--cache-dir", str(cache_dir)]) == 0
+        return cache_dir
+
+    def test_stats_reports_footprint(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        out = tmp_path / "stats.json"
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["artifacts"] == 3
+        assert payload["total_bytes"] > 0
+        assert payload["oldest_age"] >= payload["newest_age"] >= 0
+        assert f"3 artifacts" in capsys.readouterr().out
+
+    def test_stats_counts_expired(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--cache-max-age", "0.000001"]) == 0
+        assert "expired" in capsys.readouterr().out
+
+    def test_evict_applies_bounds(self, tmp_path, capsys):
+        cache_dir = self._warm_cache(tmp_path)
+        out = tmp_path / "evict.json"
+        assert main(["cache", "evict", "--cache-dir", str(cache_dir),
+                     "--cache-max-age", "0.000001",
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["evicted"] == 3
+        assert payload["artifacts"] == 0
+        assert "evicted 3 artifacts" in capsys.readouterr().out
+
+    def test_evict_requires_a_bound(self, tmp_path, capsys):
+        assert main(["cache", "evict",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        assert "at least one bound" in capsys.readouterr().err
+
+
+class TestPipelineCacheSharing:
     def test_calibrate_artifacts_are_shared_with_pipeline(self, tmp_path):
         """`calibrate --cache-dir X` warms the pipeline's calibrate stage."""
         cache = str(tmp_path / "cache")

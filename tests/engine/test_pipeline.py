@@ -6,9 +6,11 @@ import pytest
 from repro.circuit import EngineError, TaskExecutionError
 from repro.engine import (CampaignEngine, MultiprocessBackend, Pipeline,
                           ResultCache, STATUS_CACHED, STATUS_EXECUTED,
-                          STATUS_FAILED, STATUS_SKIPPED, SerialBackend, Task,
-                          TaskGraph, build_calibrate_then_campaign,
-                          calibrate_then_campaign)
+                          STATUS_FAILED, STATUS_SKIPPED, SerialBackend,
+                          SharedMemoryBackend, Task, TaskGraph,
+                          build_calibrate_then_campaign,
+                          build_yield_loss_study, calibrate_then_campaign,
+                          yield_loss_study)
 
 
 # ------------------------------------------------------------- graph workers
@@ -385,3 +387,99 @@ class TestCalibrateThenCampaign:
         assert "calibrate" in outcome.report.group_durations
         assert BLOCK in outcome.report.group_durations
         assert outcome.results[BLOCK].engine_report is outcome.report
+
+
+# --------------------------------------------------------- yield-loss study
+K_VALUES = (3.0, 5.0)
+MAX_ESCAPES = 3
+
+
+def _manual_study():
+    """The historical four-step flow the study graph must reproduce."""
+    from repro.adc import SarAdc
+    from repro.analysis import analyze_escapes, empirical_yield_loss
+    from repro.core import calibrate_windows
+    from repro.defects import DefectCampaign, SamplingPlan
+
+    calibration = calibrate_windows(
+        k=5.0, n_monte_carlo=MC, rng=np.random.default_rng(SEED),
+        keep_pools=True)
+    campaign = DefectCampaign(adc=SarAdc(), deltas=calibration.deltas)
+    result = campaign.run(SamplingPlan(exhaustive=True), blocks=[BLOCK],
+                          rng=np.random.default_rng(SEED))
+    points = [empirical_yield_loss(calibration, k) for k in K_VALUES]
+    escapes = analyze_escapes(result, max_defects=MAX_ESCAPES)
+    return calibration, result, points, escapes
+
+
+class TestYieldLossStudy:
+    def test_graph_shape(self):
+        plan = build_yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES)
+        graph = plan.pipeline.graph
+        for i, k in enumerate(K_VALUES):
+            assert graph.dependencies(f"yield/{i}/k={k:g}") == tuple(
+                f"calib/{j}" for j in range(MC))
+        assert graph.dependencies("escape") == tuple(
+            plan.base.block_task_ids[BLOCK])
+        assert plan.pipeline.stage_names() == \
+            ["calibrate", "windows", "campaign", "yield", "escape"]
+
+    def test_bit_identical_to_manual_flow(self):
+        calibration, manual, points, escapes = _manual_study()
+        outcome = yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES)
+        assert outcome.ok
+        assert outcome.calibration.deltas == calibration.deltas
+        assert _record_digest(outcome.results[BLOCK]) == \
+            _record_digest(manual)
+        assert outcome.yield_points == points
+        assert outcome.escapes.n_undetected_total == \
+            escapes.n_undetected_total
+        assert [(r.defect.defect_id, r.spec_violations, r.gross_failure)
+                for r in outcome.escapes.records] == \
+            [(r.defect.defect_id, r.spec_violations, r.gross_failure)
+             for r in escapes.records]
+
+    def test_shared_memory_backend_matches_serial(self):
+        serial = yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES)
+        shm = yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES,
+            backend=SharedMemoryBackend(max_workers=2))
+        assert shm.yield_points == serial.yield_points
+        assert shm.calibration.deltas == serial.calibration.deltas
+        assert _record_digest(shm.results[BLOCK]) == \
+            _record_digest(serial.results[BLOCK])
+        assert [(r.defect.defect_id, r.spec_violations)
+                for r in shm.escapes.records] == \
+            [(r.defect.defect_id, r.spec_violations)
+             for r in serial.escapes.records]
+        assert shm.report.backend == "shm"
+
+    def test_warm_cache_replays_all_stages(self, tmp_path):
+        def cache():
+            return ResultCache(str(tmp_path / "cache"),
+                               namespace="calibration")
+        cold = yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES, cache=cache())
+        warm = yield_loss_study(
+            n_monte_carlo=MC, seed=SEED, blocks=[BLOCK], k_values=K_VALUES,
+            max_escape_defects=MAX_ESCAPES, cache=cache())
+        assert warm.report.n_cache_hits == warm.report.n_tasks
+        assert warm.yield_points == cold.yield_points
+        assert [(r.defect.defect_id, r.spec_violations)
+                for r in warm.escapes.records] == \
+            [(r.defect.defect_id, r.spec_violations)
+             for r in cold.escapes.records]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(EngineError):
+            build_yield_loss_study(n_monte_carlo=MC, k_values=())
+        with pytest.raises(EngineError):
+            build_yield_loss_study(n_monte_carlo=MC, n_cycles=0)
