@@ -3,7 +3,9 @@
 Measures the defect-campaign throughput of the execution engine
 (:mod:`repro.engine`) on the serial backend and on sharded process pools
 (multiprocess and shared-memory transports), plus the warm-cache replay
-rate, and compares the bytes each pool transport ships per task.  On
+rate, compares the one-graph per-block sweep (the block-study shape) against
+the historical one-engine-run-per-block loop, and compares the bytes each
+pool transport ships per task.  On
 multi-core runners the pools should approach linear speedup (the per-defect
 simulations are independent, exactly like the per-defect SPICE jobs an
 industrial DefectSim farm distributes); on single-CPU runners the
@@ -85,6 +87,64 @@ def test_engine_scaling(benchmark, deltas, tmp_path):
 
     if N_WORKERS == 1:
         pytest.skip("single-CPU runner: parallel scaling not measurable")
+
+
+#: Per-block sweep shape of the block-study comparison (Table I style).
+BLOCK_SAMPLES = 60
+BLOCK_EXHAUSTIVE_THRESHOLD = 120
+
+
+def test_block_study_beats_sequential_per_block_loop(deltas):
+    """One-graph per-block sweep vs the historical one-run-per-block loop.
+
+    The sequential loop launches a separate serial engine run per block, so
+    a 3-defect block's run cannot overlap a 300-defect block's; the
+    block-study shape submits every block's tasks into one graph and keeps
+    the pool saturated.  Same defects, same records -- the one-graph pooled
+    sweep must finish faster than the summed sequential runs at >=2 workers.
+    """
+    if N_WORKERS < 2:
+        pytest.skip("single-CPU runner: pool utilization not measurable")
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+    blocks = campaign.universe.block_paths()
+
+    # The historical shape: one serial engine run per block (per-block seeds
+    # match run_per_block's, so both flows simulate identical defects).
+    from repro.defects import block_seed_sequence
+    sequential_wall = 0.0
+    sequential_key = []
+    n_tasks = 0
+    for block in blocks:
+        size = len(campaign.universe.by_block(block))
+        plan = SamplingPlan(exhaustive=size <= BLOCK_EXHAUSTIVE_THRESHOLD,
+                            n_samples=BLOCK_SAMPLES)
+        rng = np.random.default_rng(
+            block_seed_sequence(BENCHMARK_SEED, block))
+        result = campaign.run(plan, blocks=[block], rng=rng,
+                              backend=SerialBackend())
+        sequential_wall += result.engine_report.wall_time
+        sequential_key.extend(_coverage_key(result))
+        n_tasks += result.n_simulated
+
+    pooled = campaign.run_per_block(
+        n_samples_per_block=BLOCK_SAMPLES, seed=BENCHMARK_SEED,
+        exhaustive_threshold=BLOCK_EXHAUSTIVE_THRESHOLD,
+        backend=MultiprocessBackend(max_workers=N_WORKERS))
+    pooled_key = [entry for block in blocks
+                  for entry in _coverage_key(pooled[block])]
+    report = next(iter(pooled.values())).engine_report
+
+    print()
+    print(format_table(
+        ["sweep shape", "workers", "#tasks", "wall (s)", "defects/s"],
+        [["sequential per-block loop", 1, n_tasks,
+          f"{sequential_wall:.2f}", f"{n_tasks / sequential_wall:.1f}"],
+         ["block-study (one graph)", N_WORKERS, report.n_tasks,
+          f"{report.wall_time:.2f}", f"{report.tasks_per_second:.1f}"]],
+        title=f"per-block sweep: one graph vs {len(blocks)} sequential runs"))
+
+    assert pooled_key == sequential_key  # same defects, same records
+    assert report.wall_time < sequential_wall
 
 
 def test_payload_bytes_multiprocess_vs_shm(deltas):

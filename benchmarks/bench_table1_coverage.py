@@ -52,12 +52,15 @@ EXHAUSTIVE_THRESHOLD = 120
 def _run_table1(deltas):
     campaign = DefectCampaign(adc=SarAdc(), deltas=deltas,
                               stop_on_detection=True)
-    rng = np.random.default_rng(BENCHMARK_SEED)
+    # One engine run spans the whole per-block sweep; per-block LWRS draws
+    # derive from the seed + block path, so the rows do not depend on block
+    # order (and the whole-IP row below gets its own independent stream).
     per_block = campaign.run_per_block(n_samples_per_block=SAMPLES_PER_BLOCK,
-                                       rng=rng,
+                                       seed=BENCHMARK_SEED,
                                        exhaustive_threshold=EXHAUSTIVE_THRESHOLD)
     whole_ip = campaign.run(SamplingPlan(exhaustive=False,
-                                         n_samples=WHOLE_IP_SAMPLES), rng=rng)
+                                         n_samples=WHOLE_IP_SAMPLES),
+                            rng=np.random.default_rng(BENCHMARK_SEED))
     return campaign, per_block, whole_ip
 
 

@@ -35,22 +35,27 @@ import numpy as np
 
 from repro.adc import SarAdc
 from repro.core import calibrate_windows, format_confidence, format_table
-from repro.defects import DefectCampaign, SamplingPlan
+from repro.defects import DefectCampaign, SamplingPlan, block_seed_sequence
 from repro.engine import (MultiprocessBackend, ResultCache,
                           calibrate_then_campaign)
 
 
 def manual_two_invocation_flow(args):
-    """The historical flow: calibrate, then campaign, state carried by hand."""
+    """The historical flow: calibrate, then campaign, state carried by hand.
+
+    Each block's LWRS draws come from ``block_seed_sequence(seed, block)``
+    -- the scheme every per-block sweep (``run_per_block``, the pipeline and
+    block-study graphs) uses, so the draws never depend on block order.
+    """
     calibration = calibrate_windows(
         n_monte_carlo=args.monte_carlo, rng=np.random.default_rng(args.seed))
     campaign = DefectCampaign(adc=SarAdc(), deltas=calibration.deltas)
-    rng = np.random.default_rng(args.seed)
     results = {}
     for block in args.blocks:
         block_universe = campaign.universe.by_block(block)
         exhaustive = len(block_universe) <= args.exhaustive_threshold
         plan = SamplingPlan(exhaustive=exhaustive, n_samples=args.samples)
+        rng = np.random.default_rng(block_seed_sequence(args.seed, block))
         results[block] = campaign.run(plan, blocks=[block], rng=rng)
     return calibration, results
 

@@ -11,6 +11,7 @@ from .area import (AreaReport, DEFAULT_DIGITAL_GATES, area_overhead,
                    ip_analog_area, symbist_infrastructure_area)
 from .calibration import (DEFAULT_DELTA_FLOORS, GENERIC_DELTA_FLOOR,
                           WindowCalibration, calibrate_windows,
+                          calibration_from_windows,
                           collect_defect_free_residuals)
 from .controller import SymBistController, SymBistResult, run_symbist
 from .invariance import (Invariance, SIGN_DEADBAND, SIGN_VIOLATION_MAGNITUDE,
@@ -31,7 +32,8 @@ __all__ = [
     "SymBistResult", "SymBistStimulus", "TestTimeModel", "WindowCalibration",
     "WindowCheckResult", "WindowComparator", "area_overhead",
     "build_checkers", "build_invariances", "calibrate_windows",
-    "collect_defect_free_residuals", "evaluate_all", "format_confidence",
+    "calibration_from_windows", "collect_defect_free_residuals",
+    "evaluate_all", "format_confidence",
     "format_percent", "format_table", "invariance_by_name", "ip_analog_area",
     "run_symbist", "summarize_symbist_result", "SymBistTam", "TamInstruction",
     "TamSession", "INSTRUCTION_BITS", "RESPONSE_BITS", "symbist_infrastructure_area",

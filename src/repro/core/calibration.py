@@ -235,6 +235,24 @@ def windows_from_pools(pools: Mapping[str, Sequence[float]], k: float,
     return sigmas, means, deltas
 
 
+def calibration_from_windows(payload: Mapping[str, Any],
+                             order: Sequence[str]) -> WindowCalibration:
+    """Rebuild a :class:`WindowCalibration` from a windows-task payload.
+
+    The pipeline windows reductions (:mod:`repro.engine.pipeline`) return
+    ``{"k", "n_samples", "sigmas", "means", "deltas"}`` dictionaries that may
+    have round-tripped through the JSON result cache; this re-orders the
+    per-invariance entries to the canonical ``order`` so checker order never
+    depends on JSON key ordering of a cache-replayed artifact.
+    """
+    names = [name for name in order if name in payload["deltas"]]
+    return WindowCalibration(
+        k=payload["k"], n_samples=payload["n_samples"],
+        sigmas={name: payload["sigmas"][name] for name in names},
+        means={name: payload["means"][name] for name in names},
+        deltas={name: payload["deltas"][name] for name in names})
+
+
 def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
                       invariances: Optional[Sequence[Invariance]] = None,
                       stimulus: Optional[SymBistStimulus] = None,

@@ -15,7 +15,8 @@ from .coverage import (CoverageEstimate, Z_95, combine_detected_likelihood,
 from .injection import DefectInjector
 from .likelihood import DEFAULT_TYPE_PRIORS, LikelihoodModel
 from .model import Defect, DefectKind, enumerate_device_defects
-from .sampling import SamplingPlan, lwrs_sample, select_defects
+from .sampling import (SamplingPlan, block_seed_sequence, lwrs_sample,
+                       per_block_selection, select_defects)
 from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
                         DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE,
                         RECORD_CODEC)
@@ -28,7 +29,8 @@ __all__ = [
     "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE", "RECORD_CODEC",
     "SamplingPlan", "Z_95",
     "BlockScore", "DiagnosisReport", "diagnose", "diagnosis_accuracy",
-    "build_defect_universe", "combine_detected_likelihood",
-    "enumerate_device_defects", "exhaustive_coverage", "lwrs_coverage",
-    "lwrs_sample", "select_defects", "wilson_interval",
+    "block_seed_sequence", "build_defect_universe",
+    "combine_detected_likelihood", "enumerate_device_defects",
+    "exhaustive_coverage", "lwrs_coverage", "lwrs_sample",
+    "per_block_selection", "select_defects", "wilson_interval",
 ]

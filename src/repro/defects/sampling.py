@@ -14,8 +14,9 @@ whole universe, and a binomial confidence interval applies directly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -69,3 +70,66 @@ def select_defects(universe: DefectUniverse, plan: SamplingPlan,
         return list(universe.defects)
     return lwrs_sample(universe, plan.n_samples, rng,
                        with_replacement=plan.with_replacement)
+
+
+def block_seed_sequence(root: Union[int, np.random.SeedSequence],
+                        block_path: str) -> np.random.SeedSequence:
+    """Per-block ``SeedSequence`` derived from a root seed + the block path.
+
+    The block path is hashed into spawn-key words appended to the root's, so
+    each block's seed material depends only on ``(root, block_path)`` --
+    never on how many other blocks a sweep visits or in which order.  This is
+    what makes per-block campaigns invariant to block iteration order and
+    block-subset restriction: the draws for ``sc_array`` are the same whether
+    the sweep covers one block or all of them.
+    """
+    digest = hashlib.sha256(block_path.encode("utf-8")).digest()
+    words = tuple(int.from_bytes(digest[i:i + 4], "little")
+                  for i in range(0, 16, 4))
+    if not isinstance(root, np.random.SeedSequence):
+        root = np.random.SeedSequence(int(root))
+    return np.random.SeedSequence(entropy=root.entropy,
+                                  spawn_key=tuple(root.spawn_key) + words)
+
+
+def per_block_selection(universe: DefectUniverse,
+                        seed: Union[int, np.random.SeedSequence],
+                        n_samples: int,
+                        exhaustive_threshold: Optional[int] = None,
+                        blocks: Optional[Sequence[str]] = None,
+                        exhaustive: bool = False
+                        ) -> Dict[str, Tuple[SamplingPlan, List[Defect]]]:
+    """Per-block sampling plans and defect selections of a block sweep.
+
+    One entry per block, in ``blocks`` (or universe) order.  Blocks whose
+    universe is not larger than ``exhaustive_threshold`` (default:
+    ``n_samples``) are simulated exhaustively, mirroring the paper's Table I
+    where small blocks have ``#defects == #defects simulated``; larger blocks
+    draw an LWRS sample of ``n_samples`` from a generator seeded by
+    :func:`block_seed_sequence`, so the selection is bit-identical for any
+    block order, block subset or worker count.
+
+    Shared by :meth:`repro.defects.DefectCampaign.run_per_block` and the
+    block-study graph (:func:`repro.engine.pipeline.build_block_study`) so
+    the two flows can never drift apart in what they simulate.
+    """
+    threshold = exhaustive_threshold if exhaustive_threshold is not None \
+        else n_samples
+    block_list = list(blocks) if blocks is not None \
+        else universe.block_paths()
+    if not block_list:
+        raise CoverageError("no blocks to simulate")
+    selection: Dict[str, Tuple[SamplingPlan, List[Defect]]] = {}
+    for block_path in block_list:
+        block_universe = universe.by_block(block_path)
+        if len(block_universe) == 0:
+            raise CoverageError(
+                f"no defects to simulate for block {block_path!r}")
+        if exhaustive or len(block_universe) <= threshold:
+            plan = SamplingPlan(exhaustive=True)
+        else:
+            plan = SamplingPlan(exhaustive=False, n_samples=n_samples)
+        rng = np.random.default_rng(block_seed_sequence(seed, block_path))
+        selection[block_path] = (plan, select_defects(block_universe, plan,
+                                                      rng))
+    return selection

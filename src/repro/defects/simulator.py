@@ -56,7 +56,7 @@ from .coverage import CoverageEstimate, exhaustive_coverage, lwrs_coverage
 from .injection import DefectInjector
 from .likelihood import LikelihoodModel
 from .model import Defect, DefectKind
-from .sampling import SamplingPlan, select_defects
+from .sampling import SamplingPlan, per_block_selection, select_defects
 from .universe import DefectUniverse, build_defect_universe
 
 #: Modelled transistor-level simulation cost of one test clock cycle, in
@@ -420,6 +420,24 @@ class DefectCampaign:
                            spec=self._task_spec(defect, adc_fingerprint),
                            deterministic=True, group=defect.block_path))
 
+        run = self._dispatch(tasks, backend, cache, progress)
+        return CampaignResult(records=list(run.results), universe=universe,
+                              plan=plan,
+                              stop_on_detection=self.stop_on_detection,
+                              engine_report=run.report)
+
+    def _dispatch(self, tasks: TaskGraph,
+                  backend: Optional[ExecutionBackend],
+                  cache: Optional[ResultCache],
+                  progress: Optional[Callable[[int, int, DefectSimulationRecord], None]]):
+        """Run defect tasks through one engine invocation.
+
+        Registers this campaign in the per-process worker state (so the
+        serial backend and fork-started workers reuse the live
+        hierarchy/injector) for the duration of the run -- the single copy
+        of the dispatch plumbing shared by :meth:`run` and
+        :meth:`run_per_block`.
+        """
         engine_progress = None
         if progress is not None:
             def engine_progress(outcome: TaskOutcome) -> None:
@@ -435,44 +453,91 @@ class DefectCampaign:
         _WORKER_STATE[token] = self
         try:
             engine = CampaignEngine(backend=backend, cache=cache)
-            run = engine.run(tasks, _defect_worker, context=context,
-                             codec=RECORD_CODEC, progress=engine_progress)
+            return engine.run(tasks, _defect_worker, context=context,
+                              codec=RECORD_CODEC, progress=engine_progress)
         finally:
             _WORKER_STATE.pop(token, None)
-        return CampaignResult(records=list(run.results), universe=universe,
-                              plan=plan,
-                              stop_on_detection=self.stop_on_detection,
-                              engine_report=run.report)
 
     def run_per_block(self, n_samples_per_block: int,
                       rng: Optional[np.random.Generator] = None,
                       exhaustive_threshold: Optional[int] = None,
                       progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None,
                       backend: Optional[ExecutionBackend] = None,
-                      cache: Optional[ResultCache] = None
+                      cache: Optional[ResultCache] = None,
+                      seed: Optional[Any] = None,
+                      blocks: Optional[Sequence[str]] = None,
+                      exhaustive: bool = False
                       ) -> Dict[str, CampaignResult]:
-        """Run one campaign per block, like the per-block rows of Table I.
+        """Run every block's campaign, like the per-block rows of Table I.
 
         Blocks whose universe is not larger than ``exhaustive_threshold`` (or
         ``n_samples_per_block`` when the threshold is omitted) are simulated
         exhaustively, mirroring the paper where small blocks have
         ``#defects == #defects simulated``; larger blocks use LWRS.
 
-        ``backend``/``cache`` follow the :meth:`run` conventions and are
-        shared by every per-block campaign of the sweep.
+        The whole sweep is **one task graph through one engine run**: every
+        block's defect tasks are submitted together (grouped by block in the
+        report), so small blocks interleave with large ones and a pool
+        backend stays saturated instead of draining per block.  Each block's
+        LWRS draws come from a generator derived from the root ``seed`` and
+        the block path (:func:`~repro.defects.sampling.block_seed_sequence`)
+        -- results are therefore bit-identical for any block order, block
+        subset, backend or worker count (defect simulation itself is
+        deterministic, so no per-task seed material is needed).  Every
+        returned
+        :class:`CampaignResult` shares the single
+        :class:`~repro.engine.CampaignReport` spanning the sweep.
+
+        Parameters
+        ----------
+        seed:
+            Root seed material (``int`` or ``SeedSequence``) of the
+            per-block draws; defaults to 0.
+        rng:
+            Legacy alternative to ``seed``: one integer is drawn from the
+            generator to form the root seed.  The per-block draws still
+            derive from that root + block path, so they remain block-order
+            invariant (unlike the historical behaviour of threading ``rng``
+            itself through the sequential per-block loop).
+        blocks / exhaustive:
+            Optional restriction to a block subset / force exhaustive
+            simulation of every block (the ``repro-campaign campaign``
+            options).
+        ``backend``/``cache``/``progress`` follow the :meth:`run`
+        conventions.
         """
-        threshold = exhaustive_threshold if exhaustive_threshold is not None \
-            else n_samples_per_block
+        if seed is None:
+            seed = int(rng.integers(0, 2 ** 63 - 1)) if rng is not None else 0
+        selection = per_block_selection(
+            self.universe, seed, n_samples_per_block,
+            exhaustive_threshold=exhaustive_threshold, blocks=blocks,
+            exhaustive=exhaustive)
+
+        self.adc.clear_defects()
+        adc_fingerprint = self._adc_fingerprint()
+        tasks = TaskGraph()
+        block_task_ids: Dict[str, List[str]] = {}
+        for block_path, (plan, defects) in selection.items():
+            task_ids = []
+            for index, defect in enumerate(defects):
+                task = Task(
+                    task_id=f"block/{block_path}/{index}/{defect.defect_id}",
+                    payload=defect,
+                    spec=self._task_spec(defect, adc_fingerprint),
+                    deterministic=True, group=block_path)
+                tasks.add(task)
+                task_ids.append(task.task_id)
+            block_task_ids[block_path] = task_ids
+
+        run = self._dispatch(tasks, backend, cache, progress)
+        record_of = dict(zip(run.task_ids, run.results))
         results: Dict[str, CampaignResult] = {}
-        for block_path in self.universe.block_paths():
-            block_universe_size = len(self.universe.by_block(block_path))
-            if block_universe_size <= threshold:
-                plan = SamplingPlan(exhaustive=True)
-            else:
-                plan = SamplingPlan(exhaustive=False,
-                                    n_samples=n_samples_per_block)
-            results[block_path] = self.run(plan=plan, rng=rng,
-                                           blocks=[block_path],
-                                           progress=progress,
-                                           backend=backend, cache=cache)
+        for block_path, (plan, _) in selection.items():
+            block_universe = self.universe.by_block(block_path)
+            results[block_path] = CampaignResult(
+                records=[record_of[tid]
+                         for tid in block_task_ids[block_path]],
+                universe=block_universe, plan=plan,
+                stop_on_detection=self.stop_on_detection,
+                engine_report=run.report)
         return results

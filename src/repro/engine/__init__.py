@@ -29,8 +29,11 @@ executes such workloads:
 * :mod:`repro.engine.pipeline` -- the :class:`Pipeline` API (named stages
   over one task graph) and the built-in workflows:
   :func:`calibrate_then_campaign` (window calibration + defect campaign as
-  one graph) and :func:`yield_loss_study` (calibration + campaign +
-  yield-loss sweep + functional escape analysis as one graph);
+  one graph), :func:`block_study` (per-block window calibration + every
+  block's defect campaign + per-block yield/coverage reductions as one
+  graph -- Table I in a single engine run) and :func:`yield_loss_study`
+  (calibration + campaign + yield-loss sweep + functional escape analysis
+  as one graph);
 * :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry point.
 
 The drivers in :mod:`repro.analysis.monte_carlo`,
@@ -48,14 +51,17 @@ from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ResultCodec, STATUS_CACHED,
                        STATUS_EXECUTED, STATUS_FAILED, STATUS_SKIPPED,
                        TaskOutcome)
-from .pipeline import (CalibrateCampaignOutcome, CalibrateCampaignPlan,
+from .pipeline import (BlockStudyOutcome, BlockStudyPlan,
+                       CalibrateCampaignOutcome, CalibrateCampaignPlan,
                        Pipeline, PipelineResult, PipelineStage,
                        YieldLossStudyOutcome, YieldLossStudyPlan,
+                       block_study, build_block_study,
                        build_calibrate_then_campaign, build_yield_loss_study,
                        calibrate_then_campaign, yield_loss_study)
 from .task import Task, TaskGraph
 
 __all__ = [
+    "BlockStudyOutcome", "BlockStudyPlan",
     "CalibrateCampaignOutcome", "CalibrateCampaignPlan", "CampaignEngine",
     "CampaignReport", "EngineRun", "ExecutionBackend", "IDENTITY_CODEC",
     "MISS", "MultiprocessBackend", "PayloadReport", "Pipeline",
@@ -63,7 +69,8 @@ __all__ = [
     "STATUS_CACHED", "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED",
     "SerialBackend", "SharedMemoryBackend", "Task", "TaskGraph",
     "TaskOutcome", "WorkStream", "YieldLossStudyOutcome",
-    "YieldLossStudyPlan", "build_calibrate_then_campaign",
-    "build_yield_loss_study", "calibrate_then_campaign", "callable_token",
-    "canonical_json", "yield_loss_study",
+    "YieldLossStudyPlan", "block_study", "build_block_study",
+    "build_calibrate_then_campaign", "build_yield_loss_study",
+    "calibrate_then_campaign", "callable_token", "canonical_json",
+    "yield_loss_study",
 ]

@@ -46,6 +46,7 @@ from __future__ import annotations
 import math
 import pickle
 import struct
+import sys
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
@@ -294,10 +295,27 @@ class _PoolWorkStream(WorkStream):
 
     def close(self) -> None:
         try:
-            for future in self._pending:
-                future.cancel()
-            self._pool.shutdown(wait=True)
+            try:
+                for future in self._pending:
+                    future.cancel()
+                self._pool.shutdown(wait=True)
+            except BaseException:
+                # A consumer-side interrupt (e.g. a KeyboardInterrupt
+                # delivered while the pool drains, or a second Ctrl-C during
+                # the graceful shutdown above) must not leave the pool -- or
+                # the shared segment released by on_close below -- behind:
+                # give up on the workers without blocking and re-raise.
+                # cancel_futures only exists on Python >= 3.9; the explicit
+                # cancel loop above already covered the pending futures.
+                if sys.version_info >= (3, 9):
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                else:  # pragma: no cover (requires-python allows 3.8)
+                    self._pool.shutdown(wait=False)
+                raise
         finally:
+            # Covers every exit path, including consumer-side interrupts:
+            # whatever shipped the work function (e.g. the /dev/shm segment
+            # of the shared-memory backend) is unlinked exactly once.
             if self._on_close is not None:
                 self._on_close()
 

@@ -7,6 +7,7 @@ cache::
     repro-campaign calibrate --monte-carlo 100 --workers 4 --cache-dir .cache
     repro-campaign campaign --blocks sc_array vcm_generator --workers 4
     repro-campaign pipeline --workers 4 --cache-dir .cache --json out.json
+    repro-campaign block-study --workers 4 --backend shm --json table1.json
     repro-campaign yield-study --workers 4 --backend shm --json study.json
     repro-campaign cache stats --cache-dir .cache
 
@@ -14,9 +15,16 @@ cache::
 ``pipeline`` subcommand runs both as one dependency-aware task graph
 (calibration samples -> window reduction -> per-defect simulations) with
 bit-identical results to the two-invocation flow under the same ``--seed``.
-``yield-study`` extends that graph with the yield-loss sweep and the
+``block-study`` runs the per-block study (Table I) as one graph -- per-block
+window calibration, every block's defect campaign and the per-block
+yield/coverage reductions in a single engine run, so small-block tasks
+interleave with large-block tasks instead of draining the pool per block.
+``yield-study`` extends the pipeline graph with the yield-loss sweep and the
 functional escape analysis -- the paper's full experiment as one graph.
 ``cache`` inspects and garbage-collects a cache directory.
+
+Every campaign-shaped subcommand emits the same per-block JSON schema, with
+the single engine report of the run under the top-level ``engine`` key.
 
 ``--workers 1`` (the default) executes serially; any higher count shards the
 work across a process pool with byte-identical results.  ``--backend shm``
@@ -117,21 +125,20 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _block_json(block: str, result: Any,
-                per_block_engine: bool = True) -> Dict[str, Any]:
-    """Machine-readable per-block payload, shared by campaign and pipeline
-    so the two subcommands never drift apart in JSON schema.
+def _block_json(block: str, result: Any) -> Dict[str, Any]:
+    """Machine-readable per-block payload, shared by every campaign-shaped
+    subcommand (``campaign``, ``pipeline``, ``yield-study``, ``block-study``)
+    so they can never drift apart in JSON schema.
 
-    ``per_block_engine=False`` drops the engine keys from ``timing``
-    (``engine_wall_time``, ``cache_hit_rate``): in a pipeline run one engine
-    report spans every stage, so those numbers are graph-wide, not
-    per-block, and are reported once at the top level instead.
+    The engine keys (``engine_wall_time``, ``cache_hit_rate``) are dropped
+    from ``timing``: every subcommand now runs its whole sweep as one engine
+    run, so those numbers are graph-wide, not per-block, and are reported
+    once at the top level (the ``engine`` key) instead.
     """
     report = result.block_report(block)
     timing = result.timing_summary()
-    if not per_block_engine:
-        timing.pop("engine_wall_time", None)
-        timing.pop("cache_hit_rate", None)
+    timing.pop("engine_wall_time", None)
+    timing.pop("cache_hit_rate", None)
     return {
         "block": block, "n_defects": report.n_defects,
         "n_simulated": report.n_simulated,
@@ -145,7 +152,7 @@ def _block_json(block: str, result: Any,
 def cmd_campaign(args: argparse.Namespace) -> int:
     from ..adc import SarAdc
     from ..core import format_confidence, format_table
-    from ..defects import DefectCampaign, SamplingPlan
+    from ..defects import DefectCampaign
 
     backend = _build_backend(args)
     cache = _build_cache(args, "defects")
@@ -156,43 +163,40 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = DefectCampaign(
         adc=SarAdc(), deltas=calibration.deltas,
         stop_on_detection=not args.no_stop_on_detection)
-    rng = np.random.default_rng(args.seed)
     print(f"defect universe: {len(campaign.universe)} defects across "
           f"{len(campaign.universe.block_paths())} A/M-S blocks")
 
-    blocks = args.blocks or campaign.universe.block_paths()
+    # One engine run spans the whole sweep: every block's defect tasks are
+    # submitted together, with per-block seeds derived from --seed + the
+    # block path (identical results for any block order or worker count).
+    results = campaign.run_per_block(
+        n_samples_per_block=args.samples, seed=args.seed,
+        exhaustive_threshold=args.exhaustive_threshold,
+        blocks=args.blocks or None,  # a bare `--blocks` means every block
+        exhaustive=args.exhaustive, backend=backend, cache=cache)
+
     rows: List[List[Any]] = []
     results_json: List[Dict[str, Any]] = []
-    engine_lines: List[str] = []
-    for block in blocks:
-        block_universe = campaign.universe.by_block(block)
-        exhaustive = args.exhaustive or \
-            len(block_universe) <= args.exhaustive_threshold
-        plan = SamplingPlan(exhaustive=exhaustive, n_samples=args.samples)
-        result = campaign.run(plan, blocks=[block], rng=rng,
-                              backend=backend, cache=cache)
+    for block, result in results.items():
         report = result.block_report(block)
-        timing = result.timing_summary()
-        engine_lines.append(f"  {block}: {result.engine_report.summary()}")
         rows.append([block, report.n_defects, report.n_simulated,
-                     f"{timing['engine_wall_time']:.2f}",
+                     result.n_detected,
                      f"{report.modeled_sim_time:.0f}",
                      format_confidence(report.coverage.value,
                                        report.coverage.ci_half_width)])
-        results_json.append(dict(_block_json(block, result),
-                                 engine=result.engine_report.summary()))
+        results_json.append(_block_json(block, result))
+    engine_report = next(iter(results.values())).engine_report
 
     print()
     print(format_table(
-        ["A/M-S block", "#defects", "#simulated", "engine wall (s)",
+        ["A/M-S block", "#defects", "#simulated", "#detected",
          "model sim time (s)", "L-W defect coverage"],
         rows, title="SymBIST defect-simulation campaign (Table I style)"))
     print()
-    print("engine:")
-    for line in engine_lines:
-        print(line)
+    print(f"engine: {engine_report.summary()}")
     _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
-                 "blocks": results_json})
+                 "k": args.k, "seed": args.seed, "blocks": results_json,
+                 "engine": engine_report.summary()})
     return 0
 
 
@@ -234,8 +238,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
                      f"{report.modeled_sim_time:.0f}",
                      format_confidence(report.coverage.value,
                                        report.coverage.ci_half_width)])
-        results_json.append(_block_json(block, result,
-                                        per_block_engine=False))
+        results_json.append(_block_json(block, result))
     print()
     print(format_table(
         ["A/M-S block", "#defects", "#simulated", "#detected",
@@ -287,8 +290,7 @@ def cmd_yield_study(args: argparse.Namespace) -> int:
                           result.n_detected,
                           format_confidence(report.coverage.value,
                                             report.coverage.ci_half_width)])
-        blocks_json.append(_block_json(block, result,
-                                       per_block_engine=False))
+        blocks_json.append(_block_json(block, result))
     print()
     print(format_table(
         ["A/M-S block", "#defects", "#simulated", "#detected",
@@ -329,6 +331,64 @@ def cmd_yield_study(args: argparse.Namespace) -> int:
                     "n_benign": escapes.n_benign,
                     "violations": escapes.violations_histogram()},
         "engine": outcome.report.summary()})
+    return 0
+
+
+def cmd_block_study(args: argparse.Namespace) -> int:
+    from ..core import format_confidence, format_table
+    from . import block_study
+
+    print(f"running the per-block study as one task graph "
+          f"(delta = {args.k:g} sigma, {args.monte_carlo} MC samples, "
+          f"seed {args.seed})...")
+    # Namespace "calibration" for the same reason as the pipeline subcommand:
+    # the calibrate stage replays artifacts written by `repro-campaign
+    # calibrate` and vice versa; the block-study-only stages carry distinct
+    # "driver" fields and cannot collide.
+    outcome = block_study(
+        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
+        blocks=args.blocks, samples=args.samples,
+        exhaustive=args.exhaustive,
+        exhaustive_threshold=args.exhaustive_threshold,
+        stop_on_detection=not args.no_stop_on_detection,
+        backend=_build_backend(args),
+        cache=_build_cache(args, "calibration"))
+
+    # The CLI runs every block at the same --k, so the per-block window
+    # calibrations are identical; print (and emit) one table.
+    calibration = next(iter(outcome.calibrations.values()))
+    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
+                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
+                for name, delta in calibration.deltas.items()]
+    print()
+    print(format_table(
+        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
+        title="SymBIST window calibration (block-study stage 1)"))
+
+    rows: List[List[Any]] = []
+    results_json: List[Dict[str, Any]] = []
+    for block, result in outcome.results.items():
+        report = result.block_report(block)
+        rows.append([block, report.n_defects, report.n_simulated,
+                     result.n_detected,
+                     f"{report.modeled_sim_time:.0f}",
+                     format_confidence(report.coverage.value,
+                                       report.coverage.ci_half_width)])
+        results_json.append(_block_json(block, result))
+    print()
+    print(format_table(
+        ["A/M-S block", "#defects", "#simulated", "#detected",
+         "model sim time (s)", "L-W defect coverage"],
+        rows, title="SymBIST per-block defect campaigns "
+                    "(block-study stages 2-3)"))
+    print()
+    print(f"engine: {outcome.report.summary()}")
+    stage_line = outcome.report.stage_summary()
+    if stage_line:
+        print(f"stages: {stage_line}")
+    _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
+                 "k": args.k, "seed": args.seed, "blocks": results_json,
+                 "engine": outcome.report.summary()})
     return 0
 
 
@@ -439,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(pipeline)
     _add_campaign_arguments(pipeline)
     pipeline.set_defaults(func=cmd_pipeline)
+
+    block_study = sub.add_parser(
+        "block-study",
+        help="per-block window calibration + every block's defect campaign "
+             "as one task graph (Table I in one engine run)")
+    _add_common_arguments(block_study)
+    _add_campaign_arguments(block_study)
+    block_study.set_defaults(func=cmd_block_study)
 
     study = sub.add_parser(
         "yield-study",

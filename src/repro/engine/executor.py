@@ -105,6 +105,13 @@ class CampaignReport:
     wall_time: float
     task_durations: Dict[str, float] = field(default_factory=dict)
     group_durations: Dict[str, float] = field(default_factory=dict)
+    #: Execution time per pipeline stage (only when the run was given a
+    #: ``stage_of`` mapping; pipelines pass theirs automatically).  Unlike
+    #: :attr:`group_durations` -- whose labels a task may override, e.g. with
+    #: its block path -- this always aggregates by stage.
+    stage_durations: Dict[str, float] = field(default_factory=dict)
+    #: Completed-task count per pipeline stage (same conditions).
+    stage_counts: Dict[str, int] = field(default_factory=dict)
     #: Tasks whose worker raised (dependency-graph runs only).
     n_failed: int = 0
     #: Tasks never dispatched because an ancestor failed.
@@ -131,6 +138,13 @@ class CampaignReport:
         parts.extend([f"{self.wall_time:.2f}s wall",
                       f"{self.tasks_per_second:.1f} tasks/s"])
         return ", ".join(parts)
+
+    def stage_summary(self) -> str:
+        """One-line per-stage breakdown (empty without stage tagging)."""
+        return ", ".join(
+            f"{stage} {self.stage_counts.get(stage, 0)} tasks/"
+            f"{duration:.2f}s"
+            for stage, duration in self.stage_durations.items())
 
 
 @dataclass
@@ -286,7 +300,8 @@ class CampaignEngine:
             context: Any = None,
             codec: CodecArg = None,
             progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> EngineRun:
+            on_failure: str = "raise",
+            stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
         """Execute every task; results come back in task order.
 
         Parameters
@@ -313,6 +328,13 @@ class CampaignEngine:
             in :attr:`EngineRun.statuses` / :attr:`EngineRun.errors` and
             ``None`` results.  Flat graphs run with ``"skip"`` are routed
             through the graph scheduler so partial results survive.
+        stage_of:
+            Optional ``task_id -> stage`` mapping; when given, the report
+            additionally aggregates completed-task durations and counts per
+            stage (:attr:`CampaignReport.stage_durations` /
+            :attr:`CampaignReport.stage_counts`), independently of the
+            per-task ``group`` labels (which e.g. campaign stages override
+            with block paths).  Pipelines pass theirs automatically.
         """
         graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
         if on_failure not in ("raise", "skip"):
@@ -322,14 +344,16 @@ class CampaignEngine:
         progress = progress or self.progress
         if graph.has_edges or on_failure == "skip":
             return self._run_graph(graph, worker, context, codec_for,
-                                   progress, on_failure)
-        return self._run_flat(graph, worker, context, codec_for, progress)
+                                   progress, on_failure, stage_of)
+        return self._run_flat(graph, worker, context, codec_for, progress,
+                              stage_of)
 
     # -------------------------------------------------------- flat (batch) run
     def _run_flat(self, graph: TaskGraph, worker: Callable[..., Any],
                   context: Any,
                   codec_for: Callable[[Task], ResultCodec],
-                  progress: Optional[ProgressCallback]) -> EngineRun:
+                  progress: Optional[ProgressCallback],
+                  stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
         n_tasks = len(graph)
         started = time.perf_counter()
         seeds = self._task_seeds(graph)
@@ -386,7 +410,7 @@ class CampaignEngine:
         report = self._build_report(graph, durations, n_tasks,
                                     n_executed=len(pending),
                                     n_cache_hits=n_cache_hits,
-                                    started=started)
+                                    started=started, stage_of=stage_of)
         return EngineRun(results=results, report=report,
                          task_ids=graph.ids(), statuses=statuses)
 
@@ -395,7 +419,8 @@ class CampaignEngine:
                    context: Any,
                    codec_for: Callable[[Task], ResultCodec],
                    progress: Optional[ProgressCallback],
-                   on_failure: str) -> EngineRun:
+                   on_failure: str,
+                   stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
         """Topological scheduling with cache short-circuits + failure skips.
 
         Tasks are dispatched the moment their last parent completes; there is
@@ -506,7 +531,8 @@ class CampaignEngine:
                                     n_cache_hits=n_cache_hits,
                                     started=started,
                                     n_failed=len(errors),
-                                    n_skipped=n_skipped)
+                                    n_skipped=n_skipped,
+                                    stage_of=stage_of)
         run = EngineRun(results=results, report=report, task_ids=graph.ids(),
                         statuses=statuses, errors=errors)
         if errors and on_failure == "raise":
@@ -523,13 +549,24 @@ class CampaignEngine:
     def _build_report(self, graph: TaskGraph, durations: Dict[str, float],
                       n_tasks: int, n_executed: int, n_cache_hits: int,
                       started: float, n_failed: int = 0,
-                      n_skipped: int = 0) -> CampaignReport:
+                      n_skipped: int = 0,
+                      stage_of: Optional[Mapping[str, str]] = None
+                      ) -> CampaignReport:
         group_durations: Dict[str, float] = {}
+        stage_durations: Dict[str, float] = {}
+        stage_counts: Dict[str, int] = {}
         for task in graph:
-            if task.group is not None and task.task_id in durations:
+            if task.task_id not in durations:
+                continue
+            if task.group is not None:
                 group_durations[task.group] = \
                     group_durations.get(task.group, 0.0) \
                     + durations[task.task_id]
+            stage = stage_of.get(task.task_id) if stage_of else None
+            if stage is not None:
+                stage_durations[stage] = stage_durations.get(stage, 0.0) \
+                    + durations[task.task_id]
+                stage_counts[stage] = stage_counts.get(stage, 0) + 1
         return CampaignReport(
             backend=self.backend.name,
             workers=self.backend.workers,
@@ -539,5 +576,7 @@ class CampaignEngine:
             wall_time=time.perf_counter() - started,
             task_durations=durations,
             group_durations=group_durations,
+            stage_durations=stage_durations,
+            stage_counts=stage_counts,
             n_failed=n_failed,
             n_skipped=n_skipped)

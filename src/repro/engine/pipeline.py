@@ -40,7 +40,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
 
 import numpy as np
 
-from ..circuit.errors import CalibrationError, CoverageError, EngineError
+from ..circuit.errors import CalibrationError, EngineError
 from .backends import ExecutionBackend
 from .cache import ResultCache, callable_token, canonical_json
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
@@ -215,7 +215,8 @@ class Pipeline:
             return stages[stage_of[task.task_id]].codec
 
         run = engine.run(self._graph, _dispatch_worker, context=context,
-                         codec=codec_for, on_failure=on_failure)
+                         codec=codec_for, on_failure=on_failure,
+                         stage_of=dict(self._stage_of))
         return PipelineResult(run=run, stage_names=list(self._stages),
                               stage_of=dict(self._stage_of))
 
@@ -231,24 +232,42 @@ def _calibration_stage_worker(context: Mapping[str, Any], task: Task,
     return _residual_worker(context, task, rng)
 
 
-def _windows_stage_worker(context: Mapping[str, Any], task: Task,
-                          rng: np.random.Generator,
-                          inputs: Mapping[str, Any]) -> Dict[str, Any]:
-    """Pool the parents' residuals and derive the comparison windows.
+def _pool_residuals(names: Sequence[str], task: Task,
+                    inputs: Mapping[str, Any]) -> Dict[str, List[float]]:
+    """Assemble per-invariance residual pools from a task's parents.
 
-    Pools are assembled in ``task.depends_on`` order (== Monte Carlo sample
-    order), reproducing :func:`repro.core.calibrate_windows` float-for-float.
+    Pools are built in ``task.depends_on`` order (== Monte Carlo sample
+    order), ``n_cycles`` consecutive residuals per instance -- the invariant
+    every float-for-float reproducibility guarantee of the reduction stages
+    (windows, yield points) rests on, so there is exactly one copy of it.
     """
-    from ..core.calibration import windows_from_pools
-    names = context["invariance_names"]
     pools: Dict[str, List[float]] = {name: [] for name in names}
     for dep in task.depends_on:
         rows = inputs[dep]
         for name in names:
             pools[name].extend(rows[name])
+    return pools
+
+
+def _windows_stage_worker(context: Mapping[str, Any], task: Task,
+                          rng: np.random.Generator,
+                          inputs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Pool the parents' residuals and derive the comparison windows.
+
+    Pools reproduce :func:`repro.core.calibrate_windows` float-for-float
+    (see :func:`_pool_residuals`).  The guard-band multiplier comes from the
+    task payload when it carries one (per-block windows tasks of the
+    block-study graph) and from the stage context otherwise (the single
+    global reduction of the calibrate -> campaign graph).
+    """
+    from ..core.calibration import windows_from_pools
+    names = context["invariance_names"]
+    pools = _pool_residuals(names, task, inputs)
+    payload = task.payload if isinstance(task.payload, Mapping) else {}
+    k = payload.get("k", context.get("k"))
     sigmas, means, deltas = windows_from_pools(
-        pools, context["k"], context.get("delta_floors"))
-    return {"k": context["k"], "n_samples": len(task.depends_on),
+        pools, k, context.get("delta_floors"))
+    return {"k": k, "n_samples": len(task.depends_on),
             "sigmas": sigmas, "means": means, "deltas": deltas}
 
 
@@ -270,6 +289,10 @@ def _campaign_stage_worker(context: Mapping[str, Any], task: Task,
               for name in context["invariance_names"]
               if name in windows["deltas"]}
     campaign = _worker_campaign({**context, "deltas": deltas})
+    # The per-process campaign is keyed by the run token alone, but within a
+    # block-study run different blocks' windows tasks may carry different
+    # deltas (per-block k overrides) -- refresh the table per task.
+    campaign.deltas = dict(deltas)
     return campaign.simulate_defect(task.payload)
 
 
@@ -322,7 +345,7 @@ class CalibrateCampaignPlan:
             progress: Optional[ProgressCallback] = None,
             on_failure: str = "raise") -> CalibrateCampaignOutcome:
         """Execute the graph and assemble the two-stage outcome."""
-        from ..core.calibration import WindowCalibration
+        from ..core.calibration import calibration_from_windows
         from ..defects.simulator import _WORKER_STATE, CampaignResult
 
         try:
@@ -338,13 +361,8 @@ class CalibrateCampaignPlan:
         calibration = None
         windows = result.stage_results("windows").get(self.windows_task_id)
         if windows is not None:
-            order = [name for name in self.invariance_names
-                     if name in windows["deltas"]]
-            calibration = WindowCalibration(
-                k=self.k, n_samples=self.n_monte_carlo,
-                sigmas={name: windows["sigmas"][name] for name in order},
-                means={name: windows["means"][name] for name in order},
-                deltas={name: windows["deltas"][name] for name in order})
+            calibration = calibration_from_windows(windows,
+                                                   self.invariance_names)
 
         records = result.stage_results("campaign")
         results: Dict[str, Any] = {}
@@ -362,6 +380,77 @@ class CalibrateCampaignPlan:
                                         results=results,
                                         report=result.report,
                                         pipeline=result)
+
+
+def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
+                              stimulus: Any, invariances: Sequence[Any],
+                              variation_spec: Any, seed: int,
+                              n_monte_carlo: int
+                              ) -> "tuple[List[str], Any, str, bool]":
+    """Add the shared defect-free Monte Carlo stage to a pipeline.
+
+    One calib task per sample, with per-sample seeds drawn up front from
+    ``default_rng(seed)`` exactly like
+    :func:`~repro.core.collect_defect_free_residuals` -- the single source
+    of the calibration scaffolding, shared by every built-in graph so their
+    calibrate stages can never drift apart (and always replay each other's
+    cache artifacts).  Returns ``(calib_ids, calib_spec, seeds_token,
+    cacheable)``.
+    """
+    from ..core.calibration import calibration_task_spec
+
+    calib_seeds = [int(s) for s in np.random.default_rng(seed).integers(
+        0, 2 ** 63 - 1, size=n_monte_carlo)]
+    factory_token = callable_token(adc_factory)
+    cacheable = factory_token is not None
+    calib_spec = calibration_task_spec(
+        factory_token, stimulus, variation_spec,
+        [inv.name for inv in invariances]) if cacheable else None
+    pipeline.add_stage(
+        "calibrate", _calibration_stage_worker,
+        context={"adc_factory": adc_factory, "invariances": invariances,
+                 "stimulus": stimulus, "variation_spec": variation_spec})
+    calib_ids = []
+    for i, calib_seed in enumerate(calib_seeds):
+        task = Task(task_id=f"calib/{i}", payload=i, seed=calib_seed,
+                    spec=calib_spec)
+        pipeline.add_task("calibrate", task)
+        calib_ids.append(task.task_id)
+    seeds_token = hashlib.sha256(
+        canonical_json(calib_seeds).encode()).hexdigest()
+    return calib_ids, calib_spec, seeds_token, cacheable
+
+
+def _register_campaign_stage(pipeline: Pipeline, adc_factory: Any,
+                             stimulus: Any, mode: Any,
+                             stop_on_detection: bool,
+                             invariance_names: Sequence[str]
+                             ) -> "tuple[str, Any, str]":
+    """Build the DUT and add the shared defect-campaign stage.
+
+    The single source of the campaign-stage worker context (the behavioral
+    ADC, test spec and run token), shared by the calibrate -> campaign and
+    block-study graphs.  Returns ``(fingerprint, universe, worker_token)``.
+    """
+    from ..defects.simulator import (MODEL_SECONDS_PER_CYCLE, RECORD_CODEC,
+                                     adc_fingerprint)
+    from ..defects.universe import build_defect_universe
+
+    adc = adc_factory()
+    adc.clear_defects()
+    hierarchy = adc.build_hierarchy()
+    fingerprint = adc_fingerprint(adc, hierarchy)
+    universe = build_defect_universe(hierarchy, None)
+    worker_token = uuid.uuid4().hex
+    pipeline.add_stage(
+        "campaign", _campaign_stage_worker, codec=RECORD_CODEC,
+        context={"token": worker_token, "adc": adc,
+                 "stimulus": stimulus, "mode": mode,
+                 "stop_on_detection": stop_on_detection,
+                 "likelihood_model": None,
+                 "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE,
+                 "invariance_names": list(invariance_names)})
+    return fingerprint, universe, worker_token
 
 
 def build_calibrate_then_campaign(
@@ -385,8 +474,11 @@ def build_calibrate_then_campaign(
     * calibration per-sample seeds are drawn up front from
       ``default_rng(seed)`` exactly like
       :func:`~repro.core.collect_defect_free_residuals`;
-    * LWRS defect sampling walks the blocks in the same order with a fresh
-      ``default_rng(seed)``, exactly like the ``campaign`` subcommand;
+    * per-block LWRS defect draws come from
+      :func:`~repro.defects.sampling.block_seed_sequence` (root seed + block
+      path), exactly like :meth:`DefectCampaign.run_per_block
+      <repro.defects.DefectCampaign.run_per_block>` and the ``campaign``
+      subcommand, so they are invariant to block order and block subset;
     * the ``windows`` reduction pools residuals in sample order and applies
       :func:`~repro.core.calibration.windows_from_pools`.
 
@@ -399,14 +491,11 @@ def build_calibrate_then_campaign(
     execution.
     """
     from ..adc.sar_adc import SarAdc
-    from ..core.calibration import calibration_task_spec
     from ..core.invariance import build_invariances
     from ..core.stimulus import SymBistStimulus
     from ..core.test_time import CheckingMode
-    from ..defects.sampling import SamplingPlan, select_defects
-    from ..defects.simulator import (MODEL_SECONDS_PER_CYCLE, RECORD_CODEC,
-                                     adc_fingerprint)
-    from ..defects.universe import build_defect_universe
+    from ..defects.sampling import per_block_selection
+    from ..defects.simulator import MODEL_SECONDS_PER_CYCLE
 
     if n_monte_carlo <= 0:
         raise EngineError(
@@ -424,24 +513,9 @@ def build_calibrate_then_campaign(
     pipeline = Pipeline("calibrate-then-campaign")
 
     # ------------------------------------------------------- calibrate stage
-    # Same per-sample seed draws as collect_defect_free_residuals(rng=...).
-    calib_seeds = [int(s) for s in np.random.default_rng(seed).integers(
-        0, 2 ** 63 - 1, size=n_monte_carlo)]
-    factory_token = callable_token(adc_factory)
-    cacheable = factory_token is not None
-    calib_spec = calibration_task_spec(
-        factory_token, stimulus, variation_spec, invariance_names) \
-        if cacheable else None
-    pipeline.add_stage(
-        "calibrate", _calibration_stage_worker,
-        context={"adc_factory": adc_factory, "invariances": invariances,
-                 "stimulus": stimulus, "variation_spec": variation_spec})
-    calib_ids = []
-    for i, calib_seed in enumerate(calib_seeds):
-        task = Task(task_id=f"calib/{i}", payload=i, seed=calib_seed,
-                    spec=calib_spec)
-        pipeline.add_task("calibrate", task)
-        calib_ids.append(task.task_id)
+    calib_ids, calib_spec, seeds_token, cacheable = _register_calibrate_stage(
+        pipeline, adc_factory, stimulus, invariances, variation_spec, seed,
+        n_monte_carlo)
 
     # --------------------------------------------------------- windows stage
     windows_spec = None
@@ -451,8 +525,7 @@ def build_calibrate_then_campaign(
             "calibration": calib_spec,
             "k": k,
             "n_monte_carlo": n_monte_carlo,
-            "seeds": hashlib.sha256(
-                canonical_json(calib_seeds).encode()).hexdigest(),
+            "seeds": seeds_token,
             "delta_floors": dict(delta_floors) if delta_floors else None}
     pipeline.add_stage(
         "windows", _windows_stage_worker,
@@ -465,37 +538,24 @@ def build_calibrate_then_campaign(
         depends_on=tuple(calib_ids), group="calibrate"))
 
     # -------------------------------------------------------- campaign stage
-    adc = adc_factory()
-    adc.clear_defects()
-    hierarchy = adc.build_hierarchy()
-    fingerprint = adc_fingerprint(adc, hierarchy)
-    universe = build_defect_universe(hierarchy, None)
-    worker_token = uuid.uuid4().hex
-    pipeline.add_stage(
-        "campaign", _campaign_stage_worker, codec=RECORD_CODEC,
-        context={"token": worker_token, "adc": adc,
-                 "stimulus": stimulus, "mode": mode,
-                 "stop_on_detection": stop_on_detection,
-                 "likelihood_model": None,
-                 "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE,
-                 "invariance_names": invariance_names})
+    fingerprint, universe, worker_token = _register_campaign_stage(
+        pipeline, adc_factory, stimulus, mode, stop_on_detection,
+        invariance_names)
 
-    # Same block order and the same LWRS draws, from the same fresh rng, as
-    # the campaign subcommand's per-block loop.
-    sampling_rng = np.random.default_rng(seed)
+    # Per-block LWRS draws derive from the root seed + block path
+    # (block_seed_sequence), exactly like DefectCampaign.run_per_block and
+    # the campaign subcommand -- so the selection is identical for any block
+    # order, block subset or worker count.
     block_list = list(blocks) if blocks else universe.block_paths()
+    selection = per_block_selection(
+        universe, seed, samples, exhaustive_threshold=exhaustive_threshold,
+        blocks=block_list, exhaustive=exhaustive)
     block_plans: Dict[str, Any] = {}
     block_universes: Dict[str, Any] = {}
     block_task_ids: Dict[str, List[str]] = {}
     for block in block_list:
         block_universe = universe.by_block(block)
-        if len(block_universe) == 0:
-            raise CoverageError(
-                f"no defects to simulate for block {block!r}")
-        block_exhaustive = exhaustive or \
-            len(block_universe) <= exhaustive_threshold
-        plan = SamplingPlan(exhaustive=block_exhaustive, n_samples=samples)
-        defects = select_defects(block_universe, plan, sampling_rng)
+        plan, defects = selection[block]
         task_ids = []
         for j, defect in enumerate(defects):
             spec = None
@@ -577,11 +637,7 @@ def _yield_stage_worker(context: Mapping[str, Any], task: Task,
     from ..analysis.yield_loss import empirical_yield_loss
     from ..core.calibration import WindowCalibration, windows_from_pools
     names = context["invariance_names"]
-    pools: Dict[str, List[float]] = {name: [] for name in names}
-    for dep in task.depends_on:
-        rows = inputs[dep]
-        for name in names:
-            pools[name].extend(rows[name])
+    pools = _pool_residuals(names, task, inputs)
     sigmas, means, deltas = windows_from_pools(
         pools, context["k"], context.get("delta_floors"))
     calibration = WindowCalibration(
@@ -788,6 +844,348 @@ def build_yield_loss_study(
 
     return YieldLossStudyPlan(base=base, k_values=[float(v) for v in k_values],
                               yield_task_ids=yield_ids)
+
+
+# ===================================================================== built-in
+# block study: per-block window calibration -> per-block defect campaigns ->
+# per-block yield/coverage reduction, as one graph (Table I in one engine run).
+
+def _block_summary_stage_worker(context: Mapping[str, Any], task: Task,
+                                rng: np.random.Generator,
+                                inputs: Mapping[str, Any]) -> Dict[str, Any]:
+    """One block's yield/coverage reduction over its campaign records.
+
+    The first parent is the block's windows task (for the delta table); the
+    remaining parents are the block's defect tasks in campaign order.  The
+    coverage estimators are the same ones
+    :meth:`repro.defects.CampaignResult.block_report` applies, so the
+    reduction is bit-identical to assembling a ``CampaignResult`` and asking
+    it for the block's Table I row.
+    """
+    from ..defects.coverage import exhaustive_coverage, lwrs_coverage
+    windows = inputs[task.depends_on[0]]
+    records = [inputs[dep] for dep in task.depends_on[1:]]
+    detected = [r.detected for r in records]
+    payload = task.payload
+    if payload["exhaustive"]:
+        coverage = exhaustive_coverage(detected,
+                                       [r.defect for r in records])
+    else:
+        coverage = lwrs_coverage(
+            detected, universe_size=payload["universe_size"],
+            universe_likelihood=payload["universe_likelihood"])
+    return {"block": payload["block"],
+            "n_defects": payload["universe_size"],
+            "n_simulated": len(records),
+            "n_detected": int(sum(detected)),
+            "coverage": coverage.value,
+            "ci_half_width": coverage.ci_half_width,
+            "modeled_sim_time": sum(r.modeled_sim_time for r in records),
+            "wall_time": sum(r.wall_time for r in records),
+            "deltas": dict(windows["deltas"])}
+
+
+@dataclass
+class BlockStudyOutcome:
+    """Everything produced by one block-study run."""
+
+    #: One :class:`~repro.core.WindowCalibration` per block whose windows
+    #: task completed, in block order.  With a uniform ``k`` they are all
+    #: equal to the global calibration.
+    calibrations: Dict[str, Any]
+    #: One :class:`~repro.defects.simulator.CampaignResult` per fully
+    #: completed block, in block order; blocks with failed or skipped tasks
+    #: are absent (inspect :attr:`pipeline` for their status).
+    results: Dict[str, Any]
+    #: One JSON-ready per-block reduction (coverage, detections, timing,
+    #: deltas) per block whose summary task completed.
+    summaries: Dict[str, Dict[str, Any]]
+    #: The single report spanning calibration and every block's campaign.
+    report: CampaignReport
+    #: Per-stage statuses and raw results.
+    pipeline: PipelineResult
+
+    @property
+    def ok(self) -> bool:
+        return self.pipeline.ok
+
+
+@dataclass
+class BlockStudyPlan:
+    """A built (not yet run) per-block study graph.
+
+    Produced by :func:`build_block_study`; holds the pipeline graph plus the
+    metadata (per-block plans, universes and task ids) needed to assemble
+    per-block campaign results after the run.
+    """
+
+    pipeline: Pipeline
+    k: float
+    n_monte_carlo: int
+    stop_on_detection: bool
+    invariance_names: List[str]
+    blocks: List[str]
+    block_plans: Dict[str, Any]
+    block_universes: Dict[str, Any]
+    block_task_ids: Dict[str, List[str]]
+    windows_task_ids: Dict[str, str]
+    summary_task_ids: Dict[str, str]
+    calibration_task_ids: List[str] = field(default_factory=list)
+    #: Key of the per-process campaign built by the campaign stage workers;
+    #: used to release the parent-process instance after the run.
+    worker_token: str = ""
+
+    def run(self, backend: Optional[ExecutionBackend] = None,
+            cache: Optional[ResultCache] = None,
+            progress: Optional[ProgressCallback] = None,
+            on_failure: str = "raise") -> BlockStudyOutcome:
+        """Execute the graph and assemble the per-block outcome."""
+        from ..core.calibration import calibration_from_windows
+        from ..defects.simulator import _WORKER_STATE, CampaignResult
+
+        try:
+            result = self.pipeline.run(backend=backend, cache=cache,
+                                       progress=progress,
+                                       on_failure=on_failure)
+        finally:
+            _WORKER_STATE.pop(self.worker_token, None)
+
+        windows_results = result.stage_results("windows")
+        calibrations = {
+            block: calibration_from_windows(windows_results[tid],
+                                            self.invariance_names)
+            for block, tid in self.windows_task_ids.items()
+            if tid in windows_results}
+
+        records = result.stage_results("campaign")
+        results: Dict[str, Any] = {}
+        for block in self.blocks:
+            task_ids = self.block_task_ids[block]
+            if not all(tid in records for tid in task_ids):
+                continue
+            results[block] = CampaignResult(
+                records=[records[tid] for tid in task_ids],
+                universe=self.block_universes[block],
+                plan=self.block_plans[block],
+                stop_on_detection=self.stop_on_detection,
+                engine_report=result.report)
+
+        summary_results = result.stage_results("summary")
+        summaries = {block: summary_results[tid]
+                     for block, tid in self.summary_task_ids.items()
+                     if tid in summary_results}
+        return BlockStudyOutcome(calibrations=calibrations, results=results,
+                                 summaries=summaries, report=result.report,
+                                 pipeline=result)
+
+
+def build_block_study(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None,
+        block_k: Optional[Mapping[str, float]] = None
+) -> BlockStudyPlan:
+    """Build the paper's per-block study (Table I) as one task graph.
+
+    Four stages, one graph, no stage barriers::
+
+        calib/0 ... calib/N-1            (defect-free Monte Carlo instances)
+              \\     |     /
+        windows/<block>  (one per block: delta = k_block*sigma + |mean|)
+              |
+        block/<block>/<i>/...  (one defect injection + SymBIST run each,
+              |                 depending only on its own block's windows)
+        summary/<block>  (per-block yield/coverage reduction)
+
+    Every block's defect tasks depend only on that block's windows task, so
+    a 3-defect block never holds the pool while a 300-defect block waits:
+    the scheduler interleaves all blocks' tasks and the pool stays saturated
+    from the first windows completion to the last summary.  This replaces
+    the historical per-block loop of ``DefectCampaign.run_per_block``, which
+    launched one engine run per block.
+
+    Determinism: calibration per-sample seeds are drawn up front from
+    ``default_rng(seed)`` (like :func:`repro.core.calibrate_windows` with
+    ``rng=default_rng(seed)``), and each block's LWRS draws come from
+    :func:`~repro.defects.sampling.block_seed_sequence` ``(seed, block)`` --
+    so per-block windows, detections and coverage are bit-identical to
+    running ``calibrate_windows`` followed by
+    :meth:`DefectCampaign.run_per_block
+    <repro.defects.DefectCampaign.run_per_block>` under the same root seed,
+    on any backend, for any block order or worker count.
+
+    ``block_k`` optionally overrides the guard-band multiplier per block
+    (per-block window calibration); blocks not named keep the global ``k``.
+    Other parameters follow :func:`build_calibrate_then_campaign`.
+    """
+    from ..adc.sar_adc import SarAdc
+    from ..core.invariance import build_invariances
+    from ..core.stimulus import SymBistStimulus
+    from ..core.test_time import CheckingMode
+    from ..defects.sampling import per_block_selection
+    from ..defects.simulator import MODEL_SECONDS_PER_CYCLE
+
+    if n_monte_carlo <= 0:
+        raise EngineError(
+            f"n_monte_carlo must be positive, got {n_monte_carlo}")
+    block_k = dict(block_k) if block_k else {}
+    for k_value in [k, *block_k.values()]:
+        if k_value <= 0:
+            # Same up-front check as calibrate_windows: fail before any
+            # Monte Carlo work runs, not inside a windows reduction task.
+            raise CalibrationError(f"k must be positive, got {k_value}")
+    adc_factory = adc_factory or SarAdc
+    stimulus = SymBistStimulus()
+    invariances = build_invariances()
+    invariance_names = [inv.name for inv in invariances]
+    mode = CheckingMode.SEQUENTIAL
+
+    pipeline = Pipeline("block-study")
+
+    # ------------------------------------------------------- calibrate stage
+    calib_ids, calib_spec, seeds_token, cacheable = _register_calibrate_stage(
+        pipeline, adc_factory, stimulus, invariances, variation_spec, seed,
+        n_monte_carlo)
+
+    # ------------------------------------------- per-block downstream stages
+    # One windows reduction per block; k rides in each task's payload.
+    pipeline.add_stage(
+        "windows", _windows_stage_worker,
+        context={"invariance_names": invariance_names,
+                 "delta_floors": dict(delta_floors) if delta_floors
+                 else None})
+    fingerprint, universe, worker_token = _register_campaign_stage(
+        pipeline, adc_factory, stimulus, mode, stop_on_detection,
+        invariance_names)
+    pipeline.add_stage("summary", _block_summary_stage_worker)
+
+    block_list = list(blocks) if blocks else universe.block_paths()
+    selection = per_block_selection(
+        universe, seed, samples, exhaustive_threshold=exhaustive_threshold,
+        blocks=block_list, exhaustive=exhaustive)
+    block_plans: Dict[str, Any] = {}
+    block_universes: Dict[str, Any] = {}
+    block_task_ids: Dict[str, List[str]] = {}
+    windows_ids: Dict[str, str] = {}
+    summary_ids: Dict[str, str] = {}
+    for block in block_list:
+        block_universe = universe.by_block(block)
+        plan, defects = selection[block]
+        k_block = float(block_k.get(block, k))
+
+        windows_spec = None
+        if cacheable:
+            windows_spec = {
+                "driver": "symbist-block-windows",
+                "calibration": calib_spec,
+                "block": block,
+                "k": k_block,
+                "n_monte_carlo": n_monte_carlo,
+                "seeds": seeds_token,
+                "delta_floors": dict(delta_floors) if delta_floors
+                else None}
+        windows_id = f"windows/{block}"
+        pipeline.add_task("windows", Task(
+            task_id=windows_id, payload={"k": k_block}, spec=windows_spec,
+            deterministic=True, depends_on=tuple(calib_ids)))
+        windows_ids[block] = windows_id
+
+        task_ids = []
+        defect_specs = []
+        for j, defect in enumerate(defects):
+            spec = None
+            if cacheable:
+                spec = {"driver": "symbist-block-defect",
+                        "defect_id": defect.defect_id,
+                        "likelihood": defect.likelihood,
+                        "adc": fingerprint,
+                        "windows": windows_spec,
+                        "mode": mode.value,
+                        "stop_on_detection": stop_on_detection,
+                        "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+                defect_specs.append(spec)
+            task = Task(task_id=f"block/{block}/{j}/{defect.defect_id}",
+                        payload=defect, spec=spec, deterministic=True,
+                        group=block, depends_on=(windows_id,))
+            pipeline.add_task("campaign", task)
+            task_ids.append(task.task_id)
+
+        summary_spec = None
+        if cacheable:
+            summary_spec = {
+                "driver": "symbist-block-summary",
+                "block": block,
+                "windows": windows_spec,
+                "records": hashlib.sha256(
+                    canonical_json(defect_specs).encode()).hexdigest(),
+                "exhaustive": plan.exhaustive,
+                "universe_size": len(block_universe),
+                "universe_likelihood": block_universe.total_likelihood}
+        summary_id = f"summary/{block}"
+        pipeline.add_task("summary", Task(
+            task_id=summary_id,
+            payload={"block": block, "exhaustive": plan.exhaustive,
+                     "universe_size": len(block_universe),
+                     "universe_likelihood": block_universe.total_likelihood},
+            spec=summary_spec, deterministic=True,
+            depends_on=(windows_id,) + tuple(task_ids)))
+        summary_ids[block] = summary_id
+
+        block_plans[block] = plan
+        block_universes[block] = block_universe
+        block_task_ids[block] = task_ids
+
+    return BlockStudyPlan(
+        pipeline=pipeline, k=k, n_monte_carlo=n_monte_carlo,
+        stop_on_detection=stop_on_detection,
+        invariance_names=invariance_names, blocks=block_list,
+        block_plans=block_plans, block_universes=block_universes,
+        block_task_ids=block_task_ids, windows_task_ids=windows_ids,
+        summary_task_ids=summary_ids, calibration_task_ids=calib_ids,
+        worker_token=worker_token)
+
+
+def block_study(
+        k: float = 5.0,
+        n_monte_carlo: int = 50,
+        seed: int = 1,
+        blocks: Optional[Sequence[str]] = None,
+        samples: int = 60,
+        exhaustive: bool = False,
+        exhaustive_threshold: int = 120,
+        stop_on_detection: bool = True,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+        on_failure: str = "raise",
+        adc_factory: Optional[Callable[[], Any]] = None,
+        variation_spec: Optional[Any] = None,
+        delta_floors: Optional[Mapping[str, float]] = None,
+        block_k: Optional[Mapping[str, float]] = None
+) -> BlockStudyOutcome:
+    """Run the per-block study (Table I) as one task graph.
+
+    Convenience wrapper: :func:`build_block_study` followed by
+    :meth:`BlockStudyPlan.run`.  ``backend``/``cache`` follow the usual
+    engine conventions (serial and uncached by default).
+    """
+    plan = build_block_study(
+        k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
+        samples=samples, exhaustive=exhaustive,
+        exhaustive_threshold=exhaustive_threshold,
+        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
+        variation_spec=variation_spec, delta_floors=delta_floors,
+        block_k=block_k)
+    return plan.run(backend=backend, cache=cache, progress=progress,
+                    on_failure=on_failure)
 
 
 def yield_loss_study(

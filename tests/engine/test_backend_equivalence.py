@@ -5,9 +5,10 @@ the results: whatever shards the work, the windows, detections, coverage and
 engine-report counts must be *bit-identical* to the serial run.  Instead of
 pinning a handful of hand-picked workloads, this suite draws ~20 randomized
 campaign specs from one seeded generator (so every run of the suite sees the
-same cases) spanning the four drivers -- defect campaigns, window
-calibration, the yield-loss sweep and the calibrate->campaign graph -- and
-checks each pool backend against a memoized serial baseline.
+same cases) spanning the five drivers -- defect campaigns, window
+calibration, the yield-loss sweep, the calibrate->campaign graph and the
+per-block study graph -- and checks each pool backend against a memoized
+serial baseline.
 """
 
 import numpy as np
@@ -19,7 +20,8 @@ from repro.core import collect_defect_free_residuals
 from repro.core.calibration import windows_from_pools
 from repro.defects import DefectCampaign, SamplingPlan
 from repro.engine import (MultiprocessBackend, SerialBackend,
-                          SharedMemoryBackend, calibrate_then_campaign)
+                          SharedMemoryBackend, block_study,
+                          calibrate_then_campaign)
 
 #: Entropy of the case generator: fixed so the ~20 cases are stable across
 #: runs (reproducible failures) while still randomly covering the spec space.
@@ -35,7 +37,7 @@ EXHAUSTIVE_BLOCKS = ("offset_compensation", "vcm_generator")
 def _random_cases():
     rng = np.random.default_rng(CASE_ENTROPY)
     kinds = ["campaign"] * 10 + ["calibration"] * 4 + ["yield"] * 3 + \
-        ["pipeline"] * 3
+        ["pipeline"] * 3 + ["block-study"] * 3
     cases = []
     for index, kind in enumerate(kinds):
         case = {"kind": kind, "seed": int(rng.integers(0, 2 ** 31))}
@@ -51,9 +53,14 @@ def _random_cases():
         elif kind == "yield":
             case["k_values"] = tuple(
                 float(k) for k in sorted(rng.uniform(2.0, 6.0, size=3)))
-        else:  # pipeline
+        elif kind == "pipeline":
             case["block"] = SMALL_BLOCKS[int(rng.integers(len(SMALL_BLOCKS)))]
             case["n_samples"] = int(rng.integers(5, 10))
+        else:  # block-study: a random 2-block sweep, LWRS + exhaustive mix
+            picks = rng.choice(len(SMALL_BLOCKS), size=2, replace=False)
+            case["blocks"] = [SMALL_BLOCKS[int(i)] for i in picks]
+            case["n_samples"] = int(rng.integers(5, 10))
+            case["threshold"] = int(rng.integers(10, 40))
         case["id"] = f"{kind}-{index}"
         cases.append(case)
     return cases
@@ -105,15 +112,31 @@ def _run_case(case, backend, deltas, calibration):
         points = yield_loss_sweep(calibration, k_values=case["k_values"],
                                   backend=backend)
         return {"points": points}
-    # pipeline: the dependency-graph (stream-mode) path of every backend.
-    outcome = calibrate_then_campaign(
-        n_monte_carlo=3, seed=case["seed"], blocks=[case["block"]],
-        samples=case["n_samples"], backend=backend)
-    result = outcome.results[case["block"]]
-    return {"windows": (outcome.calibration.sigmas,
-                        outcome.calibration.means,
-                        outcome.calibration.deltas),
-            "records": _campaign_key(result),
+    if kind == "pipeline":
+        # The dependency-graph (stream-mode) path of every backend.
+        outcome = calibrate_then_campaign(
+            n_monte_carlo=3, seed=case["seed"], blocks=[case["block"]],
+            samples=case["n_samples"], backend=backend)
+        result = outcome.results[case["block"]]
+        return {"windows": (outcome.calibration.sigmas,
+                            outcome.calibration.means,
+                            outcome.calibration.deltas),
+                "records": _campaign_key(result),
+                "counts": _report_counts(outcome.report)}
+    # block-study: per-block windows, detections and coverage of a multi-
+    # block sweep must be bit-identical whatever backend runs the graph.
+    outcome = block_study(
+        n_monte_carlo=3, seed=case["seed"], blocks=case["blocks"],
+        samples=case["n_samples"], exhaustive_threshold=case["threshold"],
+        backend=backend)
+    return {"windows": {block: (cal.sigmas, cal.means, cal.deltas)
+                        for block, cal in outcome.calibrations.items()},
+            "records": {block: _campaign_key(result)
+                        for block, result in outcome.results.items()},
+            "coverage": {block: (summary["coverage"],
+                                 summary["ci_half_width"],
+                                 summary["n_detected"])
+                         for block, summary in outcome.summaries.items()},
             "counts": _report_counts(outcome.report)}
 
 

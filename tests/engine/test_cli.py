@@ -39,6 +39,19 @@ class TestParser:
         assert args.max_escape_defects == 20
         assert args.workers == 1
 
+    def test_block_study_defaults(self):
+        args = build_parser().parse_args(["block-study"])
+        assert args.workers == 1
+        assert args.samples == 60
+        assert args.exhaustive_threshold == 120
+        assert args.blocks is None
+        assert not args.no_stop_on_detection
+        args = build_parser().parse_args(
+            ["block-study", "--backend", "shm", "--workers", "2",
+             "--blocks", "sc_array", "vcm_generator"])
+        assert args.backend == "shm"
+        assert args.blocks == ["sc_array", "vcm_generator"]
+
     def test_cache_subcommands(self):
         args = build_parser().parse_args(
             ["cache", "stats", "--cache-dir", "c"])
@@ -108,12 +121,45 @@ class TestCampaignCommand:
         assert 0.0 <= cold["blocks"][0]["coverage"] <= 1.0
         assert "L-W defect coverage" in capsys.readouterr().out
 
+        # One engine report spans the sweep: graph-wide numbers live at the
+        # top level only, never inside the per-block payloads.
+        assert "engine" in cold
+        assert "engine" not in cold["blocks"][0]
+        assert "engine_wall_time" not in cold["blocks"][0]["timing"]
+
         # Warm rerun: same coverage, everything replayed from the cache.
         assert main(argv) == 0
         warm = json.loads(out.read_text())
         assert warm["blocks"][0]["coverage"] == cold["blocks"][0]["coverage"]
-        assert "100% " in warm["blocks"][0]["engine"] \
-            or "(100%)" in warm["blocks"][0]["engine"]
+        assert "(100%)" in warm["engine"]
+
+    def test_bare_blocks_flag_means_every_block(self, tmp_path):
+        """`--blocks` with no values (argparse yields []) runs all blocks,
+        exactly like omitting the flag."""
+        out = tmp_path / "out.json"
+        assert main(["campaign", "--monte-carlo", "3", "--samples", "5",
+                     "--blocks", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["blocks"]) == 10  # every A/M-S block
+        assert "engine" in payload
+
+    def test_block_subset_is_order_invariant(self, tmp_path):
+        """--blocks A B and --blocks B A simulate the same defects."""
+        out = tmp_path / "out.json"
+        common = ["campaign", "--monte-carlo", "3", "--seed", "5",
+                  "--samples", "10", "--exhaustive-threshold", "20",
+                  "--json", str(out)]
+        assert main(common + ["--blocks", "vcm_generator",
+                              "offset_compensation"]) == 0
+        forward = json.loads(out.read_text())
+        assert main(common + ["--blocks", "offset_compensation",
+                              "vcm_generator"]) == 0
+        backward = json.loads(out.read_text())
+        by_block = lambda payload: {b["block"]: (b["n_simulated"],
+                                                 b["n_detected"],
+                                                 b["coverage"])
+                                    for b in payload["blocks"]}
+        assert by_block(forward) == by_block(backward)
 
 
 class TestPipelineCommand:
@@ -154,6 +200,83 @@ class TestPipelineCommand:
             assert w["n_detected"] == c["n_detected"]
             assert w["coverage"] == c["coverage"]
         assert "(100%)" in warm["engine"]
+
+class TestBlockStudyCommand:
+    def test_matches_sequential_campaign_flow(self, tmp_path, capsys):
+        """`block-study` == `campaign` (one graph vs calibrate + per-block
+        sweep) under the same seed, with the identical JSON schema."""
+        study_out = tmp_path / "study.json"
+        camp_out = tmp_path / "camp.json"
+        common = ["--monte-carlo", "3", "--seed", "1", "--samples", "10",
+                  "--exhaustive-threshold", "20",
+                  "--blocks", "vcm_generator", "offset_compensation"]
+        assert main(["block-study", "--workers", "2",
+                     "--json", str(study_out)] + common) == 0
+        assert main(["campaign", "--json", str(camp_out)] + common) == 0
+
+        study = json.loads(study_out.read_text())
+        camp = json.loads(camp_out.read_text())
+        assert study["deltas"] == camp["deltas"]
+        assert set(study) == set(camp)  # identical top-level schema
+        for s, c in zip(study["blocks"], camp["blocks"]):
+            assert set(s) == set(c)  # identical per-block schema
+            assert s["block"] == c["block"]
+            assert s["n_defects"] == c["n_defects"]
+            assert s["n_simulated"] == c["n_simulated"]
+            assert s["n_detected"] == c["n_detected"]
+            assert s["n_escaped"] == c["n_escaped"]
+            assert s["coverage"] == c["coverage"]
+            assert s["ci_half_width"] == c["ci_half_width"]
+        printed = capsys.readouterr().out
+        assert "block-study stage 1" in printed
+        assert "stages: " in printed
+
+    def test_warm_rerun_is_fully_cached(self, tmp_path):
+        argv = ["block-study", "--monte-carlo", "3",
+                "--blocks", "vcm_generator",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(tmp_path / "out.json")]
+        assert main(argv) == 0
+        cold = json.loads((tmp_path / "out.json").read_text())
+        assert main(argv) == 0
+        warm = json.loads((tmp_path / "out.json").read_text())
+        assert warm["deltas"] == cold["deltas"]
+        for w, c in zip(warm["blocks"], cold["blocks"]):
+            assert w["n_detected"] == c["n_detected"]
+            assert w["coverage"] == c["coverage"]
+        assert "(100%)" in warm["engine"]
+
+
+class TestPerBlockJsonSchema:
+    def test_identical_keys_across_subcommands(self, tmp_path):
+        """campaign, pipeline, yield-study and block-study emit the same
+        per-block keys, with the engine report at the top level only."""
+        common = ["--monte-carlo", "3", "--seed", "1",
+                  "--blocks", "vcm_generator"]
+        payloads = {}
+        for name, extra in [("campaign", []), ("pipeline", []),
+                            ("block-study", []),
+                            ("yield-study", ["--k-values", "5",
+                                             "--max-escape-defects", "1"])]:
+            out = tmp_path / f"{name}.json"
+            assert main([name, "--json", str(out)] + common + extra) == 0
+            payloads[name] = json.loads(out.read_text())
+
+        block_keys = {name: frozenset(payload["blocks"][0])
+                      for name, payload in payloads.items()}
+        assert len(set(block_keys.values())) == 1, block_keys
+        for name, payload in payloads.items():
+            assert "engine" in payload, name
+            block = payload["blocks"][0]
+            assert "engine" not in block, name
+            assert "engine_wall_time" not in block["timing"], name
+            assert "cache_hit_rate" not in block["timing"], name
+            # Same seed, same draws: the numbers agree across subcommands.
+            assert block["coverage"] == \
+                payloads["campaign"]["blocks"][0]["coverage"], name
+            assert block["n_detected"] == \
+                payloads["campaign"]["blocks"][0]["n_detected"], name
+
 
 class TestYieldStudyCommand:
     def test_end_to_end_on_shm_backend(self, tmp_path, capsys):

@@ -158,6 +158,59 @@ class TestSegmentLifecycle:
         stream.close()
         stream.close()
 
+    def test_consumer_interrupt_mid_iteration_unlinks(self):
+        """A KeyboardInterrupt delivered while the consumer drains the
+        stream (the realistic Ctrl-C during a long campaign) must not leak
+        the /dev/shm segment."""
+        backend = SharedMemoryBackend(max_workers=1)
+        with pytest.raises(KeyboardInterrupt):
+            with backend.stream(_echo_item) as stream:
+                stream.submit((0,))
+                assert stream.next_outcome()[1] is True
+                stream.submit((1,))
+                raise KeyboardInterrupt  # consumer-side, mid-iteration
+        # the autouse fixture asserts /dev/shm is clean afterwards
+
+    def test_interrupt_during_close_still_unlinks(self, monkeypatch):
+        """A second Ctrl-C landing inside the graceful close() (while it
+        waits for in-flight work) must still unlink the segment and
+        propagate -- close must not hang or leak."""
+        from repro.engine import backends as backends_module
+
+        shutdowns = []
+        real_stream = backends_module._PoolWorkStream
+
+        class _InterruptedPool:
+            def __init__(self, pool):
+                self._pool = pool
+
+            def submit(self, *args, **kwargs):
+                return self._pool.submit(*args, **kwargs)
+
+            def shutdown(self, wait=True, **kwargs):
+                shutdowns.append((wait, kwargs))
+                if wait:
+                    raise KeyboardInterrupt  # impatient second Ctrl-C
+                return self._pool.shutdown(wait=wait, **kwargs)
+
+        def wrapping_stream(*args, **kwargs):
+            stream = real_stream(*args, **kwargs)
+            stream._pool = _InterruptedPool(stream._pool)
+            return stream
+
+        monkeypatch.setattr(backends_module, "_PoolWorkStream",
+                            wrapping_stream)
+        backend = SharedMemoryBackend(max_workers=1)
+        stream = backend.stream(_echo_item)
+        stream.submit((0,))
+        assert stream.next_outcome()[1] is True
+        with pytest.raises(KeyboardInterrupt):
+            stream.close()
+        # The interrupt path fell back to a non-blocking shutdown ...
+        assert [wait for wait, _ in shutdowns] == [True, False]
+        assert shutdowns[1][1].get("cancel_futures") is True
+        # ... and the autouse fixture asserts the segment was unlinked.
+
     def test_pool_construction_failure_unlinks_segment(self, monkeypatch):
         """If the worker pool cannot even be built, nobody will call
         close(); the segment must still be unlinked."""
