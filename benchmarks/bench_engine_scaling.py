@@ -4,8 +4,9 @@ Measures the defect-campaign throughput of the execution engine
 (:mod:`repro.engine`) on the serial backend and on sharded process pools
 (multiprocess and shared-memory transports), plus the warm-cache replay
 rate, compares the one-graph per-block sweep (the block-study shape) against
-the historical one-engine-run-per-block loop, and compares the bytes each
-pool transport ships per task.  On
+the historical one-engine-run-per-block loop, checks that compiling the
+declarative block-study spec (``build_study``) costs under 1% of running
+it, and compares the bytes each pool transport ships per task.  On
 multi-core runners the pools should approach linear speedup (the per-defect
 simulations are independent, exactly like the per-defect SPICE jobs an
 industrial DefectSim farm distributes); on single-CPU runners the
@@ -145,6 +146,50 @@ def test_block_study_beats_sequential_per_block_loop(deltas):
 
     assert pooled_key == sequential_key  # same defects, same records
     assert report.wall_time < sequential_wall
+
+
+def test_spec_compilation_overhead():
+    """Declarative studies must compile for free next to running them.
+
+    ``build_study`` resolves the canned block-study spec against the stage
+    registry and emits the same ~600-task graph the hand-written builder
+    used to: the DUT build, the LWRS selection and the task/spec
+    construction dominate, and they are shared with the legacy path (now a
+    thin wrapper).  Compiling the spec must stay under 1% of the default
+    block study's serial wall-clock -- the composition layer is free, the
+    simulations are the cost.
+    """
+    import time
+
+    from repro.engine import BLOCK_STUDY, build_study
+    from repro.engine.pipeline import build_block_study
+
+    def min_wall(builder, rounds=3):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            plan = builder()
+            times.append(time.perf_counter() - start)
+        return min(times), plan
+
+    spec_wall, plan = min_wall(lambda: build_study(BLOCK_STUDY))
+    legacy_wall, _ = min_wall(build_block_study)
+
+    outcome = plan.run(backend=SerialBackend())
+    run_wall = outcome.report.wall_time
+
+    print()
+    print(format_table(
+        ["path", "build (ms)", "run (s)", "overhead vs run"],
+        [["build_study(BLOCK_STUDY)", f"{spec_wall * 1e3:.1f}",
+          f"{run_wall:.2f}", f"{100.0 * spec_wall / run_wall:.2f}%"],
+         ["build_block_study() wrapper", f"{legacy_wall * 1e3:.1f}",
+          "-", f"{100.0 * legacy_wall / run_wall:.2f}%"]],
+        title=f"spec compilation overhead "
+              f"({outcome.report.n_tasks}-task default block study)"))
+
+    assert outcome.ok
+    assert spec_wall < 0.01 * run_wall
 
 
 def test_payload_bytes_multiprocess_vs_shm(deltas):

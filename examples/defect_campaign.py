@@ -16,6 +16,11 @@ Run with::
     python examples/defect_campaign.py --samples-per-block 60
     python examples/defect_campaign.py --blocks sc_array vcm_generator
     python examples/defect_campaign.py --workers 4
+
+The same sweep -- with per-block window calibration and per-block summary
+reductions folded into the one graph -- is the canned ``block-study``
+study: ``repro-campaign run examples/studies/block_study.toml`` (see
+``docs/studies.md``).
 """
 
 from __future__ import annotations

@@ -21,9 +21,15 @@ Run with::
     python examples/parallel_campaign.py --workers 4 --cache-dir .repro-cache
     python examples/parallel_campaign.py --blocks sc_array vcm_generator
 
-The equivalent shell one-liner is::
+The equivalent shell one-liners are::
 
     repro-campaign pipeline --workers 4 --cache-dir .repro-cache
+    repro-campaign run examples/studies/calibrate_then_campaign.toml \\
+        --workers 4 --cache-dir .repro-cache
+
+(the second runs the same canned study from its declarative spec -- see
+``docs/studies.md``; :func:`repro.engine.calibrate_then_campaign` itself is
+a thin wrapper compiling that spec).
 """
 
 from __future__ import annotations

@@ -29,8 +29,10 @@ Subpackages
     Monte Carlo driver, statistics helpers and the yield-loss-versus-k model.
 ``repro.engine``
     Campaign-execution engine: task graphs, serial/multiprocess backends,
-    deterministic per-task seeding, content-addressed result caching and the
-    ``repro-campaign`` CLI.
+    deterministic per-task seeding, content-addressed result caching, the
+    declarative study layer (``StudySpec`` documents compiled against a
+    stage registry) and the ``repro-campaign`` CLI (``repro-campaign run
+    STUDY.toml``).
 
 Quickstart
 ----------

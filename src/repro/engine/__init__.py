@@ -34,7 +34,17 @@ executes such workloads:
   graph -- Table I in a single engine run) and :func:`yield_loss_study`
   (calibration + campaign + yield-loss sweep + functional escape analysis
   as one graph);
-* :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry point.
+* :mod:`repro.engine.registry` -- the **stage registry**: every composable
+  simulation stage (``calibrate``, ``windows``, ``campaign``, ``yield``,
+  ``escape``, ``block-summary``) registered under a stable name with a
+  typed parameter schema and a graph expander;
+* :mod:`repro.engine.spec` -- the **declarative study layer**:
+  :class:`StudySpec` documents (TOML/JSON round-trippable) compiled by
+  :func:`build_study` against the registry into one task graph, with the
+  canned studies (:data:`CALIBRATE_THEN_CAMPAIGN`, :data:`BLOCK_STUDY`,
+  :data:`YIELD_LOSS_STUDY`) that the builders above are thin wrappers of;
+* :mod:`repro.engine.cli` -- the ``repro-campaign`` command-line entry
+  point, including ``repro-campaign run STUDY.toml`` for arbitrary specs.
 
 The drivers in :mod:`repro.analysis.monte_carlo`,
 :mod:`repro.core.calibration`, :mod:`repro.defects.simulator` and
@@ -51,26 +61,40 @@ from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ResultCodec, STATUS_CACHED,
                        STATUS_EXECUTED, STATUS_FAILED, STATUS_SKIPPED,
                        TaskOutcome)
-from .pipeline import (BlockStudyOutcome, BlockStudyPlan,
-                       CalibrateCampaignOutcome, CalibrateCampaignPlan,
-                       Pipeline, PipelineResult, PipelineStage,
-                       YieldLossStudyOutcome, YieldLossStudyPlan,
+from .pipeline import (Pipeline, PipelineResult, PipelineStage,
                        block_study, build_block_study,
                        build_calibrate_then_campaign, build_yield_loss_study,
                        calibrate_then_campaign, yield_loss_study)
+from .registry import (StageDefinition, StageParam, available_stages,
+                       register_stage, stage_definition)
+from .spec import (BLOCK_STUDY, CALIBRATE_THEN_CAMPAIGN, CANNED_STUDIES,
+                   StageSpec, StudyOutcome, StudyPlan, StudySpec,
+                   YIELD_LOSS_STUDY, build_study, load_study, run_study)
 from .task import Task, TaskGraph
 
+#: Deprecated aliases: the per-study Plan/Outcome triplets collapsed into
+#: the single StudyPlan/StudyOutcome of the declarative spec layer.
+BlockStudyOutcome = StudyOutcome
+BlockStudyPlan = StudyPlan
+CalibrateCampaignOutcome = StudyOutcome
+CalibrateCampaignPlan = StudyPlan
+YieldLossStudyOutcome = StudyOutcome
+YieldLossStudyPlan = StudyPlan
+
 __all__ = [
-    "BlockStudyOutcome", "BlockStudyPlan",
+    "BLOCK_STUDY", "BlockStudyOutcome", "BlockStudyPlan",
+    "CALIBRATE_THEN_CAMPAIGN", "CANNED_STUDIES",
     "CalibrateCampaignOutcome", "CalibrateCampaignPlan", "CampaignEngine",
     "CampaignReport", "EngineRun", "ExecutionBackend", "IDENTITY_CODEC",
     "MISS", "MultiprocessBackend", "PayloadReport", "Pipeline",
     "PipelineResult", "PipelineStage", "ResultCache", "ResultCodec",
     "STATUS_CACHED", "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED",
-    "SerialBackend", "SharedMemoryBackend", "Task", "TaskGraph",
-    "TaskOutcome", "WorkStream", "YieldLossStudyOutcome",
-    "YieldLossStudyPlan", "block_study", "build_block_study",
-    "build_calibrate_then_campaign", "build_yield_loss_study",
-    "calibrate_then_campaign", "callable_token", "canonical_json",
-    "yield_loss_study",
+    "SerialBackend", "SharedMemoryBackend", "StageDefinition", "StageParam",
+    "StageSpec", "StudyOutcome", "StudyPlan", "StudySpec", "Task",
+    "TaskGraph", "TaskOutcome", "WorkStream", "YIELD_LOSS_STUDY",
+    "YieldLossStudyOutcome", "YieldLossStudyPlan", "available_stages",
+    "block_study", "build_block_study", "build_calibrate_then_campaign",
+    "build_study", "build_yield_loss_study", "calibrate_then_campaign",
+    "callable_token", "canonical_json", "load_study", "register_stage",
+    "run_study", "stage_definition", "yield_loss_study",
 ]

@@ -247,9 +247,11 @@ class _PoolWorkStream(WorkStream):
     def __init__(self, max_workers: int, pool_kwargs: Dict[str, Any],
                  run_item: Callable[[WorkItem], Tuple[bool, Any]],
                  report: Optional[PayloadReport] = None,
-                 on_close: Optional[Callable[[], None]] = None) -> None:
+                 on_close: Optional[Callable[[], None]] = None,
+                 mp_context: Any = None) -> None:
         from concurrent.futures import ProcessPoolExecutor
         self._pool = ProcessPoolExecutor(max_workers=max_workers,
+                                         mp_context=mp_context,
                                          **pool_kwargs)
         self._run_item = run_item
         self._report = report
@@ -450,24 +452,48 @@ class MultiprocessBackend(ExecutionBackend):
         When True, every run records the bytes shipped to the pool on
         :attr:`last_payload` (a :class:`PayloadReport`).  Measuring
         re-pickles each submission, so leave it off outside benchmarks.
+    mp_context:
+        Worker start method: ``"fork"``, ``"spawn"`` or ``"forkserver"``
+        (whatever :func:`multiprocessing.get_all_start_methods` offers on
+        this platform).  ``None`` (the default) keeps the interpreter's
+        default start method -- the historical behaviour.  ``"forkserver"``
+        amortises worker startup across pools on platforms where ``fork``
+        is unsafe; results are identical under any start method because
+        every task carries its own seed material.
     """
 
     name = "multiprocess"
 
     def __init__(self, max_workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 measure_payload: bool = False) -> None:
+                 measure_payload: bool = False,
+                 mp_context: Optional[str] = None) -> None:
         import os
         if max_workers is not None and max_workers <= 0:
             raise EngineError(f"max_workers must be positive, got {max_workers}")
         if chunk_size is not None and chunk_size <= 0:
             raise EngineError(f"chunk_size must be positive, got {chunk_size}")
+        if mp_context is not None:
+            import multiprocessing
+            valid = multiprocessing.get_all_start_methods()
+            if mp_context not in valid:
+                raise EngineError(
+                    f"mp_context must be one of {sorted(valid)} on this "
+                    f"platform, got {mp_context!r}")
         self.workers = max_workers or (os.cpu_count() or 1)
         self.chunk_size = chunk_size
         self.measure_payload = measure_payload
+        self.mp_context = mp_context
         #: Payload measurement of the most recent run (None unless
         #: ``measure_payload`` is set).
         self.last_payload: Optional[PayloadReport] = None
+
+    def _pool_context(self) -> Any:
+        """The ``multiprocessing`` context handed to the pool (None = default)."""
+        if self.mp_context is None:
+            return None
+        import multiprocessing
+        return multiprocessing.get_context(self.mp_context)
 
     def _chunks(self, items: Sequence[WorkItem]) -> List[List[WorkItem]]:
         size = self.chunk_size or max(
@@ -493,7 +519,8 @@ class MultiprocessBackend(ExecutionBackend):
         return _PoolWorkStream(self.workers,
                                {"initializer": _install_fn, "initargs": (fn,)},
                                _run_installed_item,
-                               report=report)
+                               report=report,
+                               mp_context=self._pool_context())
 
     def map_items(self, fn: WorkFn, items: Sequence[WorkItem],
                   on_result: ResultCallback = None) -> List[Any]:
@@ -511,6 +538,7 @@ class MultiprocessBackend(ExecutionBackend):
         shipment = self._shipment(fn)
         try:
             with ProcessPoolExecutor(max_workers=self.workers,
+                                     mp_context=self._pool_context(),
                                      **shipment.pool_kwargs) as pool:
                 pending = set()
                 for chunk in chunks:
@@ -601,7 +629,8 @@ class SharedMemoryBackend(MultiprocessBackend):
                                     "initargs": (segment.name,)},
                                    _run_installed_item,
                                    report=report,
-                                   on_close=segment.destroy)
+                                   on_close=segment.destroy,
+                                   mp_context=self._pool_context())
         except BaseException:
             # Pool construction failed; nobody will ever call close(), so
             # the segment must be unlinked here or it outlives the engine.

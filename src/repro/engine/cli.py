@@ -4,6 +4,8 @@ The command line drives the heavyweight workloads of the reproduction
 through the campaign engine, with sharded workers and a persistent artifact
 cache::
 
+    repro-campaign run examples/studies/block_study.toml --workers 4
+    repro-campaign run yield-loss-study --set campaign.samples=40
     repro-campaign calibrate --monte-carlo 100 --workers 4 --cache-dir .cache
     repro-campaign campaign --blocks sc_array vcm_generator --workers 4
     repro-campaign pipeline --workers 4 --cache-dir .cache --json out.json
@@ -11,17 +13,18 @@ cache::
     repro-campaign yield-study --workers 4 --backend shm --json study.json
     repro-campaign cache stats --cache-dir .cache
 
-``calibrate`` and ``campaign`` are the two phases run separately; the
-``pipeline`` subcommand runs both as one dependency-aware task graph
-(calibration samples -> window reduction -> per-defect simulations) with
-bit-identical results to the two-invocation flow under the same ``--seed``.
-``block-study`` runs the per-block study (Table I) as one graph -- per-block
-window calibration, every block's defect campaign and the per-block
-yield/coverage reductions in a single engine run, so small-block tasks
-interleave with large-block tasks instead of draining the pool per block.
-``yield-study`` extends the pipeline graph with the yield-loss sweep and the
-functional escape analysis -- the paper's full experiment as one graph.
-``cache`` inspects and garbage-collects a cache directory.
+``run`` is the general entry point: it loads a declarative study spec (a
+TOML/JSON document, or the name of a canned study -- see ``docs/studies.md``
+and ``examples/studies/``), applies ``--set stage.param=value`` overrides,
+compiles it against the stage registry and executes the whole study as one
+dependency-aware task graph.  The legacy study subcommands are thin aliases
+of it over the canned specs: ``pipeline`` (calibrate -> campaign),
+``block-study`` (per-block window calibration + every block's defect
+campaign + per-block reductions; Table I in one engine run) and
+``yield-study`` (the pipeline graph extended with the yield-loss sweep and
+the functional escape analysis).  ``calibrate`` and ``campaign`` run the two
+phases separately; ``cache`` inspects and garbage-collects a cache
+directory.
 
 Every campaign-shaped subcommand emits the same per-block JSON schema, with
 the single engine report of the run under the top-level ``engine`` key.
@@ -30,10 +33,11 @@ the single engine report of the run under the top-level ``engine`` key.
 work across a process pool with byte-identical results.  ``--backend shm``
 ships the campaign context (the behavioral ADC, windows, universe) to the
 workers once through a shared-memory segment instead of re-pickling it per
-task shard.  ``--cache-dir`` makes repeated runs near-free: every per-defect
-record and per-sample residual set is stored as a content-addressed JSON
-artifact, optionally bounded by ``--cache-max-bytes`` / ``--cache-max-age``
-LRU eviction.
+task shard; ``--mp-context`` picks the worker start method (fork, spawn or
+forkserver).  ``--cache-dir`` makes repeated runs near-free: every
+per-defect record and per-sample residual set is stored as a
+content-addressed JSON artifact, optionally bounded by
+``--cache-max-bytes`` / ``--cache-max-age`` LRU eviction.
 """
 
 from __future__ import annotations
@@ -41,9 +45,24 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover (python < 3.8)
+        PackageNotFoundError, version = Exception, None
+    if version is not None:
+        try:
+            return version("symbist-repro")
+        except PackageNotFoundError:
+            pass
+    from .. import __version__
+    return __version__
 
 
 def _build_backend(args: argparse.Namespace):
@@ -54,7 +73,8 @@ def _build_backend(args: argparse.Namespace):
     if choice == "serial":
         return SerialBackend()
     cls = SharedMemoryBackend if choice == "shm" else MultiprocessBackend
-    return cls(max_workers=max(args.workers, 1))
+    return cls(max_workers=max(args.workers, 1),
+               mp_context=getattr(args, "mp_context", None))
 
 
 def _build_cache(args: argparse.Namespace, namespace: str):
@@ -66,7 +86,14 @@ def _build_cache(args: argparse.Namespace, namespace: str):
                        max_age=args.cache_max_age)
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_engine_arguments(parser: argparse.ArgumentParser,
+                          seeded: bool = False) -> None:
+    """Execution/caching options shared by every workload subcommand.
+
+    ``seeded=True`` adds the legacy study knobs (``--seed``,
+    ``--monte-carlo``, ``--k``) that the `run` subcommand replaces with
+    spec entries / ``--set`` overrides.
+    """
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = serial; results are "
                              "identical for any value)")
@@ -75,6 +102,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="execution backend (default: serial when "
                              "--workers 1, multiprocess otherwise; shm ships "
                              "the campaign context once via shared memory)")
+    parser.add_argument("--mp-context",
+                        choices=("fork", "spawn", "forkserver"), default=None,
+                        help="worker start method of the pool backends "
+                             "(default: the platform default)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory of the content-addressed result "
                              "cache; omit to disable caching")
@@ -84,14 +115,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-max-age", type=float, default=None,
                         help="cache artifact lifetime in seconds; older "
                              "artifacts expire (survives restarts)")
-    parser.add_argument("--seed", type=int, default=1,
-                        help="root seed of every random draw")
-    parser.add_argument("--monte-carlo", type=int, default=50,
-                        help="Monte Carlo samples of the window calibration")
-    parser.add_argument("--k", type=float, default=5.0,
-                        help="window guard-band multiplier (delta = k*sigma)")
+    if seeded:
+        parser.add_argument("--seed", type=int, default=1,
+                            help="root seed of every random draw")
+        parser.add_argument("--monte-carlo", type=int, default=50,
+                            help="Monte Carlo samples of the window "
+                                 "calibration")
+        parser.add_argument("--k", type=float, default=5.0,
+                            help="window guard-band multiplier "
+                                 "(delta = k*sigma)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the machine-readable results to this file")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_engine_arguments(parser, seeded=True)
 
 
 def _calibrate(args: argparse.Namespace):
@@ -200,196 +238,173 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_pipeline(args: argparse.Namespace) -> int:
+def _parse_set_assignment(entry: str) -> "Tuple[str, Any]":
+    """One ``--set KEY=VALUE`` override; VALUE parses as JSON when it can.
+
+    ``--set campaign.samples=40`` assigns the integer 40;
+    ``--set campaign.blocks=sc_array,subdac1`` assigns a string the
+    parameter schema splits into a list; quote JSON for anything richer
+    (``--set 'windows.block_k={"sc_array": 7.0}'``).
+    """
+    from ..circuit.errors import EngineError
+    key, separator, raw = entry.partition("=")
+    if not separator or not key.strip():
+        raise EngineError(
+            f"--set expects KEY=VALUE (e.g. campaign.samples=40), "
+            f"got {entry!r}")
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw
+    return key.strip(), value
+
+
+def _run_study(args: argparse.Namespace, spec: Any,
+               label: Optional[str] = None) -> int:
+    """Compile a study spec, run it and report -- the shared implementation
+    of ``run`` and the legacy study subcommands.
+
+    The cache namespace is "calibration" (not a study-private one) so the
+    calibrate stage replays artifacts written by ``repro-campaign
+    calibrate`` and vice versa; every other stage's artifacts carry
+    distinct "driver" fields and cannot collide.
+    """
     from ..core import format_confidence, format_table
-    from . import calibrate_then_campaign
+    from .spec import build_study
 
-    print(f"running calibrate -> campaign as one task graph "
-          f"(delta = {args.k:g} sigma, {args.monte_carlo} MC samples, "
-          f"seed {args.seed})...")
-    # Namespace "calibration" (not a pipeline-private one) so the calibrate
-    # stage replays artifacts written by `repro-campaign calibrate` and vice
-    # versa; the windows/defect artifacts cannot collide with them because
-    # their specs carry distinct "driver" fields.
-    outcome = calibrate_then_campaign(
-        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
-        blocks=args.blocks, samples=args.samples,
-        exhaustive=args.exhaustive,
-        exhaustive_threshold=args.exhaustive_threshold,
-        stop_on_detection=not args.no_stop_on_detection,
-        backend=_build_backend(args),
-        cache=_build_cache(args, "calibration"))
+    label = label or spec.name
+    plan = build_study(spec)
+    print(f"running study {spec.name!r} as one task graph "
+          f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC samples, "
+          f"seed {spec.seed})...")
+    outcome = plan.run(backend=_build_backend(args),
+                       cache=_build_cache(args, "calibration"))
 
+    payload: Dict[str, Any] = {"workers": args.workers, "k": plan.k,
+                               "seed": spec.seed}
+
+    # With a uniform k the per-block window calibrations are identical;
+    # print (and emit) one table either way.
     calibration = outcome.calibration
-    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
-                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
-                for name, delta in calibration.deltas.items()]
-    print()
-    print(format_table(
-        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
-        title="SymBIST window calibration (pipeline stage 1)"))
+    if calibration is not None:
+        cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
+                     f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
+                    for name, delta in calibration.deltas.items()]
+        print()
+        print(format_table(
+            ["invariance", "sigma", "mean", f"delta (k={plan.k:g})"],
+            cal_rows,
+            title=f"SymBIST window calibration ({label} stage 1)"))
+        payload["deltas"] = calibration.deltas
 
-    rows: List[List[Any]] = []
-    results_json: List[Dict[str, Any]] = []
-    for block, result in outcome.results.items():
-        report = result.block_report(block)
-        rows.append([block, report.n_defects, report.n_simulated,
-                     result.n_detected,
-                     f"{report.modeled_sim_time:.0f}",
-                     format_confidence(report.coverage.value,
-                                       report.coverage.ci_half_width)])
-        results_json.append(_block_json(block, result))
-    print()
-    print(format_table(
-        ["A/M-S block", "#defects", "#simulated", "#detected",
-         "model sim time (s)", "L-W defect coverage"],
-        rows, title="SymBIST defect campaign (pipeline stage 2)"))
-    print()
-    print(f"engine: {outcome.report.summary()}")
-    _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
-                 "k": args.k, "seed": args.seed, "blocks": results_json,
-                 "engine": outcome.report.summary()})
-    return 0
+    if plan.campaign_stage is not None:
+        rows: List[List[Any]] = []
+        results_json: List[Dict[str, Any]] = []
+        for block, result in outcome.results.items():
+            report = result.block_report(block)
+            rows.append([block, report.n_defects, report.n_simulated,
+                         result.n_detected,
+                         f"{report.modeled_sim_time:.0f}",
+                         format_confidence(report.coverage.value,
+                                           report.coverage.ci_half_width)])
+            results_json.append(_block_json(block, result))
+        title = (f"SymBIST per-block defect campaigns "
+                 f"({label} stages 2-3)") if plan.per_block \
+            else f"SymBIST defect campaign ({label} stage 2)"
+        print()
+        print(format_table(
+            ["A/M-S block", "#defects", "#simulated", "#detected",
+             "model sim time (s)", "L-W defect coverage"], rows,
+            title=title))
+        payload["blocks"] = results_json
 
-
-def cmd_yield_study(args: argparse.Namespace) -> int:
-    from ..core import format_confidence, format_table
-    from . import yield_loss_study
-
-    print(f"running calibrate -> campaign -> yield sweep -> escape analysis "
-          f"as one task graph (delta = {args.k:g} sigma, "
-          f"{args.monte_carlo} MC samples, seed {args.seed})...")
-    # Namespace "calibration" for the same reason as the pipeline subcommand:
-    # the shared stages replay each other's artifacts; the study-only stages
-    # carry distinct "driver" fields and cannot collide.
-    outcome = yield_loss_study(
-        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
-        blocks=args.blocks, samples=args.samples,
-        exhaustive=args.exhaustive,
-        exhaustive_threshold=args.exhaustive_threshold,
-        stop_on_detection=not args.no_stop_on_detection,
-        k_values=args.k_values,
-        max_escape_defects=args.max_escape_defects,
-        backend=_build_backend(args),
-        cache=_build_cache(args, "calibration"))
-
-    calibration = outcome.calibration
-    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
-                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
-                for name, delta in calibration.deltas.items()]
-    print()
-    print(format_table(
-        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
-        title="SymBIST window calibration (study stage 1)"))
-
-    camp_rows: List[List[Any]] = []
-    blocks_json: List[Dict[str, Any]] = []
-    for block, result in outcome.results.items():
-        report = result.block_report(block)
-        camp_rows.append([block, report.n_defects, report.n_simulated,
-                          result.n_detected,
-                          format_confidence(report.coverage.value,
-                                            report.coverage.ci_half_width)])
-        blocks_json.append(_block_json(block, result))
-    print()
-    print(format_table(
-        ["A/M-S block", "#defects", "#simulated", "#detected",
-         "L-W defect coverage"],
-        camp_rows, title="SymBIST defect campaign (study stage 2)"))
-
-    yield_rows = [[f"{p.k:g}", f"{p.analytic_ppm:.3g}",
-                   f"{p.empirical:.4f}" if p.empirical is not None else "-",
-                   f"{p.empirical_ci_half_width:.4f}"
-                   if p.empirical_ci_half_width is not None else "-"]
-                  for p in outcome.yield_points]
-    print()
-    print(format_table(
-        ["k", "analytic (ppm)", "empirical", "95% CI"],
-        yield_rows, title="yield loss versus k (study stage 3)"))
+    if plan.yield_stage is not None:
+        yield_rows = [[f"{p.k:g}", f"{p.analytic_ppm:.3g}",
+                       f"{p.empirical:.4f}"
+                       if p.empirical is not None else "-",
+                       f"{p.empirical_ci_half_width:.4f}"
+                       if p.empirical_ci_half_width is not None else "-"]
+                      for p in outcome.yield_points]
+        print()
+        print(format_table(
+            ["k", "analytic (ppm)", "empirical", "95% CI"],
+            yield_rows, title=f"yield loss versus k ({label} stage 3)"))
+        payload["yield_loss"] = [
+            {"k": p.k, "analytic_per_run": p.analytic_per_run,
+             "analytic_ppm": p.analytic_ppm, "empirical": p.empirical,
+             "empirical_ci_half_width": p.empirical_ci_half_width}
+            for p in outcome.yield_points]
 
     escapes = outcome.escapes
-    print()
-    print(f"escape analysis: {escapes.n_analyzed} of "
-          f"{escapes.n_undetected_total} undetected defects analysed, "
-          f"{escapes.n_functional_escapes} functional escapes, "
-          f"{escapes.n_benign} benign")
-    for name, count in sorted(escapes.violations_histogram().items()):
-        print(f"  {name}: {count}")
-    print()
-    print(f"engine: {outcome.report.summary()}")
-    _emit(args, {
-        "deltas": calibration.deltas, "workers": args.workers,
-        "k": args.k, "seed": args.seed, "blocks": blocks_json,
-        "yield_loss": [{"k": p.k, "analytic_per_run": p.analytic_per_run,
-                        "analytic_ppm": p.analytic_ppm,
-                        "empirical": p.empirical,
-                        "empirical_ci_half_width": p.empirical_ci_half_width}
-                       for p in outcome.yield_points],
-        "escapes": {"n_undetected_total": escapes.n_undetected_total,
-                    "n_analyzed": escapes.n_analyzed,
-                    "n_functional_escapes": escapes.n_functional_escapes,
-                    "n_benign": escapes.n_benign,
-                    "violations": escapes.violations_histogram()},
-        "engine": outcome.report.summary()})
-    return 0
+    if escapes is not None:
+        print()
+        print(f"escape analysis: {escapes.n_analyzed} of "
+              f"{escapes.n_undetected_total} undetected defects analysed, "
+              f"{escapes.n_functional_escapes} functional escapes, "
+              f"{escapes.n_benign} benign")
+        for name, count in sorted(escapes.violations_histogram().items()):
+            print(f"  {name}: {count}")
+        payload["escapes"] = {
+            "n_undetected_total": escapes.n_undetected_total,
+            "n_analyzed": escapes.n_analyzed,
+            "n_functional_escapes": escapes.n_functional_escapes,
+            "n_benign": escapes.n_benign,
+            "violations": escapes.violations_histogram()}
 
-
-def cmd_block_study(args: argparse.Namespace) -> int:
-    from ..core import format_confidence, format_table
-    from . import block_study
-
-    print(f"running the per-block study as one task graph "
-          f"(delta = {args.k:g} sigma, {args.monte_carlo} MC samples, "
-          f"seed {args.seed})...")
-    # Namespace "calibration" for the same reason as the pipeline subcommand:
-    # the calibrate stage replays artifacts written by `repro-campaign
-    # calibrate` and vice versa; the block-study-only stages carry distinct
-    # "driver" fields and cannot collide.
-    outcome = block_study(
-        k=args.k, n_monte_carlo=args.monte_carlo, seed=args.seed,
-        blocks=args.blocks, samples=args.samples,
-        exhaustive=args.exhaustive,
-        exhaustive_threshold=args.exhaustive_threshold,
-        stop_on_detection=not args.no_stop_on_detection,
-        backend=_build_backend(args),
-        cache=_build_cache(args, "calibration"))
-
-    # The CLI runs every block at the same --k, so the per-block window
-    # calibrations are identical; print (and emit) one table.
-    calibration = next(iter(outcome.calibrations.values()))
-    cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
-                 f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
-                for name, delta in calibration.deltas.items()]
-    print()
-    print(format_table(
-        ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], cal_rows,
-        title="SymBIST window calibration (block-study stage 1)"))
-
-    rows: List[List[Any]] = []
-    results_json: List[Dict[str, Any]] = []
-    for block, result in outcome.results.items():
-        report = result.block_report(block)
-        rows.append([block, report.n_defects, report.n_simulated,
-                     result.n_detected,
-                     f"{report.modeled_sim_time:.0f}",
-                     format_confidence(report.coverage.value,
-                                       report.coverage.ci_half_width)])
-        results_json.append(_block_json(block, result))
-    print()
-    print(format_table(
-        ["A/M-S block", "#defects", "#simulated", "#detected",
-         "model sim time (s)", "L-W defect coverage"],
-        rows, title="SymBIST per-block defect campaigns "
-                    "(block-study stages 2-3)"))
     print()
     print(f"engine: {outcome.report.summary()}")
     stage_line = outcome.report.stage_summary()
     if stage_line:
         print(f"stages: {stage_line}")
-    _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
-                 "k": args.k, "seed": args.seed, "blocks": results_json,
-                 "engine": outcome.report.summary()})
+    payload["engine"] = outcome.report.summary()
+    _emit(args, payload)
     return 0
+
+
+def _legacy_study_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """The shared campaign flags of the legacy study subcommands, as spec
+    overrides (study-level ``k`` feeds every stage declaring it)."""
+    return {
+        "seed": args.seed,
+        "k": args.k,
+        "calibrate.n_monte_carlo": args.monte_carlo,
+        "campaign.blocks": args.blocks or None,  # bare --blocks == all
+        "campaign.samples": args.samples,
+        "campaign.exhaustive": args.exhaustive,
+        "campaign.exhaustive_threshold": args.exhaustive_threshold,
+        "campaign.stop_on_detection": not args.no_stop_on_detection,
+    }
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .spec import load_study
+    spec = load_study(args.study)
+    assignments = [_parse_set_assignment(entry)
+                   for entry in (args.set or [])]
+    if assignments:
+        spec = spec.override(dict(assignments))
+    return _run_study(args, spec)
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .spec import CALIBRATE_THEN_CAMPAIGN
+    spec = CALIBRATE_THEN_CAMPAIGN.override(_legacy_study_overrides(args))
+    return _run_study(args, spec, label="pipeline")
+
+
+def cmd_yield_study(args: argparse.Namespace) -> int:
+    from .spec import YIELD_LOSS_STUDY
+    spec = YIELD_LOSS_STUDY.override({
+        **_legacy_study_overrides(args),
+        "yield.k_values": [float(value) for value in args.k_values],
+        "escape.max_escape_defects": args.max_escape_defects})
+    return _run_study(args, spec, label="study")
+
+
+def cmd_block_study(args: argparse.Namespace) -> int:
+    from .spec import BLOCK_STUDY
+    spec = BLOCK_STUDY.override(_legacy_study_overrides(args))
+    return _run_study(args, spec, label="block-study")
 
 
 def _open_cache(args: argparse.Namespace):
@@ -480,7 +495,24 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-campaign",
         description="SymBIST reproduction campaigns through the "
                     "parallel/cached execution engine")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="compile and run a declarative study spec (TOML/JSON file or "
+             "canned study name) as one task graph")
+    run.add_argument("study",
+                     help="path to a .toml/.json study spec, or a canned "
+                          "study name (calibrate-then-campaign, "
+                          "block-study, yield-loss-study)")
+    run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                     help="override a spec entry: seed=..., <param>=... "
+                          "(study-wide) or <stage>.<param>=... (one stage); "
+                          "repeatable")
+    _add_engine_arguments(run)
+    run.set_defaults(func=cmd_run)
 
     calibrate = sub.add_parser(
         "calibrate", help="Monte Carlo window calibration (delta = k*sigma)")
@@ -537,6 +569,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        # A bare invocation gets the subcommand list, not an argparse
+        # "the following arguments are required" error.
+        parser = build_parser()
+        print(f"repro-campaign {_package_version()}: missing a subcommand",
+              file=sys.stderr)
+        print("", file=sys.stderr)
+        parser.print_usage(sys.stderr)
+        print("\nsubcommands:", file=sys.stderr)
+        for action in parser._subparsers._group_actions:  # type: ignore[union-attr]
+            for choice in action._choices_actions:
+                print(f"  {choice.dest:<12} {choice.help}", file=sys.stderr)
+        print("\nrun `repro-campaign <subcommand> --help` for details",
+              file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
     from ..circuit import ReproError
     try:

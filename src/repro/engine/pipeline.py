@@ -28,19 +28,26 @@ Stage workers follow the dependency-graph worker contract
 ``worker(stage_context, task, rng, inputs)`` (see
 :meth:`repro.engine.CampaignEngine.run`); they must be module-level
 callables, and stage contexts picklable, for multiprocess execution.
+
+The built-in study graphs (:func:`calibrate_then_campaign`,
+:func:`block_study`, :func:`yield_loss_study`) are compiled from declarative
+:class:`~repro.engine.spec.StudySpec` documents through the stage registry
+(:mod:`repro.engine.registry`); this module keeps the :class:`Pipeline` API,
+the stage worker functions and thin keyword-argument wrappers around the
+canned specs.  New study shapes should be written as specs (see
+``docs/studies.md``), not as new builder functions.
 """
 
 from __future__ import annotations
 
 import hashlib
 import uuid
-from dataclasses import dataclass, field, replace
-from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple)
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..circuit.errors import CalibrationError, EngineError
+from ..circuit.errors import EngineError
 from .backends import ExecutionBackend
 from .cache import ResultCache, callable_token, canonical_json
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
@@ -296,96 +303,10 @@ def _campaign_stage_worker(context: Mapping[str, Any], task: Task,
     return campaign.simulate_defect(task.payload)
 
 
-@dataclass
-class CalibrateCampaignOutcome:
-    """Everything produced by one ``calibrate -> campaign`` pipeline run."""
-
-    #: The calibration derived by the ``windows`` task (None if it failed).
-    calibration: Optional[Any]
-    #: One :class:`~repro.defects.simulator.CampaignResult` per fully
-    #: completed block, in campaign block order; blocks with failed or
-    #: skipped tasks are absent (inspect :attr:`pipeline` for their status).
-    results: Dict[str, Any]
-    #: The single report spanning calibration and campaign stages.
-    report: CampaignReport
-    #: Per-stage statuses and raw results.
-    pipeline: PipelineResult
-
-    @property
-    def ok(self) -> bool:
-        return self.pipeline.ok
-
-
-@dataclass
-class CalibrateCampaignPlan:
-    """A built (not yet run) ``calibrate -> campaign`` pipeline.
-
-    Produced by :func:`build_calibrate_then_campaign`; holds the pipeline
-    graph plus the metadata (per-block sampling plans, universes and task
-    ids) needed to assemble per-block campaign results after the run.
-    """
-
-    pipeline: Pipeline
-    k: float
-    n_monte_carlo: int
-    stop_on_detection: bool
-    invariance_names: List[str]
-    blocks: List[str]
-    block_plans: Dict[str, Any]
-    block_universes: Dict[str, Any]
-    block_task_ids: Dict[str, List[str]]
-    calibration_task_ids: List[str] = field(default_factory=list)
-    windows_task_id: str = "windows"
-    #: Key of the per-process campaign built by the campaign stage workers;
-    #: used to release the parent-process instance after the run.
-    worker_token: str = ""
-
-    def run(self, backend: Optional[ExecutionBackend] = None,
-            cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> CalibrateCampaignOutcome:
-        """Execute the graph and assemble the two-stage outcome."""
-        from ..core.calibration import calibration_from_windows
-        from ..defects.simulator import _WORKER_STATE, CampaignResult
-
-        try:
-            result = self.pipeline.run(backend=backend, cache=cache,
-                                       progress=progress,
-                                       on_failure=on_failure)
-        finally:
-            # Serial runs build the campaign in this process; drop it so the
-            # ADC/hierarchy/injector do not outlive the run (mirrors
-            # DefectCampaign.run's own cleanup).
-            _WORKER_STATE.pop(self.worker_token, None)
-
-        calibration = None
-        windows = result.stage_results("windows").get(self.windows_task_id)
-        if windows is not None:
-            calibration = calibration_from_windows(windows,
-                                                   self.invariance_names)
-
-        records = result.stage_results("campaign")
-        results: Dict[str, Any] = {}
-        for block in self.blocks:
-            task_ids = self.block_task_ids[block]
-            if not all(tid in records for tid in task_ids):
-                continue
-            results[block] = CampaignResult(
-                records=[records[tid] for tid in task_ids],
-                universe=self.block_universes[block],
-                plan=self.block_plans[block],
-                stop_on_detection=self.stop_on_detection,
-                engine_report=result.report)
-        return CalibrateCampaignOutcome(calibration=calibration,
-                                        results=results,
-                                        report=result.report,
-                                        pipeline=result)
-
-
 def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
                               stimulus: Any, invariances: Sequence[Any],
                               variation_spec: Any, seed: int,
-                              n_monte_carlo: int
+                              n_monte_carlo: int, stage: str = "calibrate"
                               ) -> "tuple[List[str], Any, str, bool]":
     """Add the shared defect-free Monte Carlo stage to a pipeline.
 
@@ -407,33 +328,30 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
         factory_token, stimulus, variation_spec,
         [inv.name for inv in invariances]) if cacheable else None
     pipeline.add_stage(
-        "calibrate", _calibration_stage_worker,
+        stage, _calibration_stage_worker,
         context={"adc_factory": adc_factory, "invariances": invariances,
                  "stimulus": stimulus, "variation_spec": variation_spec})
     calib_ids = []
     for i, calib_seed in enumerate(calib_seeds):
         task = Task(task_id=f"calib/{i}", payload=i, seed=calib_seed,
                     spec=calib_spec)
-        pipeline.add_task("calibrate", task)
+        pipeline.add_task(stage, task)
         calib_ids.append(task.task_id)
     seeds_token = hashlib.sha256(
         canonical_json(calib_seeds).encode()).hexdigest()
     return calib_ids, calib_spec, seeds_token, cacheable
 
 
-def _register_campaign_stage(pipeline: Pipeline, adc_factory: Any,
-                             stimulus: Any, mode: Any,
-                             stop_on_detection: bool,
-                             invariance_names: Sequence[str]
-                             ) -> "tuple[str, Any, str]":
-    """Build the DUT and add the shared defect-campaign stage.
+def _build_dut(adc_factory: Any) -> "tuple[Any, str, Any]":
+    """Instantiate the device under test once per study build.
 
-    The single source of the campaign-stage worker context (the behavioral
-    ADC, test spec and run token), shared by the calibrate -> campaign and
-    block-study graphs.  Returns ``(fingerprint, universe, worker_token)``.
+    Returns ``(adc, fingerprint, universe)`` -- the behavioral ADC with its
+    defect list cleared, its cache fingerprint and the defect universe built
+    from its hierarchy.  Split out of the campaign-stage registration so
+    stages that only need the universe (e.g. per-block windows) can build it
+    before the campaign stage is declared.
     """
-    from ..defects.simulator import (MODEL_SECONDS_PER_CYCLE, RECORD_CODEC,
-                                     adc_fingerprint)
+    from ..defects.simulator import adc_fingerprint
     from ..defects.universe import build_defect_universe
 
     adc = adc_factory()
@@ -441,16 +359,32 @@ def _register_campaign_stage(pipeline: Pipeline, adc_factory: Any,
     hierarchy = adc.build_hierarchy()
     fingerprint = adc_fingerprint(adc, hierarchy)
     universe = build_defect_universe(hierarchy, None)
+    return adc, fingerprint, universe
+
+
+def _register_campaign_stage(pipeline: Pipeline, adc: Any,
+                             stimulus: Any, mode: Any,
+                             stop_on_detection: bool,
+                             invariance_names: Sequence[str],
+                             stage: str = "campaign") -> str:
+    """Add the shared defect-campaign stage for a pre-built DUT.
+
+    The single source of the campaign-stage worker context (the behavioral
+    ADC, test spec and run token), shared by every campaign-shaped study
+    graph.  Returns the per-process ``worker_token``.
+    """
+    from ..defects.simulator import MODEL_SECONDS_PER_CYCLE, RECORD_CODEC
+
     worker_token = uuid.uuid4().hex
     pipeline.add_stage(
-        "campaign", _campaign_stage_worker, codec=RECORD_CODEC,
+        stage, _campaign_stage_worker, codec=RECORD_CODEC,
         context={"token": worker_token, "adc": adc,
                  "stimulus": stimulus, "mode": mode,
                  "stop_on_detection": stop_on_detection,
                  "likelihood_model": None,
                  "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE,
                  "invariance_names": list(invariance_names)})
-    return fingerprint, universe, worker_token
+    return worker_token
 
 
 def build_calibrate_then_campaign(
@@ -465,11 +399,15 @@ def build_calibrate_then_campaign(
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
-) -> CalibrateCampaignPlan:
+) -> "Any":
     """Build the paper's calibrate -> campaign workflow as one task graph.
 
-    The graph reproduces, draw for draw, what ``repro-campaign calibrate
-    --seed S`` followed by ``repro-campaign campaign --seed S`` computes:
+    Thin wrapper over the declarative study layer: applies the keyword
+    arguments as overrides on the canned
+    :data:`~repro.engine.spec.CALIBRATE_THEN_CAMPAIGN` spec and compiles it
+    with :func:`~repro.engine.spec.build_study`.  The compiled graph
+    reproduces, draw for draw, what ``repro-campaign calibrate --seed S``
+    followed by ``repro-campaign campaign --seed S`` computes:
 
     * calibration per-sample seeds are drawn up front from
       ``default_rng(seed)`` exactly like
@@ -486,104 +424,23 @@ def build_calibrate_then_campaign(
     therefore bit-identical to the manual two-invocation flow with the same
     root seed, on any backend.
 
-    Parameters mirror the ``repro-campaign campaign`` options; see
-    :class:`CalibrateCampaignPlan` / :meth:`CalibrateCampaignPlan.run` for
-    execution.
+    Parameters mirror the ``repro-campaign campaign`` options; returns a
+    :class:`~repro.engine.spec.StudyPlan` (run it with
+    :meth:`~repro.engine.spec.StudyPlan.run`).
     """
-    from ..adc.sar_adc import SarAdc
-    from ..core.invariance import build_invariances
-    from ..core.stimulus import SymBistStimulus
-    from ..core.test_time import CheckingMode
-    from ..defects.sampling import per_block_selection
-    from ..defects.simulator import MODEL_SECONDS_PER_CYCLE
-
-    if n_monte_carlo <= 0:
-        raise EngineError(
-            f"n_monte_carlo must be positive, got {n_monte_carlo}")
-    if k <= 0:
-        # Same up-front check as calibrate_windows: fail before any Monte
-        # Carlo work runs, not inside the windows reduction task.
-        raise CalibrationError(f"k must be positive, got {k}")
-    adc_factory = adc_factory or SarAdc
-    stimulus = SymBistStimulus()
-    invariances = build_invariances()
-    invariance_names = [inv.name for inv in invariances]
-    mode = CheckingMode.SEQUENTIAL
-
-    pipeline = Pipeline("calibrate-then-campaign")
-
-    # ------------------------------------------------------- calibrate stage
-    calib_ids, calib_spec, seeds_token, cacheable = _register_calibrate_stage(
-        pipeline, adc_factory, stimulus, invariances, variation_spec, seed,
-        n_monte_carlo)
-
-    # --------------------------------------------------------- windows stage
-    windows_spec = None
-    if cacheable:
-        windows_spec = {
-            "driver": "symbist-pipeline-windows",
-            "calibration": calib_spec,
-            "k": k,
-            "n_monte_carlo": n_monte_carlo,
-            "seeds": seeds_token,
-            "delta_floors": dict(delta_floors) if delta_floors else None}
-    pipeline.add_stage(
-        "windows", _windows_stage_worker,
-        context={"invariance_names": invariance_names, "k": k,
-                 "delta_floors": dict(delta_floors) if delta_floors
-                 else None})
-    windows_id = "windows"
-    pipeline.add_task("windows", Task(
-        task_id=windows_id, spec=windows_spec, deterministic=True,
-        depends_on=tuple(calib_ids), group="calibrate"))
-
-    # -------------------------------------------------------- campaign stage
-    fingerprint, universe, worker_token = _register_campaign_stage(
-        pipeline, adc_factory, stimulus, mode, stop_on_detection,
-        invariance_names)
-
-    # Per-block LWRS draws derive from the root seed + block path
-    # (block_seed_sequence), exactly like DefectCampaign.run_per_block and
-    # the campaign subcommand -- so the selection is identical for any block
-    # order, block subset or worker count.
-    block_list = list(blocks) if blocks else universe.block_paths()
-    selection = per_block_selection(
-        universe, seed, samples, exhaustive_threshold=exhaustive_threshold,
-        blocks=block_list, exhaustive=exhaustive)
-    block_plans: Dict[str, Any] = {}
-    block_universes: Dict[str, Any] = {}
-    block_task_ids: Dict[str, List[str]] = {}
-    for block in block_list:
-        block_universe = universe.by_block(block)
-        plan, defects = selection[block]
-        task_ids = []
-        for j, defect in enumerate(defects):
-            spec = None
-            if cacheable:
-                spec = {"driver": "symbist-pipeline-defect",
-                        "defect_id": defect.defect_id,
-                        "likelihood": defect.likelihood,
-                        "adc": fingerprint,
-                        "windows": windows_spec,
-                        "mode": mode.value,
-                        "stop_on_detection": stop_on_detection,
-                        "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
-            task = Task(task_id=f"campaign/{block}/{j}/{defect.defect_id}",
-                        payload=defect, spec=spec, deterministic=True,
-                        group=block, depends_on=(windows_id,))
-            pipeline.add_task("campaign", task)
-            task_ids.append(task.task_id)
-        block_plans[block] = plan
-        block_universes[block] = block_universe
-        block_task_ids[block] = task_ids
-
-    return CalibrateCampaignPlan(
-        pipeline=pipeline, k=k, n_monte_carlo=n_monte_carlo,
-        stop_on_detection=stop_on_detection,
-        invariance_names=invariance_names, blocks=block_list,
-        block_plans=block_plans, block_universes=block_universes,
-        block_task_ids=block_task_ids, calibration_task_ids=calib_ids,
-        windows_task_id=windows_id, worker_token=worker_token)
+    from .spec import CALIBRATE_THEN_CAMPAIGN, build_study
+    spec = CALIBRATE_THEN_CAMPAIGN.override({
+        "seed": seed,
+        "calibrate.n_monte_carlo": n_monte_carlo,
+        "windows.k": k,
+        "windows.delta_floors": dict(delta_floors) if delta_floors else None,
+        "campaign.blocks": list(blocks) if blocks else None,
+        "campaign.samples": samples,
+        "campaign.exhaustive": exhaustive,
+        "campaign.exhaustive_threshold": exhaustive_threshold,
+        "campaign.stop_on_detection": stop_on_detection})
+    return build_study(spec, adc_factory=adc_factory,
+                       variation_spec=variation_spec)
 
 
 def calibrate_then_campaign(
@@ -602,13 +459,13 @@ def calibrate_then_campaign(
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
-) -> CalibrateCampaignOutcome:
+) -> "Any":
     """Run window calibration and the defect campaign as one task graph.
 
     Convenience wrapper: :func:`build_calibrate_then_campaign` followed by
-    :meth:`CalibrateCampaignPlan.run`.  ``backend``/``cache`` follow the
-    usual engine conventions (serial and uncached by default); all other
-    parameters mirror the ``repro-campaign campaign`` options.
+    :meth:`~repro.engine.spec.StudyPlan.run`.  ``backend``/``cache`` follow
+    the usual engine conventions (serial and uncached by default); all
+    other parameters mirror the ``repro-campaign campaign`` options.
     """
     plan = build_calibrate_then_campaign(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
@@ -670,71 +527,6 @@ def _escape_stage_worker(context: Mapping[str, Any], task: Task,
                            max_defects=context["max_escape_defects"])
 
 
-@dataclass
-class YieldLossStudyOutcome:
-    """Everything produced by one end-to-end yield-loss study run."""
-
-    #: Stage-1/2 outputs, exactly as :func:`calibrate_then_campaign` returns
-    #: them (calibration windows + one CampaignResult per completed block).
-    calibration: Optional[Any]
-    results: Dict[str, Any]
-    #: One :class:`~repro.analysis.YieldLossPoint` per requested ``k``, in
-    #: ``k_values`` order; points whose task failed or was skipped are absent.
-    yield_points: List[Any]
-    #: The functional escape analysis
-    #: (:class:`~repro.analysis.EscapeAnalysisResult`), or None when its task
-    #: failed or was skipped.
-    escapes: Optional[Any]
-    #: The single report spanning all four stages.
-    report: CampaignReport
-    #: Per-stage statuses and raw results.
-    pipeline: PipelineResult
-
-    @property
-    def ok(self) -> bool:
-        return self.pipeline.ok
-
-
-@dataclass
-class YieldLossStudyPlan:
-    """A built (not yet run) end-to-end yield-loss study.
-
-    Produced by :func:`build_yield_loss_study`: the
-    :func:`build_calibrate_then_campaign` graph extended with a ``yield``
-    stage (one empirical yield-loss point per ``k``, fed by the calibration
-    samples) and an ``escape`` stage (one functional escape analysis fed by
-    every campaign task).
-    """
-
-    base: CalibrateCampaignPlan
-    k_values: List[float]
-    yield_task_ids: List[str]
-    escape_task_id: str = "escape"
-
-    @property
-    def pipeline(self) -> Pipeline:
-        return self.base.pipeline
-
-    def run(self, backend: Optional[ExecutionBackend] = None,
-            cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> YieldLossStudyOutcome:
-        """Execute the graph and assemble the four-stage outcome."""
-        outcome = self.base.run(backend=backend, cache=cache,
-                                progress=progress, on_failure=on_failure)
-        result = outcome.pipeline
-        yield_results = result.stage_results("yield")
-        escapes = result.stage_results("escape").get(self.escape_task_id)
-        return YieldLossStudyOutcome(
-            calibration=outcome.calibration,
-            results=outcome.results,
-            yield_points=[yield_results[tid] for tid in self.yield_task_ids
-                          if tid in yield_results],
-            escapes=escapes,
-            report=outcome.report,
-            pipeline=result)
-
-
 def build_yield_loss_study(
         k: float = 5.0,
         n_monte_carlo: int = 50,
@@ -750,10 +542,12 @@ def build_yield_loss_study(
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
-) -> YieldLossStudyPlan:
+) -> "Any":
     """Build the paper's full yield-loss study as one task graph.
 
-    Four stages, one graph, no stage barriers::
+    Thin wrapper compiling the canned
+    :data:`~repro.engine.spec.YIELD_LOSS_STUDY` spec with these overrides.
+    Five stages, one graph, no stage barriers::
 
         calib/0 ... calib/N-1        (defect-free Monte Carlo instances)
           |    \\      |
@@ -775,75 +569,25 @@ def build_yield_loss_study(
     Parameters follow :func:`build_calibrate_then_campaign`;
     ``k_values``/``n_cycles`` mirror :func:`repro.analysis.yield_loss_sweep`
     and ``max_escape_defects`` mirrors
-    :func:`repro.analysis.analyze_escapes`.
+    :func:`repro.analysis.analyze_escapes`.  Returns a
+    :class:`~repro.engine.spec.StudyPlan`.
     """
-    from ..adc.sar_adc import SarAdc
-
-    if n_cycles <= 0:
-        raise EngineError(f"n_cycles must be positive, got {n_cycles}")
-    if not k_values:
-        raise EngineError("k_values must name at least one k")
-    base = build_calibrate_then_campaign(
-        k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
-        samples=samples, exhaustive=exhaustive,
-        exhaustive_threshold=exhaustive_threshold,
-        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
-        variation_spec=variation_spec, delta_floors=delta_floors)
-    pipeline = base.pipeline
-    graph = pipeline.graph
-    windows_spec = graph.get(base.windows_task_id).spec
-    cacheable = windows_spec is not None
-
-    # --------------------------------------------------------- yield stage
-    from ..analysis.yield_loss import POINT_CODEC
-    pipeline.add_stage(
-        "yield", _yield_stage_worker, codec=POINT_CODEC,
-        context={"invariance_names": base.invariance_names, "k": k,
-                 "n_cycles": n_cycles,
-                 "delta_floors": dict(delta_floors) if delta_floors
-                 else None})
-    yield_ids = []
-    for index, k_value in enumerate(k_values):
-        spec = None
-        if cacheable:
-            # Everything an empirical point depends on: the residual pools
-            # (determined by the calibration spec + per-sample seeds, both
-            # inside the windows spec) and the point's own parameters.
-            spec = {"driver": "symbist-study-yield", "k": float(k_value),
-                    "n_cycles": n_cycles,
-                    "calibration": windows_spec["calibration"],
-                    "seeds": windows_spec["seeds"]}
-        task = Task(task_id=f"yield/{index}/k={k_value:g}",
-                    payload=float(k_value), spec=spec, deterministic=True,
-                    depends_on=tuple(base.calibration_task_ids))
-        pipeline.add_task("yield", task)
-        yield_ids.append(task.task_id)
-
-    # -------------------------------------------------------- escape stage
-    factory = adc_factory or SarAdc
-    campaign_ids = [tid for block in base.blocks
-                    for tid in base.block_task_ids[block]]
-    escape_spec = None
-    if cacheable:
-        defect_specs = [graph.get(tid).spec for tid in campaign_ids]
-        escape_spec = {
-            "driver": "symbist-study-escape",
-            "records": hashlib.sha256(
-                canonical_json(defect_specs).encode()).hexdigest(),
-            "max_defects": max_escape_defects,
-            "factory": callable_token(factory)}
-    from ..analysis.escape_analysis import ESCAPE_CODEC
-    pipeline.add_stage(
-        "escape", _escape_stage_worker, codec=ESCAPE_CODEC,
-        context={"adc_factory": factory,
-                 "stop_on_detection": stop_on_detection,
-                 "max_escape_defects": max_escape_defects})
-    pipeline.add_task("escape", Task(
-        task_id="escape", spec=escape_spec, deterministic=True,
-        depends_on=tuple(campaign_ids)))
-
-    return YieldLossStudyPlan(base=base, k_values=[float(v) for v in k_values],
-                              yield_task_ids=yield_ids)
+    from .spec import YIELD_LOSS_STUDY, build_study
+    spec = YIELD_LOSS_STUDY.override({
+        "seed": seed,
+        "k": k,  # shared by the windows and yield stages, like the CLI --k
+        "calibrate.n_monte_carlo": n_monte_carlo,
+        "windows.delta_floors": dict(delta_floors) if delta_floors else None,
+        "campaign.blocks": list(blocks) if blocks else None,
+        "campaign.samples": samples,
+        "campaign.exhaustive": exhaustive,
+        "campaign.exhaustive_threshold": exhaustive_threshold,
+        "campaign.stop_on_detection": stop_on_detection,
+        "yield.k_values": tuple(float(v) for v in k_values),
+        "yield.n_cycles": n_cycles,
+        "escape.max_escape_defects": max_escape_defects})
+    return build_study(spec, adc_factory=adc_factory,
+                       variation_spec=variation_spec)
 
 
 # ===================================================================== built-in
@@ -885,100 +629,6 @@ def _block_summary_stage_worker(context: Mapping[str, Any], task: Task,
             "deltas": dict(windows["deltas"])}
 
 
-@dataclass
-class BlockStudyOutcome:
-    """Everything produced by one block-study run."""
-
-    #: One :class:`~repro.core.WindowCalibration` per block whose windows
-    #: task completed, in block order.  With a uniform ``k`` they are all
-    #: equal to the global calibration.
-    calibrations: Dict[str, Any]
-    #: One :class:`~repro.defects.simulator.CampaignResult` per fully
-    #: completed block, in block order; blocks with failed or skipped tasks
-    #: are absent (inspect :attr:`pipeline` for their status).
-    results: Dict[str, Any]
-    #: One JSON-ready per-block reduction (coverage, detections, timing,
-    #: deltas) per block whose summary task completed.
-    summaries: Dict[str, Dict[str, Any]]
-    #: The single report spanning calibration and every block's campaign.
-    report: CampaignReport
-    #: Per-stage statuses and raw results.
-    pipeline: PipelineResult
-
-    @property
-    def ok(self) -> bool:
-        return self.pipeline.ok
-
-
-@dataclass
-class BlockStudyPlan:
-    """A built (not yet run) per-block study graph.
-
-    Produced by :func:`build_block_study`; holds the pipeline graph plus the
-    metadata (per-block plans, universes and task ids) needed to assemble
-    per-block campaign results after the run.
-    """
-
-    pipeline: Pipeline
-    k: float
-    n_monte_carlo: int
-    stop_on_detection: bool
-    invariance_names: List[str]
-    blocks: List[str]
-    block_plans: Dict[str, Any]
-    block_universes: Dict[str, Any]
-    block_task_ids: Dict[str, List[str]]
-    windows_task_ids: Dict[str, str]
-    summary_task_ids: Dict[str, str]
-    calibration_task_ids: List[str] = field(default_factory=list)
-    #: Key of the per-process campaign built by the campaign stage workers;
-    #: used to release the parent-process instance after the run.
-    worker_token: str = ""
-
-    def run(self, backend: Optional[ExecutionBackend] = None,
-            cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> BlockStudyOutcome:
-        """Execute the graph and assemble the per-block outcome."""
-        from ..core.calibration import calibration_from_windows
-        from ..defects.simulator import _WORKER_STATE, CampaignResult
-
-        try:
-            result = self.pipeline.run(backend=backend, cache=cache,
-                                       progress=progress,
-                                       on_failure=on_failure)
-        finally:
-            _WORKER_STATE.pop(self.worker_token, None)
-
-        windows_results = result.stage_results("windows")
-        calibrations = {
-            block: calibration_from_windows(windows_results[tid],
-                                            self.invariance_names)
-            for block, tid in self.windows_task_ids.items()
-            if tid in windows_results}
-
-        records = result.stage_results("campaign")
-        results: Dict[str, Any] = {}
-        for block in self.blocks:
-            task_ids = self.block_task_ids[block]
-            if not all(tid in records for tid in task_ids):
-                continue
-            results[block] = CampaignResult(
-                records=[records[tid] for tid in task_ids],
-                universe=self.block_universes[block],
-                plan=self.block_plans[block],
-                stop_on_detection=self.stop_on_detection,
-                engine_report=result.report)
-
-        summary_results = result.stage_results("summary")
-        summaries = {block: summary_results[tid]
-                     for block, tid in self.summary_task_ids.items()
-                     if tid in summary_results}
-        return BlockStudyOutcome(calibrations=calibrations, results=results,
-                                 summaries=summaries, report=result.report,
-                                 pipeline=result)
-
-
 def build_block_study(
         k: float = 5.0,
         n_monte_carlo: int = 50,
@@ -992,9 +642,11 @@ def build_block_study(
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None,
         block_k: Optional[Mapping[str, float]] = None
-) -> BlockStudyPlan:
+) -> "Any":
     """Build the paper's per-block study (Table I) as one task graph.
 
+    Thin wrapper compiling the canned
+    :data:`~repro.engine.spec.BLOCK_STUDY` spec with these overrides.
     Four stages, one graph, no stage barriers::
 
         calib/0 ... calib/N-1            (defect-free Monte Carlo instances)
@@ -1024,133 +676,23 @@ def build_block_study(
 
     ``block_k`` optionally overrides the guard-band multiplier per block
     (per-block window calibration); blocks not named keep the global ``k``.
-    Other parameters follow :func:`build_calibrate_then_campaign`.
+    Other parameters follow :func:`build_calibrate_then_campaign`.  Returns
+    a :class:`~repro.engine.spec.StudyPlan`.
     """
-    from ..adc.sar_adc import SarAdc
-    from ..core.invariance import build_invariances
-    from ..core.stimulus import SymBistStimulus
-    from ..core.test_time import CheckingMode
-    from ..defects.sampling import per_block_selection
-    from ..defects.simulator import MODEL_SECONDS_PER_CYCLE
-
-    if n_monte_carlo <= 0:
-        raise EngineError(
-            f"n_monte_carlo must be positive, got {n_monte_carlo}")
-    block_k = dict(block_k) if block_k else {}
-    for k_value in [k, *block_k.values()]:
-        if k_value <= 0:
-            # Same up-front check as calibrate_windows: fail before any
-            # Monte Carlo work runs, not inside a windows reduction task.
-            raise CalibrationError(f"k must be positive, got {k_value}")
-    adc_factory = adc_factory or SarAdc
-    stimulus = SymBistStimulus()
-    invariances = build_invariances()
-    invariance_names = [inv.name for inv in invariances]
-    mode = CheckingMode.SEQUENTIAL
-
-    pipeline = Pipeline("block-study")
-
-    # ------------------------------------------------------- calibrate stage
-    calib_ids, calib_spec, seeds_token, cacheable = _register_calibrate_stage(
-        pipeline, adc_factory, stimulus, invariances, variation_spec, seed,
-        n_monte_carlo)
-
-    # ------------------------------------------- per-block downstream stages
-    # One windows reduction per block; k rides in each task's payload.
-    pipeline.add_stage(
-        "windows", _windows_stage_worker,
-        context={"invariance_names": invariance_names,
-                 "delta_floors": dict(delta_floors) if delta_floors
-                 else None})
-    fingerprint, universe, worker_token = _register_campaign_stage(
-        pipeline, adc_factory, stimulus, mode, stop_on_detection,
-        invariance_names)
-    pipeline.add_stage("summary", _block_summary_stage_worker)
-
-    block_list = list(blocks) if blocks else universe.block_paths()
-    selection = per_block_selection(
-        universe, seed, samples, exhaustive_threshold=exhaustive_threshold,
-        blocks=block_list, exhaustive=exhaustive)
-    block_plans: Dict[str, Any] = {}
-    block_universes: Dict[str, Any] = {}
-    block_task_ids: Dict[str, List[str]] = {}
-    windows_ids: Dict[str, str] = {}
-    summary_ids: Dict[str, str] = {}
-    for block in block_list:
-        block_universe = universe.by_block(block)
-        plan, defects = selection[block]
-        k_block = float(block_k.get(block, k))
-
-        windows_spec = None
-        if cacheable:
-            windows_spec = {
-                "driver": "symbist-block-windows",
-                "calibration": calib_spec,
-                "block": block,
-                "k": k_block,
-                "n_monte_carlo": n_monte_carlo,
-                "seeds": seeds_token,
-                "delta_floors": dict(delta_floors) if delta_floors
-                else None}
-        windows_id = f"windows/{block}"
-        pipeline.add_task("windows", Task(
-            task_id=windows_id, payload={"k": k_block}, spec=windows_spec,
-            deterministic=True, depends_on=tuple(calib_ids)))
-        windows_ids[block] = windows_id
-
-        task_ids = []
-        defect_specs = []
-        for j, defect in enumerate(defects):
-            spec = None
-            if cacheable:
-                spec = {"driver": "symbist-block-defect",
-                        "defect_id": defect.defect_id,
-                        "likelihood": defect.likelihood,
-                        "adc": fingerprint,
-                        "windows": windows_spec,
-                        "mode": mode.value,
-                        "stop_on_detection": stop_on_detection,
-                        "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
-                defect_specs.append(spec)
-            task = Task(task_id=f"block/{block}/{j}/{defect.defect_id}",
-                        payload=defect, spec=spec, deterministic=True,
-                        group=block, depends_on=(windows_id,))
-            pipeline.add_task("campaign", task)
-            task_ids.append(task.task_id)
-
-        summary_spec = None
-        if cacheable:
-            summary_spec = {
-                "driver": "symbist-block-summary",
-                "block": block,
-                "windows": windows_spec,
-                "records": hashlib.sha256(
-                    canonical_json(defect_specs).encode()).hexdigest(),
-                "exhaustive": plan.exhaustive,
-                "universe_size": len(block_universe),
-                "universe_likelihood": block_universe.total_likelihood}
-        summary_id = f"summary/{block}"
-        pipeline.add_task("summary", Task(
-            task_id=summary_id,
-            payload={"block": block, "exhaustive": plan.exhaustive,
-                     "universe_size": len(block_universe),
-                     "universe_likelihood": block_universe.total_likelihood},
-            spec=summary_spec, deterministic=True,
-            depends_on=(windows_id,) + tuple(task_ids)))
-        summary_ids[block] = summary_id
-
-        block_plans[block] = plan
-        block_universes[block] = block_universe
-        block_task_ids[block] = task_ids
-
-    return BlockStudyPlan(
-        pipeline=pipeline, k=k, n_monte_carlo=n_monte_carlo,
-        stop_on_detection=stop_on_detection,
-        invariance_names=invariance_names, blocks=block_list,
-        block_plans=block_plans, block_universes=block_universes,
-        block_task_ids=block_task_ids, windows_task_ids=windows_ids,
-        summary_task_ids=summary_ids, calibration_task_ids=calib_ids,
-        worker_token=worker_token)
+    from .spec import BLOCK_STUDY, build_study
+    spec = BLOCK_STUDY.override({
+        "seed": seed,
+        "calibrate.n_monte_carlo": n_monte_carlo,
+        "windows.k": k,
+        "windows.delta_floors": dict(delta_floors) if delta_floors else None,
+        "windows.block_k": dict(block_k) if block_k else None,
+        "campaign.blocks": list(blocks) if blocks else None,
+        "campaign.samples": samples,
+        "campaign.exhaustive": exhaustive,
+        "campaign.exhaustive_threshold": exhaustive_threshold,
+        "campaign.stop_on_detection": stop_on_detection})
+    return build_study(spec, adc_factory=adc_factory,
+                       variation_spec=variation_spec)
 
 
 def block_study(
@@ -1170,12 +712,12 @@ def block_study(
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None,
         block_k: Optional[Mapping[str, float]] = None
-) -> BlockStudyOutcome:
+) -> "Any":
     """Run the per-block study (Table I) as one task graph.
 
     Convenience wrapper: :func:`build_block_study` followed by
-    :meth:`BlockStudyPlan.run`.  ``backend``/``cache`` follow the usual
-    engine conventions (serial and uncached by default).
+    :meth:`~repro.engine.spec.StudyPlan.run`.  ``backend``/``cache`` follow
+    the usual engine conventions (serial and uncached by default).
     """
     plan = build_block_study(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
@@ -1207,12 +749,12 @@ def yield_loss_study(
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
-) -> YieldLossStudyOutcome:
+) -> "Any":
     """Run the end-to-end yield-loss study as one task graph.
 
     Convenience wrapper: :func:`build_yield_loss_study` followed by
-    :meth:`YieldLossStudyPlan.run`.  ``backend``/``cache`` follow the usual
-    engine conventions (serial and uncached by default).
+    :meth:`~repro.engine.spec.StudyPlan.run`.  ``backend``/``cache`` follow
+    the usual engine conventions (serial and uncached by default).
     """
     plan = build_yield_loss_study(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
@@ -1224,3 +766,22 @@ def yield_loss_study(
         delta_floors=delta_floors)
     return plan.run(backend=backend, cache=cache, progress=progress,
                     on_failure=on_failure)
+
+
+# Deprecated aliases: the per-study Plan/Outcome triplets collapsed into the
+# single StudyPlan/StudyOutcome of the declarative spec layer.
+_SPEC_ALIASES = {
+    "CalibrateCampaignPlan": "StudyPlan",
+    "BlockStudyPlan": "StudyPlan",
+    "YieldLossStudyPlan": "StudyPlan",
+    "CalibrateCampaignOutcome": "StudyOutcome",
+    "BlockStudyOutcome": "StudyOutcome",
+    "YieldLossStudyOutcome": "StudyOutcome",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SPEC_ALIASES:
+        from . import spec
+        return getattr(spec, _SPEC_ALIASES[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

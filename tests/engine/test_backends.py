@@ -248,3 +248,56 @@ class TestReport:
         run = CampaignEngine().run(graph, square_worker)
         assert set(run.report.group_durations) == {"g1", "g2"}
         assert run.report.task_durations.keys() == {"a", "b", "c"}
+
+
+class TestMpContext:
+    """Worker start-method selection on the pool backends."""
+
+    def test_invalid_context_rejected_with_valid_names(self):
+        with pytest.raises(EngineError) as excinfo:
+            MultiprocessBackend(max_workers=2, mp_context="threads")
+        message = str(excinfo.value)
+        assert "threads" in message
+        assert "spawn" in message  # every platform offers spawn
+
+    def test_default_context_is_platform_default(self):
+        backend = MultiprocessBackend(max_workers=2)
+        assert backend.mp_context is None
+        assert backend._pool_context() is None
+
+    def test_spawn_matches_serial_results(self):
+        """Seeded draws are identical whatever start method runs them."""
+        import multiprocessing
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        graph = tasks_of(6)
+        serial = CampaignEngine(backend=SerialBackend(), seed=11).run(
+            graph, draw_worker)
+        spawned = CampaignEngine(
+            backend=MultiprocessBackend(max_workers=2, mp_context="spawn"),
+            seed=11).run(graph, draw_worker)
+        assert spawned.results == serial.results
+        assert spawned.report.backend == "multiprocess"
+
+    def test_forkserver_stream_mode_matches_serial(self):
+        """The dependency-graph (stream) path honours mp_context too."""
+        import multiprocessing
+        if "forkserver" not in multiprocessing.get_all_start_methods():
+            pytest.skip("forkserver start method unavailable")
+        graph = TaskGraph(
+            [Task(task_id=f"root/{i}") for i in range(4)]
+            + [Task(task_id="total",
+                    depends_on=tuple(f"root/{i}" for i in range(4)))])
+
+        serial = CampaignEngine(backend=SerialBackend(), seed=3).run(
+            graph, _graph_draw_worker)
+        pooled = CampaignEngine(
+            backend=MultiprocessBackend(max_workers=2,
+                                        mp_context="forkserver"),
+            seed=3).run(graph, _graph_draw_worker)
+        assert pooled.results == serial.results
+
+
+def _graph_draw_worker(context, task, rng, inputs):
+    base = sum(inputs.values()) if inputs else 0.0
+    return base + float(rng.normal())

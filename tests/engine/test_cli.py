@@ -12,6 +12,46 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bare_invocation_exits_2_with_subcommand_list(self, capsys):
+        """A bare `repro-campaign` gets the subcommand list on stderr and
+        exit status 2, not an argparse required-argument error."""
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        for name in ("run", "calibrate", "campaign", "pipeline",
+                     "block-study", "yield-study", "cache"):
+            assert name in err
+        assert "the following arguments are required" not in err
+
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-campaign" in out
+        assert repro.__version__ in out
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "study.toml", "--set", "campaign.samples=40",
+             "--set", "seed=7", "--workers", "2", "--backend", "shm"])
+        assert args.study == "study.toml"
+        assert args.set == ["campaign.samples=40", "seed=7"]
+        assert args.backend == "shm"
+        with pytest.raises(SystemExit):  # the study spec is mandatory
+            build_parser().parse_args(["run"])
+
+    def test_mp_context_flag(self):
+        from repro.engine.cli import _build_backend
+        args = build_parser().parse_args(
+            ["campaign", "--workers", "2", "--mp-context", "spawn"])
+        assert args.mp_context == "spawn"
+        assert _build_backend(args).mp_context == "spawn"
+        assert build_parser().parse_args(["campaign"]).mp_context is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--mp-context", "threads"])
+
     def test_backend_choices(self):
         args = build_parser().parse_args(["campaign", "--backend", "shm"])
         assert args.backend == "shm"
@@ -276,6 +316,59 @@ class TestPerBlockJsonSchema:
                 payloads["campaign"]["blocks"][0]["coverage"], name
             assert block["n_detected"] == \
                 payloads["campaign"]["blocks"][0]["n_detected"], name
+
+
+class TestRunCommand:
+    COMMON = ["--set", "calibrate.n_monte_carlo=3", "--set", "seed=1",
+              "--set", "campaign.blocks=vcm_generator"]
+
+    def test_canned_study_matches_legacy_subcommand(self, tmp_path, capsys):
+        """`run block-study` == `block-study`: same JSON schema, same
+        numbers, from the same canned spec."""
+        run_out = tmp_path / "run.json"
+        legacy_out = tmp_path / "legacy.json"
+        assert main(["run", "block-study", "--json", str(run_out)]
+                    + self.COMMON) == 0
+        assert main(["block-study", "--monte-carlo", "3", "--seed", "1",
+                     "--blocks", "vcm_generator",
+                     "--json", str(legacy_out)]) == 0
+        run_payload = json.loads(run_out.read_text())
+        legacy_payload = json.loads(legacy_out.read_text())
+        assert set(run_payload) == set(legacy_payload)
+        assert run_payload["deltas"] == legacy_payload["deltas"]
+        for r, l in zip(run_payload["blocks"], legacy_payload["blocks"]):
+            assert set(r) == set(l)
+            assert r["coverage"] == l["coverage"]
+            assert r["n_detected"] == l["n_detected"]
+        assert "block-study stage 1" in capsys.readouterr().out
+
+    def test_toml_spec_with_set_overrides(self, tmp_path, capsys):
+        from repro.engine import CALIBRATE_THEN_CAMPAIGN
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(CALIBRATE_THEN_CAMPAIGN.to_toml())
+        out = tmp_path / "out.json"
+        assert main(["run", str(spec_path), "--json", str(out),
+                     "--set", "campaign.samples=10",
+                     "--set", "campaign.exhaustive_threshold=20"]
+                    + self.COMMON) == 0
+        payload = json.loads(out.read_text())
+        assert payload["seed"] == 1
+        assert [b["block"] for b in payload["blocks"]] == ["vcm_generator"]
+        assert payload["blocks"][0]["n_simulated"] == 10  # samples override
+        assert "engine" in payload
+        assert "calibrate-then-campaign stage 1" in capsys.readouterr().out
+
+    def test_bad_set_assignment_is_actionable(self, capsys):
+        assert main(["run", "block-study", "--set", "bogus"]) == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+        assert main(["run", "block-study", "--set", "nope.k=1"]) == 1
+        assert "known stages" in capsys.readouterr().err
+
+    def test_unknown_study_names_the_canned_ones(self, capsys):
+        assert main(["run", "missing.toml"]) == 1
+        err = capsys.readouterr().err
+        assert "missing.toml" in err
+        assert "yield-loss-study" in err
 
 
 class TestYieldStudyCommand:

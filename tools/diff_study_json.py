@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Diff two campaign-JSON payloads: ``diff_study_json.py A.json B.json``.
+
+CI smoke check for the declarative study layer: ``repro-campaign run`` on a
+canned spec and the corresponding legacy subcommand must emit the same
+top-level schema, the same per-block schema and -- under one root seed --
+the same deterministic per-block numbers.  Engine/timing values (wall
+clock, tasks/s, worker counts) legitimately differ between runs and are
+not compared.
+
+Exits non-zero with one line per mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Per-block keys whose values are deterministic under a fixed root seed.
+DETERMINISTIC_BLOCK_KEYS = [
+    "block", "n_defects", "n_simulated", "n_detected", "n_escaped",
+    "coverage", "ci_half_width",
+]
+
+
+def diff(a: Dict[str, Any], b: Dict[str, Any],
+         a_name: str, b_name: str) -> List[str]:
+    problems = []
+    if set(a) != set(b):
+        problems.append(
+            f"top-level keys differ: {a_name} has {sorted(set(a) - set(b))} "
+            f"extra, {b_name} has {sorted(set(b) - set(a))} extra")
+    if "deltas" in a and "deltas" in b and a["deltas"] != b["deltas"]:
+        problems.append("window deltas differ")
+    blocks_a = a.get("blocks", [])
+    blocks_b = b.get("blocks", [])
+    if len(blocks_a) != len(blocks_b):
+        problems.append(
+            f"block counts differ: {len(blocks_a)} vs {len(blocks_b)}")
+        return problems
+    for index, (block_a, block_b) in enumerate(zip(blocks_a, blocks_b)):
+        label = block_a.get("block", f"#{index}")
+        if set(block_a) != set(block_b):
+            problems.append(f"block {label}: per-block keys differ: "
+                            f"{sorted(set(block_a) ^ set(block_b))}")
+            continue
+        for key in DETERMINISTIC_BLOCK_KEYS:
+            if block_a.get(key) != block_b.get(key):
+                problems.append(
+                    f"block {label}: {key} differs: "
+                    f"{block_a.get(key)!r} vs {block_b.get(key)!r}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    payloads = []
+    for path in argv:
+        with open(path, "r", encoding="utf-8") as handle:
+            payloads.append(json.load(handle))
+    problems = diff(payloads[0], payloads[1], argv[0], argv[1])
+    for problem in problems:
+        print(f"diff-study-json: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"diff-study-json: {argv[0]} == {argv[1]} "
+              f"(schema + deterministic per-block values)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
