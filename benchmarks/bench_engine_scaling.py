@@ -192,6 +192,64 @@ def test_spec_compilation_overhead():
     assert spec_wall < 0.01 * run_wall
 
 
+def test_telemetry_overhead_under_five_percent(deltas):
+    """A fully-instrumented run must cost < 5% over an untraced one.
+
+    The telemetry path adds one JSONL trace sink plus the in-process
+    metrics registry -- the full ``--trace`` configuration -- to the
+    serial benchmark campaign.  Per-event work is a dataclass, a dict and
+    one buffered ``write``; against a campaign whose per-task cost is an
+    ADC conversion sweep that must stay in the noise.  Min-of-rounds on
+    both sides to suppress scheduler jitter.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.engine import JsonlTraceSink, MetricsSink, TelemetryBus
+
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+    rounds = 3
+
+    def min_wall(telemetry_factory):
+        walls = []
+        result = None
+        for _ in range(rounds):
+            rng = np.random.default_rng(BENCHMARK_SEED)
+            telemetry = telemetry_factory()
+            result = campaign.run(
+                SamplingPlan(exhaustive=False, n_samples=N_DEFECTS),
+                rng=rng, backend=SerialBackend(), telemetry=telemetry)
+            if telemetry is not None:
+                telemetry.close()
+            walls.append(result.engine_report.wall_time)
+        return min(walls), result
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "bench-trace.jsonl"
+
+        def traced_bus():
+            return TelemetryBus([JsonlTraceSink(trace_path), MetricsSink()])
+
+        campaign.run(SamplingPlan(exhaustive=False, n_samples=N_DEFECTS),
+                     rng=np.random.default_rng(BENCHMARK_SEED),
+                     backend=SerialBackend())  # warm-up round
+        bare_wall, bare = min_wall(lambda: None)
+        traced_wall, traced = min_wall(traced_bus)
+
+    assert _coverage_key(traced) == _coverage_key(bare)
+    overhead = 100.0 * (traced_wall - bare_wall) / bare_wall
+    print()
+    print(format_table(
+        ["configuration", "#executed", "wall (s)", "overhead"],
+        [["untraced", bare.engine_report.n_executed,
+          f"{bare_wall:.3f}", "-"],
+         ["--trace + metrics", traced.engine_report.n_executed,
+          f"{traced_wall:.3f}", f"{overhead:+.1f}%"]],
+        title=f"telemetry overhead ({N_DEFECTS} LWRS defects, "
+              f"min of {rounds} rounds)"))
+    assert overhead < 5.0
+
+
 def test_payload_bytes_multiprocess_vs_shm(deltas):
     """Bytes shipped per task: re-pickled context versus shared segment.
 

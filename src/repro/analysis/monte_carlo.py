@@ -39,6 +39,7 @@ from ..circuit.variation import VariationSpec
 from ..engine import (CampaignEngine, CampaignReport, ExecutionBackend,
                       ResultCache, ResultCodec, Task, TaskGraph,
                       callable_token)
+from ..engine.telemetry import TelemetryBus
 
 ResultT = TypeVar("ResultT")
 
@@ -92,12 +93,14 @@ class MonteCarloRunner:
                  variation_spec: Optional[VariationSpec] = None,
                  seed: int = 0,
                  backend: Optional[ExecutionBackend] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[TelemetryBus] = None) -> None:
         self.adc_factory = adc_factory
         self.variation_spec = variation_spec or VariationSpec()
         self.seed = seed
         self.backend = backend
         self.cache = cache
+        self.telemetry = telemetry
 
     def run(self, evaluate: Callable[[SarAdc, int], ResultT],
             n_samples: int,
@@ -139,7 +142,7 @@ class MonteCarloRunner:
             tasks.add(Task(task_id=f"mc/{index}", payload=index,
                            spec=task_spec))
         engine = CampaignEngine(backend=self.backend, cache=self.cache,
-                                seed=self.seed)
+                                seed=self.seed, telemetry=self.telemetry)
         context = {"adc_factory": self.adc_factory,
                    "variation_spec": self.variation_spec,
                    "evaluate": evaluate}

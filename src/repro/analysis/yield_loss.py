@@ -31,6 +31,7 @@ from ..core.calibration import WindowCalibration, collect_defect_free_residuals
 from ..core.stimulus import SymBistStimulus
 from ..engine import (CampaignEngine, ExecutionBackend, ResultCache,
                       ResultCodec, Task, TaskGraph, canonical_json)
+from ..engine.telemetry import TelemetryBus
 from .statistics import (gaussian_exceedance_probability, per_test_to_per_run,
                          proportion_ci)
 
@@ -144,7 +145,8 @@ def yield_loss_sweep(calibration: Optional[WindowCalibration] = None,
                      k_values: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
                      n_cycles: int = 32,
                      backend: Optional[ExecutionBackend] = None,
-                     cache: Optional[ResultCache] = None
+                     cache: Optional[ResultCache] = None,
+                     telemetry: Optional[TelemetryBus] = None
                      ) -> List[YieldLossPoint]:
     """Yield loss across a sweep of ``k`` values (the E5 experiment).
 
@@ -176,7 +178,8 @@ def yield_loss_sweep(calibration: Optional[WindowCalibration] = None,
                     "n_cycles": n_cycles, "pools": pools_token}
         tasks.add(Task(task_id=f"yield/{index}/k={k:g}", payload=float(k),
                        spec=spec, deterministic=True))
-    engine = CampaignEngine(backend=backend, cache=cache)
+    engine = CampaignEngine(backend=backend, cache=cache,
+                            telemetry=telemetry)
     run = engine.run(tasks, _yield_loss_worker,
                      context={"calibration": calibration,
                               "n_cycles": n_cycles},

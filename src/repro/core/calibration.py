@@ -38,6 +38,7 @@ from ..circuit.units import VDD
 from ..circuit.variation import VariationSpec
 from ..engine import (CampaignEngine, ExecutionBackend, ResultCache, Task,
                       TaskGraph, callable_token)
+from ..engine.telemetry import TelemetryBus
 from .invariance import Invariance, build_invariances
 from .stimulus import SymBistStimulus
 from .window_comparator import WindowComparator
@@ -136,7 +137,8 @@ def collect_defect_free_residuals(
         rng: Optional[np.random.Generator] = None,
         variation_spec: Optional[VariationSpec] = None,
         backend: Optional[ExecutionBackend] = None,
-        cache: Optional[ResultCache] = None) -> Dict[str, List[float]]:
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[TelemetryBus] = None) -> Dict[str, List[float]]:
     """Monte Carlo residual pools of every invariance on defect-free circuits.
 
     Each Monte Carlo instance is one engine task with its own seed: when
@@ -192,7 +194,8 @@ def collect_defect_free_residuals(
         tasks.add(Task(task_id=f"calib/{index}", payload=index,
                        seed=seeds[index], spec=spec))
 
-    engine = CampaignEngine(backend=backend, cache=cache)
+    engine = CampaignEngine(backend=backend, cache=cache,
+                            telemetry=telemetry)
     context = {"adc_factory": adc_factory, "invariances": invariances,
                "stimulus": stimulus, "variation_spec": variation_spec}
     run = engine.run(tasks, _residual_worker, context=context)
@@ -263,7 +266,9 @@ def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
                       delta_floors: Optional[Mapping[str, float]] = None,
                       keep_pools: bool = False,
                       backend: Optional[ExecutionBackend] = None,
-                      cache: Optional[ResultCache] = None) -> WindowCalibration:
+                      cache: Optional[ResultCache] = None,
+                      telemetry: Optional[TelemetryBus] = None
+                      ) -> WindowCalibration:
     """Run the Monte Carlo analysis and derive the comparison windows.
 
     Parameters
@@ -286,7 +291,7 @@ def calibrate_windows(adc_factory: Callable[[], SarAdc] = SarAdc,
         raise CalibrationError(f"k must be positive, got {k}")
     pools = collect_defect_free_residuals(
         adc_factory, invariances, stimulus, n_monte_carlo, rng, variation_spec,
-        backend=backend, cache=cache)
+        backend=backend, cache=cache, telemetry=telemetry)
     sigmas, means, deltas = windows_from_pools(pools, k, delta_floors)
     return WindowCalibration(k=k, n_samples=n_monte_carlo, sigmas=sigmas,
                              means=means, deltas=deltas,

@@ -52,6 +52,7 @@ from ..core.test_time import CheckingMode
 from ..core.window_comparator import WindowComparator
 from ..engine import (CampaignEngine, CampaignReport, ExecutionBackend,
                       ResultCache, ResultCodec, Task, TaskGraph, TaskOutcome)
+from ..engine.telemetry import TelemetryBus
 from .coverage import CoverageEstimate, exhaustive_coverage, lwrs_coverage
 from .injection import DefectInjector
 from .likelihood import LikelihoodModel
@@ -369,7 +370,8 @@ class DefectCampaign:
             blocks: Optional[Sequence[str]] = None,
             progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional[ResultCache] = None) -> CampaignResult:
+            cache: Optional[ResultCache] = None,
+            telemetry: Optional["TelemetryBus"] = None) -> CampaignResult:
         """Run a campaign over the whole IP or a subset of blocks.
 
         Parameters
@@ -420,7 +422,7 @@ class DefectCampaign:
                            spec=self._task_spec(defect, adc_fingerprint),
                            deterministic=True, group=defect.block_path))
 
-        run = self._dispatch(tasks, backend, cache, progress)
+        run = self._dispatch(tasks, backend, cache, progress, telemetry)
         return CampaignResult(records=list(run.results), universe=universe,
                               plan=plan,
                               stop_on_detection=self.stop_on_detection,
@@ -429,7 +431,8 @@ class DefectCampaign:
     def _dispatch(self, tasks: TaskGraph,
                   backend: Optional[ExecutionBackend],
                   cache: Optional[ResultCache],
-                  progress: Optional[Callable[[int, int, DefectSimulationRecord], None]]):
+                  progress: Optional[Callable[[int, int, DefectSimulationRecord], None]],
+                  telemetry: Optional["TelemetryBus"] = None):
         """Run defect tasks through one engine invocation.
 
         Registers this campaign in the per-process worker state (so the
@@ -452,7 +455,8 @@ class DefectCampaign:
         _WORKER_STATE.clear()
         _WORKER_STATE[token] = self
         try:
-            engine = CampaignEngine(backend=backend, cache=cache)
+            engine = CampaignEngine(backend=backend, cache=cache,
+                                    telemetry=telemetry)
             return engine.run(tasks, _defect_worker, context=context,
                               codec=RECORD_CODEC, progress=engine_progress)
         finally:
@@ -466,7 +470,8 @@ class DefectCampaign:
                       cache: Optional[ResultCache] = None,
                       seed: Optional[Any] = None,
                       blocks: Optional[Sequence[str]] = None,
-                      exhaustive: bool = False
+                      exhaustive: bool = False,
+                      telemetry: Optional["TelemetryBus"] = None
                       ) -> Dict[str, CampaignResult]:
         """Run every block's campaign, like the per-block rows of Table I.
 
@@ -529,7 +534,7 @@ class DefectCampaign:
                 task_ids.append(task.task_id)
             block_task_ids[block_path] = task_ids
 
-        run = self._dispatch(tasks, backend, cache, progress)
+        run = self._dispatch(tasks, backend, cache, progress, telemetry)
         record_of = dict(zip(run.task_ids, run.results))
         results: Dict[str, CampaignResult] = {}
         for block_path, (plan, _) in selection.items():

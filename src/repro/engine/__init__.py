@@ -71,6 +71,11 @@ from .spec import (BLOCK_STUDY, CALIBRATE_THEN_CAMPAIGN, CANNED_STUDIES,
                    StageSpec, StudyOutcome, StudyPlan, StudySpec,
                    YIELD_LOSS_STUDY, build_study, load_study, run_study)
 from .task import Task, TaskGraph
+from .telemetry import (ChromeTraceSink, EVENT_TYPES, JsonlTraceSink,
+                        MetricsRegistry, MetricsSink, ProgressSink, TaskSpan,
+                        TelemetryBus, TelemetryEvent, TelemetrySink,
+                        chrome_trace, read_trace)
+from .trace import TraceSummary, format_summary, summarize_trace
 
 #: Deprecated aliases: the per-study Plan/Outcome triplets collapsed into
 #: the single StudyPlan/StudyOutcome of the declarative spec layer.
@@ -85,16 +90,20 @@ __all__ = [
     "BLOCK_STUDY", "BlockStudyOutcome", "BlockStudyPlan",
     "CALIBRATE_THEN_CAMPAIGN", "CANNED_STUDIES",
     "CalibrateCampaignOutcome", "CalibrateCampaignPlan", "CampaignEngine",
-    "CampaignReport", "EngineRun", "ExecutionBackend", "IDENTITY_CODEC",
-    "MISS", "MultiprocessBackend", "PayloadReport", "Pipeline",
-    "PipelineResult", "PipelineStage", "ResultCache", "ResultCodec",
+    "CampaignReport", "ChromeTraceSink", "EVENT_TYPES", "EngineRun",
+    "ExecutionBackend", "IDENTITY_CODEC", "JsonlTraceSink", "MISS",
+    "MetricsRegistry", "MetricsSink", "MultiprocessBackend", "PayloadReport",
+    "Pipeline", "PipelineResult", "PipelineStage", "ProgressSink",
+    "ResultCache", "ResultCodec",
     "STATUS_CACHED", "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED",
     "SerialBackend", "SharedMemoryBackend", "StageDefinition", "StageParam",
     "StageSpec", "StudyOutcome", "StudyPlan", "StudySpec", "Task",
-    "TaskGraph", "TaskOutcome", "WorkStream", "YIELD_LOSS_STUDY",
+    "TaskGraph", "TaskOutcome", "TaskSpan", "TelemetryBus", "TelemetryEvent",
+    "TelemetrySink", "TraceSummary", "WorkStream", "YIELD_LOSS_STUDY",
     "YieldLossStudyOutcome", "YieldLossStudyPlan", "available_stages",
     "block_study", "build_block_study", "build_calibrate_then_campaign",
     "build_study", "build_yield_loss_study", "calibrate_then_campaign",
-    "callable_token", "canonical_json", "load_study", "register_stage",
-    "run_study", "stage_definition", "yield_loss_study",
+    "callable_token", "canonical_json", "chrome_trace", "format_summary",
+    "load_study", "read_trace", "register_stage", "run_study",
+    "stage_definition", "summarize_trace", "yield_loss_study",
 ]

@@ -62,7 +62,9 @@ _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: An item handed to a backend: ``(index, task, seed_material)`` in batch
 #: mode, ``(index, task, seed_material, inputs)`` in stream (graph) mode.
 WorkItem = Any
-#: ``fn(item) -> (index, result, duration_seconds)``.
+#: ``fn(item) -> (index, result, duration_seconds, task_span)`` -- the
+#: :class:`~repro.engine.telemetry.TaskSpan` carries the worker-side clock
+#: readings back for telemetry; backends treat the tuple opaquely.
 WorkFn = Callable[[WorkItem], Any]
 #: Optional per-completion callback ``on_result(outcome_tuple)``.
 ResultCallback = Optional[Callable[[Any], None]]

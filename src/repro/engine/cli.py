@@ -49,6 +49,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from . import console
+
 
 def _package_version() -> str:
     """The installed package version, falling back to the source tree's."""
@@ -126,35 +128,69 @@ def _add_engine_arguments(parser: argparse.ArgumentParser,
                                  "(delta = k*sigma)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the machine-readable results to this file")
+    parser.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                        help="append the run's telemetry events to this "
+                             "JSONL trace (analyse with `repro-campaign "
+                             "trace`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live per-stage progress line on stderr")
+    _add_output_arguments(parser)
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress narration and tables (errors still "
+                             "print)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level console output")
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build the run's :class:`~repro.engine.TelemetryBus` from ``--trace``
+    and ``--progress`` (``None`` when neither is given, so untraced runs
+    skip event emission entirely).  Callers must ``close()`` it."""
+    from . import JsonlTraceSink, ProgressSink, TelemetryBus
+    sinks: List[Any] = []
+    if getattr(args, "trace", None):
+        sinks.append(JsonlTraceSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink())
+    return TelemetryBus(sinks) if sinks else None
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     _add_engine_arguments(parser, seeded=True)
 
 
-def _calibrate(args: argparse.Namespace):
+def _calibrate(args: argparse.Namespace, telemetry: Any = None):
     from ..core import calibrate_windows
     return calibrate_windows(
         k=args.k, n_monte_carlo=args.monte_carlo,
         rng=np.random.default_rng(args.seed),
         backend=_build_backend(args),
-        cache=_build_cache(args, "calibration"))
+        cache=_build_cache(args, "calibration"),
+        telemetry=telemetry)
 
 
 def _emit(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.json_path}")
+        console.info(f"wrote {args.json_path}")
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from ..core import format_table
-    calibration = _calibrate(args)
+    telemetry = _telemetry_from_args(args)
+    try:
+        calibration = _calibrate(args, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     rows = [[name, f"{calibration.sigmas[name]:.3e}",
              f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
             for name, delta in calibration.deltas.items()]
-    print(format_table(
+    console.info(format_table(
         ["invariance", "sigma", "mean", f"delta (k={args.k:g})"], rows,
         title="SymBIST window calibration"))
     _emit(args, {"k": args.k, "n_samples": calibration.n_samples,
@@ -195,23 +231,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     backend = _build_backend(args)
     cache = _build_cache(args, "defects")
 
-    print(f"calibrating comparison windows (delta = {args.k:g} sigma, "
-          f"{args.monte_carlo} MC samples)...")
+    console.info(f"calibrating comparison windows (delta = {args.k:g} sigma, "
+                 f"{args.monte_carlo} MC samples)...")
     calibration = _calibrate(args)
     campaign = DefectCampaign(
         adc=SarAdc(), deltas=calibration.deltas,
         stop_on_detection=not args.no_stop_on_detection)
-    print(f"defect universe: {len(campaign.universe)} defects across "
-          f"{len(campaign.universe.block_paths())} A/M-S blocks")
+    console.info(f"defect universe: {len(campaign.universe)} defects across "
+                 f"{len(campaign.universe.block_paths())} A/M-S blocks")
 
     # One engine run spans the whole sweep: every block's defect tasks are
     # submitted together, with per-block seeds derived from --seed + the
     # block path (identical results for any block order or worker count).
-    results = campaign.run_per_block(
-        n_samples_per_block=args.samples, seed=args.seed,
-        exhaustive_threshold=args.exhaustive_threshold,
-        blocks=args.blocks or None,  # a bare `--blocks` means every block
-        exhaustive=args.exhaustive, backend=backend, cache=cache)
+    # Telemetry covers this run (the workload), not the calibration above,
+    # so a --trace file holds exactly one run and reconciles with the
+    # engine report.
+    telemetry = _telemetry_from_args(args)
+    try:
+        results = campaign.run_per_block(
+            n_samples_per_block=args.samples, seed=args.seed,
+            exhaustive_threshold=args.exhaustive_threshold,
+            blocks=args.blocks or None,  # a bare `--blocks` means every block
+            exhaustive=args.exhaustive, backend=backend, cache=cache,
+            telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     rows: List[List[Any]] = []
     results_json: List[Dict[str, Any]] = []
@@ -225,13 +270,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         results_json.append(_block_json(block, result))
     engine_report = next(iter(results.values())).engine_report
 
-    print()
-    print(format_table(
+    console.info()
+    console.info(format_table(
         ["A/M-S block", "#defects", "#simulated", "#detected",
          "model sim time (s)", "L-W defect coverage"],
         rows, title="SymBIST defect-simulation campaign (Table I style)"))
-    print()
-    print(f"engine: {engine_report.summary()}")
+    console.info()
+    console.info(f"engine: {engine_report.summary()}")
     _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
                  "k": args.k, "seed": args.seed, "blocks": results_json,
                  "engine": engine_report.summary()})
@@ -274,11 +319,17 @@ def _run_study(args: argparse.Namespace, spec: Any,
 
     label = label or spec.name
     plan = build_study(spec)
-    print(f"running study {spec.name!r} as one task graph "
-          f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC samples, "
-          f"seed {spec.seed})...")
-    outcome = plan.run(backend=_build_backend(args),
-                       cache=_build_cache(args, "calibration"))
+    console.info(f"running study {spec.name!r} as one task graph "
+                 f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC "
+                 f"samples, seed {spec.seed})...")
+    telemetry = _telemetry_from_args(args)
+    try:
+        outcome = plan.run(backend=_build_backend(args),
+                           cache=_build_cache(args, "calibration"),
+                           telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     payload: Dict[str, Any] = {"workers": args.workers, "k": plan.k,
                                "seed": spec.seed}
@@ -290,8 +341,8 @@ def _run_study(args: argparse.Namespace, spec: Any,
         cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
                      f"{calibration.means[name]:+.3e}", f"{delta:.3e}"]
                     for name, delta in calibration.deltas.items()]
-        print()
-        print(format_table(
+        console.info()
+        console.info(format_table(
             ["invariance", "sigma", "mean", f"delta (k={plan.k:g})"],
             cal_rows,
             title=f"SymBIST window calibration ({label} stage 1)"))
@@ -311,8 +362,8 @@ def _run_study(args: argparse.Namespace, spec: Any,
         title = (f"SymBIST per-block defect campaigns "
                  f"({label} stages 2-3)") if plan.per_block \
             else f"SymBIST defect campaign ({label} stage 2)"
-        print()
-        print(format_table(
+        console.info()
+        console.info(format_table(
             ["A/M-S block", "#defects", "#simulated", "#detected",
              "model sim time (s)", "L-W defect coverage"], rows,
             title=title))
@@ -325,8 +376,8 @@ def _run_study(args: argparse.Namespace, spec: Any,
                        f"{p.empirical_ci_half_width:.4f}"
                        if p.empirical_ci_half_width is not None else "-"]
                       for p in outcome.yield_points]
-        print()
-        print(format_table(
+        console.info()
+        console.info(format_table(
             ["k", "analytic (ppm)", "empirical", "95% CI"],
             yield_rows, title=f"yield loss versus k ({label} stage 3)"))
         payload["yield_loss"] = [
@@ -337,13 +388,13 @@ def _run_study(args: argparse.Namespace, spec: Any,
 
     escapes = outcome.escapes
     if escapes is not None:
-        print()
-        print(f"escape analysis: {escapes.n_analyzed} of "
-              f"{escapes.n_undetected_total} undetected defects analysed, "
-              f"{escapes.n_functional_escapes} functional escapes, "
-              f"{escapes.n_benign} benign")
+        console.info()
+        console.info(f"escape analysis: {escapes.n_analyzed} of "
+                     f"{escapes.n_undetected_total} undetected defects "
+                     f"analysed, {escapes.n_functional_escapes} functional "
+                     f"escapes, {escapes.n_benign} benign")
         for name, count in sorted(escapes.violations_histogram().items()):
-            print(f"  {name}: {count}")
+            console.info(f"  {name}: {count}")
         payload["escapes"] = {
             "n_undetected_total": escapes.n_undetected_total,
             "n_analyzed": escapes.n_analyzed,
@@ -351,11 +402,11 @@ def _run_study(args: argparse.Namespace, spec: Any,
             "n_benign": escapes.n_benign,
             "violations": escapes.violations_histogram()}
 
-    print()
-    print(f"engine: {outcome.report.summary()}")
+    console.info()
+    console.info(f"engine: {outcome.report.summary()}")
     stage_line = outcome.report.stage_summary()
     if stage_line:
-        print(f"stages: {stage_line}")
+        console.info(f"stages: {stage_line}")
     payload["engine"] = outcome.report.summary()
     _emit(args, payload)
     return 0
@@ -428,11 +479,13 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     expired = None
     if args.cache_max_age is not None:
         expired = sum(1 for age in ages if age > args.cache_max_age)
-    print(f"cache {args.cache_dir}: {artifacts} artifacts, {total} bytes")
+    console.info(f"cache {args.cache_dir}: {artifacts} artifacts, "
+                 f"{total} bytes")
     if ages:
-        print(f"  age: oldest {max(ages):.0f}s, newest {min(ages):.0f}s")
+        console.info(f"  age: oldest {max(ages):.0f}s, "
+                     f"newest {min(ages):.0f}s")
     if expired is not None:
-        print(f"  expired (> {args.cache_max_age:g}s): {expired}")
+        console.info(f"  expired (> {args.cache_max_age:g}s): {expired}")
     payload = {"cache_dir": args.cache_dir, "artifacts": artifacts,
                "total_bytes": total,
                "oldest_age": max(ages) if ages else None,
@@ -453,12 +506,54 @@ def cmd_cache_evict(args: argparse.Namespace) -> int:
     before = cache.total_bytes()
     removed = cache.evict()
     after = cache.total_bytes()
-    print(f"cache {args.cache_dir}: evicted {removed} artifacts "
-          f"({before - after} bytes), {len(cache)} artifacts "
-          f"({after} bytes) kept")
+    console.info(f"cache {args.cache_dir}: evicted {removed} artifacts "
+                 f"({before - after} bytes), {len(cache)} artifacts "
+                 f"({after} bytes) kept")
     _emit(args, {"cache_dir": args.cache_dir, "evicted": removed,
                  "freed_bytes": before - after, "artifacts": len(cache),
                  "total_bytes": after})
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from . import format_summary, read_trace, summarize_trace
+    summary = summarize_trace(read_trace(args.trace_file))
+    console.info(format_summary(summary))
+    _emit(args, {
+        "backend": summary.backend, "workers": summary.workers,
+        "mode": summary.mode, "wall_time": summary.wall_time,
+        **summary.counts,
+        "phase_seconds": summary.phase_seconds,
+        "stages": [{"stage": row.stage, "total": row.total,
+                    "executed": row.executed, "cached": row.cached,
+                    "failed": row.failed, "skipped": row.skipped,
+                    "execute_seconds": row.execute_seconds,
+                    "mean_queue_wait": row.mean_queue_wait}
+                   for row in summary.stages],
+        "workers_table": [{"worker": row.worker, "tasks": row.tasks,
+                           "busy_seconds": row.busy_seconds,
+                           "utilization":
+                               row.utilization(summary.wall_time)}
+                          for row in summary.worker_rows],
+        "critical_path": summary.critical_path,
+        "critical_path_seconds": summary.critical_path_seconds})
+    return 0
+
+
+def _chrome_output_path(trace_file: str) -> str:
+    base = trace_file[:-len(".jsonl")] if trace_file.endswith(".jsonl") \
+        else trace_file
+    return base + ".chrome.json"
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    from . import chrome_trace, read_trace
+    data = chrome_trace(read_trace(args.trace_file))
+    output = args.output or _chrome_output_path(args.trace_file)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    console.info(f"wrote {output} ({len(data['traceEvents'])} trace events; "
+                 f"load it in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -474,6 +569,7 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
                              "are expired")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the machine-readable results to this file")
+    _add_output_arguments(parser)
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -554,6 +650,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "many undetected defects")
     study.set_defaults(func=cmd_yield_study)
 
+    trace = sub.add_parser(
+        "trace",
+        help="analyse a JSONL telemetry trace saved with --trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="critical path, per-stage/per-worker utilization and "
+             "queue-wait breakdown of a trace")
+    summarize.add_argument("trace_file",
+                           help="JSONL trace written by --trace")
+    summarize.add_argument("--json", dest="json_path", default=None,
+                           help="write the machine-readable summary to "
+                                "this file")
+    _add_output_arguments(summarize)
+    summarize.set_defaults(func=cmd_trace_summarize)
+    export = trace_sub.add_parser(
+        "export", help="convert a JSONL trace for an external viewer")
+    export.add_argument("trace_file", help="JSONL trace written by --trace")
+    export.add_argument("--format", choices=("chrome",), default="chrome",
+                        help="output format (chrome: trace-event JSON for "
+                             "Perfetto / chrome://tracing)")
+    export.add_argument("--output", "-o", default=None,
+                        help="output path (default: the trace path with a "
+                             ".chrome.json suffix)")
+    _add_output_arguments(export)
+    export.set_defaults(func=cmd_trace_export)
+
     cache = sub.add_parser(
         "cache", help="inspect or garbage-collect a result-cache directory")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -574,24 +697,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not argv:
         # A bare invocation gets the subcommand list, not an argparse
         # "the following arguments are required" error.
+        console.configure()
         parser = build_parser()
-        print(f"repro-campaign {_package_version()}: missing a subcommand",
-              file=sys.stderr)
-        print("", file=sys.stderr)
+        console.error(
+            f"repro-campaign {_package_version()}: missing a subcommand")
+        console.error()
         parser.print_usage(sys.stderr)
-        print("\nsubcommands:", file=sys.stderr)
+        console.error("\nsubcommands:")
         for action in parser._subparsers._group_actions:  # type: ignore[union-attr]
             for choice in action._choices_actions:
-                print(f"  {choice.dest:<12} {choice.help}", file=sys.stderr)
-        print("\nrun `repro-campaign <subcommand> --help` for details",
-              file=sys.stderr)
+                console.error(f"  {choice.dest:<12} {choice.help}")
+        console.error("\nrun `repro-campaign <subcommand> --help` for "
+                      "details")
         return 2
     args = build_parser().parse_args(argv)
+    console.configure(quiet=getattr(args, "quiet", False),
+                      verbose=getattr(args, "verbose", False))
     from ..circuit import ReproError
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        console.error(f"repro-campaign: error: {exc}")
         return 1
 
 

@@ -36,6 +36,7 @@ completion order.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -48,6 +49,7 @@ from ..circuit.errors import EngineError, TaskExecutionError
 from .backends import ExecutionBackend, SerialBackend
 from .cache import MISS, ResultCache
 from .task import Task, TaskGraph
+from .telemetry import TaskSpan, TelemetryBus
 
 #: Per-task terminal states recorded in :attr:`EngineRun.statuses`.
 STATUS_EXECUTED = "executed"
@@ -116,6 +118,11 @@ class CampaignReport:
     n_failed: int = 0
     #: Tasks never dispatched because an ancestor failed.
     n_skipped: int = 0
+    #: Failed-task count per pipeline stage (same conditions as
+    #: :attr:`stage_counts`).
+    stage_failed: Dict[str, int] = field(default_factory=dict)
+    #: Skipped-task count per pipeline stage.
+    stage_skipped: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -123,6 +130,16 @@ class CampaignReport:
 
     @property
     def tasks_per_second(self) -> float:
+        """Executed-task throughput: cache hits are lookups, not work, so
+        they are excluded (a warm-cache run reports ~0 tasks/s instead of
+        an absurd replay rate).  See :attr:`graph_tasks_per_second` for the
+        graph-resolution rate including hits."""
+        return self.n_executed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def graph_tasks_per_second(self) -> float:
+        """Graph-resolution throughput: every task (executed, cached,
+        failed) over the wall time."""
         return self.n_tasks / self.wall_time if self.wall_time > 0 else 0.0
 
     def summary(self) -> str:
@@ -140,11 +157,26 @@ class CampaignReport:
         return ", ".join(parts)
 
     def stage_summary(self) -> str:
-        """One-line per-stage breakdown (empty without stage tagging)."""
-        return ", ".join(
-            f"{stage} {self.stage_counts.get(stage, 0)} tasks/"
-            f"{duration:.2f}s"
-            for stage, duration in self.stage_durations.items())
+        """One-line per-stage breakdown (empty without stage tagging).
+
+        Stages whose every task failed or was skipped have no recorded
+        durations, so the iteration spans all per-stage tables -- a failing
+        stage stays visible with its failed/skipped counts.
+        """
+        stages = list(self.stage_durations)
+        for table in (self.stage_counts, self.stage_failed,
+                      self.stage_skipped):
+            stages.extend(stage for stage in table if stage not in stages)
+        parts = []
+        for stage in stages:
+            part = (f"{stage} {self.stage_counts.get(stage, 0)} tasks/"
+                    f"{self.stage_durations.get(stage, 0.0):.2f}s")
+            failed = self.stage_failed.get(stage, 0)
+            skipped = self.stage_skipped.get(stage, 0)
+            if failed or skipped:
+                part += f" ({failed} failed, {skipped} skipped)"
+            parts.append(part)
+        return ", ".join(parts)
 
 
 @dataclass
@@ -192,17 +224,22 @@ def _seed_token(seed_material: Any) -> str:
 
 def _execute_task(worker: Callable[[Any, Task, np.random.Generator], Any],
                   context: Any,
-                  item: Tuple[int, Task, Any]) -> Tuple[int, Any, float]:
+                  item: Tuple[int, Task, Any]
+                  ) -> Tuple[int, Any, float, TaskSpan]:
     """Run one flat-graph task (in whatever process the backend chose).
 
     Module-level (and wrapped with :func:`functools.partial`) so the
     multiprocess backend can pickle it.  Failures are re-raised as
     :class:`TaskExecutionError` naming the task, so the parent process can
-    attribute crashes even across the pool boundary.
+    attribute crashes even across the pool boundary.  The returned
+    :class:`~repro.engine.telemetry.TaskSpan` carries the worker-side
+    monotonic clock readings back through the backend for telemetry.
     """
     index, task, seed_material = item
+    received = time.monotonic()
     rng = np.random.default_rng(seed_material)
     start = time.perf_counter()
+    exec_started = time.monotonic()
     try:
         result = worker(context, task, rng)
     except TaskExecutionError:
@@ -211,7 +248,11 @@ def _execute_task(worker: Callable[[Any, Task, np.random.Generator], Any],
         raise TaskExecutionError(
             f"task {task.task_id!r} failed: {type(exc).__name__}: {exc}") \
             from exc
-    return index, result, time.perf_counter() - start
+    duration = time.perf_counter() - start
+    span = TaskSpan(worker=os.getpid(), started_at=received,
+                    finished_at=time.monotonic(),
+                    deserialize=exec_started - received)
+    return index, result, duration, span
 
 
 def _execute_graph_task(
@@ -219,11 +260,13 @@ def _execute_graph_task(
                           Mapping[str, Any]], Any],
         context: Any,
         item: Tuple[int, Task, Any, Mapping[str, Any]]) \
-        -> Tuple[int, Any, float]:
+        -> Tuple[int, Any, float, TaskSpan]:
     """Run one dependency-graph task; parent results arrive as ``inputs``."""
     index, task, seed_material, inputs = item
+    received = time.monotonic()
     rng = np.random.default_rng(seed_material)
     start = time.perf_counter()
+    exec_started = time.monotonic()
     try:
         result = worker(context, task, rng, inputs)
     except TaskExecutionError:
@@ -232,7 +275,113 @@ def _execute_graph_task(
         raise TaskExecutionError(
             f"task {task.task_id!r} failed: {type(exc).__name__}: {exc}") \
             from exc
-    return index, result, time.perf_counter() - start
+    duration = time.perf_counter() - start
+    span = TaskSpan(worker=os.getpid(), started_at=received,
+                    finished_at=time.monotonic(),
+                    deserialize=exec_started - received)
+    return index, result, duration, span
+
+
+class _RunTelemetry:
+    """Per-run emission helper: stage bookkeeping and span arithmetic.
+
+    Instantiated only when the run has a :class:`TelemetryBus`, so the
+    no-telemetry path stays a single ``is None`` check per completion.
+    Tracks per-stage terminal counts (emitting ``stage_completed`` when a
+    stage's last task resolves) and combines worker-side spans with the
+    parent-side submit/receive clocks into the queue-wait / deserialize /
+    execute / ship phases.
+    """
+
+    def __init__(self, bus: TelemetryBus, graph: TaskGraph,
+                 stage_of: Optional[Mapping[str, str]],
+                 backend: ExecutionBackend, mode: str) -> None:
+        self.bus = bus
+        self.graph = graph
+        self.stage_of = dict(stage_of) if stage_of else {}
+        self.started = time.monotonic()
+        self.submitted_at: Dict[str, float] = {}
+        self.stage_totals: Dict[str, int] = {}
+        for task in graph:
+            stage = self.stage_of.get(task.task_id)
+            if stage is not None:
+                self.stage_totals[stage] = \
+                    self.stage_totals.get(stage, 0) + 1
+        self.stage_state: Dict[str, Dict[str, int]] = {
+            stage: {"executed": 0, "cached": 0, "failed": 0, "skipped": 0}
+            for stage in self.stage_totals}
+        bus.emit("run_started", t=self.started, n_tasks=len(graph),
+                 backend=backend.name, workers=backend.workers, mode=mode,
+                 stages=dict(self.stage_totals))
+
+    def _stage(self, task: Task) -> Optional[str]:
+        return self.stage_of.get(task.task_id)
+
+    def _terminal(self, task: Task, kind: str) -> None:
+        stage = self._stage(task)
+        if stage is None:
+            return
+        state = self.stage_state[stage]
+        state[kind] += 1
+        if sum(state.values()) == self.stage_totals[stage]:
+            self.bus.emit("stage_completed", stage=stage,
+                          total=self.stage_totals[stage],
+                          elapsed=time.monotonic() - self.started, **state)
+
+    def submitted(self, task: Task, deps: Sequence[str] = ()) -> None:
+        t = time.monotonic()
+        self.submitted_at[task.task_id] = t
+        self.bus.emit("task_submitted", t=t, task_id=task.task_id,
+                      stage=self._stage(task), group=task.group,
+                      deps=list(deps))
+
+    def cache_hit(self, task: Task, deps: Sequence[str] = ()) -> None:
+        self.bus.emit("cache_hit", task_id=task.task_id,
+                      stage=self._stage(task), group=task.group,
+                      deps=list(deps))
+        self._terminal(task, "cached")
+
+    def executed(self, task: Task, duration: float, span: TaskSpan) -> None:
+        received = time.monotonic()
+        stage = self._stage(task)
+        submitted = self.submitted_at.get(task.task_id, span.started_at)
+        queue_wait = max(0.0, span.started_at - submitted)
+        ship = max(0.0, received - span.finished_at)
+        worker_seconds = max(0.0, span.finished_at - span.started_at)
+        self.bus.emit("task_started", t=span.started_at,
+                      task_id=task.task_id, stage=stage, group=task.group,
+                      worker=span.worker)
+        self.bus.emit("task_completed", t=received, task_id=task.task_id,
+                      stage=stage, group=task.group, worker=span.worker,
+                      queue_wait=queue_wait, deserialize=span.deserialize,
+                      execute=duration, ship=ship,
+                      worker_seconds=worker_seconds, duration=duration)
+        self._terminal(task, "executed")
+
+    def failed(self, task: Task, error: BaseException) -> None:
+        self.bus.emit("task_failed", task_id=task.task_id,
+                      stage=self._stage(task), group=task.group,
+                      error=str(error))
+        self._terminal(task, "failed")
+
+    def skipped(self, task_id: str) -> None:
+        task = self.graph[self.graph.index_of(task_id)]
+        self.bus.emit("task_skipped", task_id=task_id,
+                      stage=self._stage(task), group=task.group)
+        self._terminal(task, "skipped")
+
+    def finished(self, report: CampaignReport,
+                 backend: ExecutionBackend) -> None:
+        data: Dict[str, Any] = {
+            "n_tasks": report.n_tasks, "n_executed": report.n_executed,
+            "n_cache_hits": report.n_cache_hits,
+            "n_failed": report.n_failed, "n_skipped": report.n_skipped,
+            "wall_time": report.wall_time}
+        payload = getattr(backend, "last_payload", None)
+        if payload is not None:
+            data["task_bytes"] = payload.task_bytes
+            data["context_bytes"] = payload.context_bytes
+        self.bus.emit("run_finished", **data)
 
 
 def _resolve_codec(codec: CodecArg) -> Callable[[Task], ResultCodec]:
@@ -259,16 +408,22 @@ class CampaignEngine:
         ``SeedSequence`` per task is spawned, by task index.
     progress:
         Optional default :data:`ProgressCallback`.
+    telemetry:
+        Optional default :class:`~repro.engine.telemetry.TelemetryBus`;
+        every run emits its lifecycle events (``run_started``,
+        ``task_submitted``, ``task_completed``, ...) through it.
     """
 
     def __init__(self, backend: Optional[ExecutionBackend] = None,
                  cache: Optional[ResultCache] = None,
                  seed: Union[int, np.random.SeedSequence] = 0,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 telemetry: Optional[TelemetryBus] = None) -> None:
         self.backend = backend or SerialBackend()
         self.cache = cache
         self.seed = seed
         self.progress = progress
+        self.telemetry = telemetry
 
     # ---------------------------------------------------------------- helpers
     def _task_seeds(self, graph: TaskGraph) -> List[Any]:
@@ -301,7 +456,8 @@ class CampaignEngine:
             codec: CodecArg = None,
             progress: Optional[ProgressCallback] = None,
             on_failure: str = "raise",
-            stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
+            stage_of: Optional[Mapping[str, str]] = None,
+            telemetry: Optional[TelemetryBus] = None) -> EngineRun:
         """Execute every task; results come back in task order.
 
         Parameters
@@ -335,6 +491,9 @@ class CampaignEngine:
             :attr:`CampaignReport.stage_counts`), independently of the
             per-task ``group`` labels (which e.g. campaign stages override
             with block paths).  Pipelines pass theirs automatically.
+        telemetry:
+            Optional :class:`~repro.engine.telemetry.TelemetryBus` for this
+            run, overriding the engine default.
         """
         graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
         if on_failure not in ("raise", "skip"):
@@ -342,21 +501,25 @@ class CampaignEngine:
                 f"on_failure must be 'raise' or 'skip', got {on_failure!r}")
         codec_for = _resolve_codec(codec)
         progress = progress or self.progress
+        bus = telemetry if telemetry is not None else self.telemetry
         if graph.has_edges or on_failure == "skip":
             return self._run_graph(graph, worker, context, codec_for,
-                                   progress, on_failure, stage_of)
+                                   progress, on_failure, stage_of, bus)
         return self._run_flat(graph, worker, context, codec_for, progress,
-                              stage_of)
+                              stage_of, bus)
 
     # -------------------------------------------------------- flat (batch) run
     def _run_flat(self, graph: TaskGraph, worker: Callable[..., Any],
                   context: Any,
                   codec_for: Callable[[Task], ResultCodec],
                   progress: Optional[ProgressCallback],
-                  stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
+                  stage_of: Optional[Mapping[str, str]] = None,
+                  bus: Optional[TelemetryBus] = None) -> EngineRun:
         n_tasks = len(graph)
         started = time.perf_counter()
         seeds = self._task_seeds(graph)
+        tele = None if bus is None else \
+            _RunTelemetry(bus, graph, stage_of, self.backend, mode="flat")
 
         results: List[Any] = [None] * n_tasks
         durations: Dict[str, float] = {}
@@ -375,6 +538,8 @@ class CampaignEngine:
                     durations[task.task_id] = 0.0
                     statuses[task.task_id] = STATUS_CACHED
                     done += 1
+                    if tele is not None:
+                        tele.cache_hit(task)
                     if progress is not None:
                         progress(TaskOutcome(index=i, task=task,
                                              result=results[i], duration=0.0,
@@ -384,10 +549,14 @@ class CampaignEngine:
             pending.append((i, task, seeds[i]))
         n_cache_hits = done
 
+        if tele is not None:
+            for index, task, _ in pending:
+                tele.submitted(task)
+
         # --------------------------------------------------------- execution
-        def on_result(outcome: Tuple[int, Any, float]) -> None:
+        def on_result(outcome: Tuple[int, Any, float, TaskSpan]) -> None:
             nonlocal done
-            index, result, duration = outcome
+            index, result, duration, span = outcome
             done += 1
             task = graph[index]
             statuses[task.task_id] = STATUS_EXECUTED
@@ -396,13 +565,15 @@ class CampaignEngine:
             if self.cache is not None and keys[index] is not None:
                 self.cache.put(keys[index], codec_for(task).encode(result),
                                task_id=task.task_id, spec=task.spec)
+            if tele is not None:
+                tele.executed(task, duration, span)
             if progress is not None:
                 progress(TaskOutcome(index=index, task=task, result=result,
                                      duration=duration, from_cache=False,
                                      done=done, total=n_tasks))
 
         fn = functools.partial(_execute_task, worker, context)
-        for index, result, duration in self.backend.map_items(
+        for index, result, duration, _ in self.backend.map_items(
                 fn, pending, on_result=on_result):
             results[index] = result
             durations[graph[index].task_id] = duration
@@ -410,7 +581,10 @@ class CampaignEngine:
         report = self._build_report(graph, durations, n_tasks,
                                     n_executed=len(pending),
                                     n_cache_hits=n_cache_hits,
-                                    started=started, stage_of=stage_of)
+                                    started=started, stage_of=stage_of,
+                                    statuses=statuses)
+        if tele is not None:
+            tele.finished(report, self.backend)
         return EngineRun(results=results, report=report,
                          task_ids=graph.ids(), statuses=statuses)
 
@@ -420,7 +594,8 @@ class CampaignEngine:
                    codec_for: Callable[[Task], ResultCodec],
                    progress: Optional[ProgressCallback],
                    on_failure: str,
-                   stage_of: Optional[Mapping[str, str]] = None) -> EngineRun:
+                   stage_of: Optional[Mapping[str, str]] = None,
+                   bus: Optional[TelemetryBus] = None) -> EngineRun:
         """Topological scheduling with cache short-circuits + failure skips.
 
         Tasks are dispatched the moment their last parent completes; there is
@@ -433,6 +608,8 @@ class CampaignEngine:
         n_tasks = len(graph)
         started = time.perf_counter()
         seeds = self._task_seeds(graph)
+        tele = None if bus is None else \
+            _RunTelemetry(bus, graph, stage_of, self.backend, mode="graph")
 
         results: List[Any] = [None] * n_tasks
         durations: Dict[str, float] = {}
@@ -477,8 +654,13 @@ class CampaignEngine:
             task = graph[index]
             statuses[task.task_id] = STATUS_FAILED
             errors[task.task_id] = str(exc)
+            if tele is not None:
+                tele.failed(task, exc)
             for desc_id in graph.descendants(task.task_id):
-                statuses.setdefault(desc_id, STATUS_SKIPPED)
+                if desc_id not in statuses:
+                    statuses[desc_id] = STATUS_SKIPPED
+                    if tele is not None:
+                        tele.skipped(desc_id)
 
         fn = functools.partial(
             _execute_graph_task if has_edges else _execute_task,
@@ -497,6 +679,8 @@ class CampaignEngine:
                         stored = self.cache.get(keys[index])
                         if stored is not MISS:
                             n_cache_hits += 1
+                            if tele is not None:
+                                tele.cache_hit(task, deps=task.depends_on)
                             complete(index, codec_for(task).decode(stored),
                                      0.0, from_cache=True)
                             continue
@@ -506,6 +690,8 @@ class CampaignEngine:
                         stream.submit((index, task, seeds[index], inputs))
                     else:
                         stream.submit((index, task, seeds[index]))
+                    if tele is not None:
+                        tele.submitted(task, deps=task.depends_on)
                     in_flight += 1
                 if not in_flight:
                     continue
@@ -513,13 +699,15 @@ class CampaignEngine:
                 in_flight -= 1
                 index = item[0]
                 if ok:
-                    _, result, duration = value
+                    _, result, duration, span = value
                     n_executed += 1
                     task = graph[index]
                     if self.cache is not None and keys[index] is not None:
                         self.cache.put(keys[index],
                                        codec_for(task).encode(result),
                                        task_id=task.task_id, spec=task.spec)
+                    if tele is not None:
+                        tele.executed(task, duration, span)
                     complete(index, result, duration, from_cache=False)
                 else:
                     fail(index, value)
@@ -532,7 +720,12 @@ class CampaignEngine:
                                     started=started,
                                     n_failed=len(errors),
                                     n_skipped=n_skipped,
-                                    stage_of=stage_of)
+                                    stage_of=stage_of,
+                                    statuses=statuses)
+        # Emitted before a potential on_failure="raise" so the trace of a
+        # failing run still reconciles with its report.
+        if tele is not None:
+            tele.finished(report, self.backend)
         run = EngineRun(results=results, report=report, task_ids=graph.ids(),
                         statuses=statuses, errors=errors)
         if errors and on_failure == "raise":
@@ -550,19 +743,28 @@ class CampaignEngine:
                       n_tasks: int, n_executed: int, n_cache_hits: int,
                       started: float, n_failed: int = 0,
                       n_skipped: int = 0,
-                      stage_of: Optional[Mapping[str, str]] = None
+                      stage_of: Optional[Mapping[str, str]] = None,
+                      statuses: Optional[Mapping[str, str]] = None
                       ) -> CampaignReport:
         group_durations: Dict[str, float] = {}
         stage_durations: Dict[str, float] = {}
         stage_counts: Dict[str, int] = {}
+        stage_failed: Dict[str, int] = {}
+        stage_skipped: Dict[str, int] = {}
         for task in graph:
+            stage = stage_of.get(task.task_id) if stage_of else None
+            if stage is not None and statuses is not None:
+                status = statuses.get(task.task_id)
+                if status == STATUS_FAILED:
+                    stage_failed[stage] = stage_failed.get(stage, 0) + 1
+                elif status == STATUS_SKIPPED:
+                    stage_skipped[stage] = stage_skipped.get(stage, 0) + 1
             if task.task_id not in durations:
                 continue
             if task.group is not None:
                 group_durations[task.group] = \
                     group_durations.get(task.group, 0.0) \
                     + durations[task.task_id]
-            stage = stage_of.get(task.task_id) if stage_of else None
             if stage is not None:
                 stage_durations[stage] = stage_durations.get(stage, 0.0) \
                     + durations[task.task_id]
@@ -579,4 +781,6 @@ class CampaignEngine:
             stage_durations=stage_durations,
             stage_counts=stage_counts,
             n_failed=n_failed,
-            n_skipped=n_skipped)
+            n_skipped=n_skipped,
+            stage_failed=stage_failed,
+            stage_skipped=stage_skipped)

@@ -50,6 +50,7 @@ import numpy as np
 from ..circuit.errors import EngineError
 from .backends import ExecutionBackend
 from .cache import ResultCache, callable_token, canonical_json
+from .telemetry import TelemetryBus
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ProgressCallback, ResultCodec,
                        STATUS_CACHED, STATUS_EXECUTED)
@@ -200,7 +201,8 @@ class Pipeline:
             cache: Optional[ResultCache] = None,
             seed: Any = 0,
             progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> PipelineResult:
+            on_failure: str = "raise",
+            telemetry: Optional["TelemetryBus"] = None) -> PipelineResult:
         """Execute the whole graph through one :class:`CampaignEngine` run.
 
         ``on_failure="skip"`` returns a result whose
@@ -208,11 +210,14 @@ class Pipeline:
         and their descendants ``skipped``; the default re-raises the engine's
         :class:`~repro.circuit.errors.TaskExecutionError` (which carries the
         completed :class:`~repro.engine.EngineRun` as ``.run``).
+        ``telemetry`` is an optional
+        :class:`~repro.engine.telemetry.TelemetryBus` receiving the run's
+        event stream (stage-tagged, since pipelines pass ``stage_of``).
         """
         if not len(self._graph):
             raise EngineError(f"pipeline {self.name!r} has no tasks")
         engine = CampaignEngine(backend=backend, cache=cache, seed=seed,
-                                progress=progress)
+                                progress=progress, telemetry=telemetry)
         context = {"stages": {name: (stage.worker, stage.context)
                               for name, stage in self._stages.items()},
                    "stage_of": dict(self._stage_of)}
@@ -456,6 +461,7 @@ def calibrate_then_campaign(
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
         on_failure: str = "raise",
+        telemetry: Optional[TelemetryBus] = None,
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
@@ -474,7 +480,7 @@ def calibrate_then_campaign(
         stop_on_detection=stop_on_detection, adc_factory=adc_factory,
         variation_spec=variation_spec, delta_floors=delta_floors)
     return plan.run(backend=backend, cache=cache, progress=progress,
-                    on_failure=on_failure)
+                    on_failure=on_failure, telemetry=telemetry)
 
 
 # ===================================================================== built-in
@@ -708,6 +714,7 @@ def block_study(
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
         on_failure: str = "raise",
+        telemetry: Optional[TelemetryBus] = None,
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None,
@@ -727,7 +734,7 @@ def block_study(
         variation_spec=variation_spec, delta_floors=delta_floors,
         block_k=block_k)
     return plan.run(backend=backend, cache=cache, progress=progress,
-                    on_failure=on_failure)
+                    on_failure=on_failure, telemetry=telemetry)
 
 
 def yield_loss_study(
@@ -746,6 +753,7 @@ def yield_loss_study(
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
         on_failure: str = "raise",
+        telemetry: Optional[TelemetryBus] = None,
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
@@ -765,7 +773,7 @@ def yield_loss_study(
         adc_factory=adc_factory, variation_spec=variation_spec,
         delta_floors=delta_floors)
     return plan.run(backend=backend, cache=cache, progress=progress,
-                    on_failure=on_failure)
+                    on_failure=on_failure, telemetry=telemetry)
 
 
 # Deprecated aliases: the per-study Plan/Outcome triplets collapsed into the

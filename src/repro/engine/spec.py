@@ -64,6 +64,7 @@ from .cache import ResultCache
 from .executor import CampaignReport, ProgressCallback
 from .pipeline import Pipeline, PipelineResult
 from .registry import coerce_param, stage_definition
+from .telemetry import TelemetryBus
 
 __all__ = [
     "BLOCK_STUDY", "CALIBRATE_THEN_CAMPAIGN", "CANNED_STUDIES", "StageSpec",
@@ -717,7 +718,8 @@ class StudyPlan:
     def run(self, backend: Optional[ExecutionBackend] = None,
             cache: Optional[ResultCache] = None,
             progress: Optional[ProgressCallback] = None,
-            on_failure: str = "raise") -> StudyOutcome:
+            on_failure: str = "raise",
+            telemetry: Optional[TelemetryBus] = None) -> StudyOutcome:
         """Execute the graph through one engine run and assemble the
         :class:`StudyOutcome` from the named stages' results."""
         from ..core.calibration import calibration_from_windows
@@ -726,7 +728,8 @@ class StudyPlan:
         try:
             result = self.pipeline.run(backend=backend, cache=cache,
                                        progress=progress,
-                                       on_failure=on_failure)
+                                       on_failure=on_failure,
+                                       telemetry=telemetry)
         finally:
             # Serial runs build the campaign in this process; drop it so
             # the ADC/hierarchy/injector do not outlive the run (mirrors
@@ -788,6 +791,7 @@ def run_study(spec: StudySpec,
               cache: Optional[ResultCache] = None,
               progress: Optional[ProgressCallback] = None,
               on_failure: str = "raise",
+              telemetry: Optional[TelemetryBus] = None,
               adc_factory: Optional[Callable[[], Any]] = None,
               variation_spec: Optional[Any] = None) -> StudyOutcome:
     """Compile and run a study spec: :func:`build_study` +
@@ -796,7 +800,7 @@ def run_study(spec: StudySpec,
     plan = build_study(spec, adc_factory=adc_factory,
                        variation_spec=variation_spec)
     return plan.run(backend=backend, cache=cache, progress=progress,
-                    on_failure=on_failure)
+                    on_failure=on_failure, telemetry=telemetry)
 
 
 # ============================================================ canned studies
