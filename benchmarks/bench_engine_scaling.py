@@ -36,10 +36,11 @@ N_DEFECTS = 120
 N_WORKERS = min(4, os.cpu_count() or 1)
 
 
-def _run(campaign, backend, cache=None):
+def _run(campaign, backend, cache=None, batch_size=1):
     rng = np.random.default_rng(BENCHMARK_SEED)
     return campaign.run(SamplingPlan(exhaustive=False, n_samples=N_DEFECTS),
-                        rng=rng, backend=backend, cache=cache)
+                        rng=rng, backend=backend, cache=cache,
+                        batch_size=batch_size)
 
 
 def _coverage_key(result):
@@ -88,6 +89,51 @@ def test_engine_scaling(benchmark, deltas, tmp_path):
 
     if N_WORKERS == 1:
         pytest.skip("single-CPU runner: parallel scaling not measurable")
+
+
+#: Batch size of the batched-campaign comparison; chosen so the 120-defect
+#: benchmark campaign collapses into two tasks.
+BATCH_SIZE = 64
+
+
+def test_batched_campaign_speedup(deltas):
+    """batch_size=64 vs batch_size=1 at fixed workers: >=5x, bit-identical.
+
+    Batching amortizes the per-defect hot path: each batch task simulates
+    the defect-free golden trace once per stimulus and re-evaluates only
+    the pipeline stage a defect is local to (plus the downstream codes
+    whose inputs actually changed), where the unbatched path re-runs the
+    full staged sweep per defect.  Same backend, same worker count, same
+    seeds -- the records must match bit for bit and the batched run must
+    be at least 5x faster (the full-resimulation fallback would show up
+    here as a flat ratio).
+    """
+    campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+    rounds = 2
+
+    def min_wall(batch_size):
+        walls = []
+        result = None
+        for _ in range(rounds):
+            result = _run(campaign, SerialBackend(), batch_size=batch_size)
+            walls.append(result.engine_report.wall_time)
+        return min(walls), result
+
+    unbatched_wall, unbatched = min_wall(1)
+    batched_wall, batched = min_wall(BATCH_SIZE)
+
+    assert _coverage_key(batched) == _coverage_key(unbatched)
+    speedup = unbatched_wall / batched_wall
+    print()
+    print(format_table(
+        ["batch size", "#tasks", "wall (s)", "defects/s", "speedup"],
+        [[1, unbatched.engine_report.n_tasks, f"{unbatched_wall:.2f}",
+          f"{N_DEFECTS / unbatched_wall:.1f}", "-"],
+         [BATCH_SIZE, batched.engine_report.n_tasks, f"{batched_wall:.2f}",
+          f"{N_DEFECTS / batched_wall:.1f}", f"{speedup:.1f}x"]],
+        title=f"batched campaign ({N_DEFECTS} LWRS defects, serial, "
+              f"min of {rounds} rounds)"))
+    assert speedup >= 5.0
 
 
 #: Per-block sweep shape of the block-study comparison (Table I style).

@@ -150,6 +150,24 @@ def switch_state(device: Device, nominal_on: bool) -> bool:
     return nominal_on
 
 
+def switch_conductance(device: Device, nominal_on: bool,
+                       ron_nominal: float) -> float:
+    """Conductance contributed by a (possibly defective) tap/sampling switch.
+
+    A switch that is effectively off (see :func:`switch_state`) contributes
+    zero conductance; an effectively-on switch contributes ``1 / ron`` with
+    the on-resistance read from the device parameters (falling back to
+    ``ron_nominal``) and floored at 1 mOhm.  This is the shared arithmetic of
+    every conductance-weighted multiplexer/sampler in the ADC model, kept in
+    one place so the scalar and the batched evaluation paths agree
+    bit-for-bit.
+    """
+    if not switch_state(device, nominal_on):
+        return 0.0
+    ron = float(device.params.get("ron", ron_nominal))
+    return 1.0 / max(ron, 1e-3)
+
+
 def passive_state(device: Device) -> Tuple[PassiveState, float]:
     """Return the effective role and value of a resistor or capacitor.
 

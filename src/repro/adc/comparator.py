@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.units import VCM2_NOMINAL, VDD, VSS
 from .bandgap import Bandgap
@@ -142,6 +142,18 @@ class Preamplifier(AnalogBlock):
     def evaluate(self, dac_p: float, dac_m: float, ibias: float,
                  offset_comp: OffsetCompensation) -> PreampOutput:
         """Amplify the DAC differential voltage into ``LIN+`` / ``LIN-``."""
+        return self.sweep(((dac_p, dac_m),), ibias, offset_comp)[0]
+
+    def sweep(self, pairs: "Sequence[Tuple[float, float]]", ibias: float,
+              offset_comp: OffsetCompensation) -> "List[PreampOutput]":
+        """Amplify many ``(dac_p, dac_m)`` pairs against one defect state.
+
+        Everything except the final differential arithmetic -- the offset
+        compensation, the bias point, and the structural stage effects -- is
+        a pure function of the netlist state, the block parameters and
+        ``ibias``, so it is resolved once for the whole sweep.  This is the
+        pre-amplifier hot path of the batched defect evaluator.
+        """
         comp_factor, extra_offset, stuck_side = offset_comp.evaluate()
         offset = self.parameter("raw_offset") * (1.0 - comp_factor) \
             + extra_offset
@@ -188,23 +200,26 @@ class Preamplifier(AnalogBlock):
         vcm2 += amp.cm_shift
         offset += amp.offset
 
-        diff_in = dac_p - dac_m + offset
         swing = self.SWING_LIMIT
-        diff_out = 2.0 * swing * math.tanh(gain * diff_in / (2.0 * swing))
+        outputs = []
+        for dac_p, dac_m in pairs:
+            diff_in = dac_p - dac_m + offset
+            diff_out = 2.0 * swing * math.tanh(gain * diff_in / (2.0 * swing))
 
-        lin_p = vcm2 + 0.5 * diff_out
-        lin_m = vcm2 - 0.5 * diff_out
-        if amp.stuck_positive is not None:
-            lin_p = amp.stuck_positive
-        if amp.stuck_negative is not None:
-            lin_m = amp.stuck_negative
-        if stuck_side == "p":
-            lin_p = 0.2
-        elif stuck_side == "n":
-            lin_m = 0.2
-        lin_p = min(max(lin_p, VSS), VDD)
-        lin_m = min(max(lin_m, VSS), VDD)
-        return PreampOutput(lin_p=lin_p, lin_m=lin_m)
+            lin_p = vcm2 + 0.5 * diff_out
+            lin_m = vcm2 - 0.5 * diff_out
+            if amp.stuck_positive is not None:
+                lin_p = amp.stuck_positive
+            if amp.stuck_negative is not None:
+                lin_m = amp.stuck_negative
+            if stuck_side == "p":
+                lin_p = 0.2
+            elif stuck_side == "n":
+                lin_m = 0.2
+            lin_p = min(max(lin_p, VSS), VDD)
+            lin_m = min(max(lin_m, VSS), VDD)
+            outputs.append(PreampOutput(lin_p=lin_p, lin_m=lin_m))
+        return outputs
 
 
 def _stage_stuck(key: str, value: float):
@@ -251,61 +266,80 @@ class ComparatorLatch(AnalogBlock):
 
     def evaluate(self, lin_p: float, lin_m: float) -> LatchOutput:
         """Resolve the pre-amplifier differential into complementary rails."""
-        decision_high = (lin_p - lin_m) > self.parameter("latch_offset")
-        q_p = VDD if decision_high else VSS
-        q_m = VSS if decision_high else VDD
+        return self.sweep(((lin_p, lin_m),))[0]
 
+    def sweep(self, pairs: Sequence[Tuple[float, float]]) -> List[LatchOutput]:
+        """Resolve many ``(lin_p, lin_m)`` pairs against one defect state.
+
+        The clock and cross-coupled device states are a pure function of the
+        netlist state and are resolved once for the whole sweep; the per-pair
+        arithmetic is unchanged.
+        """
+        offset = self.parameter("latch_offset")
         clk_state = mos_state(self.netlist.device("mn_clk"))
-        if clk_state is MosState.STUCK_OFF:
-            # The latch never evaluates: both outputs stay precharged high.
-            return LatchOutput(q_p=VDD, q_m=VDD)
-        if clk_state is MosState.STUCK_ON:
-            # The latch is always evaluating; behaviourally it still resolves
-            # but with degraded levels.
-            q_p, q_m = q_p * 0.9, q_m * 0.9
+        nmos_states = [(mos_state(self.netlist.device(name)), target)
+                       for name, target in (("mn_cross_p", "p"),
+                                            ("mn_cross_n", "n"))]
+        pmos_states = [(mos_state(self.netlist.device(name)), target)
+                       for name, target in (("mp_cross_p", "p"),
+                                            ("mp_cross_n", "n"))]
+        outputs = []
+        for lin_p, lin_m in pairs:
+            decision_high = (lin_p - lin_m) > offset
+            q_p = VDD if decision_high else VSS
+            q_m = VSS if decision_high else VDD
 
-        # Cross-coupled devices: losing one of the four regeneration devices
-        # leaves the affected output fighting its precharge, so it settles at
-        # a defect-dependent intermediate level instead of a clean rail.
-        for name, target in (("mn_cross_p", "p"), ("mn_cross_n", "n")):
-            state = mos_state(self.netlist.device(name))
-            if state is MosState.STUCK_ON:
-                if target == "p":
-                    q_p = VSS
-                else:
-                    q_m = VSS
-            elif state is MosState.STUCK_OFF:
-                if target == "p":
-                    q_p = max(q_p, 0.7 * VDD)
-                else:
-                    q_m = max(q_m, 0.7 * VDD)
-            elif state is MosState.DEGRADED:
-                # Weakened pull-down: the high level is unaffected but a low
-                # output cannot be fully discharged.
-                if target == "p":
-                    q_p = max(q_p, 0.45 * VDD)
-                else:
-                    q_m = max(q_m, 0.45 * VDD)
-        for name, target in (("mp_cross_p", "p"), ("mp_cross_n", "n")):
-            state = mos_state(self.netlist.device(name))
-            if state is MosState.STUCK_ON:
-                if target == "p":
-                    q_p = VDD
-                else:
-                    q_m = VDD
-            elif state is MosState.STUCK_OFF:
-                if target == "p":
-                    q_p = min(q_p, 0.3 * VDD)
-                else:
-                    q_m = min(q_m, 0.3 * VDD)
-            elif state is MosState.DEGRADED:
-                # Weakened pull-up: the high level droops.
-                if target == "p":
-                    q_p = min(q_p, 0.62 * VDD)
-                else:
-                    q_m = min(q_m, 0.62 * VDD)
-        return LatchOutput(q_p=min(max(q_p, VSS), VDD),
-                           q_m=min(max(q_m, VSS), VDD))
+            if clk_state is MosState.STUCK_OFF:
+                # The latch never evaluates: both outputs stay precharged high.
+                outputs.append(LatchOutput(q_p=VDD, q_m=VDD))
+                continue
+            if clk_state is MosState.STUCK_ON:
+                # The latch is always evaluating; behaviourally it still
+                # resolves but with degraded levels.
+                q_p, q_m = q_p * 0.9, q_m * 0.9
+
+            # Cross-coupled devices: losing one of the four regeneration
+            # devices leaves the affected output fighting its precharge, so
+            # it settles at a defect-dependent intermediate level instead of
+            # a clean rail.
+            for state, target in nmos_states:
+                if state is MosState.STUCK_ON:
+                    if target == "p":
+                        q_p = VSS
+                    else:
+                        q_m = VSS
+                elif state is MosState.STUCK_OFF:
+                    if target == "p":
+                        q_p = max(q_p, 0.7 * VDD)
+                    else:
+                        q_m = max(q_m, 0.7 * VDD)
+                elif state is MosState.DEGRADED:
+                    # Weakened pull-down: the high level is unaffected but a
+                    # low output cannot be fully discharged.
+                    if target == "p":
+                        q_p = max(q_p, 0.45 * VDD)
+                    else:
+                        q_m = max(q_m, 0.45 * VDD)
+            for state, target in pmos_states:
+                if state is MosState.STUCK_ON:
+                    if target == "p":
+                        q_p = VDD
+                    else:
+                        q_m = VDD
+                elif state is MosState.STUCK_OFF:
+                    if target == "p":
+                        q_p = min(q_p, 0.3 * VDD)
+                    else:
+                        q_m = min(q_m, 0.3 * VDD)
+                elif state is MosState.DEGRADED:
+                    # Weakened pull-up: the high level droops.
+                    if target == "p":
+                        q_p = min(q_p, 0.62 * VDD)
+                    else:
+                        q_m = min(q_m, 0.62 * VDD)
+            outputs.append(LatchOutput(q_p=min(max(q_p, VSS), VDD),
+                                       q_m=min(max(q_m, VSS), VDD)))
+        return outputs
 
 
 class RsLatch(AnalogBlock):
@@ -338,6 +372,24 @@ class RsLatch(AnalogBlock):
 
     def evaluate(self, latch: LatchOutput) -> LatchOutput:
         """Latch the comparator decision and drive complementary outputs."""
+        return self._evaluate_with_actions(latch,
+                                           self._resolve_defect_actions())
+
+    def replay(self, latches: Sequence[LatchOutput]) -> List[LatchOutput]:
+        """Reset, then evaluate every input in order.
+
+        Bit-identical to :meth:`reset_state` followed by :meth:`evaluate`
+        per input: the defect actions are a pure function of the netlist
+        state and are resolved once for the whole replay.  This is the
+        RS-latch hot path of the batched defect evaluator.
+        """
+        self.reset_state()
+        actions = self._resolve_defect_actions()
+        return [self._evaluate_with_actions(latch, actions)
+                for latch in latches]
+
+    def _evaluate_with_actions(self, latch: LatchOutput,
+                               actions: list) -> LatchOutput:
         set_high = latch.q_p > self._THRESHOLD
         reset_high = latch.q_m > self._THRESHOLD
         if set_high and not reset_high:
@@ -347,7 +399,7 @@ class RsLatch(AnalogBlock):
         elif set_high and reset_high:
             # Invalid input (both comparator outputs high): both RS outputs
             # are driven high, which the complementary-output invariance sees.
-            return self._apply_defects(VDD, VDD)
+            return self._apply_actions(VDD, VDD, actions)
         # else: hold the previous state.
         q_p = VDD if self._state else VSS
         q_m = VSS if self._state else VDD
@@ -358,9 +410,17 @@ class RsLatch(AnalogBlock):
             q_p = latch.q_p
         if self._WEAK_LOW < latch.q_m < self._WEAK_HIGH:
             q_m = latch.q_m
-        return self._apply_defects(q_p, q_m)
+        return self._apply_actions(q_p, q_m, actions)
 
-    def _apply_defects(self, q_p: float, q_m: float) -> LatchOutput:
+    def _resolve_defect_actions(self) -> list:
+        """Input-independent ``(target, value)`` overrides of the NAND devices.
+
+        ``value is None`` marks the one input-dependent case: a stuck-off
+        pull-up leaves its output at a level derived from the opposite
+        output, so it is resolved per evaluation in
+        :meth:`_apply_actions`.
+        """
+        actions = []
         for name, target, rail in (("mp_nand_a", "p", VDD),
                                    ("mn_nand_a", "p", VSS),
                                    ("mp_nand_b", "n", VDD),
@@ -378,11 +438,19 @@ class RsLatch(AnalogBlock):
                     continue
                 # Gate-drain short: the output is loaded by the opposite
                 # output through the shorted gate and settles at a weak level.
-                value = 0.7 * VDD
+                actions.append((target, 0.7 * VDD))
             elif state is MosState.STUCK_ON:
-                value = rail
+                actions.append((target, rail))
             else:  # STUCK_OFF: the output loses one of its drivers
-                value = VDD - rail if rail == VSS else q_p * 0.5 + 0.25 * VDD
+                actions.append((target,
+                                VDD - rail if rail == VSS else None))
+        return actions
+
+    @staticmethod
+    def _apply_actions(q_p: float, q_m: float, actions: list) -> LatchOutput:
+        for target, value in actions:
+            if value is None:
+                value = q_p * 0.5 + 0.25 * VDD
             if target == "p":
                 q_p = value
             else:

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuit.components import Device
 from ..circuit.errors import SimulationError
 from ..circuit.units import N_REF_LEVELS, VDD, VSS
-from .behavioral import MosState, mos_state, switch_state
+from .behavioral import MosState, mos_state, switch_conductance, switch_state
 from .block import AnalogBlock
 
 #: Voltage a floating (disconnected) output leaks to.
@@ -167,10 +167,9 @@ class SubDac(AnalogBlock):
                 switch_dev = self.netlist.device(f"swn_{tap:02d}")
                 driver_tap = 32 - tap
             enable = self._driver_enable(driver_tap, nominal_sel)
-            if not switch_state(switch_dev, enable):
+            conductance = switch_conductance(switch_dev, enable, _RON)
+            if conductance <= 0.0:
                 continue
-            ron = float(switch_dev.params.get("ron", _RON))
-            conductance = 1.0 / max(ron, 1e-3)
             total_g += conductance
             weighted += conductance * vref[tap]
         if total_g <= 0.0:
@@ -182,9 +181,18 @@ class SubDac(AnalogBlock):
         sf = self.netlist.device(f"buf{side}_sf")
         bias = self.netlist.device(f"buf{side}_bias")
         offset = self.parameter(f"buffer_offset_{side}")
+        return self._apply_buffer(raw, offset, mos_state(sf), mos_state(bias))
+
+    @staticmethod
+    def _apply_buffer(raw: float, offset: float, sf_state: MosState,
+                      bias_state: MosState) -> float:
+        """The buffer arithmetic for pre-resolved device states.
+
+        Shared by :meth:`_buffer` (one lookup per call) and the batched
+        :meth:`sweep` (states resolved once per sweep) so the two paths are
+        the same float arithmetic.
+        """
         value = raw + offset
-        sf_state = mos_state(sf)
-        bias_state = mos_state(bias)
         if sf_state is MosState.STUCK_OFF:
             value = FLOAT_LEVEL
         elif sf_state is MosState.STUCK_ON:
@@ -196,6 +204,80 @@ class SubDac(AnalogBlock):
         elif bias_state is MosState.STUCK_OFF:
             value = min(value + 0.05, VDD)
         return min(max(value, VSS), VDD)
+
+    def _mux_table(self, side: str) -> Tuple[List[float], List[bool],
+                                             List[bool], List[Optional[bool]],
+                                             List[int]]:
+        """Code-independent per-tap state of one (defective) multiplexer.
+
+        Returns ``(g, con_on, con_off, forced, anomalous)``: the tap
+        conductances, whether each tap switch conducts when enabled/disabled,
+        the forced enable value of each tap's decoder driver (``None`` when
+        the driver switches normally), and the sorted list of *anomalous*
+        taps -- taps that deviate from clean behaviour (forced enable, a
+        switch that conducts while disabled, or one that does not conduct
+        while enabled).  Every non-anomalous tap contributes conductance
+        exactly when it is the nominally selected tap, which is what lets
+        :meth:`_mux_from_table` visit only ``anomalous + [selected]``.
+        """
+        g: List[float] = []
+        con_on: List[bool] = []
+        con_off: List[bool] = []
+        forced: List[Optional[bool]] = []
+        anomalous: List[int] = []
+        for tap in range(N_REF_LEVELS):
+            if side == "p":
+                switch_dev = self.netlist.device(f"swp_{tap:02d}")
+                driver_tap = tap
+            else:
+                switch_dev = self.netlist.device(f"swn_{tap:02d}")
+                driver_tap = 32 - tap
+            pull_up = self.netlist.device(f"drv_{driver_tap:02d}_p")
+            pull_down = self.netlist.device(f"drv_{driver_tap:02d}_n")
+            f = None
+            if pull_up.has_defect or pull_down.has_defect:
+                f = self._forced_inverter_output(pull_up, pull_down)
+            on = switch_state(switch_dev, True)
+            off = switch_state(switch_dev, False)
+            ron = float(switch_dev.params.get("ron", _RON))
+            g.append(1.0 / max(ron, 1e-3))
+            con_on.append(on)
+            con_off.append(off)
+            forced.append(f)
+            if f is not None or not on or off:
+                anomalous.append(tap)
+        return g, con_on, con_off, forced, anomalous
+
+    @staticmethod
+    def _mux_from_table(table: Tuple[List[float], List[bool], List[bool],
+                                     List[Optional[bool]], List[int]],
+                        sel: int, vref: Sequence[float]) -> float:
+        """:meth:`_mux_output` against a precomputed :meth:`_mux_table`.
+
+        Bit-identical: contributing taps are accumulated in ascending tap
+        order with the same conductance arithmetic; taps skipped here are
+        exactly the taps the full scan skips with zero conductance (clean,
+        not selected).
+        """
+        g, con_on, con_off, forced, anomalous = table
+        if sel in anomalous:
+            taps = anomalous
+        else:
+            taps = sorted(anomalous + [sel])
+        total_g = 0.0
+        weighted = 0.0
+        for tap in taps:
+            enable = forced[tap]
+            if enable is None:
+                enable = tap == sel
+            if not (con_on[tap] if enable else con_off[tap]):
+                continue
+            conductance = g[tap]
+            total_g += conductance
+            weighted += conductance * vref[tap]
+        if total_g <= 0.0:
+            return FLOAT_LEVEL
+        return weighted / total_g
 
     def evaluate(self, code: int, vref: Sequence[float]) -> SubDacOutput:
         """Convert a 5-bit ``code`` into the complementary output voltages.
@@ -223,6 +305,51 @@ class SubDac(AnalogBlock):
         out_p = self._buffer("p", self._mux_output("p", code, vref))
         out_n = self._buffer("n", self._mux_output("n", code, vref))
         return SubDacOutput(out_p=out_p, out_n=out_n)
+
+    def sweep(self, codes: Sequence[int],
+              vref: Sequence[float]) -> List[SubDacOutput]:
+        """Evaluate many codes against one defect state of the netlist.
+
+        Bit-identical to calling :meth:`evaluate` per code, but the
+        ``netlist.has_defect`` scan (which walks every device of the block
+        and dominates the defect-free cost) runs once for the whole sweep
+        instead of once per code.  This is the sub-DAC hot path of the
+        batched defect evaluator.
+        """
+        if len(vref) != N_REF_LEVELS:
+            raise SimulationError(
+                f"expected {N_REF_LEVELS} reference levels, got {len(vref)}")
+        has_defect = self.netlist.has_defect
+        offset_p = self.parameter("buffer_offset_p")
+        offset_n = self.parameter("buffer_offset_n")
+        outputs: List[SubDacOutput] = []
+        if has_defect:
+            # The defect state is fixed for the whole sweep: resolve the
+            # per-tap mux behaviour and the buffer device states once, then
+            # evaluate each code against the tables.
+            table_p = self._mux_table("p")
+            table_n = self._mux_table("n")
+            sf_p = mos_state(self.netlist.device("bufp_sf"))
+            bias_p = mos_state(self.netlist.device("bufp_bias"))
+            sf_n = mos_state(self.netlist.device("bufn_sf"))
+            bias_n = mos_state(self.netlist.device("bufn_bias"))
+        for code in codes:
+            if not 0 <= code <= 31:
+                raise SimulationError(
+                    f"sub-DAC code must be in [0, 31], got {code}")
+            if not has_defect:
+                outputs.append(SubDacOutput(
+                    out_p=self._clamp(vref[code] + offset_p),
+                    out_n=self._clamp(vref[32 - code] + offset_n)))
+                continue
+            outputs.append(SubDacOutput(
+                out_p=self._apply_buffer(
+                    self._mux_from_table(table_p, code, vref),
+                    offset_p, sf_p, bias_p),
+                out_n=self._apply_buffer(
+                    self._mux_from_table(table_n, 32 - code, vref),
+                    offset_n, sf_n, bias_n)))
+        return outputs
 
     @staticmethod
     def _clamp(value: float) -> float:

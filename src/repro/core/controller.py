@@ -84,6 +84,51 @@ class SymBistResult:
                 for name, res in self.check_results.items()}
 
 
+def resolve_detection(mode: CheckingMode, n_cycles: int,
+                      names: Sequence[str],
+                      check_results: Mapping[str, WindowCheckResult],
+                      stop_on_detection: bool
+                      ) -> Tuple[bool, Optional[Tuple[str, int]], int, int]:
+    """Walk the checking schedule and resolve the pass/fail accounting.
+
+    Returns ``(passed, first_detection, cycles_scheduled, cycles_run)`` for
+    the given checking mode, exactly as the on-chip controller would compute
+    them: sequential mode walks one invariance at a time (name-major order),
+    parallel mode checks every invariance within each counter cycle
+    (cycle-major order).  This is shared between the full
+    :class:`SymBistController` run and the batched defect evaluator, which
+    must agree bit-for-bit on the schedule accounting.
+    """
+    if mode is CheckingMode.SEQUENTIAL:
+        schedule = [(name, cycle) for name in names
+                    for cycle in range(n_cycles)]
+    else:
+        schedule = [(name, cycle) for cycle in range(n_cycles)
+                    for name in names]
+
+    first_detection: Optional[Tuple[str, int]] = None
+    first_index: Optional[int] = None
+    for index, (name, cycle) in enumerate(schedule):
+        if cycle in check_results[name].violations:
+            first_detection = (name, cycle)
+            first_index = index
+            break
+
+    if mode is CheckingMode.SEQUENTIAL:
+        cycles_scheduled = len(schedule)
+        cycles_run = cycles_scheduled
+        if stop_on_detection and first_index is not None:
+            cycles_run = first_index + 1
+    else:
+        cycles_scheduled = n_cycles
+        cycles_run = cycles_scheduled
+        if stop_on_detection and first_detection is not None:
+            cycles_run = first_detection[1] + 1
+
+    passed = all(res.passed for res in check_results.values())
+    return passed, first_detection, cycles_scheduled, cycles_run
+
+
 class SymBistController:
     """Runs the SymBIST test on a :class:`~repro.adc.sar_adc.SarAdc` instance."""
 
@@ -154,27 +199,10 @@ class SymBistController:
             for name, residuals in settled.items()}
 
         # Walk the schedule to find the first detection and the cycle count.
-        schedule = self._schedule()
-        first_detection: Optional[Tuple[str, int]] = None
-        first_index: Optional[int] = None
-        for index, (name, cycle) in enumerate(schedule):
-            if cycle in check_results[name].violations:
-                first_detection = (name, cycle)
-                first_index = index
-                break
-
-        if self.mode is CheckingMode.SEQUENTIAL:
-            cycles_scheduled = len(schedule)
-            cycles_run = cycles_scheduled
-            if self.stop_on_detection and first_index is not None:
-                cycles_run = first_index + 1
-        else:
-            cycles_scheduled = self.stimulus.n_cycles
-            cycles_run = cycles_scheduled
-            if self.stop_on_detection and first_detection is not None:
-                cycles_run = first_detection[1] + 1
-
-        passed = all(res.passed for res in check_results.values())
+        passed, first_detection, cycles_scheduled, cycles_run = \
+            resolve_detection(self.mode, self.stimulus.n_cycles,
+                              [inv.name for inv in self.invariances],
+                              check_results, self.stop_on_detection)
         return SymBistResult(
             passed=passed,
             check_results=check_results,

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from ..circuit.errors import BistConfigurationError
 
 
@@ -107,6 +109,22 @@ class WindowComparator:
                 outside = False
         return WindowCheckResult(name=self.name, delta=self.delta,
                                  residuals=residual_list,
+                                 violations=violations)
+
+    def check_array(self, residuals: Sequence[float]) -> WindowCheckResult:
+        """Vectorized :meth:`check_samples` -- bit-identical violations.
+
+        A sample is a violation iff its deviation exceeds ``delta``;
+        hysteresis only gates the internal re-arm flag of the scalar loop and
+        never suppresses an appended violation, so the vectorized comparison
+        reproduces :meth:`check_samples` exactly (float64 numpy comparisons
+        follow the same IEEE-754 semantics as the Python scalar ones).
+        """
+        values = np.asarray(residuals, dtype=float)
+        deviation = np.abs(values - self.center - self.offset)
+        violations = [int(i) for i in np.flatnonzero(deviation > self.delta)]
+        return WindowCheckResult(name=self.name, delta=self.delta,
+                                 residuals=[float(v) for v in values],
                                  violations=violations)
 
     # ------------------------------------------------------------------- bounds

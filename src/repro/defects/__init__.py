@@ -15,7 +15,10 @@ from .coverage import (CoverageEstimate, Z_95, combine_detected_likelihood,
 from .injection import DefectInjector
 from .likelihood import DEFAULT_TYPE_PRIORS, LikelihoodModel
 from .model import Defect, DefectKind, enumerate_device_defects
-from .sampling import (SamplingPlan, block_seed_sequence, lwrs_sample,
+from .batching import (BatchedDefectEvaluator, GoldenTrace, LOCAL_STAGE,
+                       STAGE_DOWNSTREAM, build_golden_trace)
+from .sampling import (SamplingPlan, batch_seed_span, batch_spans,
+                       block_seed_sequence, lwrs_sample,
                        per_block_selection, select_defects)
 from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
                         DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE,
@@ -23,13 +26,16 @@ from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
 from .universe import DefectUniverse, build_defect_universe
 
 __all__ = [
-    "BlockCoverageReport", "CampaignResult", "CoverageEstimate",
+    "BatchedDefectEvaluator", "BlockCoverageReport", "CampaignResult",
+    "CoverageEstimate",
     "DEFAULT_TYPE_PRIORS", "Defect", "DefectCampaign", "DefectInjector",
-    "DefectKind", "DefectSimulationRecord", "DefectUniverse",
-    "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE", "RECORD_CODEC",
+    "DefectKind", "DefectSimulationRecord", "DefectUniverse", "GoldenTrace",
+    "LOCAL_STAGE", "LikelihoodModel", "MODEL_SECONDS_PER_CYCLE",
+    "RECORD_CODEC", "STAGE_DOWNSTREAM",
     "SamplingPlan", "Z_95",
     "BlockScore", "DiagnosisReport", "diagnose", "diagnosis_accuracy",
-    "block_seed_sequence", "build_defect_universe",
+    "batch_seed_span", "batch_spans",
+    "block_seed_sequence", "build_defect_universe", "build_golden_trace",
     "combine_detected_likelihood", "enumerate_device_defects",
     "exhaustive_coverage", "lwrs_coverage", "lwrs_sample",
     "per_block_selection", "select_defects", "wilson_interval",

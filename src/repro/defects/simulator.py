@@ -53,11 +53,13 @@ from ..core.window_comparator import WindowComparator
 from ..engine import (CampaignEngine, CampaignReport, ExecutionBackend,
                       ResultCache, ResultCodec, Task, TaskGraph, TaskOutcome)
 from ..engine.telemetry import TelemetryBus
+from .batching import BatchedDefectEvaluator
 from .coverage import CoverageEstimate, exhaustive_coverage, lwrs_coverage
 from .injection import DefectInjector
 from .likelihood import LikelihoodModel
 from .model import Defect, DefectKind
-from .sampling import SamplingPlan, per_block_selection, select_defects
+from .sampling import (SamplingPlan, batch_seed_span, batch_spans,
+                       per_block_selection, select_defects)
 from .universe import DefectUniverse, build_defect_universe
 
 #: Modelled transistor-level simulation cost of one test clock cycle, in
@@ -237,9 +239,17 @@ def _worker_campaign(context: Mapping[str, Any]) -> "DefectCampaign":
 
 
 def _defect_worker(context: Mapping[str, Any], task: Task,
-                   rng: np.random.Generator) -> DefectSimulationRecord:
-    """Engine worker: inject one defect and run the SymBIST test."""
-    return _worker_campaign(context).simulate_defect(task.payload)
+                   rng: np.random.Generator):
+    """Engine worker: inject one defect (or a batch) and run the SymBIST test.
+
+    A list payload is a defect batch; the worker returns the ordered list of
+    per-defect records, which the dispatching campaign flattens back into the
+    unbatched record order.
+    """
+    campaign = _worker_campaign(context)
+    if isinstance(task.payload, list):
+        return campaign.simulate_defect_batch(task.payload)
+    return campaign.simulate_defect(task.payload)
 
 
 def defect_to_jsonable(defect: Defect) -> Dict[str, Any]:
@@ -288,9 +298,34 @@ def _record_from_jsonable(data: Mapping[str, Any]) -> DefectSimulationRecord:
         wall_time=data["wall_time"])
 
 
-#: Cache codec turning per-defect records into JSON artifacts and back.
-RECORD_CODEC = ResultCodec(encode=_record_to_jsonable,
-                           decode=_record_from_jsonable)
+def _result_to_jsonable(result) -> Any:
+    """Codec encoder for both per-defect records and batched record lists."""
+    if isinstance(result, list):
+        return [_record_to_jsonable(record) for record in result]
+    return _record_to_jsonable(result)
+
+
+def _result_from_jsonable(data) -> Any:
+    if isinstance(data, list):
+        return [_record_from_jsonable(raw) for raw in data]
+    return _record_from_jsonable(data)
+
+
+#: Cache codec turning per-defect records (or batched lists of them) into
+#: JSON artifacts and back.
+RECORD_CODEC = ResultCodec(encode=_result_to_jsonable,
+                           decode=_result_from_jsonable)
+
+
+def _flatten_records(results: Sequence[Any]) -> List[DefectSimulationRecord]:
+    """Flatten engine results (records or batched record lists) in order."""
+    records: List[DefectSimulationRecord] = []
+    for result in results:
+        if isinstance(result, list):
+            records.extend(result)
+        else:
+            records.append(result)
+    return records
 
 
 class DefectCampaign:
@@ -317,9 +352,29 @@ class DefectCampaign:
         self.likelihood_model = likelihood_model
         self.universe = build_defect_universe(self.hierarchy, likelihood_model)
         self.injector = DefectInjector(self.hierarchy)
+        #: Batched-evaluation state, keyed by ADC fingerprint so a golden
+        #: trace is never reused across different IP states.
+        self._batch_evaluators: Dict[str, BatchedDefectEvaluator] = {}
 
     def _adc_fingerprint(self) -> str:
         return adc_fingerprint(self.adc, self.hierarchy)
+
+    def _batch_evaluator(self) -> BatchedDefectEvaluator:
+        """The golden-trace evaluator for the ADC's current (clean) state."""
+        fingerprint = self._adc_fingerprint()
+        evaluator = self._batch_evaluators.get(fingerprint)
+        if evaluator is None:
+            evaluator = BatchedDefectEvaluator(
+                adc=self.adc, stimulus=self.stimulus, deltas=self.deltas,
+                mode=self.mode, stop_on_detection=self.stop_on_detection,
+                fingerprint=fingerprint)
+            self._batch_evaluators.clear()
+            self._batch_evaluators[fingerprint] = evaluator
+        elif evaluator.deltas != self.deltas:
+            # Block-study graphs refresh the campaign's delta table per task
+            # (per-block k overrides); the golden trace is window-independent.
+            evaluator.set_deltas(self.deltas)
+        return evaluator
 
     def _task_spec(self, defect: Defect, adc_fingerprint: str) -> Dict[str, Any]:
         """Cache key material: everything a per-defect record depends on.
@@ -332,6 +387,21 @@ class DefectCampaign:
         return {"driver": "symbist-defect-campaign",
                 "defect_id": defect.defect_id,
                 "likelihood": defect.likelihood,
+                "adc": adc_fingerprint,
+                "deltas": self.deltas,
+                "stimulus": asdict(self.stimulus),
+                "mode": self.mode.value,
+                "stop_on_detection": self.stop_on_detection,
+                "seconds_per_cycle": self.seconds_per_cycle}
+
+    def _batch_task_spec(self, defects: Sequence[Defect],
+                         adc_fingerprint: str) -> Dict[str, Any]:
+        """Cache key material of one batch task: the ordered member list
+        (id + likelihood, like the per-defect spec) plus everything the
+        shared evaluation depends on."""
+        return {"driver": "symbist-defect-batch",
+                "members": [{"defect_id": d.defect_id,
+                             "likelihood": d.likelihood} for d in defects],
                 "adc": adc_fingerprint,
                 "deltas": self.deltas,
                 "stimulus": asdict(self.stimulus),
@@ -365,13 +435,46 @@ class DefectCampaign:
             modeled_sim_time=result.cycles_run * self.seconds_per_cycle,
             wall_time=wall)
 
+    def simulate_defect_batch(self, defects: Sequence[Defect]
+                              ) -> List[DefectSimulationRecord]:
+        """Evaluate a batch of defects against the shared golden trace.
+
+        Per-defect results are bit-identical to :meth:`simulate_defect`: a
+        defect local to one block re-evaluates only that block's stage and
+        its downstream cone against the cached defect-free trace
+        (:mod:`repro.defects.batching`); a non-local defect falls back to
+        the full re-simulation.  Only ``wall_time`` -- which is measured,
+        never compared -- differs.
+        """
+        evaluator = self._batch_evaluator()
+        records: List[DefectSimulationRecord] = []
+        for defect in defects:
+            if not evaluator.is_local(defect):
+                records.append(self.simulate_defect(defect))
+                continue
+            start = time.perf_counter()
+            with self.injector.injected(defect):
+                outcome = evaluator.evaluate(defect)
+            wall = time.perf_counter() - start
+            detected, detecting, detection_cycle, cycles_run = outcome
+            records.append(DefectSimulationRecord(
+                defect=defect,
+                detected=detected,
+                detecting_invariance=detecting,
+                detection_cycle=detection_cycle,
+                cycles_run=cycles_run,
+                modeled_sim_time=cycles_run * self.seconds_per_cycle,
+                wall_time=wall))
+        return records
+
     def run(self, plan: Optional[SamplingPlan] = None,
             rng: Optional[np.random.Generator] = None,
             blocks: Optional[Sequence[str]] = None,
             progress: Optional[Callable[[int, int, DefectSimulationRecord], None]] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional[ResultCache] = None,
-            telemetry: Optional["TelemetryBus"] = None) -> CampaignResult:
+            telemetry: Optional["TelemetryBus"] = None,
+            batch_size: int = 1) -> CampaignResult:
         """Run a campaign over the whole IP or a subset of blocks.
 
         Parameters
@@ -400,6 +503,13 @@ class DefectCampaign:
             are stored as JSON artifacts keyed by the full campaign spec, so
             re-running an identical campaign replays them instead of
             simulating.
+        batch_size:
+            Number of defects grouped into one engine task.  ``1`` (the
+            default) reproduces the historical per-defect task graph exactly
+            (same task ids, specs and cache artifacts); larger values
+            evaluate each group as one sweep against a cached defect-free
+            golden trace with bit-identical records
+            (:meth:`simulate_defect_batch`).
         """
         plan = plan or SamplingPlan(exhaustive=True)
         universe = self.universe
@@ -413,18 +523,30 @@ class DefectCampaign:
         self.adc.clear_defects()
         adc_fingerprint = self._adc_fingerprint()
         tasks = TaskGraph()
-        for index, defect in enumerate(defects):
-            # LWRS samples with replacement, so the same defect may appear
-            # several times; the task id is indexed to stay unique while the
-            # spec (hence the cache key) depends on the defect alone.
-            tasks.add(Task(task_id=f"defect/{index}/{defect.defect_id}",
-                           payload=defect,
-                           spec=self._task_spec(defect, adc_fingerprint),
-                           deterministic=True, group=defect.block_path))
+        if batch_size == 1:
+            for index, defect in enumerate(defects):
+                # LWRS samples with replacement, so the same defect may appear
+                # several times; the task id is indexed to stay unique while
+                # the spec (hence the cache key) depends on the defect alone.
+                tasks.add(Task(task_id=f"defect/{index}/{defect.defect_id}",
+                               payload=defect,
+                               spec=self._task_spec(defect, adc_fingerprint),
+                               deterministic=True, group=defect.block_path))
+        else:
+            for start, stop in batch_spans(len(defects), batch_size):
+                members = list(defects[start:stop])
+                group = members[0].block_path
+                tasks.add(Task(
+                    task_id=f"defect-batch/{start}-{stop}",
+                    payload=members,
+                    spec=self._batch_task_spec(members, adc_fingerprint),
+                    seed=batch_seed_span(0, group, start, stop)[0],
+                    deterministic=True, group=group,
+                    weight=len(members)))
 
         run = self._dispatch(tasks, backend, cache, progress, telemetry)
-        return CampaignResult(records=list(run.results), universe=universe,
-                              plan=plan,
+        return CampaignResult(records=_flatten_records(run.results),
+                              universe=universe, plan=plan,
                               stop_on_detection=self.stop_on_detection,
                               engine_report=run.report)
 
@@ -471,7 +593,8 @@ class DefectCampaign:
                       seed: Optional[Any] = None,
                       blocks: Optional[Sequence[str]] = None,
                       exhaustive: bool = False,
-                      telemetry: Optional["TelemetryBus"] = None
+                      telemetry: Optional["TelemetryBus"] = None,
+                      batch_size: int = 1
                       ) -> Dict[str, CampaignResult]:
         """Run every block's campaign, like the per-block rows of Table I.
 
@@ -508,6 +631,15 @@ class DefectCampaign:
             Optional restriction to a block subset / force exhaustive
             simulation of every block (the ``repro-campaign campaign``
             options).
+        batch_size:
+            Number of defects grouped into one engine task.  Batches never
+            span blocks; within one block, batch ``[start, stop)`` carries
+            the defects the unbatched graph would run at those indices, with
+            its engine seed being the first child of
+            :func:`~repro.defects.sampling.batch_seed_span` -- the ordered
+            span of its children's seeds.  ``1`` reproduces the historical
+            per-defect task graph exactly; any value produces bit-identical
+            records, coverage and windows.
         ``backend``/``cache``/``progress`` follow the :meth:`run`
         conventions.
         """
@@ -524,14 +656,29 @@ class DefectCampaign:
         block_task_ids: Dict[str, List[str]] = {}
         for block_path, (plan, defects) in selection.items():
             task_ids = []
-            for index, defect in enumerate(defects):
-                task = Task(
-                    task_id=f"block/{block_path}/{index}/{defect.defect_id}",
-                    payload=defect,
-                    spec=self._task_spec(defect, adc_fingerprint),
-                    deterministic=True, group=block_path)
-                tasks.add(task)
-                task_ids.append(task.task_id)
+            if batch_size == 1:
+                for index, defect in enumerate(defects):
+                    task = Task(
+                        task_id=f"block/{block_path}/{index}/"
+                                f"{defect.defect_id}",
+                        payload=defect,
+                        spec=self._task_spec(defect, adc_fingerprint),
+                        deterministic=True, group=block_path)
+                    tasks.add(task)
+                    task_ids.append(task.task_id)
+            else:
+                for start, stop in batch_spans(len(defects), batch_size):
+                    members = list(defects[start:stop])
+                    task = Task(
+                        task_id=f"block-batch/{block_path}/{start}-{stop}",
+                        payload=members,
+                        spec=self._batch_task_spec(members, adc_fingerprint),
+                        seed=batch_seed_span(seed, block_path, start,
+                                             stop)[0],
+                        deterministic=True, group=block_path,
+                        weight=len(members))
+                    tasks.add(task)
+                    task_ids.append(task.task_id)
             block_task_ids[block_path] = task_ids
 
         run = self._dispatch(tasks, backend, cache, progress, telemetry)
@@ -540,8 +687,9 @@ class DefectCampaign:
         for block_path, (plan, _) in selection.items():
             block_universe = self.universe.by_block(block_path)
             results[block_path] = CampaignResult(
-                records=[record_of[tid]
-                         for tid in block_task_ids[block_path]],
+                records=_flatten_records([record_of[tid]
+                                          for tid in
+                                          block_task_ids[block_path]]),
                 universe=block_universe, plan=plan,
                 stop_on_detection=self.stop_on_detection,
                 engine_report=run.report)

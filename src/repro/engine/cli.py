@@ -67,6 +67,14 @@ def _package_version() -> str:
     return __version__
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value!r}")
+    return parsed
+
+
 def _build_backend(args: argparse.Namespace):
     from . import MultiprocessBackend, SerialBackend, SharedMemoryBackend
     choice = getattr(args, "backend", None)
@@ -252,7 +260,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             n_samples_per_block=args.samples, seed=args.seed,
             exhaustive_threshold=args.exhaustive_threshold,
             blocks=args.blocks or None,  # a bare `--blocks` means every block
-            exhaustive=args.exhaustive, backend=backend, cache=cache,
+            exhaustive=args.exhaustive, batch_size=args.batch_size,
+            backend=backend, cache=cache,
             telemetry=telemetry)
     finally:
         if telemetry is not None:
@@ -424,6 +433,7 @@ def _legacy_study_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         "campaign.exhaustive": args.exhaustive,
         "campaign.exhaustive_threshold": args.exhaustive_threshold,
         "campaign.stop_on_detection": not args.no_stop_on_detection,
+        "campaign.batch_size": args.batch_size,
     }
 
 
@@ -523,10 +533,12 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         "backend": summary.backend, "workers": summary.workers,
         "mode": summary.mode, "wall_time": summary.wall_time,
         **summary.counts,
+        "n_items": summary.n_items,
         "phase_seconds": summary.phase_seconds,
         "stages": [{"stage": row.stage, "total": row.total,
                     "executed": row.executed, "cached": row.cached,
                     "failed": row.failed, "skipped": row.skipped,
+                    "items": row.items,
                     "execute_seconds": row.execute_seconds,
                     "mean_queue_wait": row.mean_queue_wait}
                    for row in summary.stages],
@@ -584,6 +596,11 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                              "simulated exhaustively")
     parser.add_argument("--no-stop-on-detection", action="store_true",
                         help="run the full test even after detection")
+    parser.add_argument("--batch-size", type=_positive_int, default=1,
+                        help="defects evaluated per task as one vectorized "
+                             "sweep against a cached defect-free golden "
+                             "trace (results are bit-identical for every "
+                             "batch size)")
 
 
 def build_parser() -> argparse.ArgumentParser:

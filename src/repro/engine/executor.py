@@ -123,6 +123,11 @@ class CampaignReport:
     stage_failed: Dict[str, int] = field(default_factory=dict)
     #: Skipped-task count per pipeline stage.
     stage_skipped: Dict[str, int] = field(default_factory=dict)
+    #: Completed work items per pipeline stage: the sum of the completed
+    #: tasks' :attr:`~repro.engine.task.Task.weight`, so a batched campaign
+    #: stage still reports its per-defect total.  Equals
+    #: :attr:`stage_counts` when every task has weight 1.
+    stage_items: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -171,6 +176,11 @@ class CampaignReport:
         for stage in stages:
             part = (f"{stage} {self.stage_counts.get(stage, 0)} tasks/"
                     f"{self.stage_durations.get(stage, 0.0):.2f}s")
+            items = self.stage_items.get(stage, 0)
+            if items != self.stage_counts.get(stage, 0):
+                # Batched stages: the per-item (e.g. per-defect) total
+                # differs from the task count, so report both.
+                part += f" [{items} items]"
             failed = self.stage_failed.get(stage, 0)
             skipped = self.stage_skipped.get(stage, 0)
             if failed or skipped:
@@ -317,6 +327,12 @@ class _RunTelemetry:
     def _stage(self, task: Task) -> Optional[str]:
         return self.stage_of.get(task.task_id)
 
+    @staticmethod
+    def _items(task: Task) -> Dict[str, int]:
+        """Extra ``items`` payload for batched tasks (weight > 1) only, so
+        unbatched event streams stay byte-identical."""
+        return {"items": task.weight} if task.weight != 1 else {}
+
     def _terminal(self, task: Task, kind: str) -> None:
         stage = self._stage(task)
         if stage is None:
@@ -333,12 +349,12 @@ class _RunTelemetry:
         self.submitted_at[task.task_id] = t
         self.bus.emit("task_submitted", t=t, task_id=task.task_id,
                       stage=self._stage(task), group=task.group,
-                      deps=list(deps))
+                      deps=list(deps), **self._items(task))
 
     def cache_hit(self, task: Task, deps: Sequence[str] = ()) -> None:
         self.bus.emit("cache_hit", task_id=task.task_id,
                       stage=self._stage(task), group=task.group,
-                      deps=list(deps))
+                      deps=list(deps), **self._items(task))
         self._terminal(task, "cached")
 
     def executed(self, task: Task, duration: float, span: TaskSpan) -> None:
@@ -355,7 +371,8 @@ class _RunTelemetry:
                       stage=stage, group=task.group, worker=span.worker,
                       queue_wait=queue_wait, deserialize=span.deserialize,
                       execute=duration, ship=ship,
-                      worker_seconds=worker_seconds, duration=duration)
+                      worker_seconds=worker_seconds, duration=duration,
+                      **self._items(task))
         self._terminal(task, "executed")
 
     def failed(self, task: Task, error: BaseException) -> None:
@@ -751,6 +768,7 @@ class CampaignEngine:
         stage_counts: Dict[str, int] = {}
         stage_failed: Dict[str, int] = {}
         stage_skipped: Dict[str, int] = {}
+        stage_items: Dict[str, int] = {}
         for task in graph:
             stage = stage_of.get(task.task_id) if stage_of else None
             if stage is not None and statuses is not None:
@@ -769,6 +787,7 @@ class CampaignEngine:
                 stage_durations[stage] = stage_durations.get(stage, 0.0) \
                     + durations[task.task_id]
                 stage_counts[stage] = stage_counts.get(stage, 0) + 1
+                stage_items[stage] = stage_items.get(stage, 0) + task.weight
         return CampaignReport(
             backend=self.backend.name,
             workers=self.backend.workers,
@@ -783,4 +802,5 @@ class CampaignEngine:
             n_failed=n_failed,
             n_skipped=n_skipped,
             stage_failed=stage_failed,
-            stage_skipped=stage_skipped)
+            stage_skipped=stage_skipped,
+            stage_items=stage_items)

@@ -305,6 +305,8 @@ def _campaign_stage_worker(context: Mapping[str, Any], task: Task,
     # block-study run different blocks' windows tasks may carry different
     # deltas (per-block k overrides) -- refresh the table per task.
     campaign.deltas = dict(deltas)
+    if isinstance(task.payload, list):
+        return campaign.simulate_defect_batch(task.payload)
     return campaign.simulate_defect(task.payload)
 
 
@@ -401,6 +403,7 @@ def build_calibrate_then_campaign(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None
@@ -443,7 +446,8 @@ def build_calibrate_then_campaign(
         "campaign.samples": samples,
         "campaign.exhaustive": exhaustive,
         "campaign.exhaustive_threshold": exhaustive_threshold,
-        "campaign.stop_on_detection": stop_on_detection})
+        "campaign.stop_on_detection": stop_on_detection,
+        "campaign.batch_size": batch_size})
     return build_study(spec, adc_factory=adc_factory,
                        variation_spec=variation_spec)
 
@@ -457,6 +461,7 @@ def calibrate_then_campaign(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
@@ -477,7 +482,8 @@ def calibrate_then_campaign(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
         samples=samples, exhaustive=exhaustive,
         exhaustive_threshold=exhaustive_threshold,
-        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
+        stop_on_detection=stop_on_detection, batch_size=batch_size,
+        adc_factory=adc_factory,
         variation_spec=variation_spec, delta_floors=delta_floors)
     return plan.run(backend=backend, cache=cache, progress=progress,
                     on_failure=on_failure, telemetry=telemetry)
@@ -522,9 +528,9 @@ def _escape_stage_worker(context: Mapping[str, Any], task: Task,
     """
     from ..analysis.escape_analysis import analyze_escapes
     from ..defects.sampling import SamplingPlan
-    from ..defects.simulator import CampaignResult
+    from ..defects.simulator import CampaignResult, _flatten_records
     from ..defects.universe import DefectUniverse
-    records = [inputs[dep] for dep in task.depends_on]
+    records = _flatten_records([inputs[dep] for dep in task.depends_on])
     # Only undetected_defects() is consulted; universe/plan are inert here.
     result = CampaignResult(records=records, universe=DefectUniverse([]),
                             plan=SamplingPlan(exhaustive=True),
@@ -542,6 +548,7 @@ def build_yield_loss_study(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         k_values: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
         n_cycles: int = 32,
         max_escape_defects: Optional[int] = 20,
@@ -589,6 +596,7 @@ def build_yield_loss_study(
         "campaign.exhaustive": exhaustive,
         "campaign.exhaustive_threshold": exhaustive_threshold,
         "campaign.stop_on_detection": stop_on_detection,
+        "campaign.batch_size": batch_size,
         "yield.k_values": tuple(float(v) for v in k_values),
         "yield.n_cycles": n_cycles,
         "escape.max_escape_defects": max_escape_defects})
@@ -613,8 +621,10 @@ def _block_summary_stage_worker(context: Mapping[str, Any], task: Task,
     it for the block's Table I row.
     """
     from ..defects.coverage import exhaustive_coverage, lwrs_coverage
+    from ..defects.simulator import _flatten_records
     windows = inputs[task.depends_on[0]]
-    records = [inputs[dep] for dep in task.depends_on[1:]]
+    records = _flatten_records([inputs[dep]
+                                for dep in task.depends_on[1:]])
     detected = [r.detected for r in records]
     payload = task.payload
     if payload["exhaustive"]:
@@ -644,6 +654,7 @@ def build_block_study(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         adc_factory: Optional[Callable[[], Any]] = None,
         variation_spec: Optional[Any] = None,
         delta_floors: Optional[Mapping[str, float]] = None,
@@ -696,7 +707,8 @@ def build_block_study(
         "campaign.samples": samples,
         "campaign.exhaustive": exhaustive,
         "campaign.exhaustive_threshold": exhaustive_threshold,
-        "campaign.stop_on_detection": stop_on_detection})
+        "campaign.stop_on_detection": stop_on_detection,
+        "campaign.batch_size": batch_size})
     return build_study(spec, adc_factory=adc_factory,
                        variation_spec=variation_spec)
 
@@ -710,6 +722,7 @@ def block_study(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
@@ -730,7 +743,8 @@ def block_study(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
         samples=samples, exhaustive=exhaustive,
         exhaustive_threshold=exhaustive_threshold,
-        stop_on_detection=stop_on_detection, adc_factory=adc_factory,
+        stop_on_detection=stop_on_detection, batch_size=batch_size,
+        adc_factory=adc_factory,
         variation_spec=variation_spec, delta_floors=delta_floors,
         block_k=block_k)
     return plan.run(backend=backend, cache=cache, progress=progress,
@@ -746,6 +760,7 @@ def yield_loss_study(
         exhaustive: bool = False,
         exhaustive_threshold: int = 120,
         stop_on_detection: bool = True,
+        batch_size: int = 1,
         k_values: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
         n_cycles: int = 32,
         max_escape_defects: Optional[int] = 20,
@@ -768,7 +783,8 @@ def yield_loss_study(
         k=k, n_monte_carlo=n_monte_carlo, seed=seed, blocks=blocks,
         samples=samples, exhaustive=exhaustive,
         exhaustive_threshold=exhaustive_threshold,
-        stop_on_detection=stop_on_detection, k_values=k_values,
+        stop_on_detection=stop_on_detection, batch_size=batch_size,
+        k_values=k_values,
         n_cycles=n_cycles, max_escape_defects=max_escape_defects,
         adc_factory=adc_factory, variation_spec=variation_spec,
         delta_floors=delta_floors)

@@ -309,11 +309,16 @@ def _expand_windows(build: Any, name: str, params: Dict[str, Any]) -> None:
 
 
 def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
+    from ..defects.sampling import batch_spans
     from ..defects.simulator import MODEL_SECONDS_PER_CYCLE
     from .pipeline import _register_campaign_stage
 
     build.require(name, "windows")
     build.stop_on_detection = params["stop_on_detection"]
+    batch_size = params["batch_size"]
+    if batch_size <= 0:
+        raise EngineError(
+            f"batch_size must be positive, got {batch_size}")
     adc, fingerprint, universe = build.dut()
     build.worker_token = _register_campaign_stage(
         build.pipeline, adc, build.stimulus, build.mode,
@@ -337,23 +342,49 @@ def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
             block if build.per_block else None]
         task_ids = []
         defect_specs = []
-        for j, defect in enumerate(defects):
-            spec = None
-            if build.cacheable:
-                spec = {"driver": driver,
-                        "defect_id": defect.defect_id,
-                        "likelihood": defect.likelihood,
-                        "adc": fingerprint,
-                        "windows": windows_spec,
-                        "mode": build.mode.value,
-                        "stop_on_detection": build.stop_on_detection,
-                        "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
-                defect_specs.append(spec)
-            task = Task(task_id=f"{prefix}/{block}/{j}/{defect.defect_id}",
-                        payload=defect, spec=spec, deterministic=True,
-                        group=block, depends_on=(windows_id,))
-            build.pipeline.add_task(name, task)
-            task_ids.append(task.task_id)
+        if batch_size == 1:
+            for j, defect in enumerate(defects):
+                spec = None
+                if build.cacheable:
+                    spec = {"driver": driver,
+                            "defect_id": defect.defect_id,
+                            "likelihood": defect.likelihood,
+                            "adc": fingerprint,
+                            "windows": windows_spec,
+                            "mode": build.mode.value,
+                            "stop_on_detection": build.stop_on_detection,
+                            "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+                    defect_specs.append(spec)
+                task = Task(
+                    task_id=f"{prefix}/{block}/{j}/{defect.defect_id}",
+                    payload=defect, spec=spec, deterministic=True,
+                    group=block, depends_on=(windows_id,))
+                build.pipeline.add_task(name, task)
+                task_ids.append(task.task_id)
+        else:
+            # Batches never span blocks, so per-block result assembly and
+            # the seed-span scheme stay block-local.
+            for start, stop in batch_spans(len(defects), batch_size):
+                members = defects[start:stop]
+                spec = None
+                if build.cacheable:
+                    spec = {"driver": f"{driver}-batch",
+                            "members": [{"defect_id": d.defect_id,
+                                         "likelihood": d.likelihood}
+                                        for d in members],
+                            "adc": fingerprint,
+                            "windows": windows_spec,
+                            "mode": build.mode.value,
+                            "stop_on_detection": build.stop_on_detection,
+                            "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+                    defect_specs.append(spec)
+                task = Task(
+                    task_id=f"{prefix}-batch/{block}/{start}-{stop}",
+                    payload=list(members), spec=spec, deterministic=True,
+                    group=block, depends_on=(windows_id,),
+                    weight=len(members))
+                build.pipeline.add_task(name, task)
+                task_ids.append(task.task_id)
         build.block_plans[block] = plan
         build.block_universes[block] = block_universe
         build.block_task_ids[block] = task_ids
@@ -514,6 +545,10 @@ register_stage(StageDefinition(
         StageParam("blocks", "str_list", default=None, nullable=True,
                    doc="restrict the campaign to these block paths "
                        "(default: every block)"),
+        StageParam("batch_size", "int", default=1,
+                   doc="defects evaluated per task as one vectorized sweep "
+                       "against a cached defect-free golden trace; results "
+                       "are bit-identical for every batch size"),
     )))
 
 register_stage(StageDefinition(

@@ -723,7 +723,8 @@ class StudyPlan:
         """Execute the graph through one engine run and assemble the
         :class:`StudyOutcome` from the named stages' results."""
         from ..core.calibration import calibration_from_windows
-        from ..defects.simulator import _WORKER_STATE, CampaignResult
+        from ..defects.simulator import (_WORKER_STATE, CampaignResult,
+                                         _flatten_records)
 
         try:
             result = self.pipeline.run(backend=backend, cache=cache,
@@ -761,7 +762,8 @@ class StudyPlan:
                 if not all(tid in records for tid in task_ids):
                     continue
                 outcome.results[block] = CampaignResult(
-                    records=[records[tid] for tid in task_ids],
+                    records=_flatten_records(
+                        [records[tid] for tid in task_ids]),
                     universe=self.block_universes[block],
                     plan=self.block_plans[block],
                     stop_on_detection=self.stop_on_detection,

@@ -65,6 +65,11 @@ class Task:
         parents' results to the worker as its ``inputs`` mapping (see
         :meth:`repro.engine.CampaignEngine.run`).  Order is preserved, so
         reduction workers can pool parent results deterministically.
+    weight:
+        Number of logical work items this task evaluates (e.g. the member
+        count of a batched defect task).  Reports and telemetry count tasks
+        for throughput but sum weights for per-item totals
+        (:attr:`~repro.engine.executor.CampaignReport.stage_items`).
     """
 
     task_id: str
@@ -74,10 +79,15 @@ class Task:
     deterministic: bool = False
     group: Optional[str] = None
     depends_on: Tuple[str, ...] = ()
+    weight: int = 1
 
     def __post_init__(self) -> None:
         if not self.task_id:
             raise EngineError("a task needs a non-empty task_id")
+        if self.weight < 1:
+            raise EngineError(
+                f"task {self.task_id!r} needs a positive weight, "
+                f"got {self.weight}")
         deps = tuple(self.depends_on)
         object.__setattr__(self, "depends_on", deps)
         if self.task_id in deps:

@@ -42,6 +42,10 @@ class StageRow:
     skipped: int = 0
     execute_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
+    #: Completed work items (sum of the ``items`` payload of executed and
+    #: cached tasks; an event without ``items`` counts as one item).  Differs
+    #: from ``executed + cached`` only for batched stages.
+    items: int = 0
 
     @property
     def mean_queue_wait(self) -> float:
@@ -73,6 +77,11 @@ class TraceSummary:
     n_cache_hits: int = 0
     n_failed: int = 0
     n_skipped: int = 0
+    #: Completed work items (executed + cached).  Batched tasks carry an
+    #: ``items`` payload equal to their member count; everything else counts
+    #: as one item, so an unbatched trace has
+    #: ``n_items == n_executed + n_cache_hits``.
+    n_items: int = 0
     wall_time: float = 0.0
     #: Sum over the executed tasks of each span phase.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -127,11 +136,14 @@ def summarize_trace(events: Sequence[TelemetryEvent]) -> TraceSummary:
                 durations.setdefault(event.task_id, 0.0)
             if event.type == "cache_hit":
                 summary.n_cache_hits += 1
+                summary.n_items += event.data.get("items", 1)
                 row = stage_row(event)
                 if row is not None:
                     row.cached += 1
+                    row.items += event.data.get("items", 1)
         elif event.type == "task_completed":
             summary.n_executed += 1
+            summary.n_items += event.data.get("items", 1)
             for phase in PHASES:
                 phase_seconds[phase] += event.data.get(phase, 0.0)
             if event.task_id is not None:
@@ -140,6 +152,7 @@ def summarize_trace(events: Sequence[TelemetryEvent]) -> TraceSummary:
             row = stage_row(event)
             if row is not None:
                 row.executed += 1
+                row.items += event.data.get("items", 1)
                 row.execute_seconds += event.data.get("execute", 0.0)
                 row.queue_wait_seconds += event.data.get("queue_wait", 0.0)
             if event.worker is not None:
@@ -238,6 +251,8 @@ def format_summary(summary: TraceSummary) -> str:
         f"{summary.n_cache_hits} cached, {summary.n_failed} failed, "
         f"{summary.n_skipped} skipped",
     ]
+    if summary.n_items != summary.n_executed + summary.n_cache_hits:
+        lines[-1] += f" [{summary.n_items} items]"
     total_phases = sum(summary.phase_seconds.values())
     if summary.n_executed:
         breakdown = ", ".join(
@@ -249,13 +264,21 @@ def format_summary(summary: TraceSummary) -> str:
     if summary.stages:
         lines.append("")
         lines.append("per-stage:")
-        lines.append(_table(
-            ["stage", "total", "executed", "cached", "failed", "skipped",
-             "exec (s)", "mean queue wait (s)"],
-            [[row.stage, row.total, row.executed, row.cached, row.failed,
-              row.skipped, f"{row.execute_seconds:.3f}",
-              f"{row.mean_queue_wait:.4f}"]
-             for row in summary.stages]))
+        batched = any(row.items != row.executed + row.cached
+                      for row in summary.stages)
+        headers = ["stage", "total", "executed", "cached", "failed",
+                   "skipped", "exec (s)", "mean queue wait (s)"]
+        if batched:
+            headers.insert(2, "items")
+        rows = []
+        for row in summary.stages:
+            cells = [row.stage, row.total, row.executed, row.cached,
+                     row.failed, row.skipped, f"{row.execute_seconds:.3f}",
+                     f"{row.mean_queue_wait:.4f}"]
+            if batched:
+                cells.insert(2, row.items)
+            rows.append(cells)
+        lines.append(_table(headers, rows))
     if summary.worker_rows:
         lines.append("")
         lines.append("per-worker:")

@@ -1,0 +1,171 @@
+"""Batched defect evaluation: seed spans, golden trace, locality fallback.
+
+Three pillars of the batching equivalence guarantee:
+
+* the batch seed-span scheme partitions the unbatched per-defect seed
+  sequence exactly once, in order, for *any* batch size and block subset
+  (property-based, so the partition law is exercised across the space rather
+  than at hand-picked sizes);
+* the cached defect-free golden trace is bit-identical to a full controller
+  re-simulation for every stimulus kind the campaigns use;
+* a defect that is not provably local to one pipeline stage falls back to
+  the full simulation and produces the exact same record.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adc import SarAdc
+from repro.circuit.errors import CoverageError
+from repro.core import build_invariances, run_symbist
+from repro.core.stimulus import SymBistStimulus
+from repro.defects import (DefectCampaign, LOCAL_STAGE, STAGE_DOWNSTREAM,
+                           batch_seed_span, batch_spans, build_golden_trace)
+
+BLOCKS = ("bandgap", "subdac1", "sc_array", "rs_latch", "vcm_generator")
+
+
+# --------------------------------------------------------------- seed spans
+class TestBatchSpans:
+    @given(n=st.integers(0, 200), batch_size=st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_spans_partition_range_exactly_once_in_order(self, n, batch_size):
+        spans = batch_spans(n, batch_size)
+        flat = [i for start, stop in spans for i in range(start, stop)]
+        assert flat == list(range(n))
+
+    @given(n=st.integers(1, 200), batch_size=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_only_the_final_span_may_be_short(self, n, batch_size):
+        spans = batch_spans(n, batch_size)
+        assert all(stop - start == batch_size
+                   for start, stop in spans[:-1])
+        assert 0 < spans[-1][1] - spans[-1][0] <= batch_size
+
+    def test_batch_size_one_degenerates_to_one_span_per_index(self):
+        assert batch_spans(4, 1) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(CoverageError):
+            batch_spans(-1, 4)
+        with pytest.raises(CoverageError):
+            batch_spans(4, 0)
+        with pytest.raises(CoverageError):
+            batch_seed_span(0, "subdac1", -1, 2)
+        with pytest.raises(CoverageError):
+            batch_seed_span(0, "subdac1", 3, 2)
+
+
+def _seed_material(sequences):
+    return [(seq.entropy, tuple(seq.spawn_key)) for seq in sequences]
+
+
+class TestBatchSeedSpans:
+    @given(n=st.integers(1, 48), batch_size=st.integers(1, 64),
+           root=st.integers(0, 2 ** 31 - 1), block=st.sampled_from(BLOCKS))
+    @settings(max_examples=40, deadline=None)
+    def test_concatenated_spans_equal_the_unbatched_sequence(
+            self, n, batch_size, root, block):
+        """The partition law: any batching of a block's defect list owns the
+        same per-defect seeds, in the same order, as the unbatched run."""
+        unbatched = _seed_material(batch_seed_span(root, block, 0, n))
+        concatenated = _seed_material(
+            seq for start, stop in batch_spans(n, batch_size)
+            for seq in batch_seed_span(root, block, start, stop))
+        assert concatenated == unbatched
+
+    @given(n=st.integers(1, 24), batch_size=st.integers(1, 8),
+           root=st.integers(0, 2 ** 31 - 1),
+           subset=st.permutations(BLOCKS))
+    @settings(max_examples=25, deadline=None)
+    def test_spans_are_independent_of_block_subset_and_order(
+            self, n, batch_size, root, subset):
+        """A block's seed spans never depend on which other blocks a sweep
+        visits, in what order, or how many of them there are."""
+        alone = {block: _seed_material(batch_seed_span(root, block, 0, n))
+                 for block in BLOCKS}
+        for block in subset[:3]:  # a strict subset, in shuffled order
+            swept = _seed_material(
+                seq for start, stop in batch_spans(n, batch_size)
+                for seq in batch_seed_span(root, block, start, stop))
+            assert swept == alone[block]
+
+    @given(n=st.integers(1, 48), batch_size=st.integers(1, 64),
+           root=st.integers(0, 2 ** 31 - 1), block=st.sampled_from(BLOCKS))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_task_seed_is_the_spans_first_child(
+            self, n, batch_size, root, block):
+        """Engine convention: a batch task's seed is its first member's."""
+        children = _seed_material(batch_seed_span(root, block, 0, n))
+        for start, stop in batch_spans(n, batch_size):
+            span = batch_seed_span(root, block, start, stop)
+            assert _seed_material(span)[0] == children[start]
+
+
+# ------------------------------------------------------------- golden trace
+#: Stimulus kinds the campaigns run: the default exhaustive counter ramp,
+#: a sine-fit-style large differential input, a servo-style counter replay,
+#: and a histogram-style short counter with many repeats.
+STIMULI = {
+    "ramp": SymBistStimulus(),
+    "sine_fit": SymBistStimulus(input_diff=0.25),
+    "servo": SymBistStimulus(repeats=2),
+    "histogram": SymBistStimulus(counter_bits=4, repeats=3),
+}
+
+_UNIT_DELTAS = {inv.name: 1.0 for inv in build_invariances()}
+
+
+class TestGoldenTrace:
+    @pytest.mark.parametrize("kind", sorted(STIMULI))
+    def test_golden_residuals_equal_full_resimulation(self, kind):
+        """The cached baseline is the full simulation, bit for bit, for
+        every stimulus kind."""
+        stimulus = STIMULI[kind]
+        adc = SarAdc()
+        golden = build_golden_trace(adc, stimulus, fingerprint="golden-test")
+        result = run_symbist(adc, _UNIT_DELTAS, stimulus=stimulus)
+        assert golden.residuals == result.settled_residuals
+
+    @pytest.mark.parametrize("kind", sorted(STIMULI))
+    def test_golden_signals_equal_full_resimulation(self, kind):
+        stimulus = STIMULI[kind]
+        adc = SarAdc()
+        golden = build_golden_trace(adc, stimulus, fingerprint="golden-test")
+        op = adc.operating_point(input_diff=stimulus.input_diff,
+                                 input_cm=stimulus.input_cm)
+        adc.sarcell.comparator.rs_latch.reset_state()
+        full = [adc.evaluate_test_cycle(stimulus.code_for_cycle(cycle), op)
+                for cycle in range(stimulus.n_cycles)]
+        assert golden.signals == full
+
+    def test_every_universe_block_is_in_the_locality_map(self, deltas):
+        """No silent full-simulation fallback for the shipped ADC: every
+        block of the real defect universe is provably local to a stage."""
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        assert set(campaign.universe.block_paths()) <= set(LOCAL_STAGE)
+        assert set(LOCAL_STAGE.values()) <= set(STAGE_DOWNSTREAM)
+
+
+class TestNonLocalFallback:
+    def test_non_local_defect_falls_back_to_full_simulation(
+            self, deltas, monkeypatch):
+        """A block missing from the locality map is evaluated by the exact
+        unbatched path -- same record, just without the golden shortcut."""
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        defects = [d for d in campaign.universe.defects
+                   if d.block_path == "sc_array"][:4]
+        expected = [campaign.simulate_defect(d) for d in defects]
+
+        from repro.defects import batching
+        monkeypatch.delitem(batching.LOCAL_STAGE, "sc_array")
+        evaluator = campaign._batch_evaluator()
+        assert all(not evaluator.is_local(d) for d in defects)
+        assert all(evaluator.evaluate(d) is None for d in defects)
+
+        batched = campaign.simulate_defect_batch(defects)
+        key = lambda r: (r.defect.defect_id, r.detected,
+                         r.detecting_invariance, r.detection_cycle,
+                         r.cycles_run, r.modeled_sim_time)
+        assert [key(r) for r in batched] == [key(r) for r in expected]

@@ -84,7 +84,7 @@ def _report_counts(report):
             report.n_failed, report.n_skipped)
 
 
-def _run_case(case, backend, deltas, calibration):
+def _run_case(case, backend, deltas, calibration, batch_size=1):
     """Execute one randomized spec; return its full comparable signature."""
     kind = case["kind"]
     if kind == "campaign":
@@ -95,7 +95,7 @@ def _run_case(case, backend, deltas, calibration):
                             n_samples=case["n_samples"])
         result = campaign.run(plan, blocks=[case["block"]],
                               rng=np.random.default_rng(case["seed"]),
-                              backend=backend)
+                              backend=backend, batch_size=batch_size)
         report = result.block_report(case["block"])
         return {"records": _campaign_key(result),
                 "detections": result.detections_by_invariance(),
@@ -128,7 +128,7 @@ def _run_case(case, backend, deltas, calibration):
     outcome = block_study(
         n_monte_carlo=3, seed=case["seed"], blocks=case["blocks"],
         samples=case["n_samples"], exhaustive_threshold=case["threshold"],
-        backend=backend)
+        backend=backend, batch_size=batch_size)
     return {"windows": {block: (cal.sigmas, cal.means, cal.deltas)
                         for block, cal in outcome.calibrations.items()},
             "records": {block: _campaign_key(result)
@@ -150,3 +150,45 @@ def test_pool_backend_matches_serial(case, backend_name, deltas, calibration):
                "shm": SharedMemoryBackend}[backend_name](max_workers=2)
     assert _run_case(case, backend, deltas, calibration) == \
         _SERIAL_BASELINE[case["id"]]
+
+
+#: Batch sizes exercised by the batched equivalence cases.  The large value
+#: always exceeds a case's sampled universe, i.e. one task per block.
+BATCH_SIZES = (1, 7, 10_000)
+
+#: Randomized campaign and block-study specs re-run batched: same seeded
+#: generator as CASES, so the batched runs face the same spec space.
+BATCH_CASES = [c for c in CASES if c["kind"] == "campaign"][:2] + \
+    [c for c in CASES if c["kind"] == "block-study"][:1]
+
+
+def _strip_counts(signature):
+    """Drop the engine-report task counts from a case signature.
+
+    Batching intentionally changes the task decomposition (one task per
+    batch), so the per-task counts differ from the unbatched baseline; the
+    per-defect results -- records, detections, windows, coverage -- must
+    not.  Task/item reconciliation is covered by the telemetry suite.
+    """
+    return {key: value for key, value in signature.items() if key != "counts"}
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "multiprocess", "shm"])
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("case", BATCH_CASES,
+                         ids=[c["id"] for c in BATCH_CASES])
+def test_batched_run_matches_unbatched_serial(case, batch_size, backend_name,
+                                              deltas, calibration):
+    """Campaign results are bit-identical for every (batch size, backend)."""
+    if case["id"] not in _SERIAL_BASELINE:
+        _SERIAL_BASELINE[case["id"]] = _run_case(
+            case, SerialBackend(), deltas, calibration)
+    if backend_name == "serial":
+        backend = SerialBackend()
+    else:
+        backend = {"multiprocess": MultiprocessBackend,
+                   "shm": SharedMemoryBackend}[backend_name](max_workers=2)
+    batched = _run_case(case, backend, deltas, calibration,
+                        batch_size=batch_size)
+    assert _strip_counts(batched) == \
+        _strip_counts(_SERIAL_BASELINE[case["id"]])

@@ -92,6 +92,14 @@ class TestParser:
         assert args.backend == "shm"
         assert args.blocks == ["sc_array", "vcm_generator"]
 
+    def test_batch_size_flag(self):
+        for name in ("campaign", "pipeline", "block-study"):
+            assert build_parser().parse_args([name]).batch_size == 1
+            args = build_parser().parse_args([name, "--batch-size", "64"])
+            assert args.batch_size == 64
+        with pytest.raises(SystemExit):  # must be a positive int
+            build_parser().parse_args(["campaign", "--batch-size", "0"])
+
     def test_cache_subcommands(self):
         args = build_parser().parse_args(
             ["cache", "stats", "--cache-dir", "c"])
@@ -270,6 +278,27 @@ class TestBlockStudyCommand:
         printed = capsys.readouterr().out
         assert "block-study stage 1" in printed
         assert "stages: " in printed
+
+    def test_batched_run_matches_unbatched(self, tmp_path):
+        """`--batch-size N` changes the task decomposition, never the
+        per-block numbers."""
+        common = ["block-study", "--monte-carlo", "3", "--seed", "1",
+                  "--samples", "8", "--exhaustive-threshold", "20",
+                  "--blocks", "vcm_generator", "offset_compensation"]
+        unbatched_out = tmp_path / "unbatched.json"
+        batched_out = tmp_path / "batched.json"
+        assert main(common + ["--json", str(unbatched_out)]) == 0
+        assert main(common + ["--batch-size", "4",
+                              "--json", str(batched_out)]) == 0
+
+        unbatched = json.loads(unbatched_out.read_text())
+        batched = json.loads(batched_out.read_text())
+        assert batched["deltas"] == unbatched["deltas"]
+        for b, u in zip(batched["blocks"], unbatched["blocks"]):
+            assert set(b) == set(u)
+            for key in ("block", "n_defects", "n_simulated", "n_detected",
+                        "n_escaped", "coverage", "ci_half_width"):
+                assert b[key] == u[key], key
 
     def test_warm_rerun_is_fully_cached(self, tmp_path):
         argv = ["block-study", "--monte-carlo", "3",

@@ -539,6 +539,84 @@ class TestTraceSummary:
             summarize_trace([])
 
 
+class TestBatchedTelemetry:
+    """Batch tasks are counted as tasks; defects are counted as items.
+
+    The reconciliation contract of batched campaigns: terminal task events
+    count *batches*, their ``items`` payloads sum to the per-defect totals,
+    ``stage_summary()``/``trace summarize`` surface those totals, and the
+    throughput figures keep counting executed tasks only.
+    """
+
+    def _batched_campaign(self, deltas, batch_size, cache=None):
+        from repro.adc import SarAdc
+        from repro.defects import DefectCampaign, SamplingPlan
+
+        campaign = DefectCampaign(adc=SarAdc(), deltas=deltas)
+        plan = SamplingPlan(exhaustive=False, n_samples=12)
+        bus, sink = collecting_bus()
+        result = campaign.run(plan, blocks=["vcm_generator"],
+                              rng=np.random.default_rng(5), telemetry=bus,
+                              cache=cache, batch_size=batch_size)
+        return result, sink.events
+
+    def test_task_events_count_batches_and_items_count_defects(self, deltas):
+        result, events = self._batched_campaign(deltas, batch_size=5)
+        completed = [e for e in events if e.type == "task_completed"]
+        # 12 defects in batches of 5 -> 3 batch tasks ...
+        assert len(completed) == 3
+        assert result.engine_report.n_executed == 3
+        # ... whose item payloads sum back to the per-defect total.
+        assert sum(e.data["items"] for e in completed) == 12
+        assert len(result.records) == 12
+        _assert_reconciles(events, result.engine_report)
+
+    def test_trace_summary_reports_item_totals(self, deltas):
+        result, events = self._batched_campaign(deltas, batch_size=5)
+        summary = summarize_trace(events)
+        assert summary.counts["n_executed"] == 3
+        assert summary.n_items == 12
+        assert "[12 items]" in format_summary(summary)
+
+    def test_unbatched_stream_and_summary_are_unchanged(self, deltas):
+        """batch_size=1 must not leak batching into the telemetry surface:
+        no ``items`` payloads, no items clause in the rendered summary."""
+        result, events = self._batched_campaign(deltas, batch_size=1)
+        assert all("items" not in e.data for e in events)
+        summary = summarize_trace(events)
+        assert summary.n_items == summary.counts["n_executed"]
+        assert "items" not in format_summary(summary)
+        assert "items" not in result.engine_report.stage_summary()
+
+    def test_throughput_stays_executed_only(self, deltas, tmp_path):
+        """Cache-hit batches contribute items to the trace but never to
+        ``tasks_per_second``."""
+        cache = ResultCache(tmp_path / "cache")
+        self._batched_campaign(deltas, batch_size=5, cache=cache)
+        warm, events = self._batched_campaign(deltas, batch_size=5,
+                                              cache=cache)
+        report = warm.engine_report
+        assert report.n_cache_hits == 3 and report.n_executed == 0
+        assert report.tasks_per_second == 0.0
+        hits = [e for e in events if e.type == "cache_hit"]
+        assert sum(e.data["items"] for e in hits) == 12
+        assert summarize_trace(events).n_items == 12
+
+    def test_block_study_stage_summary_reports_defect_totals(self, deltas):
+        """The study graph's campaign stage counts batches as tasks and
+        defects as items, and renders the item total next to the stage."""
+        outcome = block_study(
+            n_monte_carlo=3, seed=11,
+            blocks=["vcm_generator", "offset_compensation"], samples=5,
+            batch_size=4)
+        n_defects = sum(len(result.records)
+                        for result in outcome.results.values())
+        report = outcome.report
+        assert report.stage_items["campaign"] == n_defects
+        assert report.stage_counts["campaign"] < n_defects
+        assert f"[{n_defects} items]" in report.stage_summary()
+
+
 class TestStudyTelemetry:
     def test_block_study_trace_reconciles_and_summarizes(self, tmp_path):
         """The acceptance-criterion path: a block-study run with a JSONL
