@@ -333,3 +333,104 @@ def test_payload_bytes_multiprocess_vs_shm(deltas):
     ratio = mp_payload.per_task_bytes / shm_payload.per_task_bytes
     print(f"per-task payload ratio (multiprocess / shm): {ratio:.1f}x")
     assert ratio >= 10.0
+
+
+#: Artifact count of the warehouse-vs-crawl comparison (paper-scale: an
+#: exhaustive whole-IP campaign caches ~10^4 per-defect records).
+N_WAREHOUSE_ARTIFACTS = 10_000
+WAREHOUSE_BLOCKS = ("sc_array", "subdac1", "subdac2", "vcm_generator",
+                    "preamplifier", "comparator_latch", "rs_latch",
+                    "offset_compensation")
+
+
+def test_warehouse_query_beats_directory_crawl(tmp_path):
+    """Per-block aggregation: SQLite index vs crawling the artifact store.
+
+    Before the warehouse, answering "detections per block" over a cached
+    campaign meant opening and JSON-parsing every artifact in the cache
+    directory.  The warehouse pays that parse once at indexing time and
+    answers the same question with one indexed SQL aggregate; at 10^4
+    artifacts the query must be >=10x faster than the crawl (and return
+    identical numbers).
+    """
+    import json
+    import sqlite3
+    import time
+
+    from repro.warehouse import index_cache, open_warehouse
+
+    rng = np.random.default_rng(BENCHMARK_SEED)
+    cache = ResultCache(str(tmp_path / "cache"), namespace="defects")
+    for i in range(N_WAREHOUSE_ARTIFACTS):
+        block = WAREHOUSE_BLOCKS[int(rng.integers(len(WAREHOUSE_BLOCKS)))]
+        spec = {"driver": "symbist-block-defect",
+                "defect_id": f"{block}:d{i}:short",
+                "windows": {"driver": "symbist-block-windows",
+                            "block": block, "seeds": "sha:bench"}}
+        cache.put(cache.key_for(spec),
+                  {"defect": {"defect_id": f"{block}:d{i}:short"},
+                   "detected": bool(rng.integers(2)),
+                   "modeled_sim_time": float(rng.uniform(0.5, 4.0)),
+                   "wall_time": float(rng.uniform(0.001, 0.01))},
+                  task_id=f"block/{block}/{i}/{block}:d{i}:short",
+                  spec=spec)
+
+    def crawl():
+        """The pre-warehouse answer: parse every artifact, aggregate."""
+        totals = {}
+        for name in os.listdir(cache.cache_dir):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(cache.cache_dir, name),
+                      encoding="utf-8") as handle:
+                entry = json.load(handle)
+            spec = entry.get("spec") or {}
+            if spec.get("driver") != "symbist-block-defect":
+                continue
+            block = spec["windows"]["block"]
+            simulated, detected = totals.get(block, (0, 0))
+            totals[block] = (simulated + 1,
+                             detected + int(entry["result"]["detected"]))
+        return totals
+
+    start = time.perf_counter()
+    connection = open_warehouse(str(tmp_path / "wh.sqlite"))
+    n_indexed = index_cache(connection, cache.cache_dir)
+    index_wall = time.perf_counter() - start
+    connection.close()
+    assert n_indexed == N_WAREHOUSE_ARTIFACTS
+
+    def query():
+        connection = sqlite3.connect(str(tmp_path / "wh.sqlite"))
+        rows = connection.execute(
+            "SELECT block, SUM(n_simulated), SUM(n_detected) FROM results "
+            "WHERE stage_kind = 'campaign' GROUP BY block").fetchall()
+        connection.close()
+        return {block: (simulated, detected)
+                for block, simulated, detected in rows}
+
+    rounds = 3
+    crawl_wall = min(_timed(crawl) for _ in range(rounds))
+    query_wall = min(_timed(query) for _ in range(rounds))
+    assert query() == crawl()  # identical numbers either way
+
+    speedup = crawl_wall / query_wall
+    print()
+    print(format_table(
+        ["path", "wall (ms)", "speedup"],
+        [["directory crawl (parse every artifact)",
+          f"{crawl_wall * 1e3:.1f}", "-"],
+         ["warehouse query (indexed SQL)",
+          f"{query_wall * 1e3:.2f}", f"{speedup:.0f}x"],
+         [f"one-time indexing of {n_indexed} artifacts",
+          f"{index_wall * 1e3:.1f}", "-"]],
+        title=f"per-block aggregation over {N_WAREHOUSE_ARTIFACTS} cached "
+              f"artifacts"))
+    assert speedup >= 10.0
+
+
+def _timed(fn):
+    import time
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -36,8 +36,8 @@ from ..adc.sar_adc import SarAdc
 from ..circuit.errors import CalibrationError
 from ..circuit.units import VDD
 from ..circuit.variation import VariationSpec
-from ..engine import (CampaignEngine, ExecutionBackend, ResultCache, Task,
-                      TaskGraph, callable_token)
+from ..engine import (CampaignEngine, ExecutionBackend, ResultCache,
+                      ResultCodec, Task, TaskGraph, callable_token)
 from ..engine.telemetry import TelemetryBus
 from .invariance import Invariance, build_invariances
 from .stimulus import SymBistStimulus
@@ -109,6 +109,16 @@ def _residual_worker(context: Mapping[str, Any], task: Task,
         for inv in invariances:
             rows[inv.name].append(inv.evaluate(signals))
     return rows
+
+
+#: Cache codec of the per-sample residual tasks.  The result -- one
+#: per-cycle float list per invariance -- is natively JSON, but the lists
+#: dominate the artifact, so ``sidecar=True`` externalizes them to ``.npy``
+#: files (bit-identical on read; see :mod:`repro.engine.cache`).  Shared by
+#: :func:`collect_defect_free_residuals` and the study graphs' calibrate
+#: stage so both write (and replay) the same artifacts.
+RESIDUAL_CODEC = ResultCodec(encode=lambda rows: rows,
+                             decode=lambda rows: rows, sidecar=True)
 
 
 def calibration_task_spec(factory_name: str,
@@ -198,7 +208,8 @@ def collect_defect_free_residuals(
                             telemetry=telemetry)
     context = {"adc_factory": adc_factory, "invariances": invariances,
                "stimulus": stimulus, "variation_spec": variation_spec}
-    run = engine.run(tasks, _residual_worker, context=context)
+    run = engine.run(tasks, _residual_worker, context=context,
+                     codec=RESIDUAL_CODEC)
 
     pools: Dict[str, List[float]] = {inv.name: [] for inv in invariances}
     for rows in run.results:

@@ -33,6 +33,20 @@ three complementary bounds, all optional:
 
 Both bounds are enforced opportunistically on :meth:`put`; a cache opened
 read-only never deletes anything except artifacts it observes to be expired.
+
+Sidecar arrays
+--------------
+Array-heavy results (residual pools, per-cycle signal traces) bloat the JSON
+artifacts and dominate parse time.  A :class:`~repro.engine.ResultCodec`
+with ``sidecar=True`` asks :meth:`put` to *externalize* them: every long
+homogeneous float list in the encoded result is written to its own
+``<key>.<i>.npy`` file next to the JSON entry, which keeps a
+``{"__npy__": i}`` reference in its place.  :meth:`get` transparently
+internalizes the references back into plain Python lists, so readers see a
+bit-identical result whichever representation is on disk (float64 round-trips
+JSON exactly).  Sidecars count toward the size budget and are evicted,
+cleared and expired together with their JSON entry; an entry whose sidecar
+is missing or unreadable reads as a miss.
 """
 
 from __future__ import annotations
@@ -43,18 +57,37 @@ import os
 import re
 import tempfile
 import time
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..circuit.errors import EngineError
 
 #: Sentinel distinguishing "no cached entry" from a cached ``None`` result.
 MISS = object()
 
+#: Homogeneous float lists at least this long are externalized to ``.npy``
+#: sidecars by sidecar-enabled codecs; shorter ones stay inline JSON.
+SIDECAR_MIN_FLOATS = 16
+
+#: Reference marker replacing an externalized array inside the JSON entry.
+SIDECAR_MARKER = "__npy__"
+
+#: ``.tmp`` files (and orphaned ``.npy`` sidecars) older than this many
+#: seconds are presumed leftovers of a crashed writer and are swept by
+#: :meth:`ResultCache.evict`/:meth:`ResultCache.clear`; younger ones may
+#: belong to an in-flight :meth:`ResultCache.put` and are left alone.
+TMP_GRACE_SECONDS = 600.0
+
 
 def canonical_json(value: Any) -> str:
-    """Deterministic JSON rendering used for cache keys."""
+    """Deterministic JSON rendering used for cache keys.
+
+    NaN/Infinity are rejected (``allow_nan=False``): they are not JSON, and
+    a key minted from them would be unreadable by any strict parser
+    downstream (the SQLite warehouse included).
+    """
     try:
-        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+        return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
     except (TypeError, ValueError) as exc:
         raise EngineError(
             f"task spec is not JSON-serialisable: {exc}") from exc
@@ -118,6 +151,24 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _sidecar_path(self, key: str, index: int) -> str:
+        return os.path.join(self.cache_dir, f"{key}.{index}.npy")
+
+    def _sidecar_paths(self, key: str) -> Iterator[str]:
+        """Existing sidecar files of one artifact, in index order.
+
+        Sidecar indices are contiguous from 0 by construction (and an
+        overwrite replaces the low indices in place), so scanning until the
+        first missing index covers every sidecar without a directory listing.
+        """
+        index = 0
+        while True:
+            path = self._sidecar_path(key, index)
+            if not os.path.exists(path):
+                return
+            yield path
+            index += 1
+
     # ---------------------------------------------------------------- storage
     def get(self, key: str) -> Any:
         """Stored result for ``key``, or the :data:`MISS` sentinel.
@@ -145,35 +196,58 @@ class ResultCache:
             self._unlink(path)
             self.misses += 1
             return MISS
+        result = entry.get("result")
+        if entry.get("sidecars"):
+            result = self._internalize(key, result, entry["sidecars"])
+            if result is MISS:
+                # A torn artifact (sidecar lost but JSON survived, or vice
+                # versa mid-eviction): drop the remains and re-execute.
+                self._unlink(path)
+                self.misses += 1
+                return MISS
         self.hits += 1
         try:
             os.utime(path, None)
         except OSError:
             pass  # recency tracking is best-effort
-        return entry.get("result")
+        return result
 
     def put(self, key: str, result: Any, task_id: Optional[str] = None,
-            spec: Optional[Mapping[str, Any]] = None) -> None:
+            spec: Optional[Mapping[str, Any]] = None,
+            sidecar: bool = False) -> None:
         """Store one artifact atomically (write + rename).
 
-        Triggers an eviction pass when the running size total exceeds
-        ``max_bytes`` or an age sweep is due (see :meth:`_eviction_due`).
+        With ``sidecar=True`` long homogeneous float lists of the encoded
+        result are written to ``<key>.<i>.npy`` files (see the module
+        docstring); the JSON entry keeps references.  Triggers an eviction
+        pass when the running size total exceeds ``max_bytes`` or an age
+        sweep is due (see :meth:`_eviction_due`).
         """
         os.makedirs(self.cache_dir, exist_ok=True)
+        arrays: List[List[float]] = []
+        if sidecar:
+            result = _externalize(result, arrays, task_id)
         entry = {"key": key, "task_id": task_id, "spec": spec,
                  "result": result, "created": time.time()}
+        if arrays:
+            entry["sidecars"] = len(arrays)
         try:
-            body = json.dumps(entry, sort_keys=True)
+            body = json.dumps(entry, sort_keys=True, allow_nan=False)
         except (TypeError, ValueError) as exc:
             raise EngineError(
                 f"result of task {task_id!r} is not JSON-serialisable; "
                 f"provide a codec to the engine: {exc}") from exc
+        for index, values in enumerate(arrays):
+            self._write_sidecar(key, index, values, task_id)
         fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(body)
             os.replace(tmp_path, self._path(key))
-        except OSError:
+        except BaseException:
+            # Any crash between mkstemp and the rename (not just OSError --
+            # an interrupt or injected failure too) must not leak the temp
+            # file; leftovers of a killed *process* are swept by evict().
             try:
                 os.unlink(tmp_path)
             except OSError:
@@ -181,6 +255,53 @@ class ResultCache:
             raise
         if self._eviction_due(len(body)):
             self.evict()
+
+    def _write_sidecar(self, key: str, index: int, values: List[float],
+                       task_id: Optional[str]) -> None:
+        """Write one ``.npy`` sidecar atomically (write + rename)."""
+        import numpy as np
+        array = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(array)):
+            raise EngineError(
+                f"result of task {task_id!r} contains NaN/Infinity, which "
+                f"the JSON artifact store rejects; provide a codec to the "
+                f"engine that encodes them explicitly")
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, array, allow_pickle=False)
+            os.replace(tmp_path, self._sidecar_path(key, index))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _internalize(self, key: str, result: Any, n_sidecars: int) -> Any:
+        """Resolve ``{"__npy__": i}`` references back into plain lists."""
+        import numpy as np
+        arrays: List[Any] = []
+        for index in range(n_sidecars):
+            try:
+                arrays.append(np.load(self._sidecar_path(key, index),
+                                      allow_pickle=False).tolist())
+            except (OSError, ValueError):
+                return MISS
+
+        def resolve(value: Any) -> Any:
+            if isinstance(value, dict):
+                if SIDECAR_MARKER in value:
+                    return arrays[value[SIDECAR_MARKER]]
+                return {k: resolve(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [resolve(v) for v in value]
+            return value
+
+        try:
+            return resolve(result)
+        except (IndexError, TypeError):
+            return MISS
 
     def _eviction_due(self, bytes_written: int) -> bool:
         """Whether this write warrants a (full-scan) eviction pass.
@@ -214,33 +335,99 @@ class ResultCache:
         return time.time() - created > self.max_age
 
     def _unlink(self, path: str) -> bool:
+        removed = self._remove_artifact(path)
+        if removed:
+            self.evictions += 1
+        return removed
+
+    def _remove_artifact(self, path: str) -> bool:
+        """Delete one JSON entry and its sidecars; True when the entry went."""
+        key = os.path.basename(path)[:-len(".json")]
         try:
             os.unlink(path)
         except FileNotFoundError:
             return False
         except OSError:
             return False
-        self.evictions += 1
+        for sidecar in list(self._sidecar_paths(key)):
+            try:
+                os.unlink(sidecar)
+            except OSError:
+                pass
         return True
 
     def _artifact_stats(self) -> List[Tuple[float, int, str]]:
-        """``(mtime, size, path)`` of every artifact, oldest first."""
-        stats = []
+        """``(mtime, size, path)`` of every artifact, oldest first.
+
+        ``size`` covers the JSON entry *plus* its ``.npy`` sidecars (grouped
+        by key prefix), so the size budget sees the artifact's whole
+        footprint; ``path`` is the JSON entry, the handle :meth:`_unlink`
+        removes the group by.
+        """
         try:
             names = os.listdir(self.cache_dir)
         except FileNotFoundError:
             return []
+        sidecar_bytes: Dict[str, int] = {}
+        entries: List[Tuple[str, str]] = []
         for name in names:
-            if not name.endswith(".json"):
-                continue
             path = os.path.join(self.cache_dir, name)
+            if name.endswith(".json"):
+                entries.append((name[:-len(".json")], path))
+            elif name.endswith(".npy"):
+                key = name.split(".", 1)[0]
+                try:
+                    sidecar_bytes[key] = sidecar_bytes.get(key, 0) + \
+                        os.stat(path).st_size
+                except OSError:
+                    continue
+        stats = []
+        for key, path in entries:
             try:
                 st = os.stat(path)
             except OSError:
                 continue
-            stats.append((st.st_mtime, st.st_size, path))
+            stats.append((st.st_mtime,
+                          st.st_size + sidecar_bytes.get(key, 0), path))
         stats.sort()
         return stats
+
+    def _sweep_stale_files(self, grace: float = TMP_GRACE_SECONDS) -> int:
+        """Remove crash leftovers: stale ``.tmp`` files and orphaned
+        ``.npy`` sidecars (no JSON entry) older than ``grace`` seconds.
+
+        A killed process can die between ``mkstemp`` and ``os.replace`` (or
+        between sidecar and JSON writes); nothing references the leftovers,
+        so without this sweep they are invisible to the size budget and
+        never reclaimed.  Young files may belong to a concurrent writer and
+        are kept.
+        """
+        try:
+            names = os.listdir(self.cache_dir)
+        except FileNotFoundError:
+            return 0
+        json_keys = {name[:-len(".json")] for name in names
+                     if name.endswith(".json")}
+        cutoff = time.time() - grace
+        removed = 0
+        for name in names:
+            if name.endswith(".tmp"):
+                stale = True
+            elif name.endswith(".npy"):
+                stale = name.split(".", 1)[0] not in json_keys
+            else:
+                continue
+            if not stale:
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                if os.stat(path).st_mtime >= cutoff:
+                    continue
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def total_bytes(self) -> int:
         """Current on-disk size of all artifacts."""
@@ -289,9 +476,11 @@ class ResultCache:
         expired artifact, not only the ones that happened to sit idle.
         ``max_bytes`` removal then drops least-recently-used artifacts until
         the directory is below a low-water mark slightly under the budget
-        (so steady writes do not re-trigger a scan every time).
+        (so steady writes do not re-trigger a scan every time).  Every pass
+        also sweeps stale ``.tmp`` files and orphaned sidecars left by a
+        crashed writer (see :meth:`_sweep_stale_files`).
         """
-        removed = 0
+        removed = self._sweep_stale_files()
         stats = self._artifact_stats()
         if self.max_age is not None:
             cutoff = time.time() - self.max_age
@@ -339,20 +528,45 @@ class ResultCache:
             return []
 
     def clear(self) -> int:
-        """Delete every artifact; returns the number removed."""
+        """Delete every artifact (and stale crash leftovers); returns the
+        number of artifacts removed."""
         removed = 0
         for key in self.keys():
-            try:
-                os.unlink(self._path(key))
+            if self._remove_artifact(self._path(key)):
                 removed += 1
-            except FileNotFoundError:
-                pass
+        self._sweep_stale_files()
         self._approx_bytes = 0
         return removed
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "artifacts": len(self), "evictions": self.evictions}
+
+
+def _externalize(value: Any, arrays: List[List[float]],
+                 task_id: Optional[str]) -> Any:
+    """Pull long homogeneous float lists out of ``value`` into ``arrays``.
+
+    Returns a structurally equal value with each pulled list replaced by a
+    ``{"__npy__": index}`` reference.  Only lists of plain floats at least
+    :data:`SIDECAR_MIN_FLOATS` long are externalized -- exactly the shapes
+    float64 round-trips bit-identically -- so internalization reproduces the
+    pure-JSON result byte for byte.
+    """
+    if isinstance(value, dict):
+        if SIDECAR_MARKER in value:
+            raise EngineError(
+                f"result of task {task_id!r} contains a reserved "
+                f"{SIDECAR_MARKER!r} key; sidecar encoding cannot store it")
+        return {key: _externalize(entry, arrays, task_id)
+                for key, entry in value.items()}
+    if isinstance(value, list):
+        if len(value) >= SIDECAR_MIN_FLOATS and \
+                all(type(entry) is float for entry in value):
+            arrays.append(value)
+            return {SIDECAR_MARKER: len(arrays) - 1}
+        return [_externalize(entry, arrays, task_id) for entry in value]
+    return value
 
 
 def callable_token(fn: Any) -> Optional[str]:

@@ -12,6 +12,8 @@ cache::
     repro-campaign block-study --workers 4 --backend shm --json table1.json
     repro-campaign yield-study --workers 4 --backend shm --json study.json
     repro-campaign cache stats --cache-dir .cache
+    repro-campaign warehouse index .cache --db results.sqlite
+    repro-campaign warehouse query per-block-coverage --db results.sqlite
 
 ``run`` is the general entry point: it loads a declarative study spec (a
 TOML/JSON document, or the name of a canned study -- see ``docs/studies.md``
@@ -24,7 +26,9 @@ campaign + per-block reductions; Table I in one engine run) and
 ``yield-study`` (the pipeline graph extended with the yield-loss sweep and
 the functional escape analysis).  ``calibrate`` and ``campaign`` run the two
 phases separately; ``cache`` inspects and garbage-collects a cache
-directory.
+directory; ``warehouse`` maintains and queries a SQLite index of the
+completed results (``--warehouse DB`` on any workload subcommand keeps it
+up to date as runs finish).
 
 Every campaign-shaped subcommand emits the same per-block JSON schema, with
 the single engine report of the run under the top-level ``engine`` key.
@@ -140,6 +144,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser,
                         help="append the run's telemetry events to this "
                              "JSONL trace (analyse with `repro-campaign "
                              "trace`)")
+    parser.add_argument("--warehouse", default=None, metavar="DB",
+                        help="index the run's completed results into this "
+                             "SQLite warehouse when the run finishes "
+                             "(needs --cache-dir; query with "
+                             "`repro-campaign warehouse`)")
     parser.add_argument("--progress", action="store_true",
                         help="live per-stage progress line on stderr")
     _add_output_arguments(parser)
@@ -153,16 +162,28 @@ def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
                         help="debug-level console output")
 
 
-def _telemetry_from_args(args: argparse.Namespace):
-    """Build the run's :class:`~repro.engine.TelemetryBus` from ``--trace``
-    and ``--progress`` (``None`` when neither is given, so untraced runs
-    skip event emission entirely).  Callers must ``close()`` it."""
+def _telemetry_from_args(args: argparse.Namespace,
+                         study: Optional[str] = None):
+    """Build the run's :class:`~repro.engine.TelemetryBus` from ``--trace``,
+    ``--progress`` and ``--warehouse`` (``None`` when none is given, so
+    unobserved runs skip event emission entirely).  Callers must
+    ``close()`` it."""
     from . import JsonlTraceSink, ProgressSink, TelemetryBus
     sinks: List[Any] = []
     if getattr(args, "trace", None):
         sinks.append(JsonlTraceSink(args.trace))
     if getattr(args, "progress", False):
         sinks.append(ProgressSink())
+    if getattr(args, "warehouse", None):
+        if not getattr(args, "cache_dir", None):
+            from ..circuit.errors import EngineError
+            raise EngineError(
+                "--warehouse indexes cached artifacts, so it needs "
+                "--cache-dir; add one (or backfill later with "
+                "`repro-campaign warehouse index`)")
+        from ..warehouse import WarehouseSink
+        sinks.append(WarehouseSink(args.warehouse, cache_dir=args.cache_dir,
+                                   study=study))
     return TelemetryBus(sinks) if sinks else None
 
 
@@ -189,7 +210,7 @@ def _emit(args: argparse.Namespace, payload: Dict[str, Any]) -> None:
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from ..core import format_table
-    telemetry = _telemetry_from_args(args)
+    telemetry = _telemetry_from_args(args, study="calibrate")
     try:
         calibration = _calibrate(args, telemetry=telemetry)
     finally:
@@ -254,7 +275,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     # Telemetry covers this run (the workload), not the calibration above,
     # so a --trace file holds exactly one run and reconciles with the
     # engine report.
-    telemetry = _telemetry_from_args(args)
+    telemetry = _telemetry_from_args(args, study="campaign")
     try:
         results = campaign.run_per_block(
             n_samples_per_block=args.samples, seed=args.seed,
@@ -331,7 +352,7 @@ def _run_study(args: argparse.Namespace, spec: Any,
     console.info(f"running study {spec.name!r} as one task graph "
                  f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC "
                  f"samples, seed {spec.seed})...")
-    telemetry = _telemetry_from_args(args)
+    telemetry = _telemetry_from_args(args, study=spec.name)
     try:
         outcome = plan.run(backend=_build_backend(args),
                            cache=_build_cache(args, "calibration"),
@@ -525,6 +546,55 @@ def cmd_cache_evict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_warehouse_index(args: argparse.Namespace) -> int:
+    from ..warehouse import index_cache, open_warehouse
+    connection = open_warehouse(args.db)
+    try:
+        written = index_cache(connection, args.cache_dir, study=args.study)
+    finally:
+        connection.close()
+    console.info(f"indexed {written} artifacts from {args.cache_dir} "
+                 f"into {args.db}")
+    _emit(args, {"db": args.db, "cache_dir": args.cache_dir,
+                 "study": args.study, "rows": written})
+    return 0
+
+
+def _render_query(args: argparse.Namespace, headers: List[str],
+                  rows: List[Tuple[Any, ...]],
+                  extra: Dict[str, Any]) -> int:
+    from ..core import format_table
+    if rows:
+        console.info(format_table(headers,
+                                  [list(row) for row in rows]))
+    console.info(f"{len(rows)} row{'s' if len(rows) != 1 else ''}")
+    _emit(args, {**extra, "headers": headers,
+                 "rows": [list(row) for row in rows]})
+    return 0
+
+
+def cmd_warehouse_query(args: argparse.Namespace) -> int:
+    from ..warehouse import open_warehouse, run_canned_query
+    connection = open_warehouse(args.db, readonly=True)
+    try:
+        headers, rows = run_canned_query(connection, args.report)
+    finally:
+        connection.close()
+    return _render_query(args, headers, rows,
+                         {"db": args.db, "report": args.report})
+
+
+def cmd_warehouse_sql(args: argparse.Namespace) -> int:
+    from ..warehouse import open_warehouse, run_sql
+    connection = open_warehouse(args.db, readonly=True)
+    try:
+        headers, rows = run_sql(connection, args.sql)
+    finally:
+        connection.close()
+    return _render_query(args, headers, rows,
+                         {"db": args.db, "sql": args.sql})
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     from . import format_summary, read_trace, summarize_trace
     summary = summarize_trace(read_trace(args.trace_file))
@@ -705,6 +775,54 @@ def build_parser() -> argparse.ArgumentParser:
         "evict", help="apply --cache-max-bytes/--cache-max-age bounds now")
     _add_cache_arguments(evict)
     evict.set_defaults(func=cmd_cache_evict)
+
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="SQLite index of completed results: backfill it from a cache "
+             "directory and query it with canned reports or raw SQL")
+    warehouse_sub = warehouse.add_subparsers(dest="warehouse_command",
+                                             required=True)
+    index = warehouse_sub.add_parser(
+        "index",
+        help="backfill a warehouse database from a cache directory")
+    index.add_argument("cache_dir",
+                       help="result-cache directory to index")
+    index.add_argument("--db", required=True,
+                       help="SQLite warehouse database (created on demand)")
+    index.add_argument("--study", default=None,
+                       help="study name to record on the indexed rows "
+                            "(default: none)")
+    index.add_argument("--json", dest="json_path", default=None,
+                       help="write the machine-readable summary to this "
+                            "file")
+    _add_output_arguments(index)
+    index.set_defaults(func=cmd_warehouse_index)
+    query = warehouse_sub.add_parser(
+        "query",
+        help="run a canned report: per-block-coverage, slowest-stages or "
+             "cache-composition")
+    query.add_argument("report",
+                       help="report name (per-block-coverage, "
+                            "slowest-stages, cache-composition)")
+    query.add_argument("--db", required=True,
+                       help="SQLite warehouse database (read-only)")
+    query.add_argument("--json", dest="json_path", default=None,
+                       help="write the headers and rows to this file")
+    _add_output_arguments(query)
+    query.set_defaults(func=cmd_warehouse_query)
+    sql = warehouse_sub.add_parser(
+        "sql", help="run one SQL statement against the warehouse "
+                    "(read-only)")
+    sql.add_argument("sql", metavar="SQL",
+                     help="SQL to execute, e.g. \"SELECT block, coverage "
+                          "FROM results WHERE stage_kind = "
+                          "'block-summary'\"")
+    sql.add_argument("--db", required=True,
+                     help="SQLite warehouse database (read-only)")
+    sql.add_argument("--json", dest="json_path", default=None,
+                     help="write the headers and rows to this file")
+    _add_output_arguments(sql)
+    sql.set_defaults(func=cmd_warehouse_sql)
     return parser
 
 

@@ -80,10 +80,17 @@ ProgressCallback = Callable[[TaskOutcome], None]
 
 @dataclass(frozen=True)
 class ResultCodec:
-    """Converts worker results to/from the JSON stored by the cache."""
+    """Converts worker results to/from the JSON stored by the cache.
+
+    ``sidecar=True`` marks the encoded result as array-heavy: the cache
+    externalizes its long float lists to ``.npy`` sidecar files instead of
+    inlining them in the JSON entry (bit-identical on read either way; see
+    :mod:`repro.engine.cache`).
+    """
 
     encode: Callable[[Any], Any]
     decode: Callable[[Any], Any]
+    sidecar: bool = False
 
 
 #: Codec for results that are natively JSON-serialisable.
@@ -580,8 +587,10 @@ class CampaignEngine:
             # Store per completion (not after the whole run) so results of
             # completed tasks survive a later task failure or interrupt.
             if self.cache is not None and keys[index] is not None:
-                self.cache.put(keys[index], codec_for(task).encode(result),
-                               task_id=task.task_id, spec=task.spec)
+                codec = codec_for(task)
+                self.cache.put(keys[index], codec.encode(result),
+                               task_id=task.task_id, spec=task.spec,
+                               sidecar=codec.sidecar)
             if tele is not None:
                 tele.executed(task, duration, span)
             if progress is not None:
@@ -720,9 +729,10 @@ class CampaignEngine:
                     n_executed += 1
                     task = graph[index]
                     if self.cache is not None and keys[index] is not None:
-                        self.cache.put(keys[index],
-                                       codec_for(task).encode(result),
-                                       task_id=task.task_id, spec=task.spec)
+                        codec = codec_for(task)
+                        self.cache.put(keys[index], codec.encode(result),
+                                       task_id=task.task_id, spec=task.spec,
+                                       sidecar=codec.sidecar)
                     if tele is not None:
                         tele.executed(task, duration, span)
                     complete(index, result, duration, from_cache=False)

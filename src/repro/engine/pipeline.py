@@ -313,7 +313,8 @@ def _campaign_stage_worker(context: Mapping[str, Any], task: Task,
 def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
                               stimulus: Any, invariances: Sequence[Any],
                               variation_spec: Any, seed: int,
-                              n_monte_carlo: int, stage: str = "calibrate"
+                              n_monte_carlo: int, stage: str = "calibrate",
+                              codec: Optional[ResultCodec] = None
                               ) -> "tuple[List[str], Any, str, bool]":
     """Add the shared defect-free Monte Carlo stage to a pipeline.
 
@@ -325,7 +326,7 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
     cache artifacts).  Returns ``(calib_ids, calib_spec, seeds_token,
     cacheable)``.
     """
-    from ..core.calibration import calibration_task_spec
+    from ..core.calibration import RESIDUAL_CODEC, calibration_task_spec
 
     calib_seeds = [int(s) for s in np.random.default_rng(seed).integers(
         0, 2 ** 63 - 1, size=n_monte_carlo)]
@@ -336,6 +337,7 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
         [inv.name for inv in invariances]) if cacheable else None
     pipeline.add_stage(
         stage, _calibration_stage_worker,
+        codec=codec if codec is not None else RESIDUAL_CODEC,
         context={"adc_factory": adc_factory, "invariances": invariances,
                  "stimulus": stimulus, "variation_spec": variation_spec})
     calib_ids = []
@@ -373,7 +375,8 @@ def _register_campaign_stage(pipeline: Pipeline, adc: Any,
                              stimulus: Any, mode: Any,
                              stop_on_detection: bool,
                              invariance_names: Sequence[str],
-                             stage: str = "campaign") -> str:
+                             stage: str = "campaign",
+                             codec: Optional[ResultCodec] = None) -> str:
     """Add the shared defect-campaign stage for a pre-built DUT.
 
     The single source of the campaign-stage worker context (the behavioral
@@ -384,7 +387,8 @@ def _register_campaign_stage(pipeline: Pipeline, adc: Any,
 
     worker_token = uuid.uuid4().hex
     pipeline.add_stage(
-        stage, _campaign_stage_worker, codec=RECORD_CODEC,
+        stage, _campaign_stage_worker,
+        codec=codec if codec is not None else RECORD_CODEC,
         context={"token": worker_token, "adc": adc,
                  "stimulus": stimulus, "mode": mode,
                  "stop_on_detection": stop_on_detection,

@@ -41,10 +41,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.errors import CalibrationError, EngineError
 from .cache import callable_token, canonical_json
+from .executor import IDENTITY_CODEC, ResultCodec
 from .task import Task
 
 # --------------------------------------------------------------------- params
@@ -151,7 +152,7 @@ StageExpander = Callable[[Any, str, Dict[str, Any]], None]
 
 @dataclass(frozen=True)
 class StageDefinition:
-    """One registered stage kind: name, parameter schema and expander."""
+    """One registered stage kind: name, parameter schema, expander, codec."""
 
     name: str
     doc: str
@@ -160,6 +161,16 @@ class StageDefinition:
     #: Stage kinds that must appear earlier in the study for this stage to
     #: compile (checked by the expanders with actionable messages).
     requires: Tuple[str, ...] = ()
+    #: Lazy factory of the stage kind's result codec -- how this kind's
+    #: results serialize into the artifact store (including whether they are
+    #: array-heavy enough for ``.npy`` sidecars).  Lazy so registering a
+    #: stage does not import its workload modules; ``None`` means the
+    #: results are natively JSON (identity codec).
+    codec: Optional[Callable[[], ResultCodec]] = None
+
+    def make_codec(self) -> ResultCodec:
+        """The stage kind's declared result codec (identity by default)."""
+        return self.codec() if self.codec is not None else IDENTITY_CODEC
 
     def param(self, name: str) -> StageParam:
         for param in self.params:
@@ -236,7 +247,7 @@ def _expand_calibrate(build: Any, name: str,
      build.cacheable) = _register_calibrate_stage(
         build.pipeline, build.adc_factory, build.stimulus,
         build.invariances, build.variation_spec, build.seed, n_monte_carlo,
-        stage=name)
+        stage=name, codec=stage_definition("calibrate").make_codec())
     build.calibrate_stage = name
 
 
@@ -322,7 +333,8 @@ def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
     adc, fingerprint, universe = build.dut()
     build.worker_token = _register_campaign_stage(
         build.pipeline, adc, build.stimulus, build.mode,
-        build.stop_on_detection, build.invariance_names, stage=name)
+        build.stop_on_detection, build.invariance_names, stage=name,
+        codec=stage_definition("campaign").make_codec())
     build.campaign_stage = name
 
     # Per-block LWRS draws derive from the root seed + block path
@@ -429,7 +441,6 @@ def _expand_block_summary(build: Any, name: str,
 
 
 def _expand_yield(build: Any, name: str, params: Dict[str, Any]) -> None:
-    from ..analysis.yield_loss import POINT_CODEC
     from .pipeline import _yield_stage_worker
 
     build.require(name, "calibrate")
@@ -440,7 +451,8 @@ def _expand_yield(build: Any, name: str, params: Dict[str, Any]) -> None:
     if not k_values:
         raise EngineError("k_values must name at least one k")
     build.pipeline.add_stage(
-        name, _yield_stage_worker, codec=POINT_CODEC,
+        name, _yield_stage_worker,
+        codec=stage_definition("yield").make_codec(),
         context={"invariance_names": build.invariance_names,
                  "k": params["k"], "n_cycles": n_cycles,
                  "delta_floors": build.delta_floors})
@@ -464,7 +476,6 @@ def _expand_yield(build: Any, name: str, params: Dict[str, Any]) -> None:
 
 
 def _expand_escape(build: Any, name: str, params: Dict[str, Any]) -> None:
-    from ..analysis.escape_analysis import ESCAPE_CODEC
     from .pipeline import _escape_stage_worker
 
     build.require(name, "campaign")
@@ -482,7 +493,8 @@ def _expand_escape(build: Any, name: str, params: Dict[str, Any]) -> None:
             "max_defects": max_defects,
             "factory": callable_token(build.adc_factory)}
     build.pipeline.add_stage(
-        name, _escape_stage_worker, codec=ESCAPE_CODEC,
+        name, _escape_stage_worker,
+        codec=stage_definition("escape").make_codec(),
         context={"adc_factory": build.adc_factory,
                  "stop_on_detection": build.stop_on_detection,
                  "max_escape_defects": max_defects})
@@ -494,12 +506,39 @@ def _expand_escape(build: Any, name: str, params: Dict[str, Any]) -> None:
 
 
 # ------------------------------------------------------------ registrations
+#
+# The codec factories are the per-stage-kind payload declarations: how each
+# kind's results serialize into the artifact store.  They live here (not in
+# the expanders) so tooling over the registry -- the warehouse indexer, a
+# future artifact migrator -- can resolve a kind's storage shape without
+# compiling a study.
+
+def _calibrate_codec() -> ResultCodec:
+    from ..core.calibration import RESIDUAL_CODEC
+    return RESIDUAL_CODEC
+
+
+def _campaign_codec() -> ResultCodec:
+    from ..defects.simulator import RECORD_CODEC
+    return RECORD_CODEC
+
+
+def _yield_codec() -> ResultCodec:
+    from ..analysis.yield_loss import POINT_CODEC
+    return POINT_CODEC
+
+
+def _escape_codec() -> ResultCodec:
+    from ..analysis.escape_analysis import ESCAPE_CODEC
+    return ESCAPE_CODEC
+
 
 register_stage(StageDefinition(
     name="calibrate",
     doc="defect-free Monte Carlo instances (one task per sample); "
         "per-sample seeds derive from default_rng(root seed)",
     expand=_expand_calibrate,
+    codec=_calibrate_codec,
     params=(
         StageParam("n_monte_carlo", "int", default=50,
                    doc="Monte Carlo samples of the window calibration"),
@@ -531,6 +570,7 @@ register_stage(StageDefinition(
     doc="defect injection + SymBIST run per sampled defect; per-block LWRS "
         "draws derive from block_seed_sequence(root seed, block path)",
     expand=_expand_campaign,
+    codec=_campaign_codec,
     requires=("windows",),
     params=(
         StageParam("samples", "int", default=60,
@@ -556,6 +596,7 @@ register_stage(StageDefinition(
     doc="one empirical yield-loss point per k_values entry, fed directly "
         "by the calibration samples",
     expand=_expand_yield,
+    codec=_yield_codec,
     requires=("calibrate",),
     params=(
         StageParam("k", "float", default=5.0,
@@ -573,6 +614,7 @@ register_stage(StageDefinition(
     name="escape",
     doc="functional escape analysis over the campaign's undetected defects",
     expand=_expand_escape,
+    codec=_escape_codec,
     requires=("campaign",),
     params=(
         StageParam("max_escape_defects", "int", default=20, nullable=True,

@@ -368,16 +368,24 @@ class ProgressSink(TelemetrySink):
                elapsed: Optional[float],
                stage_done: Mapping[str, int],
                stage_totals: Mapping[str, int]) -> str:
-        """The progress line for a given counter state (pure; tested)."""
+        """The progress line for a given counter state (pure; tested).
+
+        ``tasks/s`` is the *executed* throughput (cache hits are lookups,
+        not work, matching ``CampaignReport.tasks_per_second``).  The ETA is
+        based on the *overall* completion rate: ``remaining`` counts every
+        unresolved task, including ones that will resolve as cache hits, so
+        scaling it by the executed-only rate would wildly inflate warm-cache
+        ETAs (and a fully-warm run would show none at all).
+        """
         parts = [f"{done}/{total} tasks"]
         for stage, stage_total in stage_totals.items():
             parts.append(f"{stage} {stage_done.get(stage, 0)}/{stage_total}")
         if elapsed is not None:
-            rate = executed / elapsed
-            parts.append(f"{rate:.1f} tasks/s")
+            parts.append(f"{executed / elapsed:.1f} tasks/s")
+            completion_rate = done / elapsed
             remaining = total - done
-            if 0 < remaining and rate > 0:
-                parts.append(f"ETA {remaining / rate:.0f}s")
+            if 0 < remaining and completion_rate > 0:
+                parts.append(f"ETA {remaining / completion_rate:.0f}s")
         return "  ".join(parts)
 
     def close(self) -> None:

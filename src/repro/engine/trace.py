@@ -112,6 +112,7 @@ def summarize_trace(events: Sequence[TelemetryEvent]) -> TraceSummary:
     order: List[str] = []
     phase_seconds = {phase: 0.0 for phase in PHASES}
     last_t = first_t = events[0].t
+    saw_run_finished = False
 
     def stage_row(event: TelemetryEvent) -> Optional[StageRow]:
         if event.stage is None:
@@ -174,11 +175,16 @@ def summarize_trace(events: Sequence[TelemetryEvent]) -> TraceSummary:
         elif event.type == "run_finished":
             summary.wall_time = event.data.get("wall_time",
                                                event.t - first_t)
+            saw_run_finished = True
             for key in ("n_tasks", "n_executed", "n_cache_hits", "n_failed",
                         "n_skipped"):
                 if key in event.data:
                     setattr(summary, key, event.data[key])
-    if not summary.wall_time:
+    if not saw_run_finished:
+        # Interrupted run: no run_finished was written, so fall back to the
+        # event-stream extent.  An explicit flag, not a falsy check -- a
+        # recorded wall_time of 0.0 (sub-resolution fully-cached run) is a
+        # legitimate value and must survive.
         summary.wall_time = last_t - first_t
 
     summary.phase_seconds = phase_seconds

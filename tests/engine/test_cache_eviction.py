@@ -200,3 +200,70 @@ class TestStats:
         bounded = ResultCache(str(tmp_path), max_age=50)
         bounded.evict()
         assert bounded.stats()["evictions"] == 1
+
+
+class TestStaleFileSweep:
+    """Crash leftovers: ``.tmp`` files and orphaned ``.npy`` sidecars."""
+
+    def test_injected_crash_during_put_does_not_leak_tmp(self, tmp_path,
+                                                         monkeypatch):
+        cache = ResultCache(str(tmp_path))
+
+        def crash(src, dst):
+            raise RuntimeError("injected crash before rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(RuntimeError):
+            cache.put(cache.key_for({"i": 1}), {"i": 1})
+        monkeypatch.undo()
+        assert not [name for name in os.listdir(str(tmp_path))
+                    if name.endswith(".tmp")]
+
+    def test_killed_writer_tmp_swept_by_evict_after_grace(self, tmp_path):
+        from repro.engine.cache import TMP_GRACE_SECONDS
+        cache = ResultCache(str(tmp_path))
+        key = _put(cache, 1)
+        live_bytes = cache.total_bytes()
+        # A killed *process* dies between mkstemp and os.replace with no
+        # exception handler running: the .tmp survives, referenced by
+        # nothing and invisible to the size accounting.
+        leaked = os.path.join(str(tmp_path), "deadbeef.tmp")
+        with open(leaked, "w", encoding="utf-8") as handle:
+            handle.write("x" * 4096)
+        assert cache.total_bytes() == live_bytes
+        # Young leftovers may belong to an in-flight writer: kept.
+        assert cache.evict() == 0
+        assert os.path.exists(leaked)
+        stamp = time.time() - 2 * TMP_GRACE_SECONDS
+        os.utime(leaked, (stamp, stamp))
+        assert cache.evict() == 1
+        assert not os.path.exists(leaked)
+        assert cache.get(key) is not MISS  # live artifacts untouched
+
+    def test_orphaned_sidecar_swept_referenced_one_kept(self, tmp_path):
+        from repro.engine.cache import TMP_GRACE_SECONDS
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for({"i": 1})
+        cache.put(key, {"pool": [float(i) for i in range(32)]}, sidecar=True)
+        referenced = os.path.join(str(tmp_path), f"{key}.0.npy")
+        orphan = os.path.join(str(tmp_path), "0" * 64 + ".0.npy")
+        with open(orphan, "wb") as handle:
+            handle.write(b"\x93NUMPY")
+        stamp = time.time() - 2 * TMP_GRACE_SECONDS
+        os.utime(orphan, (stamp, stamp))
+        os.utime(referenced, (stamp, stamp))
+        assert cache.evict() == 1
+        assert not os.path.exists(orphan)
+        assert os.path.exists(referenced)  # has a JSON entry: not an orphan
+
+    def test_clear_sweeps_stale_leftovers(self, tmp_path):
+        from repro.engine.cache import TMP_GRACE_SECONDS
+        cache = ResultCache(str(tmp_path))
+        _put(cache, 1)
+        leaked = os.path.join(str(tmp_path), "dead.tmp")
+        with open(leaked, "w", encoding="utf-8") as handle:
+            handle.write("x")
+        stamp = time.time() - 2 * TMP_GRACE_SECONDS
+        os.utime(leaked, (stamp, stamp))
+        assert cache.clear() == 1
+        assert os.listdir(str(tmp_path)) == []

@@ -483,3 +483,76 @@ class TestPipelineCacheSharing:
         engine = json.loads(out.read_text())["engine"]
         # 3 Monte Carlo parents replayed from the standalone calibrate run.
         assert "3 cached" in engine
+
+
+class TestWarehouseCommand:
+    def _study_with_warehouse(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        db = str(tmp_path / "wh.sqlite")
+        out = tmp_path / "blocks.json"
+        assert main(["block-study", "--monte-carlo", "3", "--seed", "3",
+                     "--samples", "4", "--blocks", "vcm_generator",
+                     "offset_compensation", "--cache-dir", cache_dir,
+                     "--warehouse", db, "--json", str(out),
+                     "--quiet"]) == 0
+        return cache_dir, db, json.loads(out.read_text())
+
+    def test_warehouse_flag_requires_cache_dir(self, tmp_path, capsys):
+        assert main(["block-study", "--monte-carlo", "3",
+                     "--blocks", "vcm_generator",
+                     "--warehouse", str(tmp_path / "wh.sqlite")]) == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_run_with_warehouse_answers_canned_query(self, tmp_path,
+                                                     capsys):
+        _, db, payload = self._study_with_warehouse(tmp_path)
+        out = tmp_path / "coverage.json"
+        assert main(["warehouse", "query", "per-block-coverage",
+                     "--db", db, "--json", str(out), "--quiet"]) == 0
+        report = json.loads(out.read_text())
+        rows = [dict(zip(report["headers"], row))
+                for row in report["rows"]]
+        expected = {entry["block"]: entry for entry in payload["blocks"]}
+        assert {row["block"] for row in rows} == set(expected)
+        for row in rows:
+            for column in ("n_defects", "n_simulated", "n_detected",
+                           "n_escaped", "coverage", "ci_half_width"):
+                assert row[column] == expected[row["block"]][column]
+
+    def test_offline_index_backfills_equal_rows(self, tmp_path):
+        cache_dir, db, _ = self._study_with_warehouse(tmp_path)
+        db2 = str(tmp_path / "wh2.sqlite")
+        out = tmp_path / "index.json"
+        assert main(["warehouse", "index", cache_dir, "--db", db2,
+                     "--study", "block-study", "--json", str(out),
+                     "--quiet"]) == 0
+        assert json.loads(out.read_text())["rows"] > 0
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for target, path in ((db, a), (db2, b)):
+            assert main(["warehouse", "query", "per-block-coverage",
+                         "--db", target, "--json", str(path),
+                         "--quiet"]) == 0
+        assert json.loads(a.read_text())["rows"] == \
+            json.loads(b.read_text())["rows"]
+
+    def test_sql_passthrough_is_read_only(self, tmp_path, capsys):
+        _, db, _ = self._study_with_warehouse(tmp_path)
+        out = tmp_path / "sql.json"
+        assert main(["warehouse", "sql",
+                     "SELECT COUNT(*) AS n FROM results",
+                     "--db", db, "--json", str(out), "--quiet"]) == 0
+        assert json.loads(out.read_text())["rows"][0][0] > 0
+        assert main(["warehouse", "sql", "DELETE FROM results",
+                     "--db", db]) == 1
+        assert "readonly" in capsys.readouterr().err
+
+    def test_query_missing_db_is_actionable(self, tmp_path, capsys):
+        assert main(["warehouse", "query", "per-block-coverage",
+                     "--db", str(tmp_path / "absent.sqlite")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_report_is_actionable(self, tmp_path, capsys):
+        _, db, _ = self._study_with_warehouse(tmp_path)
+        assert main(["warehouse", "query", "nope", "--db", db]) == 1
+        assert "per-block-coverage" in capsys.readouterr().err

@@ -441,7 +441,19 @@ class TestProgressSink:
         assert "3/10 tasks" in line
         assert "calibrate 3/5" in line
         assert "1.0 tasks/s" in line
-        assert "ETA 7s" in line
+        # ETA from the overall completion rate (3 done in 2s -> 1.5/s,
+        # 7 remaining -> ~4.7s), not the executed-only rate.
+        assert "ETA 5s" in line
+
+    def test_warm_cache_eta_uses_completion_rate(self):
+        # 8 of 10 tasks resolved from cache, 1 executed: the executed-only
+        # rate (0.5/s) would predict ETA 2s for the last task even though
+        # tasks are completing at 4.5/s.  The ETA must track completion.
+        line = ProgressSink.render(
+            done=9, total=10, executed=1, elapsed=2.0,
+            stage_done={}, stage_totals={})
+        assert "ETA 0s" in line
+        assert "ETA 2s" not in line
 
     def test_refreshes_in_place_and_finishes_line(self):
         stream = io.StringIO()
@@ -537,6 +549,29 @@ class TestTraceSummary:
     def test_empty_trace_is_an_error(self):
         with pytest.raises(EngineError, match="empty"):
             summarize_trace([])
+
+    def test_recorded_zero_wall_time_survives(self):
+        # A sub-resolution fully-cached run legitimately records
+        # wall_time 0.0 on run_finished; a falsy check would clobber it
+        # with the event-stream extent (here 5.0s).
+        events = [
+            TelemetryEvent(type="run_started", t=10.0,
+                           data={"n_tasks": 1}),
+            TelemetryEvent(type="cache_hit", t=12.0, task_id="a"),
+            TelemetryEvent(type="run_finished", t=15.0,
+                           data={"wall_time": 0.0, "n_tasks": 1,
+                                 "n_cache_hits": 1}),
+        ]
+        summary = summarize_trace(events)
+        assert summary.wall_time == 0.0
+
+    def test_interrupted_trace_falls_back_to_stream_extent(self):
+        events = [
+            TelemetryEvent(type="run_started", t=10.0,
+                           data={"n_tasks": 2}),
+            TelemetryEvent(type="cache_hit", t=12.5, task_id="a"),
+        ]
+        assert summarize_trace(events).wall_time == 2.5
 
 
 class TestBatchedTelemetry:

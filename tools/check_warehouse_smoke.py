@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Reconcile a warehouse report with a study's own JSON payload.
+
+``check_warehouse_smoke.py STUDY.json QUERY.json`` — CI smoke check for the
+result warehouse: after indexing the smoke run's cache, the
+``per-block-coverage`` canned query (the ``--json`` payload of
+``repro-campaign warehouse query per-block-coverage``) must return exactly
+one row per block of the study payload, with the coverage columns matching
+the per-block JSON value for value.
+
+Exits non-zero with one line per mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Query columns that must equal the same-named per-block JSON keys.
+RECONCILED_COLUMNS = [
+    "block", "n_defects", "n_simulated", "n_detected", "n_escaped",
+    "coverage", "ci_half_width",
+]
+
+
+def check(study: Dict[str, Any], query: Dict[str, Any]) -> List[str]:
+    problems = []
+    headers = query.get("headers", [])
+    missing = [column for column in RECONCILED_COLUMNS
+               if column not in headers]
+    if missing:
+        return [f"query payload lacks columns {missing}; got {headers}"]
+    indexed = {}
+    for row in query.get("rows", []):
+        record = dict(zip(headers, row))
+        indexed[record["block"]] = record
+    blocks = study.get("blocks", [])
+    if not blocks:
+        problems.append("study payload has no blocks")
+    if sorted(indexed) != sorted(b.get("block") for b in blocks):
+        problems.append(
+            f"block sets differ: warehouse has {sorted(indexed)}, study "
+            f"has {sorted(b.get('block') for b in blocks)}")
+        return problems
+    for block in blocks:
+        record = indexed[block["block"]]
+        for column in RECONCILED_COLUMNS:
+            if record[column] != block[column]:
+                problems.append(
+                    f"block {block['block']}: {column} differs: warehouse "
+                    f"{record[column]!r} vs study {block[column]!r}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    payloads = []
+    for path in argv:
+        with open(path, encoding="utf-8") as handle:
+            payloads.append(json.load(handle))
+    problems = check(*payloads)
+    for problem in problems:
+        print(f"warehouse-smoke: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"warehouse-smoke: {len(payloads[0]['blocks'])} blocks "
+              f"reconciled with the warehouse")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
