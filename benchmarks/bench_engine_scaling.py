@@ -194,6 +194,91 @@ def test_block_study_beats_sequential_per_block_loop(deltas):
     assert report.wall_time < sequential_wall
 
 
+#: Variant corners of the multi-DUT sweep comparison.
+SWEEP_VARIANTS = (("nominal", {}),
+                  ("vdd-low", {"vdd": 1.08}),
+                  ("vdd-high", {"vdd": 1.32}))
+SWEEP_SAMPLES = 25
+SWEEP_BLOCKS = ("vcm_generator", "rs_latch")
+
+
+def _sweep_stages():
+    from repro.engine import StageSpec
+    return (
+        StageSpec(stage="calibrate", params={"n_monte_carlo": 8}),
+        StageSpec(stage="windows", after=("calibrate",),
+                  params={"k": 5.0, "per_block": True}),
+        StageSpec(stage="campaign", after=("windows",),
+                  params={"samples": SWEEP_SAMPLES,
+                          "exhaustive_threshold": 2 * SWEEP_SAMPLES,
+                          "blocks": list(SWEEP_BLOCKS)}),
+        StageSpec(stage="block-summary", name="summary",
+                  after=("windows", "campaign")),
+    )
+
+
+def test_variant_sweep_beats_sequential_single_variant_runs():
+    """3-variant DUT sweep in ONE task graph vs three sequential runs.
+
+    The historical way to sweep device corners is three CLI invocations,
+    one per device: each pays its own pool spin-up and serializes its own
+    calibrate -> windows barrier with the pool mostly idle.  The
+    ``[[variants]]`` fan-out submits all three variants' tasks into one
+    graph, so one variant's campaign tasks fill the gaps of another's
+    barriers.  Same derived seeds, same devices -- per-variant records
+    must match bit for bit and the one-graph sweep must finish faster
+    than the summed sequential runs at >=2 workers.
+    """
+    if N_WORKERS < 2:
+        pytest.skip("single-CPU runner: pool utilization not measurable")
+    from repro.defects import variant_seed
+    from repro.engine import StudySpec, VariantSpec, build_study
+
+    def digest(outcome):
+        return {block: _coverage_key(outcome.results[block])
+                for block in SWEEP_BLOCKS}
+
+    # Three sequential single-variant runs, each with its own pool (what
+    # three `repro-campaign run` invocations would do).
+    sequential_wall = 0.0
+    n_sequential_tasks = 0
+    sequential = {}
+    for name, dut in SWEEP_VARIANTS:
+        spec = StudySpec(name=f"single-{name}",
+                         seed=variant_seed(BENCHMARK_SEED, name),
+                         stages=_sweep_stages(), dut=dut).validated()
+        outcome = build_study(spec).run(
+            backend=MultiprocessBackend(max_workers=N_WORKERS))
+        assert outcome.ok
+        sequential_wall += outcome.report.wall_time
+        n_sequential_tasks += outcome.report.n_tasks
+        sequential[name] = digest(outcome)
+
+    sweep_spec = StudySpec(
+        name="variant-sweep-bench", seed=BENCHMARK_SEED,
+        stages=_sweep_stages(),
+        variants=tuple(VariantSpec(name=name, dut=dut)
+                       for name, dut in SWEEP_VARIANTS)).validated()
+    swept = build_study(sweep_spec).run(
+        backend=MultiprocessBackend(max_workers=N_WORKERS))
+    assert swept.ok
+
+    for name, _ in SWEEP_VARIANTS:
+        assert digest(swept.variants[name]) == sequential[name]
+
+    print()
+    print(format_table(
+        ["sweep shape", "workers", "#tasks", "wall (s)"],
+        [[f"{len(SWEEP_VARIANTS)} sequential single-variant runs",
+          N_WORKERS, n_sequential_tasks, f"{sequential_wall:.2f}"],
+         ["variant sweep (one graph)", N_WORKERS,
+          swept.report.n_tasks, f"{swept.report.wall_time:.2f}"]],
+        title=f"DUT corner sweep: one graph vs "
+              f"{len(SWEEP_VARIANTS)} sequential runs"))
+
+    assert swept.report.wall_time < sequential_wall
+
+
 def test_spec_compilation_overhead():
     """Declarative studies must compile for free next to running them.
 

@@ -21,7 +21,8 @@ from .comparator import (Comparator, ComparatorLatch, ComparatorOutput,
 from .dac import DacOutput, TenBitDac, split_code
 from .phase_generator import CYCLES_PER_CONVERSION, Phase, PhaseGenerator
 from .reference_buffer import ReferenceBuffer
-from .sar_adc import (DEFAULT_TEST_INPUT_DIFF, OperatingPoint, SarAdc)
+from .sar_adc import (DEFAULT_TEST_INPUT_DIFF, DutAdcFactory,
+                      OperatingPoint, SarAdc)
 from .sar_control import N_PULSES, SarControl
 from .sar_logic import SarLogic
 from .sarcell import SarCell, SarCellOutputs
@@ -33,7 +34,8 @@ from .vcm_generator import VcmGenerator
 __all__ = [
     "AnalogBlock", "AdcSpecification", "Bandgap", "BandgapOutput",
     "CYCLES_PER_CONVERSION", "Comparator", "ComparatorLatch",
-    "ComparatorOutput", "DEFAULT_TEST_INPUT_DIFF", "DacOutput", "LatchOutput",
+    "ComparatorOutput", "DEFAULT_TEST_INPUT_DIFF", "DacOutput",
+    "DutAdcFactory", "LatchOutput",
     "MeasuredPerformance", "MosState", "N_PULSES", "OffsetCompensation",
     "OperatingPoint", "PassiveState", "Phase", "PhaseGenerator",
     "Preamplifier", "PreampOutput", "ReferenceBuffer", "RsLatch", "SarAdc",

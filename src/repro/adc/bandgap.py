@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-from ..circuit.units import VDD, VSS
+from ..dut import DutSpec, default_dut
 from .behavioral import (MosState, PassiveState, combine_effects,
                          diff_stage_effect, mos_state, passive_state)
 from .block import AnalogBlock
@@ -67,8 +67,19 @@ class Bandgap(AnalogBlock):
     #: Nominal master bias current.
     IBIAS_NOMINAL = 20e-6
 
-    def __init__(self, name: str = "bandgap") -> None:
+    def __init__(self, name: str = "bandgap",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
+        # Nominal output / bias of *this instance*: the class attributes
+        # above describe the paper's device, the DutSpec the variant's.
+        self.vbg_nominal = self.dut.vbg
+        self.ibias_nominal = self.dut.ibias
+        # The resistor-network model is dimensioned for the paper's 1.2 V /
+        # 20 uA operating point; a variant retargets it through a trim shift
+        # and a bias scale (both exactly neutral at the defaults).
+        self._vbg_shift = self.dut.vbg - type(self).VBG_NOMINAL
+        self._ibias_scale = self.dut.ibias / type(self).IBIAS_NOMINAL
         nl = self.netlist
         # Bipolar core: Q1 (unit area) and Q2 (N x area) with the PTAT resistor.
         nl.add_pnp("q1", c="vss", b="vss", e="ve1", area=1.0)
@@ -138,7 +149,7 @@ class Bandgap(AnalogBlock):
         # PTAT term through the resistor ratio.
         if r1_state is PassiveState.SHORTED:
             ptat = 0.0 if r1 <= 0 else (r2 / max(r1, 1e-3)) * _VT * math.log(_AREA_RATIO)
-            ptat = min(ptat, VDD)  # ratio explodes -> output saturates
+            ptat = min(ptat, self.dut.vdd)  # ratio explodes -> output saturates
         elif r1_state is PassiveState.OPEN:
             ptat = 0.0
             core_dead = True
@@ -147,7 +158,7 @@ class Bandgap(AnalogBlock):
                 ptat = 0.0
             elif r2_state is PassiveState.OPEN:
                 # Feedback broken: output runs to the supply.
-                return self._railed_output(VDD)
+                return self._railed_output(self.dut.vdd)
             else:
                 ptat = (r2 / r1) * _VT * math.log(_AREA_RATIO) * ptat_scale
 
@@ -164,23 +175,27 @@ class Bandgap(AnalogBlock):
         for dev_name, role in roles.items():
             dev = nl.device(dev_name)
             if dev.has_defect:
-                effects.append(diff_stage_effect(role, dev, severity=0.5))
+                effects.append(diff_stage_effect(role, dev,
+                                                 vdd=self.dut.vdd,
+                                                 severity=0.5))
         amp = combine_effects(effects)
 
         if core_dead or amp.bias_scale == 0.0:
-            return self._railed_output(VSS if core_dead else VDD)
+            return self._railed_output(self.dut.vss if core_dead
+                                        else self.dut.vdd)
 
         vbg = (vbe_eff + ptat) * amp.gain_scale ** 0.1 + amp.offset * 0.2 \
-            + amp.cm_shift * 0.5 + trim
-        vbg = min(max(vbg, 0.0), VDD * 1.05)
+            + amp.cm_shift * 0.5 + trim + self._vbg_shift
+        vbg = min(max(vbg, 0.0), self.dut.vdd * 1.05)
 
         # The master bias current mirrors vbg across R3.
         if r3_state is PassiveState.OPEN:
             ibias = 0.0
         elif r3_state is PassiveState.SHORTED:
-            ibias = self.IBIAS_NOMINAL * 5.0
+            ibias = self.ibias_nominal * 5.0
         else:
-            ibias = (vbg / r3) * self.parameter("ibias_mismatch") * amp.bias_scale
+            ibias = (vbg / r3) * self.parameter("ibias_mismatch") \
+                * amp.bias_scale * self._ibias_scale
         # mp_mirror stuck off kills the distributed bias even if vbg is fine.
         if mos_state(nl.device("mp_mirror")) is MosState.STUCK_OFF:
             ibias = 0.0
@@ -189,7 +204,7 @@ class Bandgap(AnalogBlock):
 
     def _railed_output(self, rail: float) -> BandgapOutput:
         """Output when the core is dead or the loop has run away."""
-        ibias = 0.0 if rail <= 0.1 else self.IBIAS_NOMINAL * 3.0
+        ibias = 0.0 if rail <= 0.1 else self.ibias_nominal * 3.0
         return BandgapOutput(vbg=rail, ibias=ibias)
 
     # -------------------------------------------------------------- observers

@@ -54,6 +54,21 @@ class AnalogBlock:
             raise KeyError(f"block {self.name!r} has no parameter {name!r}")
         self._sampled[name] = float(value)
 
+    def override_nominal(self, name: str, value: float) -> None:
+        """Retarget a parameter's *nominal* (design) value.
+
+        Unlike :meth:`set_parameter`, the override survives
+        :meth:`reset_variation` and recentres Monte Carlo draws, which is
+        what a ``DutSpec`` per-block parameter override means: the variant's
+        design value differs, not one sampled instance.
+        """
+        if name not in self._parameters:
+            raise KeyError(
+                f"block {self.name!r} has no parameter {name!r}; available: "
+                f"{sorted(self._parameters)}")
+        self._parameters[name].nominal = float(value)
+        self._sampled[name] = float(value)
+
     @property
     def parameter_names(self) -> List[str]:
         return list(self._parameters.keys())

@@ -26,8 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..circuit.units import VCM2_NOMINAL, VDD, VSS
-from .bandgap import Bandgap
+from ..dut import DutSpec, default_dut
 from .behavioral import (MosState, PassiveState, combine_effects,
                          diff_stage_effect, mos_state, passive_state,
                          switch_state)
@@ -69,8 +68,10 @@ class OffsetCompensation(AnalogBlock):
     #: Fraction of the raw pre-amplifier offset cancelled by the network.
     COMPENSATION_FACTOR = 0.95
 
-    def __init__(self, name: str = "offset_compensation") -> None:
+    def __init__(self, name: str = "offset_compensation",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
         nl = self.netlist
         nl.add_capacitor("c_az_p", p="az_p", n="preamp_out_p", value=1e-12)
         nl.add_capacitor("c_az_n", p="az_n", n="preamp_out_n", value=1e-12)
@@ -121,8 +122,10 @@ class Preamplifier(AnalogBlock):
     #: Maximum single-ended output excursion around the common mode.
     SWING_LIMIT = 0.45
 
-    def __init__(self, name: str = "preamplifier") -> None:
+    def __init__(self, name: str = "preamplifier",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
         nl = self.netlist
         # Matched input pair and tail source: large-area analog devices.
         nl.add_nmos("mn_in_p", d="out_n", g="dac_p", s="tail", w=12e-6,
@@ -135,7 +138,7 @@ class Preamplifier(AnalogBlock):
         nl.add_resistor("r_load_n", p="vdd", n="out_n", value=30e3)
 
         self.declare_parameter("raw_offset", 0.0, sigma=4e-3)
-        self.declare_parameter("vcm2", VCM2_NOMINAL, sigma=2e-3)
+        self.declare_parameter("vcm2", self.dut.vcm2, sigma=2e-3)
         self.declare_parameter("gain", self.GAIN_NOMINAL, sigma=0.4)
 
     # ------------------------------------------------------------------ model
@@ -160,8 +163,9 @@ class Preamplifier(AnalogBlock):
 
         # Bias-current dependence: the output common mode sits at
         # VDD - I*R/2 per side; losing the bias pushes both outputs to VDD.
-        bias_ratio = max(ibias, 0.0) / Bandgap.IBIAS_NOMINAL
-        vcm2 = VDD - bias_ratio * (VDD - self.parameter("vcm2"))
+        vdd = self.dut.vdd
+        bias_ratio = max(ibias, 0.0) / self.dut.ibias
+        vcm2 = vdd - bias_ratio * (vdd - self.parameter("vcm2"))
         gain = self.parameter("gain") * math.sqrt(max(bias_ratio, 0.0))
 
         # Structural defects of the stage.
@@ -171,7 +175,8 @@ class Preamplifier(AnalogBlock):
         for dev_name, role in roles.items():
             dev = self.netlist.device(dev_name)
             if dev.has_defect:
-                effects.append(diff_stage_effect(role, dev, severity=1.0))
+                effects.append(diff_stage_effect(role, dev, vdd=vdd,
+                                                 severity=1.0))
         # Resistive loads: a short pins that output to VDD, an open lets the
         # input device pull it to ground, value deviations shift the CM and
         # create offset.
@@ -183,15 +188,15 @@ class Preamplifier(AnalogBlock):
             state, value = passive_state(dev)
             key = "stuck_positive" if side == "p" else "stuck_negative"
             if state is PassiveState.SHORTED:
-                load_effects.append(_stage_stuck(key, VDD))
+                load_effects.append(_stage_stuck(key, vdd))
             elif state is PassiveState.OPEN:
-                load_effects.append(_stage_stuck(key, VSS))
+                load_effects.append(_stage_stuck(key, self.dut.vss))
             else:
                 # The voltage drop across that load changes, which moves the
                 # stage common mode and creates a differential imbalance.
                 scale = dev.defect.value_scale
                 sign = 1.0 if side == "p" else -1.0
-                shift = (1.0 - scale) * (VDD - vcm2) * 0.5
+                shift = (1.0 - scale) * (vdd - vcm2) * 0.5
                 load_effects.append(_stage_shift(cm_shift=shift,
                                                  offset=sign * shift * 0.2))
         amp = combine_effects(effects + load_effects)
@@ -216,8 +221,8 @@ class Preamplifier(AnalogBlock):
                 lin_p = 0.2
             elif stuck_side == "n":
                 lin_m = 0.2
-            lin_p = min(max(lin_p, VSS), VDD)
-            lin_m = min(max(lin_m, VSS), VDD)
+            lin_p = min(max(lin_p, self.dut.vss), vdd)
+            lin_m = min(max(lin_m, self.dut.vss), vdd)
             outputs.append(PreampOutput(lin_p=lin_p, lin_m=lin_m))
         return outputs
 
@@ -253,8 +258,10 @@ class ComparatorLatch(AnalogBlock):
 
     block_path = "comparator_latch"
 
-    def __init__(self, name: str = "comparator_latch") -> None:
+    def __init__(self, name: str = "comparator_latch",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
         nl = self.netlist
         nl.add_nmos("mn_cross_p", d="ql_p", g="ql_n", s="latch_tail", w=3e-6)
         nl.add_nmos("mn_cross_n", d="ql_n", g="ql_p", s="latch_tail", w=3e-6)
@@ -283,15 +290,16 @@ class ComparatorLatch(AnalogBlock):
         pmos_states = [(mos_state(self.netlist.device(name)), target)
                        for name, target in (("mp_cross_p", "p"),
                                             ("mp_cross_n", "n"))]
+        vdd, vss = self.dut.vdd, self.dut.vss
         outputs = []
         for lin_p, lin_m in pairs:
             decision_high = (lin_p - lin_m) > offset
-            q_p = VDD if decision_high else VSS
-            q_m = VSS if decision_high else VDD
+            q_p = vdd if decision_high else vss
+            q_m = vss if decision_high else vdd
 
             if clk_state is MosState.STUCK_OFF:
                 # The latch never evaluates: both outputs stay precharged high.
-                outputs.append(LatchOutput(q_p=VDD, q_m=VDD))
+                outputs.append(LatchOutput(q_p=vdd, q_m=vdd))
                 continue
             if clk_state is MosState.STUCK_ON:
                 # The latch is always evaluating; behaviourally it still
@@ -305,40 +313,40 @@ class ComparatorLatch(AnalogBlock):
             for state, target in nmos_states:
                 if state is MosState.STUCK_ON:
                     if target == "p":
-                        q_p = VSS
+                        q_p = vss
                     else:
-                        q_m = VSS
+                        q_m = vss
                 elif state is MosState.STUCK_OFF:
                     if target == "p":
-                        q_p = max(q_p, 0.7 * VDD)
+                        q_p = max(q_p, 0.7 * vdd)
                     else:
-                        q_m = max(q_m, 0.7 * VDD)
+                        q_m = max(q_m, 0.7 * vdd)
                 elif state is MosState.DEGRADED:
                     # Weakened pull-down: the high level is unaffected but a
                     # low output cannot be fully discharged.
                     if target == "p":
-                        q_p = max(q_p, 0.45 * VDD)
+                        q_p = max(q_p, 0.45 * vdd)
                     else:
-                        q_m = max(q_m, 0.45 * VDD)
+                        q_m = max(q_m, 0.45 * vdd)
             for state, target in pmos_states:
                 if state is MosState.STUCK_ON:
                     if target == "p":
-                        q_p = VDD
+                        q_p = vdd
                     else:
-                        q_m = VDD
+                        q_m = vdd
                 elif state is MosState.STUCK_OFF:
                     if target == "p":
-                        q_p = min(q_p, 0.3 * VDD)
+                        q_p = min(q_p, 0.3 * vdd)
                     else:
-                        q_m = min(q_m, 0.3 * VDD)
+                        q_m = min(q_m, 0.3 * vdd)
                 elif state is MosState.DEGRADED:
                     # Weakened pull-up: the high level droops.
                     if target == "p":
-                        q_p = min(q_p, 0.62 * VDD)
+                        q_p = min(q_p, 0.62 * vdd)
                     else:
-                        q_m = min(q_m, 0.62 * VDD)
-            outputs.append(LatchOutput(q_p=min(max(q_p, VSS), VDD),
-                                       q_m=min(max(q_m, VSS), VDD)))
+                        q_m = min(q_m, 0.62 * vdd)
+            outputs.append(LatchOutput(q_p=min(max(q_p, vss), vdd),
+                                       q_m=min(max(q_m, vss), vdd)))
         return outputs
 
 
@@ -347,11 +355,19 @@ class RsLatch(AnalogBlock):
 
     block_path = "rs_latch"
 
-    #: Threshold used to interpret the comparator-latch outputs as set/reset.
-    _THRESHOLD = 0.5 * VDD
-
-    def __init__(self, name: str = "rs_latch") -> None:
+    def __init__(self, name: str = "rs_latch",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
+        #: Threshold used to interpret the comparator-latch outputs as
+        #: set/reset.
+        self._threshold = 0.5 * self.dut.vdd
+        #: Band of comparator-latch levels considered "weak" (neither a clean
+        #: low nor a clean high); weak levels propagate through the RS gates
+        #: instead of being regenerated, like they would through real,
+        #: ratioed logic.
+        self._weak_low = 0.25 * self.dut.vdd
+        self._weak_high = 0.8 * self.dut.vdd
         nl = self.netlist
         # Two cross-coupled NAND gates, two transistors modelled per gate.
         nl.add_pmos("mp_nand_a", d="q_p", g="q_n", s="vdd", w=2e-6)
@@ -363,12 +379,6 @@ class RsLatch(AnalogBlock):
     def reset_state(self) -> None:
         """Forget the stored decision (used between simulation runs)."""
         self._state = 0
-
-    #: Band of comparator-latch levels considered "weak" (neither a clean low
-    #: nor a clean high); weak levels propagate through the RS gates instead
-    #: of being regenerated, like they would through real, ratioed logic.
-    _WEAK_LOW = 0.25 * VDD
-    _WEAK_HIGH = 0.8 * VDD
 
     def evaluate(self, latch: LatchOutput) -> LatchOutput:
         """Latch the comparator decision and drive complementary outputs."""
@@ -390,8 +400,8 @@ class RsLatch(AnalogBlock):
 
     def _evaluate_with_actions(self, latch: LatchOutput,
                                actions: list) -> LatchOutput:
-        set_high = latch.q_p > self._THRESHOLD
-        reset_high = latch.q_m > self._THRESHOLD
+        set_high = latch.q_p > self._threshold
+        reset_high = latch.q_m > self._threshold
         if set_high and not reset_high:
             self._state = 1
         elif reset_high and not set_high:
@@ -399,16 +409,16 @@ class RsLatch(AnalogBlock):
         elif set_high and reset_high:
             # Invalid input (both comparator outputs high): both RS outputs
             # are driven high, which the complementary-output invariance sees.
-            return self._apply_actions(VDD, VDD, actions)
+            return self._apply_actions(self.dut.vdd, self.dut.vdd, actions)
         # else: hold the previous state.
-        q_p = VDD if self._state else VSS
-        q_m = VSS if self._state else VDD
+        q_p = self.dut.vdd if self._state else self.dut.vss
+        q_m = self.dut.vss if self._state else self.dut.vdd
         # A weak (mid-rail) comparator-latch level does not switch the RS gate
         # cleanly; the corresponding output degrades instead of regenerating,
         # which keeps such upstream defects observable at the checker.
-        if self._WEAK_LOW < latch.q_p < self._WEAK_HIGH:
+        if self._weak_low < latch.q_p < self._weak_high:
             q_p = latch.q_p
-        if self._WEAK_LOW < latch.q_m < self._WEAK_HIGH:
+        if self._weak_low < latch.q_m < self._weak_high:
             q_m = latch.q_m
         return self._apply_actions(q_p, q_m, actions)
 
@@ -420,11 +430,12 @@ class RsLatch(AnalogBlock):
         output, so it is resolved per evaluation in
         :meth:`_apply_actions`.
         """
+        vdd, vss = self.dut.vdd, self.dut.vss
         actions = []
-        for name, target, rail in (("mp_nand_a", "p", VDD),
-                                   ("mn_nand_a", "p", VSS),
-                                   ("mp_nand_b", "n", VDD),
-                                   ("mn_nand_b", "n", VSS)):
+        for name, target, rail in (("mp_nand_a", "p", vdd),
+                                   ("mn_nand_a", "p", vss),
+                                   ("mp_nand_b", "n", vdd),
+                                   ("mn_nand_b", "n", vss)):
             device = self.netlist.device(name)
             state = mos_state(device)
             if state is MosState.NORMAL:
@@ -438,25 +449,26 @@ class RsLatch(AnalogBlock):
                     continue
                 # Gate-drain short: the output is loaded by the opposite
                 # output through the shorted gate and settles at a weak level.
-                actions.append((target, 0.7 * VDD))
+                actions.append((target, 0.7 * vdd))
             elif state is MosState.STUCK_ON:
                 actions.append((target, rail))
             else:  # STUCK_OFF: the output loses one of its drivers
                 actions.append((target,
-                                VDD - rail if rail == VSS else None))
+                                vdd - rail if rail == vss else None))
         return actions
 
-    @staticmethod
-    def _apply_actions(q_p: float, q_m: float, actions: list) -> LatchOutput:
+    def _apply_actions(self, q_p: float, q_m: float,
+                       actions: list) -> LatchOutput:
+        vdd, vss = self.dut.vdd, self.dut.vss
         for target, value in actions:
             if value is None:
-                value = q_p * 0.5 + 0.25 * VDD
+                value = q_p * 0.5 + 0.25 * vdd
             if target == "p":
                 q_p = value
             else:
                 q_m = value
-        return LatchOutput(q_p=min(max(q_p, VSS), VDD),
-                           q_m=min(max(q_m, VSS), VDD))
+        return LatchOutput(q_p=min(max(q_p, vss), vdd),
+                           q_m=min(max(q_m, vss), vdd))
 
 
 @dataclass
@@ -483,11 +495,12 @@ class ComparatorOutput:
 class Comparator:
     """The full comparator chain of the SARCELL."""
 
-    def __init__(self) -> None:
-        self.preamplifier = Preamplifier()
-        self.latch = ComparatorLatch()
-        self.rs_latch = RsLatch()
-        self.offset_compensation = OffsetCompensation()
+    def __init__(self, dut: Optional[DutSpec] = None) -> None:
+        self.dut = dut or default_dut()
+        self.preamplifier = Preamplifier(dut=self.dut)
+        self.latch = ComparatorLatch(dut=self.dut)
+        self.rs_latch = RsLatch(dut=self.dut)
+        self.offset_compensation = OffsetCompensation(dut=self.dut)
 
     @property
     def blocks(self):

@@ -11,9 +11,10 @@ the differential comparator inputs ``DAC+`` / ``DAC-``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..circuit.errors import SimulationError
+from ..dut import DutSpec, default_dut
 from .sc_array import ScArray, ScArrayInputs
 from .subdac import SubDac, make_subdac1, make_subdac2
 
@@ -35,20 +36,25 @@ class DacOutput:
                 "L-": self.l_m, "DAC+": self.dac_p, "DAC-": self.dac_m}
 
 
-def split_code(code: int) -> Tuple[int, int]:
-    """Split a 10-bit code ``B<0:9>`` into (``B<5:9>``, ``B<0:4>``)."""
-    if not 0 <= code <= 1023:
-        raise SimulationError(f"10-bit code must be in [0, 1023], got {code}")
-    return code >> 5, code & 0x1F
+def split_code(code: int, bits: int = 10) -> Tuple[int, int]:
+    """Split a ``bits``-wide code into its (MSB half, LSB half) sub-DAC codes
+    (``B<5:9>`` and ``B<0:4>`` for the paper's 10-bit device)."""
+    full = (1 << bits) - 1
+    if not 0 <= code <= full:
+        raise SimulationError(
+            f"{bits}-bit code must be in [0, {full}], got {code}")
+    half = bits // 2
+    return code >> half, code & ((1 << half) - 1)
 
 
 class TenBitDac:
     """The complete 10-bit DAC of the SARCELL (Fig. 4 of the paper)."""
 
-    def __init__(self) -> None:
-        self.subdac1: SubDac = make_subdac1()
-        self.subdac2: SubDac = make_subdac2()
-        self.sc_array = ScArray()
+    def __init__(self, dut: Optional[DutSpec] = None) -> None:
+        self.dut = dut or default_dut()
+        self.subdac1: SubDac = make_subdac1(dut=self.dut)
+        self.subdac2: SubDac = make_subdac2(dut=self.dut)
+        self.sc_array = ScArray(dut=self.dut)
 
     # ------------------------------------------------------------------ model
     def evaluate(self, msb_code: int, lsb_code: int, in_p: float, in_m: float,
@@ -66,7 +72,8 @@ class TenBitDac:
         vcm:
             The common-mode voltage from the Vcm generator.
         vref:
-            The 33 reference levels from the reference buffer.
+            The reference levels from the reference buffer (33 for the
+            paper's 10-bit device).
         """
         sub1 = self.subdac1.evaluate(msb_code, vref)
         sub2 = self.subdac2.evaluate(lsb_code, vref)
@@ -74,15 +81,15 @@ class TenBitDac:
             in_p=in_p, in_m=in_m,
             m_p=sub1.out_p, m_m=sub1.out_n,
             l_p=sub2.out_p, l_m=sub2.out_n,
-            vcm=vcm, vref_mid=vref[16]))
+            vcm=vcm, vref_mid=vref[self.dut.mid_tap]))
         return DacOutput(m_p=sub1.out_p, m_m=sub1.out_n,
                          l_p=sub2.out_p, l_m=sub2.out_n,
                          dac_p=sc_out.dac_p, dac_m=sc_out.dac_m)
 
     def evaluate_code(self, code: int, in_p: float, in_m: float, vcm: float,
                       vref: Sequence[float]) -> DacOutput:
-        """Evaluate the DAC for a full 10-bit code ``B<0:9>``."""
-        msb, lsb = split_code(code)
+        """Evaluate the DAC for a full-resolution code ``B<0:9>``."""
+        msb, lsb = split_code(code, self.dut.resolution_bits)
         return self.evaluate(msb, lsb, in_p, in_m, vcm, vref)
 
     # ----------------------------------------------------------------- blocks

@@ -20,17 +20,14 @@ up very low even though many ladder defects are detected.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..circuit.errors import SolverError
 from ..circuit.solver import LinearNetwork
-from ..circuit.units import N_REF_LEVELS, VDD, VSS
+from ..dut import DutSpec, default_dut
 from .behavioral import (PassiveState, combine_effects, diff_stage_effect,
                          passive_state)
 from .block import AnalogBlock
-
-#: Unit resistance of one ladder segment.
-_R_UNIT = 500.0
 
 
 class ReferenceBuffer(AnalogBlock):
@@ -38,8 +35,12 @@ class ReferenceBuffer(AnalogBlock):
 
     block_path = "reference_buffer"
 
-    def __init__(self, name: str = "reference_buffer") -> None:
+    def __init__(self, name: str = "reference_buffer",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
+        #: Ladder taps of this instance (``VREF<0:2**half_bits>``).
+        self.n_levels = self.dut.n_ref_levels
         nl = self.netlist
         # Unity-gain buffer between the bandgap output and the ladder top.
         # The devices are sized large (wide W) which gives them a large area
@@ -53,11 +54,12 @@ class ReferenceBuffer(AnalogBlock):
         # Compensation / decoupling around the buffer output.
         nl.add_capacitor("c_comp", p="vref_top", n="vss", value=5e-12)
         nl.add_resistor("r_fb", p="vref_top", n="bb", value=10e3)
-        nl.add_resistor("r_out", p="vref_top", n="tap_32", value=20.0)
-        # 32-segment reference ladder: tap_0 (bottom, VSS) ... tap_32 (top).
-        for seg in range(32):
+        top = self.n_levels - 1
+        nl.add_resistor("r_out", p="vref_top", n=f"tap_{top}", value=20.0)
+        # The reference ladder: tap_0 (bottom, VSS) ... tap_<top> (top).
+        for seg in range(top):
             nl.add_resistor(f"rlad_{seg:02d}", p=f"tap_{seg + 1}",
-                            n=f"tap_{seg}", value=_R_UNIT)
+                            n=f"tap_{seg}", value=self.dut.r_ladder)
 
         self.declare_parameter("buffer_gain", 1.0, sigma=0.001)
         self.declare_parameter("buffer_offset", 0.0, sigma=1e-3)
@@ -73,7 +75,9 @@ class ReferenceBuffer(AnalogBlock):
         for dev_name, role in roles.items():
             dev = self.netlist.device(dev_name)
             if dev.has_defect:
-                effects.append(diff_stage_effect(role, dev, severity=0.8))
+                effects.append(diff_stage_effect(role, dev,
+                                                 vdd=self.dut.vdd,
+                                                 severity=0.8))
         amp = combine_effects(effects)
 
         v_top = vbg * self.parameter("buffer_gain") + \
@@ -89,12 +93,12 @@ class ReferenceBuffer(AnalogBlock):
         # Feedback resistor open breaks the loop -> output runs to the supply.
         fb_state, _ = passive_state(self.netlist.device("r_fb"))
         if fb_state is PassiveState.OPEN:
-            v_top = VDD
+            v_top = self.dut.vdd
         # Decoupling capacitor shorted pulls the reference to ground.
         comp_state, _ = passive_state(self.netlist.device("c_comp"))
         if comp_state is PassiveState.SHORTED:
-            v_top = VSS
-        return min(max(v_top, VSS), VDD)
+            v_top = self.dut.vss
+        return min(max(v_top, self.dut.vss), self.dut.vdd)
 
     def evaluate(self, vbg: float) -> List[float]:
         """Return the 33 reference levels ``VREF[0] .. VREF[32]``.
@@ -105,20 +109,21 @@ class ReferenceBuffer(AnalogBlock):
         """
         v_top = self._buffer_output(vbg)
 
+        top = self.n_levels - 1
         net = LinearNetwork()
-        net.set_voltage("tap_0", VSS)
+        net.set_voltage("tap_0", self.dut.vss)
         net.set_voltage("vdrive", v_top)
         # The buffer drives the top tap through its (possibly defective)
         # output resistance.
         rout_state, rout_value = passive_state(self.netlist.device("r_out"))
         if rout_state is PassiveState.OPEN:
             # Ladder top floats: a weak pull to ground discharges it.
-            net.add_resistor("vdrive", "tap_32", rout_value)
-            net.add_resistor("tap_32", "tap_0", 1e7)
+            net.add_resistor("vdrive", f"tap_{top}", rout_value)
+            net.add_resistor(f"tap_{top}", "tap_0", 1e7)
         else:
-            net.add_resistor("vdrive", "tap_32", rout_value)
+            net.add_resistor("vdrive", f"tap_{top}", rout_value)
 
-        for seg in range(32):
+        for seg in range(top):
             state, value = passive_state(self.netlist.device(f"rlad_{seg:02d}"))
             net.add_resistor(f"tap_{seg + 1}", f"tap_{seg}", value)
 
@@ -127,10 +132,14 @@ class ReferenceBuffer(AnalogBlock):
         except SolverError:
             # A pathological defect combination left a tap floating; report
             # every tap at ground, which any downstream invariance will see.
-            return [VSS] * N_REF_LEVELS
-        return [solution[f"tap_{j}"] for j in range(N_REF_LEVELS)]
+            return [self.dut.vss] * self.n_levels
+        return [solution[f"tap_{j}"] for j in range(self.n_levels)]
 
     # -------------------------------------------------------------- observers
     def observables(self, vbg: float) -> Dict[str, float]:
         vref = self.evaluate(vbg)
-        return {"VREF0": vref[0], "VREF16": vref[16], "VREF32": vref[32]}
+        # The keys are the paper's signal labels for the bottom / mid-scale /
+        # full-scale taps; on a non-10-bit variant they still name those
+        # three taps (not literal indexes).
+        return {"VREF0": vref[0], "VREF16": vref[self.dut.mid_tap],
+                "VREF32": vref[-1]}

@@ -15,6 +15,12 @@ the repository:
 The ADC also builds the :class:`~repro.circuit.netlist.NetlistHierarchy` that
 the defect-universe extractor walks, with one entry per analog block in the
 same order as Table I of the paper.
+
+The device itself is declarative data: every electrical quantity and the
+resolution come from the instance's :class:`~repro.dut.DutSpec`.  The default
+``DutSpec()`` reproduces the paper's 65 nm 10-bit device bit-identically;
+studies sweep variants by constructing :class:`DutAdcFactory` with a
+non-default spec.
 """
 
 from __future__ import annotations
@@ -26,8 +32,8 @@ import numpy as np
 
 from ..circuit.errors import SimulationError
 from ..circuit.netlist import NetlistHierarchy
-from ..circuit.units import ADC_BITS, VCM_NOMINAL, VDD
 from ..circuit.variation import VariationSpec
+from ..dut import DutSpec, default_dut
 from .bandgap import Bandgap
 from .block import AnalogBlock
 from .reference_buffer import ReferenceBuffer
@@ -62,13 +68,40 @@ class OperatingPoint:
 
 
 class SarAdc:
-    """Behavioral 65 nm 10-bit SAR ADC IP model."""
+    """Behavioral 65 nm SAR ADC IP model (10-bit by default)."""
 
-    def __init__(self) -> None:
-        self.bandgap = Bandgap()
-        self.reference_buffer = ReferenceBuffer()
-        self.sar_control = SarControl()
-        self.sarcell = SarCell()
+    def __init__(self, dut: Optional[DutSpec] = None) -> None:
+        self.dut = dut or default_dut()
+        self.bandgap = Bandgap(dut=self.dut)
+        self.reference_buffer = ReferenceBuffer(dut=self.dut)
+        self.sar_control = SarControl(
+            n_pulses=self.dut.cycles_per_conversion)
+        self.sarcell = SarCell(dut=self.dut)
+        self._apply_block_params()
+
+    def _apply_block_params(self) -> None:
+        """Apply the spec's per-block parameter overrides.
+
+        Each ``[dut.block_params.<block>]`` entry retargets the *nominal* of
+        a declared block parameter, so Monte Carlo variation draws centre on
+        the overridden value instead of the design default.
+        """
+        from ..circuit.errors import DutSpecError
+        known = {blk.block_path: blk for blk in self.analog_blocks}
+        for block_path, overrides in self.dut.block_params.items():
+            block = known.get(block_path)
+            if block is None:
+                raise DutSpecError(
+                    f"dut.block_params names unknown block {block_path!r}; "
+                    f"known blocks: {sorted(known)}")
+            for param_name, value in overrides.items():
+                try:
+                    block.override_nominal(param_name, value)
+                except KeyError as exc:
+                    raise DutSpecError(
+                        f"dut.block_params.{block_path} names unknown "
+                        f"parameter {param_name!r}; available: "
+                        f"{sorted(block.parameter_names)}") from exc
 
     # ----------------------------------------------------------------- blocks
     @property
@@ -108,6 +141,8 @@ class SarAdc:
     def sample_variation(self, rng: np.random.Generator,
                          spec: Optional[VariationSpec] = None) -> None:
         """Apply one Monte Carlo process-variation draw to every analog block."""
+        if spec is None:
+            spec = self.dut.variation_spec()
         for blk in self.analog_blocks:
             blk.sample_variation(rng, spec)
 
@@ -116,9 +151,18 @@ class SarAdc:
             blk.reset_variation()
 
     # --------------------------------------------------------------- op point
-    def operating_point(self, input_diff: float = DEFAULT_TEST_INPUT_DIFF,
-                        input_cm: float = VCM_NOMINAL) -> OperatingPoint:
-        """Compute the DC operating point (after any defect injection)."""
+    def operating_point(self, input_diff: Optional[float] = None,
+                        input_cm: Optional[float] = None) -> OperatingPoint:
+        """Compute the DC operating point (after any defect injection).
+
+        ``input_diff`` / ``input_cm`` default to the spec's SymBIST test
+        stimulus (a 275 mV differential level at the nominal common mode for
+        the paper's device).
+        """
+        if input_diff is None:
+            input_diff = self.dut.test_input_diff
+        if input_cm is None:
+            input_cm = self.dut.common_mode
         bg = self.bandgap.evaluate()
         vref = self.reference_buffer.evaluate(bg.vbg)
         return OperatingPoint(vbg=bg.vbg, ibias=bg.ibias, vref=vref,
@@ -128,18 +172,19 @@ class SarAdc:
     # ------------------------------------------------------------ SymBIST mode
     def evaluate_test_cycle(self, counter_code: int,
                             op: Optional[OperatingPoint] = None,
-                            input_diff: float = DEFAULT_TEST_INPUT_DIFF
+                            input_diff: Optional[float] = None
                             ) -> Dict[str, float]:
         """Evaluate one SymBIST test cycle.
 
-        The 5-bit ``counter_code`` is applied to both sub-DAC inputs
-        (``B<0:4>`` and ``B<5:9>``), exactly like the paper's test stimulus.
-        Returns every signal observed by the invariances plus the supply and
-        bias observables.
+        The half-resolution ``counter_code`` is applied to both sub-DAC
+        inputs (``B<0:4>`` and ``B<5:9>`` on the paper's 10-bit device),
+        exactly like the paper's test stimulus.  Returns every signal
+        observed by the invariances plus the supply and bias observables.
         """
-        if not 0 <= counter_code <= 31:
+        code_max = self.dut.counter_codes - 1
+        if not 0 <= counter_code <= code_max:
             raise SimulationError(
-                f"counter code must be in [0, 31], got {counter_code}")
+                f"counter code must be in [0, {code_max}], got {counter_code}")
         if op is None:
             op = self.operating_point(input_diff=input_diff)
         outputs = self.sarcell.evaluate(counter_code, counter_code,
@@ -147,32 +192,38 @@ class SarAdc:
                                         op.vref)
         signals = outputs.as_signals()
         signals.update({
-            "VREF32": op.vref[32],
-            "VREF16": op.vref[16],
+            # Paper signal names: VREF32 is the full-scale tap and VREF16 the
+            # mid tap, whatever the variant's actual tap count.
+            "VREF32": op.vref[-1],
+            "VREF16": op.vref[self.dut.mid_tap],
             "VBG": op.vbg,
             "IBIAS": op.ibias,
             "IN+": op.in_p,
             "IN-": op.in_m,
-            "VDD": VDD,
+            "VDD": self.dut.vdd,
         })
         return signals
 
     # --------------------------------------------------------- conversion mode
-    def convert(self, input_diff: float, input_cm: float = VCM_NOMINAL,
+    def convert(self, input_diff: float, input_cm: Optional[float] = None,
                 op: Optional[OperatingPoint] = None) -> int:
-        """Convert one fully-differential input sample to a 10-bit code."""
+        """Convert one fully-differential input sample to an output code."""
+        if input_cm is None:
+            input_cm = self.dut.common_mode
         if op is None:
             op = self.operating_point(input_diff=input_diff, input_cm=input_cm)
         else:
             op = OperatingPoint(vbg=op.vbg, ibias=op.ibias, vref=op.vref,
                                 in_p=input_cm + 0.5 * input_diff,
                                 in_m=input_cm - 0.5 * input_diff)
+        half = self.dut.half_bits
+        lsb_mask = self.dut.counter_codes - 1
         logic = self.sarcell.sar_logic
         logic.start_conversion()
         self.sarcell.comparator.rs_latch.reset_state()
         for _ in range(logic.n_bits):
             trial = logic.trial_code()
-            msb_code, lsb_code = trial >> 5, trial & 0x1F
+            msb_code, lsb_code = trial >> half, trial & lsb_mask
             outputs = self.sarcell.evaluate(msb_code, lsb_code,
                                             op.in_p, op.in_m,
                                             op.vbg, op.ibias, op.vref)
@@ -183,8 +234,10 @@ class SarAdc:
         return logic.result()
 
     def convert_many(self, input_diffs: Iterable[float],
-                     input_cm: float = VCM_NOMINAL) -> List[int]:
+                     input_cm: Optional[float] = None) -> List[int]:
         """Convert a sequence of input samples, reusing one operating point."""
+        if input_cm is None:
+            input_cm = self.dut.common_mode
         op = self.operating_point(input_diff=0.0, input_cm=input_cm)
         codes = []
         for diff in input_diffs:
@@ -196,17 +249,56 @@ class SarAdc:
         """Approximate differential input range of the converter.
 
         Derived from the charge-redistribution weights: the comparator
-        threshold for code ``c`` sits at ``(c - 528) * VREF_FS / 528``.
+        threshold for code ``c`` sits at ``(c - mid) * VREF_FS / mid`` where
+        ``mid`` is the zero-input code (528 on the paper's device).
         """
         op = self.operating_point(input_diff=0.0)
         vfs = op.vref_full_scale
-        low = -528.0 * vfs / 528.0
-        high = (1023.0 - 528.0) * vfs / 528.0
+        mid = float(self.dut.mid_code)
+        low = -mid * vfs / mid
+        high = (float(self.dut.full_code) - mid) * vfs / mid
         return low, high
 
     def code_to_input(self, code: int) -> float:
-        """Ideal differential input corresponding to a 10-bit output code."""
-        if not 0 <= code < 2 ** ADC_BITS:
-            raise SimulationError(f"code must be a 10-bit value, got {code}")
+        """Ideal differential input corresponding to an output code."""
+        if not 0 <= code < self.dut.n_codes:
+            raise SimulationError(
+                f"code must be a {self.dut.resolution_bits}-bit value "
+                f"(0 .. {self.dut.full_code}), got {code}")
         op = self.operating_point(input_diff=0.0)
-        return (code - 528.0) * op.vref_full_scale / 528.0
+        mid = float(self.dut.mid_code)
+        return (code - mid) * op.vref_full_scale / mid
+
+
+class DutAdcFactory:
+    """Picklable ADC factory bound to one :class:`DutSpec`.
+
+    Used wherever the engine needs a zero-argument ``adc_factory`` callable:
+    the instance pickles into worker processes, and its :attr:`token` keys
+    result-cache entries by the spec fingerprint so two variants never share
+    cached artifacts.  A default-spec factory keeps the plain ``SarAdc``
+    token, which is what makes pre-refactor caches replay bit-identically.
+    """
+
+    def __init__(self, dut: Optional[DutSpec] = None) -> None:
+        self.dut = dut or default_dut()
+
+    def __call__(self) -> SarAdc:
+        return SarAdc(self.dut)
+
+    @property
+    def token(self) -> str:
+        """Stable cache-key token for this factory."""
+        base = f"{SarAdc.__module__}.{SarAdc.__qualname__}"
+        if self.dut.is_default:
+            return base
+        return f"{base}#dut={self.dut.fingerprint()}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DutAdcFactory) and other.dut == self.dut
+
+    def __hash__(self) -> int:
+        return hash((DutAdcFactory, self.dut.fingerprint()))
+
+    def __repr__(self) -> str:
+        return f"DutAdcFactory(dut={self.dut!r})"

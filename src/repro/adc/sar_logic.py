@@ -15,13 +15,12 @@ for the digital-BIST experiment is in :mod:`repro.digital.blocks`.
 from __future__ import annotations
 
 from ..circuit.errors import SimulationError
-from ..circuit.units import ADC_BITS
 
 
 class SarLogic:
     """Behavioral successive-approximation register."""
 
-    def __init__(self, n_bits: int = ADC_BITS) -> None:
+    def __init__(self, n_bits: int = 10) -> None:
         if n_bits <= 0:
             raise SimulationError(f"n_bits must be positive, got {n_bits}")
         self.n_bits = n_bits

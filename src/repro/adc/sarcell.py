@@ -11,8 +11,9 @@ the SAR logic).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
+from ..dut import DutSpec, default_dut
 from .comparator import Comparator, ComparatorOutput
 from .dac import DacOutput, TenBitDac
 from .phase_generator import PhaseGenerator
@@ -38,12 +39,14 @@ class SarCellOutputs:
 class SarCell:
     """Behavioral SARCELL: DAC + comparator + Vcm generator + SAR logic."""
 
-    def __init__(self) -> None:
-        self.dac = TenBitDac()
-        self.comparator = Comparator()
-        self.vcm_generator = VcmGenerator()
-        self.phase_generator = PhaseGenerator()
-        self.sar_logic = SarLogic()
+    def __init__(self, dut: Optional[DutSpec] = None) -> None:
+        self.dut = dut or default_dut()
+        self.dac = TenBitDac(dut=self.dut)
+        self.comparator = Comparator(dut=self.dut)
+        self.vcm_generator = VcmGenerator(dut=self.dut)
+        self.phase_generator = PhaseGenerator(
+            cycles_per_conversion=self.dut.cycles_per_conversion)
+        self.sar_logic = SarLogic(n_bits=self.dut.resolution_bits)
 
     # ----------------------------------------------------------------- blocks
     @property

@@ -27,18 +27,12 @@ cancellation on one side only and shift the sum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-from ..circuit.units import VDD, VSS
+from ..dut import DutSpec, default_dut
 from .behavioral import effective_capacitance, switch_state
 from .block import AnalogBlock
 
-#: Unit capacitance of the array.
-_C_UNIT = 50e-15
-#: Capacitor weights (in units) for the sampling, MSB and LSB capacitors.
-_CS_UNITS = 33.0
-_CM_UNITS = 32.0
-_CL_UNITS = 1.0
 #: Residual coupling of the ideal DAC voltage through a permanently-on reset
 #: switch (the switch loads the top plate towards Vcm but does not pin it).
 _RESET_STUCK_ON_COUPLING = 0.3
@@ -74,16 +68,26 @@ class ScArray(AnalogBlock):
 
     block_path = "sc_array"
 
-    def __init__(self, name: str = "sc_array") -> None:
+    def __init__(self, name: str = "sc_array",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
+        # Capacitor weights follow the sub-DAC structure: the MSB capacitor
+        # spans the counter codes (2**h units), the sampling capacitor one
+        # unit more, the LSB capacitor one unit (33 / 32 / 1 for the paper's
+        # 10-bit device).
+        cs_units = float(self.dut.n_ref_levels)
+        cm_units = float(self.dut.counter_codes)
+        cl_units = 1.0
+        c_unit = self.dut.c_unit
         nl = self.netlist
         for side in ("p", "n"):
             nl.add_capacitor(f"cs_{side}", p=f"top_{side}", n=f"bs_{side}",
-                             value=_CS_UNITS * _C_UNIT)
+                             value=cs_units * c_unit)
             nl.add_capacitor(f"cm_{side}", p=f"top_{side}", n=f"bm_{side}",
-                             value=_CM_UNITS * _C_UNIT)
+                             value=cm_units * c_unit)
             nl.add_capacitor(f"cl_{side}", p=f"top_{side}", n=f"bl_{side}",
-                             value=_CL_UNITS * _C_UNIT)
+                             value=cl_units * c_unit)
             nl.add_switch(f"sw_rst_{side}", p=f"top_{side}", n="vcm",
                           ctrl="phi_sample", ron=500.0)
             nl.add_switch(f"sw_in_{side}", p=f"bs_{side}", n=f"in_{side}",
@@ -105,12 +109,12 @@ class ScArray(AnalogBlock):
 
         # A shorted capacitor ties the top plate to its bottom-plate driver.
         if cm_short:
-            return min(max(m_level, VSS), VDD)
+            return self._clamp(m_level)
         if cl_short:
-            return min(max(l_level, VSS), VDD)
+            return self._clamp(l_level)
         if cs_short:
             # During conversion the sampling bottom plate is driven to Vcm.
-            return min(max(vcm, VSS), VDD)
+            return self._clamp(vcm)
 
         # Sampling-phase behaviour of the switches.
         reset_closed_sampling = switch_state(reset_sw, nominal_on=True)
@@ -143,7 +147,10 @@ class ScArray(AnalogBlock):
             # The reset switch never opened: the top plate is resistively
             # loaded towards Vcm and only a fraction of the signal survives.
             top = vcm + _RESET_STUCK_ON_COUPLING * (top - vcm)
-        return min(max(top, VSS), VDD)
+        return self._clamp(top)
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.dut.vss), self.dut.vdd)
 
     def evaluate(self, inputs: ScArrayInputs) -> ScArrayOutput:
         """Compute ``DAC+`` / ``DAC-`` for one conversion cycle."""

@@ -10,10 +10,8 @@ compliance check that lists the violated specifications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
-
-from ..circuit.units import ADC_BITS
 
 
 @dataclass(frozen=True)
@@ -25,13 +23,20 @@ class AdcSpecification:
     whether a defective circuit still meets its datasheet.
     """
 
-    resolution_bits: int = ADC_BITS
+    #: Converter resolution the limits apply to; defaults to the paper's
+    #: 10-bit device.  Use :meth:`for_adc` to bind the limits to a variant.
+    resolution_bits: int = 10
     max_dnl_lsb: float = 1.0
     max_inl_lsb: float = 2.0
     min_enob_bits: float = 8.5
     max_offset_lsb: float = 4.0
     max_gain_error_percent: float = 1.0
     max_missing_codes: int = 0
+
+    @classmethod
+    def for_adc(cls, adc) -> "AdcSpecification":
+        """Specification limits bound to an ADC instance's resolution."""
+        return replace(cls(), resolution_bits=adc.dut.resolution_bits)
 
     def as_dict(self) -> Dict[str, float]:
         return {

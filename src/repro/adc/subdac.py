@@ -27,6 +27,11 @@ universe; the defect-to-behaviour mapping is:
 Selected taps are combined by conductance-weighted averaging (the physical
 result of several finite-resistance switches driving one node); an output with
 no connected tap floats and discharges to the leakage level.
+
+The tap count, the complementary-selection arithmetic and the rails all
+derive from the instance's :class:`~repro.dut.DutSpec`: an ``n``-bit variant
+has two ``n/2``-bit sub-DACs with ``2**(n/2) + 1`` taps each (the literals
+above describe the paper's 10-bit device).
 """
 
 from __future__ import annotations
@@ -36,12 +41,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.components import Device
 from ..circuit.errors import SimulationError
-from ..circuit.units import N_REF_LEVELS, VDD, VSS
+from ..dut import DutSpec, default_dut
 from .behavioral import MosState, mos_state, switch_conductance, switch_state
 from .block import AnalogBlock
 
-#: Voltage a floating (disconnected) output leaks to.
-FLOAT_LEVEL = VSS
 #: Nominal on-resistance of a tap switch.
 _RON = 200.0
 
@@ -55,16 +58,24 @@ class SubDacOutput:
 
 
 class SubDac(AnalogBlock):
-    """One 5-bit sub-DAC (two complementary 33:1 tap multiplexers)."""
+    """One half-resolution sub-DAC (two complementary tap multiplexers)."""
 
     block_path = "subdac"
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
+        #: Ladder taps of this instance; the highest tap index (``2**h``)
+        #: is also the complement pivot of Eq. (1).
+        self.n_levels = self.dut.n_ref_levels
+        self._top = self.n_levels - 1
+        self._code_max = self.dut.counter_codes - 1
+        #: Voltage a floating (disconnected) output leaks to.
+        self._float_level = self.dut.vss
         nl = self.netlist
         # Enable drivers: one CMOS inverter pair per tap (near-minimum digital
         # devices, hence a small area / defect-likelihood proxy).
-        for j in range(N_REF_LEVELS):
+        for j in range(self.n_levels):
             nl.add_pmos(f"drv_{j:02d}_p", d=f"en_{j}", g=f"sel_{j}", s="vdd",
                         w=0.6e-6)
             nl.add_nmos(f"drv_{j:02d}_n", d=f"en_{j}", g=f"sel_{j}", s="vss",
@@ -72,11 +83,11 @@ class SubDac(AnalogBlock):
         # Tap switches for the positive and negative outputs.  They are sized
         # for low on-resistance (fast DAC settling), so their area -- and
         # therefore their defect likelihood -- is larger than the drivers'.
-        for j in range(N_REF_LEVELS):
+        for j in range(self.n_levels):
             nl.add_switch(f"swp_{j:02d}", p=f"tap_{j}", n="out_p",
                           ctrl=f"en_{j}", ron=_RON, w=1.5e-6)
             nl.add_switch(f"swn_{j:02d}", p=f"tap_{j}", n="out_n",
-                          ctrl=f"en_{32 - j}", ron=_RON, w=1.5e-6)
+                          ctrl=f"en_{self._top - j}", ron=_RON, w=1.5e-6)
         # Output buffers (source follower + bias per output).
         nl.add_pmos("bufp_sf", d="vss", g="out_p", s="buf_p", w=3e-6)
         nl.add_nmos("bufp_bias", d="buf_p", g="nbias", s="vss", w=2e-6)
@@ -157,15 +168,15 @@ class SubDac(AnalogBlock):
         """Conductance-weighted tap voltage seen at one multiplexer output."""
         total_g = 0.0
         weighted = 0.0
-        for tap in range(N_REF_LEVELS):
+        for tap in range(self.n_levels):
             if side == "p":
                 nominal_sel = (tap == code)
                 switch_dev = self.netlist.device(f"swp_{tap:02d}")
                 driver_tap = tap
             else:
-                nominal_sel = (tap == 32 - code)
+                nominal_sel = (tap == self._top - code)
                 switch_dev = self.netlist.device(f"swn_{tap:02d}")
-                driver_tap = 32 - tap
+                driver_tap = self._top - tap
             enable = self._driver_enable(driver_tap, nominal_sel)
             conductance = switch_conductance(switch_dev, enable, _RON)
             if conductance <= 0.0:
@@ -173,7 +184,7 @@ class SubDac(AnalogBlock):
             total_g += conductance
             weighted += conductance * vref[tap]
         if total_g <= 0.0:
-            return FLOAT_LEVEL
+            return self._float_level
         return weighted / total_g
 
     def _buffer(self, side: str, raw: float) -> float:
@@ -183,8 +194,7 @@ class SubDac(AnalogBlock):
         offset = self.parameter(f"buffer_offset_{side}")
         return self._apply_buffer(raw, offset, mos_state(sf), mos_state(bias))
 
-    @staticmethod
-    def _apply_buffer(raw: float, offset: float, sf_state: MosState,
+    def _apply_buffer(self, raw: float, offset: float, sf_state: MosState,
                       bias_state: MosState) -> float:
         """The buffer arithmetic for pre-resolved device states.
 
@@ -194,16 +204,16 @@ class SubDac(AnalogBlock):
         """
         value = raw + offset
         if sf_state is MosState.STUCK_OFF:
-            value = FLOAT_LEVEL
+            value = self._float_level
         elif sf_state is MosState.STUCK_ON:
             value = raw * 0.9
         elif sf_state is MosState.DEGRADED:
             value = raw + offset - 0.02
         if bias_state is MosState.STUCK_ON:
-            value = max(value - 0.1, VSS)
+            value = max(value - 0.1, self.dut.vss)
         elif bias_state is MosState.STUCK_OFF:
-            value = min(value + 0.05, VDD)
-        return min(max(value, VSS), VDD)
+            value = min(value + 0.05, self.dut.vdd)
+        return min(max(value, self.dut.vss), self.dut.vdd)
 
     def _mux_table(self, side: str) -> Tuple[List[float], List[bool],
                                              List[bool], List[Optional[bool]],
@@ -225,13 +235,13 @@ class SubDac(AnalogBlock):
         con_off: List[bool] = []
         forced: List[Optional[bool]] = []
         anomalous: List[int] = []
-        for tap in range(N_REF_LEVELS):
+        for tap in range(self.n_levels):
             if side == "p":
                 switch_dev = self.netlist.device(f"swp_{tap:02d}")
                 driver_tap = tap
             else:
                 switch_dev = self.netlist.device(f"swn_{tap:02d}")
-                driver_tap = 32 - tap
+                driver_tap = self._top - tap
             pull_up = self.netlist.device(f"drv_{driver_tap:02d}_p")
             pull_down = self.netlist.device(f"drv_{driver_tap:02d}_n")
             f = None
@@ -248,8 +258,8 @@ class SubDac(AnalogBlock):
                 anomalous.append(tap)
         return g, con_on, con_off, forced, anomalous
 
-    @staticmethod
-    def _mux_from_table(table: Tuple[List[float], List[bool], List[bool],
+    def _mux_from_table(self,
+                        table: Tuple[List[float], List[bool], List[bool],
                                      List[Optional[bool]], List[int]],
                         sel: int, vref: Sequence[float]) -> float:
         """:meth:`_mux_output` against a precomputed :meth:`_mux_table`.
@@ -276,30 +286,31 @@ class SubDac(AnalogBlock):
             total_g += conductance
             weighted += conductance * vref[tap]
         if total_g <= 0.0:
-            return FLOAT_LEVEL
+            return self._float_level
         return weighted / total_g
 
     def evaluate(self, code: int, vref: Sequence[float]) -> SubDacOutput:
-        """Convert a 5-bit ``code`` into the complementary output voltages.
+        """Convert a half-resolution ``code`` into the complementary outputs.
 
         Parameters
         ----------
         code:
-            The 5-bit digital input (0..31).
+            The digital input (``0 .. 2**half_bits - 1``).
         vref:
-            The 33 reference levels ``VREF[0] .. VREF[32]``.
+            The reference levels ``VREF[0] .. VREF[2**half_bits]``.
         """
-        if not 0 <= code <= 31:
-            raise SimulationError(f"sub-DAC code must be in [0, 31], got {code}")
-        if len(vref) != N_REF_LEVELS:
+        if not 0 <= code <= self._code_max:
             raise SimulationError(
-                f"expected {N_REF_LEVELS} reference levels, got {len(vref)}")
+                f"sub-DAC code must be in [0, {self._code_max}], got {code}")
+        if len(vref) != self.n_levels:
+            raise SimulationError(
+                f"expected {self.n_levels} reference levels, got {len(vref)}")
         if not self.netlist.has_defect:
             # Fast path for the defect-free multiplexer: exactly one switch per
             # output is closed, so the mux output is the selected tap and the
             # buffer only adds its (process-variation) offset.
             out_p = self._clamp(vref[code] + self.parameter("buffer_offset_p"))
-            out_n = self._clamp(vref[32 - code]
+            out_n = self._clamp(vref[self._top - code]
                                 + self.parameter("buffer_offset_n"))
             return SubDacOutput(out_p=out_p, out_n=out_n)
         out_p = self._buffer("p", self._mux_output("p", code, vref))
@@ -316,9 +327,9 @@ class SubDac(AnalogBlock):
         instead of once per code.  This is the sub-DAC hot path of the
         batched defect evaluator.
         """
-        if len(vref) != N_REF_LEVELS:
+        if len(vref) != self.n_levels:
             raise SimulationError(
-                f"expected {N_REF_LEVELS} reference levels, got {len(vref)}")
+                f"expected {self.n_levels} reference levels, got {len(vref)}")
         has_defect = self.netlist.has_defect
         offset_p = self.parameter("buffer_offset_p")
         offset_n = self.parameter("buffer_offset_n")
@@ -334,37 +345,37 @@ class SubDac(AnalogBlock):
             sf_n = mos_state(self.netlist.device("bufn_sf"))
             bias_n = mos_state(self.netlist.device("bufn_bias"))
         for code in codes:
-            if not 0 <= code <= 31:
+            if not 0 <= code <= self._code_max:
                 raise SimulationError(
-                    f"sub-DAC code must be in [0, 31], got {code}")
+                    f"sub-DAC code must be in [0, {self._code_max}], "
+                    f"got {code}")
             if not has_defect:
                 outputs.append(SubDacOutput(
                     out_p=self._clamp(vref[code] + offset_p),
-                    out_n=self._clamp(vref[32 - code] + offset_n)))
+                    out_n=self._clamp(vref[self._top - code] + offset_n)))
                 continue
             outputs.append(SubDacOutput(
                 out_p=self._apply_buffer(
                     self._mux_from_table(table_p, code, vref),
                     offset_p, sf_p, bias_p),
                 out_n=self._apply_buffer(
-                    self._mux_from_table(table_n, 32 - code, vref),
+                    self._mux_from_table(table_n, self._top - code, vref),
                     offset_n, sf_n, bias_n)))
         return outputs
 
-    @staticmethod
-    def _clamp(value: float) -> float:
-        return min(max(value, VSS), VDD)
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.dut.vss), self.dut.vdd)
 
 
-def make_subdac1() -> SubDac:
-    """SUBDAC1: converts the five MSBs ``B<5:9>`` into ``M+`` / ``M-``."""
-    dac = SubDac("subdac1")
+def make_subdac1(dut: Optional[DutSpec] = None) -> SubDac:
+    """SUBDAC1: converts the MSB half-code ``B<5:9>`` into ``M+`` / ``M-``."""
+    dac = SubDac("subdac1", dut=dut)
     dac.block_path = "subdac1"
     return dac
 
 
-def make_subdac2() -> SubDac:
-    """SUBDAC2: converts the five LSBs ``B<0:4>`` into ``L+`` / ``L-``."""
-    dac = SubDac("subdac2")
+def make_subdac2(dut: Optional[DutSpec] = None) -> SubDac:
+    """SUBDAC2: converts the LSB half-code ``B<0:4>`` into ``L+`` / ``L-``."""
+    dac = SubDac("subdac2", dut=dut)
     dac.block_path = "subdac2"
     return dac

@@ -19,11 +19,11 @@ out for the blocks with low L-W numbers in Table I.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..circuit.errors import SolverError
 from ..circuit.solver import LinearNetwork
-from ..circuit.units import VDD, VSS
+from ..dut import DutSpec, default_dut
 from .behavioral import (MosState, PassiveState, mos_state, passive_state)
 from .block import AnalogBlock
 
@@ -33,8 +33,10 @@ class VcmGenerator(AnalogBlock):
 
     block_path = "vcm_generator"
 
-    def __init__(self, name: str = "vcm_generator") -> None:
+    def __init__(self, name: str = "vcm_generator",
+                 dut: Optional[DutSpec] = None) -> None:
         super().__init__(name)
+        self.dut = dut or default_dut()
         nl = self.netlist
         nl.add_resistor("r_top", p="vbg", n="vcm_div", value=50e3)
         nl.add_resistor("r_bot", p="vcm_div", n="vss", value=50e3)
@@ -52,7 +54,7 @@ class VcmGenerator(AnalogBlock):
         nl = self.netlist
         net = LinearNetwork()
         net.set_voltage("vbg", vbg)
-        net.set_voltage("vss", VSS)
+        net.set_voltage("vss", self.dut.vss)
         for name in ("r_top", "r_bot"):
             dev = nl.device(name)
             state, value = passive_state(dev)
@@ -60,7 +62,7 @@ class VcmGenerator(AnalogBlock):
         try:
             vdiv = net.solve()["vcm_div"]
         except SolverError:
-            vdiv = VSS
+            vdiv = self.dut.vss
 
         vcm = vdiv + self.parameter("buffer_offset")
 
@@ -68,7 +70,7 @@ class VcmGenerator(AnalogBlock):
         sf_state = mos_state(nl.device("mp_sf"))
         bias_state = mos_state(nl.device("mn_bias"))
         if sf_state is MosState.STUCK_OFF:
-            vcm = VSS          # follower gone, bias device pulls the node down
+            vcm = self.dut.vss  # follower gone, bias pulls the node down
         elif sf_state is MosState.STUCK_ON:
             vcm = vdiv * 0.85  # follower degenerated into a resistive path
         elif sf_state is MosState.DEGRADED:
@@ -76,17 +78,17 @@ class VcmGenerator(AnalogBlock):
             # comparison window (an undetectable, benign defect).
             vcm = vdiv - 0.008
         if bias_state is MosState.STUCK_ON:
-            vcm = max(vcm - 0.15, VSS)
+            vcm = max(vcm - 0.15, self.dut.vss)
         elif bias_state is MosState.STUCK_OFF:
             # The buffer loses its bias current; the output drifts up a little
             # but stays close to the divider voltage.
-            vcm = min(vcm + 0.012, VDD)
+            vcm = min(vcm + 0.012, self.dut.vdd)
 
         # Decoupling capacitor: only a plate short affects the DC level.
         dec_state, _ = passive_state(nl.device("c_dec"))
         if dec_state is PassiveState.SHORTED:
-            vcm = VSS
-        return min(max(vcm, VSS), VDD)
+            vcm = self.dut.vss
+        return min(max(vcm, self.dut.vss), self.dut.vdd)
 
     # -------------------------------------------------------------- observers
     def observables(self, vbg: float) -> Dict[str, float]:

@@ -38,7 +38,7 @@ from ..circuit.errors import SimulationError
 from ..circuit.variation import VariationSpec
 from ..engine import (CampaignEngine, CampaignReport, ExecutionBackend,
                       ResultCache, ResultCodec, Task, TaskGraph,
-                      callable_token)
+                      callable_token, factory_token)
 from ..engine.telemetry import TelemetryBus
 
 ResultT = TypeVar("ResultT")
@@ -123,7 +123,7 @@ class MonteCarloRunner:
         # itself (two evaluations with the same user spec must never share
         # artifacts).  Callables without a stable qualified name cannot be
         # hashed, so those runs are never cached.
-        factory_name = callable_token(self.adc_factory)
+        factory_name = factory_token(self.adc_factory)
         evaluate_name = callable_token(evaluate)
         tasks = TaskGraph()
         for index in range(n_samples):

@@ -12,9 +12,10 @@ from .components import (DefectState, Device, DeviceKind, PullDirection,
                          TERMINALS, capacitor, diode, nmos, npn, pmos, pnp,
                          resistor, switch)
 from .errors import (BistConfigurationError, CalibrationError, ComponentError,
-                     CoverageError, DefectError, DigitalTestError, EngineError,
-                     FunctionalTestError, NetlistError, ReproError,
-                     SimulationError, SolverError, TaskExecutionError)
+                     CoverageError, DefectError, DigitalTestError,
+                     DutSpecError, EngineError, FunctionalTestError,
+                     NetlistError, ReproError, SimulationError, SolverError,
+                     TaskExecutionError)
 from .netlist import HierarchyEntry, Netlist, NetlistHierarchy
 from .signals import Trace, WaveformSet
 from .simulator import (ClockedStimulus, GlitchModel, SequenceStimulus,
@@ -33,7 +34,8 @@ __all__ = [
     "VDD", "VSS", "WEAK_PULL_RESISTANCE",
     "BistConfigurationError", "CalibrationError", "ClockedStimulus",
     "ComponentError", "CoverageError", "DefectError", "DefectState", "Device",
-    "DeviceKind", "DigitalTestError", "EngineError", "FunctionalTestError",
+    "DeviceKind", "DigitalTestError", "DutSpecError", "EngineError",
+    "FunctionalTestError",
     "GaussianParameter", "GlitchModel", "HierarchyEntry", "LinearNetwork",
     "Netlist", "NetlistError", "NetlistHierarchy", "PullDirection",
     "ReproError", "SequenceStimulus", "SimulationError", "SimulationResult",

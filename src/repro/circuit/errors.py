@@ -45,6 +45,10 @@ class CoverageError(ReproError):
     """Raised when coverage computation receives inconsistent campaign data."""
 
 
+class DutSpecError(ReproError):
+    """Raised for an invalid device-under-test specification (repro.dut)."""
+
+
 class EngineError(ReproError):
     """Raised by the campaign-execution engine (tasks, backends, cache)."""
 

@@ -37,7 +37,7 @@ from ..circuit.errors import CalibrationError
 from ..circuit.units import VDD
 from ..circuit.variation import VariationSpec
 from ..engine import (CampaignEngine, ExecutionBackend, ResultCache,
-                      ResultCodec, Task, TaskGraph, callable_token)
+                      ResultCodec, Task, TaskGraph, factory_token)
 from ..engine.telemetry import TelemetryBus
 from .invariance import Invariance, build_invariances
 from .stimulus import SymBistStimulus
@@ -191,9 +191,10 @@ def collect_defect_free_residuals(
                  rng.integers(0, 2 ** 63 - 1, size=n_monte_carlo)]
 
     # A stable factory token is required for cache keys; callables without a
-    # qualified name (e.g. instances with __call__) have only an
-    # address-bearing repr, so their runs are never cached.
-    factory_name = callable_token(adc_factory)
+    # qualified name or an explicit ``token`` (e.g. ad-hoc instances with
+    # __call__) have only an address-bearing repr, so their runs are never
+    # cached.
+    factory_name = factory_token(adc_factory)
     tasks = TaskGraph()
     for index in range(n_monte_carlo):
         spec: Optional[Dict[str, Any]] = None

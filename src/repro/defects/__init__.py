@@ -19,7 +19,7 @@ from .batching import (BatchedDefectEvaluator, GoldenTrace, LOCAL_STAGE,
                        STAGE_DOWNSTREAM, build_golden_trace)
 from .sampling import (SamplingPlan, batch_seed_span, batch_spans,
                        block_seed_sequence, lwrs_sample,
-                       per_block_selection, select_defects)
+                       per_block_selection, select_defects, variant_seed)
 from .simulator import (BlockCoverageReport, CampaignResult, DefectCampaign,
                         DefectSimulationRecord, MODEL_SECONDS_PER_CYCLE,
                         RECORD_CODEC)
@@ -38,5 +38,6 @@ __all__ = [
     "block_seed_sequence", "build_defect_universe", "build_golden_trace",
     "combine_detected_likelihood", "enumerate_device_defects",
     "exhaustive_coverage", "lwrs_coverage", "lwrs_sample",
-    "per_block_selection", "select_defects", "wilson_interval",
+    "per_block_selection", "select_defects", "variant_seed",
+    "wilson_interval",
 ]

@@ -92,6 +92,21 @@ def block_seed_sequence(root: Union[int, np.random.SeedSequence],
                                   spawn_key=tuple(root.spawn_key) + words)
 
 
+def variant_seed(root_seed: int, label: str) -> int:
+    """Per-variant root seed derived from ``(root seed, variant label)``.
+
+    A multi-variant study gives each variant its own deterministic root so
+    calibration draws and LWRS selections decorrelate across variants while
+    staying reproducible: the derivation depends only on the study's root
+    seed and the variant's label, never on how many variants the study
+    declares or in which order.  The label hash is folded down to 63 bits
+    so the result stays a valid ``SeedSequence`` entropy value.
+    """
+    digest = hashlib.sha256(f"variant:{label}".encode("utf-8")).digest()
+    word = int.from_bytes(digest[:8], "big") >> 1
+    return (int(root_seed) ^ word) & ((1 << 63) - 1)
+
+
 def batch_spans(n: int, batch_size: int) -> List[Tuple[int, int]]:
     """Contiguous ``[start, stop)`` spans partitioning ``range(n)`` in order.
 

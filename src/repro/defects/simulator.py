@@ -210,8 +210,15 @@ def adc_fingerprint(adc: SarAdc, hierarchy: Any) -> str:
     """
     behavioral = [(blk.block_path, sorted(blk.variation_state().items()))
                   for blk in adc.analog_blocks]
-    return hashlib.sha256(
-        pickle.dumps((hierarchy, behavioral), protocol=4)).hexdigest()[:16]
+    state: Any = (hierarchy, behavioral)
+    dut = getattr(adc, "dut", None)
+    if dut is not None and not dut.is_default:
+        # Non-default DUT variants fold the spec fingerprint in, so two
+        # variants that happen to share structure/behavior never share
+        # cached artifacts.  The default spec keeps the historical bytes,
+        # which is what lets pre-refactor caches replay bit-identically.
+        state = (hierarchy, behavioral, dut.fingerprint())
+    return hashlib.sha256(pickle.dumps(state, protocol=4)).hexdigest()[:16]
 
 
 # --------------------------------------------------------------------- engine

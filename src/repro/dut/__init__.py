@@ -1,0 +1,21 @@
+"""Parametric device-under-test library.
+
+The DUT of the reproduction -- the paper's 65 nm 10-bit SAR ADC -- becomes
+declarative data here: :class:`DutSpec` is a typed, validated, serializable
+description of one ADC variant, and every block constructor in
+:mod:`repro.adc` accepts one.  ``DutSpec()`` reproduces the paper's device
+bit-identically; studies sweep variants (resolutions, supply corners,
+per-block parameter shifts) by overriding fields declaratively.
+
+See :mod:`repro.dut.params` for the typed-parameter machinery
+(``p_field(units=..., soft_set=Range(...), tolerance_guess=...)``) and
+``docs/studies.md`` for the study-level ``[dut]`` / ``[[variants]]``
+sections.
+"""
+
+from ..circuit.errors import DutSpecError
+from .params import ParamInfo, Range, p_field
+from .spec import DutSpec, default_dut
+
+__all__ = ["DutSpec", "DutSpecError", "ParamInfo", "Range", "default_dut",
+           "p_field"]

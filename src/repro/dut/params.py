@@ -1,0 +1,125 @@
+"""Typed component parameters for declarative DUT specifications.
+
+The device-under-test spec (:mod:`repro.dut.spec`) declares every electrical
+quantity through :func:`p_field` -- a dataclass field that carries its unit,
+a soft validity range and a tolerance guess next to the default value, after
+faebryk's ``p_field(units=..., soft_set=Range(...), tolerance_guess=...)``
+idiom.  Validation happens at construction: a value outside its range, or a
+unit-suffixed string with the wrong unit, raises
+:class:`~repro.circuit.errors.DutSpecError` with a message naming the field,
+the expected unit and the accepted range.
+
+Values may be given as bare numbers (SI units assumed) or as strings with
+the unit spelled out (``"1.2 V"``, ``"156e6 Hz"``); the string form is
+checked against the field's declared unit so a spec cannot silently mix
+volts and amperes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from typing import Any, Optional
+
+from ..circuit.errors import DutSpecError
+
+
+@dataclasses.dataclass(frozen=True)
+class Range:
+    """Closed numeric interval ``[low, high]`` used as a soft validity set."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (self.low <= self.high):
+            raise DutSpecError(
+                f"Range lower bound {self.low!r} exceeds upper bound "
+                f"{self.high!r}")
+
+    def __contains__(self, value: Any) -> bool:
+        try:
+            return self.low <= float(value) <= self.high
+        except (TypeError, ValueError):
+            return False
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamInfo:
+    """Declaration metadata of one typed DUT parameter."""
+
+    units: str = ""
+    soft_set: Optional[Range] = None
+    tolerance_guess: Optional[float] = None
+    doc: str = ""
+    integer: bool = False
+    nullable: bool = False
+
+
+#: Metadata key under which :func:`p_field` stores its :class:`ParamInfo`.
+PARAM_METADATA_KEY = "dut_param"
+
+
+def p_field(default: Any, units: str = "",
+            soft_set: Optional[Range] = None,
+            tolerance_guess: Optional[float] = None,
+            doc: str = "", integer: bool = False,
+            nullable: bool = False) -> Any:
+    """A dataclass field declaring a typed, unit-carrying DUT parameter."""
+    info = ParamInfo(units=units, soft_set=soft_set,
+                     tolerance_guess=tolerance_guess, doc=doc,
+                     integer=integer, nullable=nullable)
+    return dataclasses.field(default=default,
+                             metadata={PARAM_METADATA_KEY: info})
+
+
+_UNIT_STRING = re.compile(
+    r"^\s*([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([^\s]*)\s*$")
+
+
+def coerce_value(name: str, value: Any, info: ParamInfo) -> Any:
+    """Validate ``value`` against a parameter declaration; returns the
+    normalized (numeric) value or raises an actionable
+    :class:`DutSpecError`."""
+    if value is None:
+        if info.nullable:
+            return None
+        raise DutSpecError(f"dut.{name} must not be null")
+    if isinstance(value, str):
+        match = _UNIT_STRING.match(value)
+        if match is None:
+            raise DutSpecError(
+                f"dut.{name} got the unparseable value {value!r}; write a "
+                f"number, optionally with its unit (e.g. "
+                f"\"1.2 {info.units or 'V'}\")")
+        magnitude, unit = match.group(1), match.group(2)
+        if unit and unit != info.units:
+            raise DutSpecError(
+                f"dut.{name} is specified in {info.units!r}, got {value!r}; "
+                f"write e.g. \"{magnitude} {info.units}\" or a bare number "
+                f"(SI units assumed)")
+        value = float(magnitude)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DutSpecError(
+            f"dut.{name} must be a number"
+            + (f" in {info.units}" if info.units else "")
+            + f", got {value!r}")
+    if not math.isfinite(float(value)):
+        raise DutSpecError(f"dut.{name} must be finite, got {value!r}")
+    if info.integer:
+        if float(value) != int(value):
+            raise DutSpecError(
+                f"dut.{name} must be an integer, got {value!r}")
+        value = int(value)
+    else:
+        value = float(value)
+    if info.soft_set is not None and value not in info.soft_set:
+        unit = f" {info.units}" if info.units else ""
+        raise DutSpecError(
+            f"dut.{name} = {value!r} is outside the supported range "
+            f"{info.soft_set}{unit}")
+    return value

@@ -56,7 +56,8 @@ changing its results.
 
 from .backends import (ExecutionBackend, MultiprocessBackend, PayloadReport,
                        SerialBackend, SharedMemoryBackend, WorkStream)
-from .cache import MISS, ResultCache, callable_token, canonical_json
+from .cache import (MISS, ResultCache, callable_token, canonical_json,
+                    factory_token)
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ResultCodec, STATUS_CACHED,
                        STATUS_EXECUTED, STATUS_FAILED, STATUS_SKIPPED,
@@ -69,7 +70,8 @@ from .registry import (StageDefinition, StageParam, available_stages,
                        register_stage, stage_definition)
 from .spec import (BLOCK_STUDY, CALIBRATE_THEN_CAMPAIGN, CANNED_STUDIES,
                    StageSpec, StudyOutcome, StudyPlan, StudySpec,
-                   YIELD_LOSS_STUDY, build_study, load_study, run_study)
+                   VariantSpec, YIELD_LOSS_STUDY, build_study, load_study,
+                   run_study)
 from .task import Task, TaskGraph
 from .telemetry import (ChromeTraceSink, EVENT_TYPES, JsonlTraceSink,
                         MetricsRegistry, MetricsSink, ProgressSink, TaskSpan,
@@ -98,12 +100,14 @@ __all__ = [
     "STATUS_CACHED", "STATUS_EXECUTED", "STATUS_FAILED", "STATUS_SKIPPED",
     "SerialBackend", "SharedMemoryBackend", "StageDefinition", "StageParam",
     "StageSpec", "StudyOutcome", "StudyPlan", "StudySpec", "Task",
+    "VariantSpec",
     "TaskGraph", "TaskOutcome", "TaskSpan", "TelemetryBus", "TelemetryEvent",
     "TelemetrySink", "TraceSummary", "WorkStream", "YIELD_LOSS_STUDY",
     "YieldLossStudyOutcome", "YieldLossStudyPlan", "available_stages",
     "block_study", "build_block_study", "build_calibrate_then_campaign",
     "build_study", "build_yield_loss_study", "calibrate_then_campaign",
-    "callable_token", "canonical_json", "chrome_trace", "format_summary",
+    "callable_token", "canonical_json", "chrome_trace", "factory_token",
+    "format_summary",
     "load_study", "read_trace", "register_stage", "run_study",
     "stage_definition", "summarize_trace", "yield_loss_study",
 ]

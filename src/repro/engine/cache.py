@@ -581,3 +581,18 @@ def callable_token(fn: Any) -> Optional[str]:
     if qualname and module:
         return f"{module}.{qualname}"
     return None
+
+
+def factory_token(fn: Any) -> Optional[str]:
+    """Cache-key token for an ADC/DUT factory.
+
+    Factories that carry declarative state (e.g.
+    :class:`~repro.adc.sar_adc.DutAdcFactory`) expose a ``token`` attribute
+    that folds the state's fingerprint into the key; plain callables fall
+    back to :func:`callable_token`.  Returns None (caching disabled) only
+    when neither applies.
+    """
+    token = getattr(fn, "token", None)
+    if token is not None:
+        return str(token)
+    return callable_token(fn)

@@ -228,16 +228,23 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _block_json(block: str, result: Any) -> Dict[str, Any]:
+def _block_json(block: str, result: Any, variant: Optional[str] = None,
+                dut_fingerprint: Optional[str] = None) -> Dict[str, Any]:
     """Machine-readable per-block payload, shared by every campaign-shaped
     subcommand (``campaign``, ``pipeline``, ``yield-study``, ``block-study``)
     so they can never drift apart in JSON schema.
+
+    Every row names the device it ran against (``dut_fingerprint``,
+    defaulting to the paper's device) and the study variant it belongs to
+    (``variant``, None outside multi-variant studies), mirroring the
+    warehouse columns.
 
     The engine keys (``engine_wall_time``, ``cache_hit_rate``) are dropped
     from ``timing``: every subcommand now runs its whole sweep as one engine
     run, so those numbers are graph-wide, not per-block, and are reported
     once at the top level (the ``engine`` key) instead.
     """
+    from ..dut import default_dut
     report = result.block_report(block)
     timing = result.timing_summary()
     timing.pop("engine_wall_time", None)
@@ -249,6 +256,8 @@ def _block_json(block: str, result: Any) -> Dict[str, Any]:
         "n_escaped": result.n_simulated - result.n_detected,
         "coverage": report.coverage.value,
         "ci_half_width": report.coverage.ci_half_width,
+        "variant": variant,
+        "dut_fingerprint": dut_fingerprint or default_dut().fingerprint(),
         "timing": timing}
 
 
@@ -307,8 +316,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         rows, title="SymBIST defect-simulation campaign (Table I style)"))
     console.info()
     console.info(f"engine: {engine_report.summary()}")
+    from ..dut import default_dut
     _emit(args, {"deltas": calibration.deltas, "workers": args.workers,
                  "k": args.k, "seed": args.seed, "blocks": results_json,
+                 "dut": default_dut().fingerprint(),
                  "engine": engine_report.summary()})
     return 0
 
@@ -344,14 +355,18 @@ def _run_study(args: argparse.Namespace, spec: Any,
     calibrate`` and vice versa; every other stage's artifacts carry
     distinct "driver" fields and cannot collide.
     """
-    from ..core import format_confidence, format_table
     from .spec import build_study
 
     label = label or spec.name
     plan = build_study(spec)
-    console.info(f"running study {spec.name!r} as one task graph "
-                 f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC "
-                 f"samples, seed {spec.seed})...")
+    if plan.variants:
+        console.info(f"running study {spec.name!r} as one task graph "
+                     f"({len(plan.variants)} DUT variants: "
+                     f"{', '.join(plan.variants)}; seed {spec.seed})...")
+    else:
+        console.info(f"running study {spec.name!r} as one task graph "
+                     f"(delta = {plan.k:g} sigma, {plan.n_monte_carlo} MC "
+                     f"samples, seed {spec.seed})...")
     telemetry = _telemetry_from_args(args, study=spec.name)
     try:
         outcome = plan.run(backend=_build_backend(args),
@@ -362,7 +377,35 @@ def _run_study(args: argparse.Namespace, spec: Any,
             telemetry.close()
 
     payload: Dict[str, Any] = {"workers": args.workers, "k": plan.k,
-                               "seed": spec.seed}
+                               "seed": spec.seed,
+                               "dut": plan.dut_fingerprint}
+
+    if plan.variants:
+        payload["variants"] = [
+            {"variant": name, "dut": vplan.dut_fingerprint,
+             **_stage_payload(vplan, outcome.variants[name],
+                              f"{label}:{name}")}
+            for name, vplan in plan.variants.items()]
+    else:
+        payload.update(_stage_payload(plan, outcome, label))
+
+    console.info()
+    console.info(f"engine: {outcome.report.summary()}")
+    stage_line = outcome.report.stage_summary()
+    if stage_line:
+        console.info(f"stages: {stage_line}")
+    payload["engine"] = outcome.report.summary()
+    _emit(args, payload)
+    return 0
+
+
+def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
+    """Print one (variant's) study outcome and return its JSON fragment --
+    the per-stage tables and payload keys shared by the single-DUT and
+    per-variant reporting paths."""
+    from ..core import format_confidence, format_table
+
+    payload: Dict[str, Any] = {}
 
     # With a uniform k the per-block window calibrations are identical;
     # print (and emit) one table either way.
@@ -388,7 +431,9 @@ def _run_study(args: argparse.Namespace, spec: Any,
                          f"{report.modeled_sim_time:.0f}",
                          format_confidence(report.coverage.value,
                                            report.coverage.ci_half_width)])
-            results_json.append(_block_json(block, result))
+            results_json.append(_block_json(
+                block, result, variant=outcome.variant,
+                dut_fingerprint=plan.dut_fingerprint))
         title = (f"SymBIST per-block defect campaigns "
                  f"({label} stages 2-3)") if plan.per_block \
             else f"SymBIST defect campaign ({label} stage 2)"
@@ -432,14 +477,7 @@ def _run_study(args: argparse.Namespace, spec: Any,
             "n_benign": escapes.n_benign,
             "violations": escapes.violations_histogram()}
 
-    console.info()
-    console.info(f"engine: {outcome.report.summary()}")
-    stage_line = outcome.report.stage_summary()
-    if stage_line:
-        console.info(f"stages: {stage_line}")
-    payload["engine"] = outcome.report.summary()
-    _emit(args, payload)
-    return 0
+    return payload
 
 
 def _legacy_study_overrides(args: argparse.Namespace) -> Dict[str, Any]:
@@ -692,8 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "block-study, yield-loss-study)")
     run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                      help="override a spec entry: seed=..., <param>=... "
-                          "(study-wide) or <stage>.<param>=... (one stage); "
-                          "repeatable")
+                          "(study-wide), <stage>.<param>=... (one stage) or "
+                          "dut.<field>=... (the device under test, e.g. "
+                          "dut.resolution_bits=8); repeatable")
     _add_engine_arguments(run)
     run.set_defaults(func=cmd_run)
 

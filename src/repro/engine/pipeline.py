@@ -49,7 +49,8 @@ import numpy as np
 
 from ..circuit.errors import EngineError
 from .backends import ExecutionBackend
-from .cache import ResultCache, callable_token, canonical_json
+from .cache import (ResultCache, callable_token, canonical_json,
+                    factory_token)
 from .telemetry import TelemetryBus
 from .executor import (CampaignEngine, CampaignReport, EngineRun,
                        IDENTITY_CODEC, ProgressCallback, ResultCodec,
@@ -314,7 +315,9 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
                               stimulus: Any, invariances: Sequence[Any],
                               variation_spec: Any, seed: int,
                               n_monte_carlo: int, stage: str = "calibrate",
-                              codec: Optional[ResultCodec] = None
+                              codec: Optional[ResultCodec] = None,
+                              task_prefix: str = "",
+                              annotate: Optional[Callable[[Any], Any]] = None
                               ) -> "tuple[List[str], Any, str, bool]":
     """Add the shared defect-free Monte Carlo stage to a pipeline.
 
@@ -323,18 +326,21 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
     :func:`~repro.core.collect_defect_free_residuals` -- the single source
     of the calibration scaffolding, shared by every built-in graph so their
     calibrate stages can never drift apart (and always replay each other's
-    cache artifacts).  Returns ``(calib_ids, calib_spec, seeds_token,
-    cacheable)``.
+    cache artifacts).  ``task_prefix`` namespaces the task ids (and
+    ``annotate`` the cache spec) when several variants of one study share a
+    pipeline.  Returns ``(calib_ids, calib_spec, seeds_token, cacheable)``.
     """
     from ..core.calibration import RESIDUAL_CODEC, calibration_task_spec
 
     calib_seeds = [int(s) for s in np.random.default_rng(seed).integers(
         0, 2 ** 63 - 1, size=n_monte_carlo)]
-    factory_token = callable_token(adc_factory)
-    cacheable = factory_token is not None
+    token = factory_token(adc_factory)
+    cacheable = token is not None
     calib_spec = calibration_task_spec(
-        factory_token, stimulus, variation_spec,
+        token, stimulus, variation_spec,
         [inv.name for inv in invariances]) if cacheable else None
+    if calib_spec is not None and annotate is not None:
+        calib_spec = annotate(calib_spec)
     pipeline.add_stage(
         stage, _calibration_stage_worker,
         codec=codec if codec is not None else RESIDUAL_CODEC,
@@ -342,8 +348,8 @@ def _register_calibrate_stage(pipeline: Pipeline, adc_factory: Any,
                  "stimulus": stimulus, "variation_spec": variation_spec})
     calib_ids = []
     for i, calib_seed in enumerate(calib_seeds):
-        task = Task(task_id=f"calib/{i}", payload=i, seed=calib_seed,
-                    spec=calib_spec)
+        task = Task(task_id=f"{task_prefix}calib/{i}", payload=i,
+                    seed=calib_seed, spec=calib_spec)
         pipeline.add_task(stage, task)
         calib_ids.append(task.task_id)
     seeds_token = hashlib.sha256(

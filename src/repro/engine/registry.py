@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.errors import CalibrationError, EngineError
-from .cache import callable_token, canonical_json
+from .cache import canonical_json, factory_token
 from .executor import IDENTITY_CODEC, ResultCodec
 from .task import Task
 
@@ -247,7 +247,8 @@ def _expand_calibrate(build: Any, name: str,
      build.cacheable) = _register_calibrate_stage(
         build.pipeline, build.adc_factory, build.stimulus,
         build.invariances, build.variation_spec, build.seed, n_monte_carlo,
-        stage=name, codec=stage_definition("calibrate").make_codec())
+        stage=name, codec=stage_definition("calibrate").make_codec(),
+        task_prefix=build.task_prefix, annotate=build.annotate)
     build.calibrate_stage = name
 
 
@@ -276,13 +277,13 @@ def _expand_windows(build: Any, name: str, params: Dict[str, Any]) -> None:
     if not per_block:
         windows_spec = None
         if build.cacheable:
-            windows_spec = {
+            windows_spec = build.annotate({
                 "driver": "symbist-pipeline-windows",
                 "calibration": build.calib_spec,
                 "k": k,
                 "n_monte_carlo": build.n_monte_carlo,
                 "seeds": build.seeds_token,
-                "delta_floors": floors}
+                "delta_floors": floors})
         build.pipeline.add_stage(
             name, _windows_stage_worker,
             context={"invariance_names": build.invariance_names, "k": k,
@@ -303,14 +304,14 @@ def _expand_windows(build: Any, name: str, params: Dict[str, Any]) -> None:
         k_block = float(block_k.get(block, k))
         windows_spec = None
         if build.cacheable:
-            windows_spec = {
+            windows_spec = build.annotate({
                 "driver": "symbist-block-windows",
                 "calibration": build.calib_spec,
                 "block": block,
                 "k": k_block,
                 "n_monte_carlo": build.n_monte_carlo,
                 "seeds": build.seeds_token,
-                "delta_floors": floors}
+                "delta_floors": floors})
         windows_id = f"{name}/{block}"
         build.pipeline.add_task(name, Task(
             task_id=windows_id, payload={"k": k_block}, spec=windows_spec,
@@ -342,7 +343,10 @@ def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
     # the campaign subcommand -- so the selection is identical for any block
     # order, block subset or worker count.
     selection = build.selection()
-    prefix = "block" if build.per_block else name
+    # The per-block prefix is the historical literal "block"; a variant's
+    # instance label already carries the variant prefix, the literal needs
+    # it added explicitly.
+    prefix = build.task_prefix + "block" if build.per_block else name
     driver = "symbist-block-defect" if build.per_block \
         else "symbist-pipeline-defect"
     for block in build.block_list():
@@ -358,14 +362,15 @@ def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
             for j, defect in enumerate(defects):
                 spec = None
                 if build.cacheable:
-                    spec = {"driver": driver,
-                            "defect_id": defect.defect_id,
-                            "likelihood": defect.likelihood,
-                            "adc": fingerprint,
-                            "windows": windows_spec,
-                            "mode": build.mode.value,
-                            "stop_on_detection": build.stop_on_detection,
-                            "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+                    spec = build.annotate(
+                        {"driver": driver,
+                         "defect_id": defect.defect_id,
+                         "likelihood": defect.likelihood,
+                         "adc": fingerprint,
+                         "windows": windows_spec,
+                         "mode": build.mode.value,
+                         "stop_on_detection": build.stop_on_detection,
+                         "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE})
                     defect_specs.append(spec)
                 task = Task(
                     task_id=f"{prefix}/{block}/{j}/{defect.defect_id}",
@@ -380,15 +385,16 @@ def _expand_campaign(build: Any, name: str, params: Dict[str, Any]) -> None:
                 members = defects[start:stop]
                 spec = None
                 if build.cacheable:
-                    spec = {"driver": f"{driver}-batch",
-                            "members": [{"defect_id": d.defect_id,
-                                         "likelihood": d.likelihood}
-                                        for d in members],
-                            "adc": fingerprint,
-                            "windows": windows_spec,
-                            "mode": build.mode.value,
-                            "stop_on_detection": build.stop_on_detection,
-                            "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE}
+                    spec = build.annotate(
+                        {"driver": f"{driver}-batch",
+                         "members": [{"defect_id": d.defect_id,
+                                      "likelihood": d.likelihood}
+                                     for d in members],
+                         "adc": fingerprint,
+                         "windows": windows_spec,
+                         "mode": build.mode.value,
+                         "stop_on_detection": build.stop_on_detection,
+                         "seconds_per_cycle": MODEL_SECONDS_PER_CYCLE})
                     defect_specs.append(spec)
                 task = Task(
                     task_id=f"{prefix}-batch/{block}/{start}-{stop}",
@@ -420,7 +426,7 @@ def _expand_block_summary(build: Any, name: str,
         windows_id = build.windows_task_ids[block]
         summary_spec = None
         if build.cacheable:
-            summary_spec = {
+            summary_spec = build.annotate({
                 "driver": "symbist-block-summary",
                 "block": block,
                 "windows": build.windows_specs[block],
@@ -428,7 +434,7 @@ def _expand_block_summary(build: Any, name: str,
                     build.block_defect_specs[block]).encode()).hexdigest(),
                 "exhaustive": plan.exhaustive,
                 "universe_size": len(block_universe),
-                "universe_likelihood": block_universe.total_likelihood}
+                "universe_likelihood": block_universe.total_likelihood})
         summary_id = f"{name}/{block}"
         build.pipeline.add_task(name, Task(
             task_id=summary_id,
@@ -464,10 +470,11 @@ def _expand_yield(build: Any, name: str, params: Dict[str, Any]) -> None:
             # Everything an empirical point depends on: the residual pools
             # (determined by the calibration spec + per-sample seeds) and
             # the point's own parameters.
-            spec = {"driver": "symbist-study-yield", "k": float(k_value),
-                    "n_cycles": n_cycles,
-                    "calibration": build.calib_spec,
-                    "seeds": build.seeds_token}
+            spec = build.annotate(
+                {"driver": "symbist-study-yield", "k": float(k_value),
+                 "n_cycles": n_cycles,
+                 "calibration": build.calib_spec,
+                 "seeds": build.seeds_token})
         task = Task(task_id=f"{name}/{index}/k={k_value:g}",
                     payload=float(k_value), spec=spec, deterministic=True,
                     depends_on=tuple(build.calib_ids))
@@ -486,12 +493,12 @@ def _expand_escape(build: Any, name: str, params: Dict[str, Any]) -> None:
     if build.cacheable:
         defect_specs = [build.pipeline.graph.get(tid).spec
                         for tid in campaign_ids]
-        escape_spec = {
+        escape_spec = build.annotate({
             "driver": "symbist-study-escape",
             "records": hashlib.sha256(
                 canonical_json(defect_specs).encode()).hexdigest(),
             "max_defects": max_defects,
-            "factory": callable_token(build.adc_factory)}
+            "factory": factory_token(build.adc_factory)})
     build.pipeline.add_stage(
         name, _escape_stage_worker,
         codec=stage_definition("escape").make_codec(),

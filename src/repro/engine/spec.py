@@ -54,11 +54,12 @@ A minimal study document::
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, replace
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple)
 
-from ..circuit.errors import EngineError
+from ..circuit.errors import DutSpecError, EngineError
 from .backends import ExecutionBackend
 from .cache import ResultCache
 from .executor import CampaignReport, ProgressCallback
@@ -68,9 +69,13 @@ from .telemetry import TelemetryBus
 
 __all__ = [
     "BLOCK_STUDY", "CALIBRATE_THEN_CAMPAIGN", "CANNED_STUDIES", "StageSpec",
-    "StudyBuild", "StudyOutcome", "StudyPlan", "StudySpec",
+    "StudyBuild", "StudyOutcome", "StudyPlan", "StudySpec", "VariantSpec",
     "YIELD_LOSS_STUDY", "build_study", "load_study", "run_study",
 ]
+
+#: Variant labels become task-id prefixes and warehouse column values, so
+#: they are restricted to filesystem/identifier-safe characters.
+_VARIANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
 # ===================================================================== model
@@ -98,14 +103,30 @@ class StageSpec:
 
 
 @dataclass(frozen=True)
+class VariantSpec:
+    """One DUT variant of a multi-variant study.
+
+    ``name`` labels the variant (task-id prefix, JSON/warehouse ``variant``
+    column); ``dut`` holds the variant's overrides, merged over the study's
+    ``[dut]`` table at compile time.
+    """
+
+    name: str
+    dut: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class StudySpec:
     """A declarative study: stages + root seed + shared parameters.
 
     ``params`` holds study-wide values applied to every stage whose schema
     declares the parameter (e.g. one ``k`` feeding both the ``windows`` and
-    ``yield`` stages); per-stage ``params`` override them.  Specs are plain
-    data: equal specs compile to identical graphs, and
-    :meth:`to_toml`/:meth:`from_toml`/:meth:`to_jsonable`/
+    ``yield`` stages); per-stage ``params`` override them.  ``dut``
+    describes the device under test declaratively (a
+    :class:`~repro.dut.DutSpec` payload; empty = the paper's device) and
+    ``variants`` fans the whole stage list out over several DUT overlays in
+    one task graph.  Specs are plain data: equal specs compile to identical
+    graphs, and :meth:`to_toml`/:meth:`from_toml`/:meth:`to_jsonable`/
     :meth:`from_jsonable` round-trip them losslessly (parameters equal to
     their registry defaults are normalised away on load).
     """
@@ -114,6 +135,8 @@ class StudySpec:
     seed: int = 1
     params: Mapping[str, Any] = field(default_factory=dict)
     stages: Tuple[StageSpec, ...] = ()
+    dut: Mapping[str, Any] = field(default_factory=dict)
+    variants: Tuple[VariantSpec, ...] = ()
 
     # ------------------------------------------------------------ validation
     def validated(self) -> "StudySpec":
@@ -185,22 +208,70 @@ class StudySpec:
             # is redundant; drop it so equivalent specs compare equal.
             if any(coerced != param.default for param in declaring):
                 params[key] = coerced
+
+        dut, variants = self._validated_dut()
         return StudySpec(name=self.name, seed=int(self.seed), params=params,
-                         stages=tuple(stages))
+                         stages=tuple(stages), dut=dut, variants=variants)
+
+    def _validated_dut(self) -> Tuple[Dict[str, Any], Tuple[VariantSpec, ...]]:
+        """Validate/normalise the ``[dut]`` table and ``[[variants]]`` list.
+
+        The base payload is normalised through a ``DutSpec`` round-trip
+        (spelled-out defaults drop away, so equivalent specs compare
+        equal); each variant overlay is checked to merge into a valid
+        spec.  Raises :class:`EngineError` with the underlying
+        :class:`~repro.circuit.errors.DutSpecError` message on problems.
+        """
+        from ..dut import DutSpec
+        try:
+            base = DutSpec.from_jsonable(self.dut)
+        except DutSpecError as exc:
+            raise EngineError(f"study {self.name!r}, [dut]: {exc}") from exc
+        seen = set()
+        variants = []
+        for position, variant in enumerate(self.variants):
+            name = variant.name
+            if not isinstance(name, str) or not _VARIANT_NAME.match(name):
+                raise EngineError(
+                    f"study {self.name!r}: variants[{position}] needs a "
+                    f"name of letters, digits, '.', '_' or '-' (it becomes "
+                    f"a task-id prefix), got {name!r}")
+            if name in seen:
+                raise EngineError(
+                    f"study {self.name!r} declares two variants named "
+                    f"{name!r}; variant names must be unique")
+            seen.add(name)
+            if not isinstance(variant.dut, Mapping):
+                raise EngineError(
+                    f"study {self.name!r}: variants[{position}].dut must "
+                    f"be a table of DUT overrides")
+            try:
+                base.merged(variant.dut)
+            except DutSpecError as exc:
+                raise EngineError(
+                    f"study {self.name!r}, variant {name!r}: {exc}") from exc
+            variants.append(VariantSpec(name=name, dut=dict(variant.dut)))
+        return base.to_jsonable(), tuple(variants)
 
     # ------------------------------------------------------------- overrides
     def override(self, assignments: Mapping[str, Any]) -> "StudySpec":
         """A new spec with dotted-path overrides applied.
 
         Keys: ``seed`` (root seed), ``<param>`` (study-wide shared
-        parameter) or ``<stage>.<param>`` (one stage instance's parameter,
-        by instance label).  A value of ``None`` removes the entry for
-        non-nullable parameters (falling back to the registry default) and
-        is stored as an explicit null for nullable ones.
+        parameter), ``<stage>.<param>`` (one stage instance's parameter,
+        by instance label) or ``dut.<field>`` (one DUT field, e.g.
+        ``dut.resolution_bits=8``; nested paths like
+        ``dut.block_params.bandgap.vbg`` reach into sub-tables).  A value
+        of ``None`` removes the entry for non-nullable parameters (falling
+        back to the registry default) and is stored as an explicit null
+        for nullable ones.
         """
         spec = self.validated()
         seed = spec.seed
         params = dict(spec.params)
+        dut: Dict[str, Any] = {key: dict(value)
+                               if isinstance(value, Mapping) else value
+                               for key, value in spec.dut.items()}
         stage_params: Dict[str, Dict[str, Any]] = {
             entry.label: dict(entry.params) for entry in spec.stages}
         labels = {entry.label: entry.stage for entry in spec.stages}
@@ -211,6 +282,13 @@ class StudySpec:
                     raise EngineError(
                         f"--set seed expects an integer, got {value!r}")
                 seed = value
+                continue
+            if key == "dut" or key.startswith("dut."):
+                if key == "dut":
+                    raise EngineError(
+                        "--set dut expects a field path, e.g. "
+                        "dut.resolution_bits=8")
+                _assign_dut_path(dut, key[len("dut."):].split("."), value)
                 continue
             if "." in key:
                 label, param_name = key.split(".", 1)
@@ -234,7 +312,8 @@ class StudySpec:
         stages = tuple(replace(entry, params=stage_params[entry.label])
                        for entry in spec.stages)
         return StudySpec(name=spec.name, seed=seed, params=params,
-                         stages=stages).validated()
+                         stages=stages, dut=dut,
+                         variants=spec.variants).validated()
 
     # ---------------------------------------------------------------- JSON
     def to_jsonable(self) -> Dict[str, Any]:
@@ -251,9 +330,18 @@ class StudySpec:
                 stage["params"] = _jsonable_params(entry.params)
             stages.append(stage)
         payload: Dict[str, Any] = {"name": spec.name, "seed": spec.seed}
+        if spec.dut:
+            payload["dut"] = {key: dict(value)
+                              if isinstance(value, Mapping) else value
+                              for key, value in spec.dut.items()}
         if spec.params:
             payload["params"] = _jsonable_params(spec.params)
         payload["stages"] = stages
+        if spec.variants:
+            payload["variants"] = [
+                {"name": variant.name, **({"dut": dict(variant.dut)}
+                                          if variant.dut else {})}
+                for variant in spec.variants]
         return payload
 
     @classmethod
@@ -263,7 +351,7 @@ class StudySpec:
             raise EngineError(
                 f"{source}: expected a table/object at the top level, "
                 f"got {type(payload).__name__}")
-        known = {"name", "seed", "params", "stages"}
+        known = {"name", "seed", "params", "stages", "dut", "variants"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise EngineError(
@@ -308,8 +396,41 @@ class StudySpec:
         params = payload.get("params", {})
         if not isinstance(params, Mapping):
             raise EngineError(f"{source}: 'params' must be a table")
+        dut = payload.get("dut", {})
+        if not isinstance(dut, Mapping):
+            raise EngineError(
+                f"{source}: 'dut' must be a table of DutSpec fields "
+                f"([dut] in TOML)")
+        raw_variants = payload.get("variants", ())
+        if isinstance(raw_variants, str) or \
+                not isinstance(raw_variants, Sequence):
+            raise EngineError(
+                f"{source}: 'variants' must be an array of variant tables "
+                f"([[variants]] in TOML)")
+        variants = []
+        for position, raw in enumerate(raw_variants):
+            if not isinstance(raw, Mapping):
+                raise EngineError(
+                    f"{source}: variants[{position}] is not a table/object")
+            variant_unknown = sorted(set(raw) - {"name", "dut"})
+            if variant_unknown:
+                raise EngineError(
+                    f"{source}: variants[{position}] has unknown keys "
+                    f"{variant_unknown}; expected ['dut', 'name']")
+            variant_name = raw.get("name")
+            if not isinstance(variant_name, str) or not variant_name:
+                raise EngineError(
+                    f"{source}: variants[{position}] needs a string 'name'")
+            variant_dut = raw.get("dut", {})
+            if not isinstance(variant_dut, Mapping):
+                raise EngineError(
+                    f"{source}: variants[{position}].dut must be a table "
+                    f"of DUT overrides")
+            variants.append(VariantSpec(name=variant_name,
+                                        dut=dict(variant_dut)))
         return cls(name=name, seed=payload.get("seed", 1),
-                   params=dict(params), stages=tuple(stages)).validated()
+                   params=dict(params), stages=tuple(stages),
+                   dut=dict(dut), variants=tuple(variants)).validated()
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_jsonable(), indent=indent, sort_keys=False)
@@ -336,6 +457,9 @@ class StudySpec:
         payload = self.to_jsonable()
         lines = [f"name = {_toml_value(payload['name'])}",
                  f"seed = {_toml_value(payload['seed'])}"]
+        if payload.get("dut"):
+            lines += ["", "[dut]"]
+            lines += _toml_table(payload["dut"], "[dut]")
         if payload.get("params"):
             lines += ["", "[params]"]
             lines += _toml_table(payload["params"], "[params]")
@@ -349,6 +473,13 @@ class StudySpec:
                 lines.append("[stages.params]")
                 lines += _toml_table(stage["params"],
                                      f"stage {stage['stage']!r}")
+        for variant in payload.get("variants", []):
+            lines += ["", "[[variants]]",
+                      f"name = {_toml_value(variant['name'])}"]
+            if variant.get("dut"):
+                lines.append("[variants.dut]")
+                lines += _toml_table(variant["dut"],
+                                     f"variant {variant['name']!r}")
         return "\n".join(lines) + "\n"
 
     @classmethod
@@ -360,6 +491,33 @@ class StudySpec:
 def _jsonable_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     return {key: list(value) if isinstance(value, tuple) else value
             for key, value in params.items()}
+
+
+def _assign_dut_path(dut: Dict[str, Any], path: Sequence[str],
+                     value: Any) -> None:
+    """Apply one ``--set dut.<path>=value`` assignment into a DUT payload.
+
+    Walks/creates nested tables for multi-segment paths
+    (``block_params.bandgap.vbg``); ``None`` removes the leaf so the field
+    falls back to its default.  Field validation happens afterwards in
+    :meth:`StudySpec.validated` via the DutSpec round-trip.
+    """
+    table = dut
+    for position, segment in enumerate(path[:-1]):
+        inner = table.get(segment)
+        if inner is None:
+            if value is None:
+                return  # removing below a missing table: nothing to do
+            inner = table[segment] = {}
+        elif not isinstance(inner, dict):
+            joined = ".".join(["dut", *path[:position + 1]])
+            raise EngineError(
+                f"--set dut.{'.'.join(path)}: {joined} is not a table")
+        table = inner
+    if value is None:
+        table.pop(path[-1], None)
+    else:
+        table[path[-1]] = value
 
 
 def _toml_value(value: Any) -> str:
@@ -442,18 +600,42 @@ class StudyBuild:
     """
 
     def __init__(self, spec: StudySpec, adc_factory: Any,
-                 variation_spec: Any) -> None:
-        from ..adc.sar_adc import SarAdc
+                 variation_spec: Any, dut_spec: Any = None,
+                 variant: Optional[str] = None,
+                 pipeline: Optional[Pipeline] = None,
+                 seed: Optional[int] = None) -> None:
+        from ..adc.sar_adc import DutAdcFactory, SarAdc
         from ..core.invariance import build_invariances
         from ..core.stimulus import SymBistStimulus
         from ..core.test_time import CheckingMode
+        from ..dut import default_dut
 
         self.spec = spec
-        self.seed = spec.seed
-        self.adc_factory = adc_factory or SarAdc
-        self.variation_spec = variation_spec
-        self.pipeline = Pipeline(spec.name)
-        self.stimulus = SymBistStimulus()
+        self.dut_spec = dut_spec if dut_spec is not None else default_dut()
+        self.variant = variant
+        #: Prefixed onto task ids (and pipeline stage names, by
+        #: ``build_study``) so several variants share one task graph without
+        #: id collisions; empty on the default single-DUT path, which keeps
+        #: every historical id byte-identical.
+        self.task_prefix = f"{variant}/" if variant else ""
+        self.seed = spec.seed if seed is None else seed
+        if adc_factory is not None:
+            self.adc_factory = adc_factory
+        elif self.dut_spec.is_default:
+            self.adc_factory = SarAdc
+        else:
+            self.adc_factory = DutAdcFactory(self.dut_spec)
+        self.variation_spec = variation_spec if variation_spec is not None \
+            else self.dut_spec.variation_spec()
+        self.pipeline = pipeline if pipeline is not None \
+            else Pipeline(spec.name)
+        # At the default DutSpec these are exactly SymBistStimulus()'s own
+        # defaults, so the stimulus dataclass -- and every cache spec it
+        # feeds -- is identical to the historical construction.
+        self.stimulus = SymBistStimulus(
+            input_diff=self.dut_spec.test_input_diff,
+            input_cm=self.dut_spec.common_mode,
+            counter_bits=self.dut_spec.half_bits)
         self.invariances = build_invariances()
         self.invariance_names = [inv.name for inv in self.invariances]
         self.mode = CheckingMode.SEQUENTIAL
@@ -510,6 +692,21 @@ class StudyBuild:
                 f"study {self.spec.name!r}: stage {name!r} needs an "
                 f"upstream {kind!r} stage; declare one earlier in the "
                 f"stage list") from None
+
+    def annotate(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold the build's DUT fingerprint / variant label into one cache
+        spec.  A no-op (the very same dict) for a default-DUT non-variant
+        build, so historical cache keys stay byte-identical; otherwise the
+        extra keys both segregate cache entries and let the warehouse
+        indexer attribute artifacts to their variant."""
+        if self.dut_spec.is_default and self.variant is None:
+            return spec
+        annotated = dict(spec)
+        if not self.dut_spec.is_default:
+            annotated["dut"] = self.dut_spec.fingerprint()
+        if self.variant is not None:
+            annotated["variant"] = self.variant
+        return annotated
 
     def dut(self) -> Tuple[Any, str, Any]:
         """The device under test: ``(adc, fingerprint, universe)``, built
@@ -580,7 +777,9 @@ class StudyBuild:
             k_values=list(self.k_values),
             escape_stage=self.escape_stage,
             escape_task_id=self.escape_task_id,
-            worker_token=self.worker_token)
+            worker_token=self.worker_token,
+            variant=self.variant,
+            dut_fingerprint=self.dut_spec.fingerprint())
 
 
 def build_study(spec: StudySpec,
@@ -597,15 +796,57 @@ def build_study(spec: StudySpec,
     per-stage seed derivations from the root seed -- so results (and warm
     cache artifacts) carry over unchanged.
 
+    A spec with a ``[dut]`` table compiles against that device (through a
+    :class:`~repro.adc.sar_adc.DutAdcFactory`); ``[[variants]]`` fans the
+    stage list out once per variant into one shared pipeline -- per-variant
+    stage instances (``<variant>/<stage>``), per-variant task ids and
+    per-variant root seeds derived from ``(root seed, variant label)``.
+
     ``adc_factory``/``variation_spec`` stay Python-level arguments (they
     are code, not data); a non-importable factory disables caching exactly
-    like in the legacy builders.
+    like in the legacy builders.  An explicit ``adc_factory`` is rejected
+    alongside a declared ``[dut]``/``[[variants]]`` section -- the factory
+    is bound to one device and would silently shadow the spec's.
     """
+    from ..defects.sampling import variant_seed
+    from ..dut import DutSpec
+
     spec = spec.validated()
-    build = StudyBuild(spec, adc_factory, variation_spec)
+    base_dut = DutSpec.from_jsonable(spec.dut)
+    if adc_factory is not None and (spec.dut or spec.variants):
+        raise EngineError(
+            f"study {spec.name!r} declares a [dut]/[[variants]] section; "
+            f"drop the explicit adc_factory argument (the factory is "
+            f"derived from the spec)")
+
+    if not spec.variants:
+        build = StudyBuild(spec, adc_factory, variation_spec,
+                           dut_spec=base_dut)
+        _expand_stages(build, spec)
+        return build.plan()
+
+    pipeline = Pipeline(spec.name)
+    parent = StudyPlan(
+        spec=spec, pipeline=pipeline, k=5.0, n_monte_carlo=0,
+        stop_on_detection=True, invariance_names=[], blocks=[],
+        block_plans={}, block_universes={}, block_task_ids={},
+        calibration_task_ids=[], dut_fingerprint=base_dut.fingerprint())
+    for variant in spec.variants:
+        build = StudyBuild(
+            spec, None, variation_spec,
+            dut_spec=base_dut.merged(variant.dut), variant=variant.name,
+            pipeline=pipeline, seed=variant_seed(spec.seed, variant.name))
+        _expand_stages(build, spec)
+        parent.variants[variant.name] = build.plan()
+    return parent
+
+
+def _expand_stages(build: StudyBuild, spec: StudySpec) -> None:
+    """Expand every stage of ``spec`` into ``build``'s pipeline (labels
+    prefixed by the build's variant, if any)."""
     for entry in spec.stages:
         definition = stage_definition(entry.stage)
-        label = entry.label
+        label = build.task_prefix + entry.label
         if entry.stage in build.expanded:
             raise EngineError(
                 f"study {spec.name!r} declares the {entry.stage!r} stage "
@@ -616,7 +857,6 @@ def build_study(spec: StudySpec,
             f"study {spec.name!r}, stage {label!r}")
         definition.expand(build, label, params)
         build.expanded[entry.stage] = label
-    return build.plan()
 
 
 # ======================================================================= run
@@ -652,6 +892,14 @@ class StudyOutcome:
     #: The :class:`~repro.analysis.EscapeAnalysisResult`, or None when the
     #: study has no escape stage (or its task failed).
     escapes: Optional[Any] = None
+    #: The variant label this outcome belongs to (None outside variant
+    #: studies) and the DUT fingerprint it ran against.
+    variant: Optional[str] = None
+    dut_fingerprint: str = ""
+    #: Per-variant outcomes of a multi-variant study, in declaration order;
+    #: empty for single-DUT studies (whose results live on the fields
+    #: above).
+    variants: Dict[str, "StudyOutcome"] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -708,6 +956,13 @@ class StudyPlan:
     #: Key of the per-process campaign built by the campaign stage workers;
     #: used to release the parent-process instance after the run.
     worker_token: str = ""
+    #: The variant label this plan's stages belong to (None outside
+    #: variant studies) and the DUT fingerprint they compile against.
+    variant: Optional[str] = None
+    dut_fingerprint: str = ""
+    #: Per-variant sub-plans of a multi-variant study, in declaration
+    #: order, all sharing :attr:`pipeline`; empty for single-DUT studies.
+    variants: Dict[str, "StudyPlan"] = field(default_factory=dict)
 
     @property
     def base(self) -> "StudyPlan":
@@ -721,10 +976,9 @@ class StudyPlan:
             on_failure: str = "raise",
             telemetry: Optional[TelemetryBus] = None) -> StudyOutcome:
         """Execute the graph through one engine run and assemble the
-        :class:`StudyOutcome` from the named stages' results."""
-        from ..core.calibration import calibration_from_windows
-        from ..defects.simulator import (_WORKER_STATE, CampaignResult,
-                                         _flatten_records)
+        :class:`StudyOutcome` from the named stages' results (per-variant
+        outcomes land in :attr:`StudyOutcome.variants`)."""
+        from ..defects.simulator import _WORKER_STATE
 
         try:
             result = self.pipeline.run(backend=backend, cache=cache,
@@ -734,12 +988,29 @@ class StudyPlan:
         finally:
             # Serial runs build the campaign in this process; drop it so
             # the ADC/hierarchy/injector do not outlive the run (mirrors
-            # DefectCampaign.run's own cleanup).
-            if self.worker_token:
-                _WORKER_STATE.pop(self.worker_token, None)
+            # DefectCampaign.run's own cleanup).  A variant study holds one
+            # campaign per variant.
+            tokens = [self.worker_token] + [plan.worker_token
+                                            for plan in self.variants.values()]
+            for token in tokens:
+                if token:
+                    _WORKER_STATE.pop(token, None)
+
+        outcome = self._assemble(result)
+        for label, plan in self.variants.items():
+            outcome.variants[label] = plan._assemble(result)
+        return outcome
+
+    def _assemble(self, result: PipelineResult) -> StudyOutcome:
+        """Collect this plan's named-stage results out of one (possibly
+        shared) pipeline run."""
+        from ..core.calibration import calibration_from_windows
+        from ..defects.simulator import CampaignResult, _flatten_records
 
         outcome = StudyOutcome(spec=self.spec, pipeline=result,
-                               report=result.report)
+                               report=result.report,
+                               variant=self.variant,
+                               dut_fingerprint=self.dut_fingerprint)
 
         if self.windows_stage is not None:
             windows_results = result.stage_results(self.windows_stage)

@@ -18,7 +18,6 @@ import numpy as np
 
 from ..adc.sar_adc import SarAdc
 from ..circuit.errors import FunctionalTestError
-from ..circuit.units import ADC_BITS
 
 
 @dataclass
@@ -86,8 +85,10 @@ def ideal_sine_histogram(amplitude: float, offset: float, n_samples: int,
 
 def histogram_test(adc: SarAdc, n_samples: int = 4096,
                    amplitude: Optional[float] = None,
-                   n_bits: int = ADC_BITS) -> HistogramResult:
+                   n_bits: Optional[int] = None) -> HistogramResult:
     """Run the sinusoidal histogram test on the (possibly defective) ADC."""
+    if n_bits is None:
+        n_bits = adc.dut.resolution_bits
     if n_samples < 256:
         raise FunctionalTestError(
             "the histogram test needs at least 256 samples for meaningful "

@@ -18,7 +18,6 @@ import numpy as np
 from ..adc.sar_adc import SarAdc
 from ..adc.spec import MeasuredPerformance
 from ..circuit.errors import FunctionalTestError
-from ..circuit.units import ADC_BITS
 
 
 @dataclass
@@ -101,7 +100,7 @@ def transition_levels(curve: TransferCurve) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def linearity_from_curve(curve: TransferCurve,
-                         n_bits: int = ADC_BITS,
+                         n_bits: int = 10,
                          design_lsb: Optional[float] = None,
                          mid_code: Optional[int] = None) -> LinearityResult:
     """DNL / INL / offset / gain error from a measured transfer curve.
@@ -111,15 +110,14 @@ def linearity_from_curve(curve: TransferCurve,
     procedure).  Offset and gain error need the converter's *design* transfer
     function: ``design_lsb`` is the nominal LSB size in volts and ``mid_code``
     the code ideally produced by a zero differential input; when omitted they
-    default to the values of the behavioral SAR ADC model (VREF/528 per LSB,
-    mid code 528).
+    default to the values of the behavioral 10-bit SAR ADC model (VREF/528
+    per LSB, mid code 528).
     """
     codes, levels = transition_levels(curve)
     if len(codes) < 3:
         raise FunctionalTestError(
             "the transfer curve exercises fewer than 3 codes; the converter "
             "is grossly defective and linearity is undefined")
-    full_range = 2 ** n_bits
 
     first_code, last_code = int(codes[0]), int(codes[-1])
     exercised = last_code - first_code + 1
@@ -171,12 +169,14 @@ def linearity_from_curve(curve: TransferCurve,
 
 def ramp_linearity_test(adc: SarAdc, n_points: int = 512) -> LinearityResult:
     """Convenience wrapper: measure the curve and extract the metrics."""
-    design_lsb = adc.code_to_input(529) - adc.code_to_input(528)
+    mid = adc.dut.mid_code
+    design_lsb = adc.code_to_input(mid + 1) - adc.code_to_input(mid)
     return linearity_from_curve(measure_transfer_curve(adc, n_points),
-                                design_lsb=design_lsb, mid_code=528)
+                                n_bits=adc.dut.resolution_bits,
+                                design_lsb=design_lsb, mid_code=mid)
 
 
-def reduced_code_linearity_test(adc: SarAdc, center_code: int = 528,
+def reduced_code_linearity_test(adc: SarAdc, center_code: Optional[int] = None,
                                 span_codes: int = 64,
                                 samples_per_code: int = 4) -> LinearityResult:
     """Reduced-code static linearity test.
@@ -191,11 +191,16 @@ def reduced_code_linearity_test(adc: SarAdc, center_code: int = 528,
         raise FunctionalTestError("span_codes must be at least 8")
     if samples_per_code < 2:
         raise FunctionalTestError("samples_per_code must be at least 2")
-    design_lsb = adc.code_to_input(529) - adc.code_to_input(528)
+    mid = adc.dut.mid_code
+    if center_code is None:
+        center_code = mid
+    design_lsb = adc.code_to_input(mid + 1) - adc.code_to_input(mid)
     low = adc.code_to_input(max(center_code - span_codes // 2, 1))
-    high = adc.code_to_input(min(center_code + span_codes // 2, 1022))
+    high = adc.code_to_input(min(center_code + span_codes // 2,
+                                 adc.dut.full_code - 1))
     n_points = span_codes * samples_per_code
     inputs = np.linspace(low, high, n_points)
     codes = np.asarray(adc.convert_many(inputs), dtype=int)
     curve = TransferCurve(inputs=inputs, codes=codes)
-    return linearity_from_curve(curve, design_lsb=design_lsb, mid_code=528)
+    return linearity_from_curve(curve, n_bits=adc.dut.resolution_bits,
+                                design_lsb=design_lsb, mid_code=mid)

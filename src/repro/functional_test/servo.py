@@ -32,9 +32,10 @@ class ServoMeasurement:
 def measure_transition(adc: SarAdc, code: int, tolerance: float = 1e-4,
                        max_iterations: int = 24) -> ServoMeasurement:
     """Binary-search the input level of the ``code-1 -> code`` transition."""
-    if code <= 0 or code >= 2 ** 10:
+    if code <= 0 or code > adc.dut.full_code:
         raise FunctionalTestError(
-            f"transition code must be within (0, 1023], got {code}")
+            f"transition code must be within (0, {adc.dut.full_code}], "
+            f"got {code}")
     low, high = adc.ideal_input_range()
     span = high - low
     lo, hi = low, high

@@ -100,6 +100,33 @@ def _seeds_of(spec: Mapping[str, Any]) -> Optional[str]:
     return None
 
 
+def _spec_string(spec: Mapping[str, Any], key: str) -> Optional[str]:
+    """A string annotation of an artifact's spec: its own ``key``, or the
+    nested windows / calibration spec's.  Pre-refactor artifacts carry
+    neither -- they stay NULL, which for ``dut_fingerprint`` reads as "the
+    paper's default device" and for ``variant`` as "no variant"."""
+    value = spec.get(key)
+    if isinstance(value, str):
+        return value
+    for nested in ("windows", "calibration"):
+        inner = spec.get(nested)
+        if isinstance(inner, Mapping):
+            value = _spec_string(inner, key)
+            if value is not None:
+                return value
+    return None
+
+
+def _dut_of(spec: Mapping[str, Any]) -> Optional[str]:
+    """DutSpec fingerprint annotation (non-default devices only)."""
+    return _spec_string(spec, "dut")
+
+
+def _variant_of(spec: Mapping[str, Any]) -> Optional[str]:
+    """Study variant label annotation (multi-variant studies only)."""
+    return _spec_string(spec, "variant")
+
+
 def _campaign_columns(result: Any) -> Dict[str, Any]:
     """Detection columns of one campaign artifact (single record or a
     batch's record list)."""
@@ -198,6 +225,8 @@ def entry_row(entry: Mapping[str, Any], cache_dir: str,
         "task_id": task_id if isinstance(task_id, str) else None,
         "block": _block_of(spec),
         "seeds": _seeds_of(spec),
+        "dut_fingerprint": _dut_of(spec),
+        "variant": _variant_of(spec),
         "created": _finite(entry.get("created")),
         "sidecars": _count(entry.get("sidecars")) or 0,
     })

@@ -48,6 +48,19 @@ _register(CannedQuery(
     """))
 
 _register(CannedQuery(
+    name="variant-coverage",
+    doc="per-variant, per-block defect coverage for multi-variant DUT "
+        "sweeps (NULL variant = single-device studies)",
+    sql="""
+        SELECT study, variant, dut_fingerprint, block,
+               n_defects, n_simulated, n_detected,
+               coverage, ci_half_width
+        FROM results
+        WHERE stage_kind = 'block-summary'
+        ORDER BY COALESCE(study, ''), COALESCE(variant, ''), block
+    """))
+
+_register(CannedQuery(
     name="slowest-stages",
     doc="stage kinds by total executed task time, with each kind's five "
         "slowest tasks (needs timings, i.e. rows indexed live via "

@@ -14,7 +14,11 @@ identity
     calibrate / windows / campaign / block-summary / yield / escape),
     ``driver`` (the spec's cache driver string), ``task_id``, ``block``,
     ``seeds`` (the per-task seed-material token recorded in the spec),
-    ``created`` (artifact creation time, epoch seconds).
+    ``dut_fingerprint`` (the :class:`~repro.dut.DutSpec` content hash the
+    task ran against; NULL for pre-DUT-refactor artifacts, which all ran
+    the paper's default device), ``variant`` (the study variant label;
+    NULL outside multi-variant studies), ``created`` (artifact creation
+    time, epoch seconds).
 detection / coverage (campaign + block-summary rows)
     ``n_defects``, ``n_simulated``, ``n_detected``, ``coverage``,
     ``ci_half_width``.
@@ -41,7 +45,9 @@ from ..circuit.errors import EngineError
 #: Bumped on any incompatible change to the DDL below; a database written
 #: by a different version is rejected with an actionable error (re-index
 #: from the cache directory, which remains the source of truth).
-SCHEMA_VERSION = 1
+#: History: 1 = initial schema; 2 = added ``dut_fingerprint`` / ``variant``
+#: (parametric DUT sweeps).
+SCHEMA_VERSION = 2
 
 RESULTS_DDL = """
 CREATE TABLE IF NOT EXISTS results (
@@ -52,6 +58,8 @@ CREATE TABLE IF NOT EXISTS results (
     task_id                 TEXT,
     block                   TEXT,
     seeds                   TEXT,
+    dut_fingerprint         TEXT,
+    variant                 TEXT,
     created                 REAL,
     n_defects               INTEGER,
     n_simulated             INTEGER,
@@ -77,6 +85,7 @@ CREATE TABLE IF NOT EXISTS results (
 CREATE INDEX IF NOT EXISTS ix_results_stage_kind ON results (stage_kind);
 CREATE INDEX IF NOT EXISTS ix_results_block ON results (block);
 CREATE INDEX IF NOT EXISTS ix_results_study ON results (study);
+CREATE INDEX IF NOT EXISTS ix_results_variant ON results (variant);
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -87,6 +96,7 @@ CREATE TABLE IF NOT EXISTS meta (
 #: rows against this list so schema and extractor cannot drift apart).
 RESULT_COLUMNS = (
     "key", "study", "stage_kind", "driver", "task_id", "block", "seeds",
+    "dut_fingerprint", "variant",
     "created", "n_defects", "n_simulated", "n_detected", "coverage",
     "ci_half_width", "k", "empirical", "empirical_ci_half_width",
     "analytic_per_run", "n_undetected", "modeled_sim_time", "wall_time",

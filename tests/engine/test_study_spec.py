@@ -124,17 +124,26 @@ class TestRoundTrip:
     def test_example_specs_parse_to_exactly_the_canned_specs(self):
         """The shipped examples/studies/*.toml documents (which spell the
         registry defaults out for readability) normalise to the canned
-        specs, so they can never drift from what the subcommands run."""
+        specs, so they can never drift from what the subcommands run.
+        Examples without a canned counterpart (the variant sweep) must
+        still load and round-trip cleanly."""
         import os
         studies_dir = os.path.join(os.path.dirname(__file__), "..", "..",
                                    "examples", "studies")
         expected = {"calibrate_then_campaign.toml": "calibrate-then-campaign",
                     "block_study.toml": "block-study",
                     "yield_loss_study.toml": "yield-loss-study"}
-        assert sorted(os.listdir(studies_dir)) == sorted(expected)
+        listing = sorted(os.listdir(studies_dir))
+        assert sorted(expected) == [name for name in listing
+                                    if name in expected]
         for filename, name in expected.items():
             path = os.path.join(studies_dir, filename)
             assert load_study(path) == CANNED_STUDIES[name], filename
+        for filename in listing:
+            if filename in expected:
+                continue
+            spec = load_study(os.path.join(studies_dir, filename))
+            assert StudySpec.from_toml(spec.to_toml()) == spec, filename
 
 
 # -------------------------------------------------------------- validation

@@ -101,6 +101,22 @@ class TestSchema:
         with pytest.raises(EngineError, match="re-index"):
             open_warehouse(path)
 
+    def test_schema_v1_database_is_rejected(self, tmp_path):
+        """A warehouse built before the dut_fingerprint/variant columns
+        (schema version 1) must be refused, pointing at re-indexing."""
+        path = str(tmp_path / "old.sqlite")
+        connection = open_warehouse(path)
+        connection.execute("UPDATE meta SET value = '1' "
+                           "WHERE key = 'schema_version'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(EngineError) as excinfo:
+            open_warehouse(path)
+        message = str(excinfo.value)
+        assert "schema version 1" in message
+        assert str(SCHEMA_VERSION) in message
+        assert "re-index" in message
+
     def test_foreign_sqlite_file_is_rejected(self, tmp_path):
         path = str(tmp_path / "other.sqlite")
         connection = sqlite3.connect(path)
@@ -186,6 +202,52 @@ class TestIndexer:
             json.dump({"no": "spec"}, handle)
         connection = open_warehouse(str(tmp_path / "wh.sqlite"))
         assert index_cache(connection, cache.cache_dir) == len(keys)
+        connection.close()
+
+    def test_pre_refactor_artifacts_backfill_with_null_dut(self, tmp_path):
+        """Artifacts written before the DUT refactor carry no dut/variant
+        spec keys; they index with NULL in both columns (read as "the
+        paper's default device, no variant"), not an error."""
+        cache, keys = _seed_cache(tmp_path)
+        connection = open_warehouse(str(tmp_path / "wh.sqlite"))
+        assert index_cache(connection, cache.cache_dir) == len(keys)
+        rows = connection.execute(
+            "SELECT dut_fingerprint, variant FROM results").fetchall()
+        assert rows and all(row == (None, None) for row in rows)
+        connection.close()
+
+    def test_dut_and_variant_annotations_index(self, tmp_path):
+        """Annotated specs -- own keys or lifted from the nested windows /
+        calibration spec -- populate the new identity columns."""
+        cache = ResultCache(str(tmp_path / "cache"), namespace="test")
+        own_spec = {"driver": "symbist-block-windows", "block": "sc_array",
+                    "dut": "deadbeef00000000", "variant": "vdd-low"}
+        own = cache.key_for(own_spec)
+        cache.put(own, {"deltas": {}}, task_id="vdd-low/windows/sc_array",
+                  spec=own_spec)
+        nested_spec = {
+            "driver": "symbist-block-defect",
+            "defect_id": "sc_array:c0:short",
+            "windows": {"driver": "symbist-block-windows",
+                        "block": "sc_array", "seeds": "sha:abc",
+                        "dut": "deadbeef00000000", "variant": "vdd-low"}}
+        nested = cache.key_for(nested_spec)
+        cache.put(nested,
+                  {"defect": {"defect_id": "sc_array:c0:short"},
+                   "detected": True, "modeled_sim_time": 1.0,
+                   "wall_time": 0.01},
+                  task_id="vdd-low/block/sc_array/0/sc_array:c0:short",
+                  spec=nested_spec)
+        connection = open_warehouse(str(tmp_path / "wh.sqlite"))
+        assert index_cache(connection, cache.cache_dir) == 2
+        for key in (own, nested):
+            assert connection.execute(
+                "SELECT dut_fingerprint, variant FROM results "
+                "WHERE key = ?", (key,)).fetchone() == \
+                ("deadbeef00000000", "vdd-low")
+        assert connection.execute(
+            "SELECT COUNT(*) FROM results WHERE variant = 'vdd-low'"
+        ).fetchone()[0] == 2
         connection.close()
 
     def test_flat_campaign_drivers_take_block_from_records(self, tmp_path):

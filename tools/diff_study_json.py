@@ -20,7 +20,7 @@ from typing import Any, Dict, List
 #: Per-block keys whose values are deterministic under a fixed root seed.
 DETERMINISTIC_BLOCK_KEYS = [
     "block", "n_defects", "n_simulated", "n_detected", "n_escaped",
-    "coverage", "ci_half_width",
+    "coverage", "ci_half_width", "dut_fingerprint", "variant",
 ]
 
 
@@ -31,8 +31,29 @@ def diff(a: Dict[str, Any], b: Dict[str, Any],
         problems.append(
             f"top-level keys differ: {a_name} has {sorted(set(a) - set(b))} "
             f"extra, {b_name} has {sorted(set(b) - set(a))} extra")
+    for key in ("dut", "variant"):
+        if a.get(key) != b.get(key):
+            problems.append(f"{key} differs: "
+                            f"{a.get(key)!r} vs {b.get(key)!r}")
     if "deltas" in a and "deltas" in b and a["deltas"] != b["deltas"]:
         problems.append("window deltas differ")
+    # Multi-variant payloads: the per-variant fragments carry the same
+    # shape as a single-device payload; diff them pairwise by label.
+    variants_a = a.get("variants")
+    variants_b = b.get("variants")
+    if isinstance(variants_a, list) or isinstance(variants_b, list):
+        variants_a, variants_b = variants_a or [], variants_b or []
+        names_a = [v.get("variant") for v in variants_a]
+        names_b = [v.get("variant") for v in variants_b]
+        if names_a != names_b:
+            problems.append(f"variant labels differ: {names_a} vs {names_b}")
+            return problems
+        for fragment_a, fragment_b in zip(variants_a, variants_b):
+            label = fragment_a.get("variant")
+            problems.extend(
+                f"variant {label}: {problem}"
+                for problem in diff(fragment_a, fragment_b, a_name, b_name))
+        return problems
     blocks_a = a.get("blocks", [])
     blocks_b = b.get("blocks", [])
     if len(blocks_a) != len(blocks_b):
