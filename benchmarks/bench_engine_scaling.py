@@ -519,3 +519,106 @@ def _timed(fn):
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+#: Tiny study of the daemon-latency comparison -- small enough that a
+#: fully-cached replay is dominated by fixed costs, which is exactly what
+#: the persistent service exists to amortize.
+DAEMON_STUDY = {
+    "name": "daemon-latency", "seed": BENCHMARK_SEED,
+    "stages": [
+        {"stage": "calibrate", "params": {"n_monte_carlo": 3}},
+        {"stage": "windows", "after": ["calibrate"]},
+        {"stage": "campaign", "after": ["windows"],
+         "params": {"blocks": ["vcm_generator"], "samples": 4,
+                    "exhaustive_threshold": 8}},
+    ],
+}
+
+
+def test_daemon_warm_submission_beats_cold_cli_process(tmp_path):
+    """Warm-cache submission latency: persistent daemon vs cold CLI run.
+
+    The one-shot ``repro-campaign run`` pays a fresh interpreter, the
+    numpy import, spec compilation and cache-dir open on every invocation
+    even when every task replays from cache.  The ``serve`` daemon pays
+    those once and keeps the compiled state, the warm ``ResultCache`` and
+    the worker pool resident, so a fully-cached submission over the
+    control socket is pure scheduling.  Both paths share one cache
+    directory (same ``calibration`` namespace), return the same payload,
+    and the daemon submission must be >=5x faster.
+    """
+    import json
+    import subprocess
+    import sys
+    import time
+
+    from repro.service import CampaignDaemon, client
+
+    spec_path = tmp_path / "daemon-latency.json"
+    spec_path.write_text(json.dumps(DAEMON_STUDY), encoding="utf-8")
+    state_dir = tmp_path / "svc"
+    cache_dir = state_dir / "cache"
+
+    src_dir = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+    def cold_run(out_path):
+        """One full `repro-campaign run` process against the warm cache."""
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro.engine.cli", "run",
+             str(spec_path), "--cache-dir", str(cache_dir), "--quiet",
+             "--json", str(out_path)],
+            check=True, env=env, stdout=subprocess.DEVNULL)
+        return time.perf_counter() - start
+
+    rounds = 3
+    with CampaignDaemon(str(state_dir), serial=True) as daemon:
+        address = daemon.control_address
+        # First submission computes everything and warms the shared cache.
+        first = client.submit(address, DAEMON_STUDY, wait=True)
+        assert first["state"] == "done"
+
+        warm_wall, warm = min(
+            (_timed_value(lambda: client.submit(address, DAEMON_STUDY,
+                                                wait=True))
+             for _ in range(rounds)), key=lambda pair: pair[0])
+        assert warm["state"] == "done"
+        assert ", 0 executed, " in warm["result"]["engine"]  # fully cached
+
+        cold_wall = min(cold_run(tmp_path / f"cold-{i}.json")
+                        for i in range(rounds))
+
+    with open(tmp_path / f"cold-{rounds - 1}.json",
+              encoding="utf-8") as handle:
+        cold_payload = json.load(handle)
+
+    def deterministic(payload):
+        payload = json.loads(json.dumps(payload))  # deep copy
+        payload.pop("engine", None)
+        for block in payload.get("blocks", []):
+            block.pop("timing", None)
+        return payload
+
+    assert deterministic(warm["result"]) == deterministic(cold_payload)
+
+    speedup = cold_wall / warm_wall
+    print()
+    print(format_table(
+        ["submission path", "wall (ms)", "speedup"],
+        [["cold `repro-campaign run` process", f"{cold_wall * 1e3:.0f}",
+          "-"],
+         ["warm daemon submit (control socket)", f"{warm_wall * 1e3:.1f}",
+          f"{speedup:.0f}x"]],
+        title=f"fully-cached submission latency (min of {rounds} rounds)"))
+    assert speedup >= 5.0
+
+
+def _timed_value(fn):
+    import time
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value

@@ -76,7 +76,7 @@ from .task import Task, TaskGraph
 from .telemetry import (ChromeTraceSink, EVENT_TYPES, JsonlTraceSink,
                         MetricsRegistry, MetricsSink, ProgressSink, TaskSpan,
                         TelemetryBus, TelemetryEvent, TelemetrySink,
-                        chrome_trace, read_trace)
+                        chrome_trace, follow_trace, read_trace)
 from .trace import TraceSummary, format_summary, summarize_trace
 
 #: Deprecated aliases: the per-study Plan/Outcome triplets collapsed into
@@ -107,7 +107,7 @@ __all__ = [
     "block_study", "build_block_study", "build_calibrate_then_campaign",
     "build_study", "build_yield_loss_study", "calibrate_then_campaign",
     "callable_token", "canonical_json", "chrome_trace", "factory_token",
-    "format_summary",
+    "follow_trace", "format_summary",
     "load_study", "read_trace", "register_stage", "run_study",
     "stage_definition", "summarize_trace", "yield_loss_study",
 ]

@@ -43,10 +43,14 @@ only work with the serial backend.
 
 from __future__ import annotations
 
+import atexit
 import math
+import os
 import pickle
+import signal
 import struct
 import sys
+import threading
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
@@ -186,6 +190,70 @@ def _run_installed_chunk(chunk: List[WorkItem]) -> List[Any]:
     return _run_chunk(_WORKER_FN, chunk)
 
 
+# Live shared-memory segments owned by this process, so an asynchronous
+# death (SIGTERM on a daemon, atexit on an interpreter teardown that never
+# reached the stream's close()) still unlinks every /dev/shm entry.  The
+# normal KeyboardInterrupt/close paths already destroy segments; this is
+# the backstop for the paths that never return to them.
+_LIVE_SEGMENTS: set = set()
+_SEGMENTS_LOCK = threading.Lock()
+_ATEXIT_INSTALLED = False
+_SIGTERM_INSTALLED = False
+_PREVIOUS_SIGTERM: Any = None
+
+
+def _destroy_live_segments() -> None:
+    """Unlink every segment this process still owns (idempotent).
+
+    Guarded by owner pid: a forked child inherits the registry (and the
+    SIGTERM handler) but must never unlink its parent's live segments.
+    """
+    with _SEGMENTS_LOCK:
+        segments = list(_LIVE_SEGMENTS)
+    for segment in segments:
+        if segment._owner_pid != os.getpid():
+            continue
+        try:
+            segment.destroy()
+        except Exception:
+            pass  # dying anyway; best effort on the remaining segments
+
+
+def _sigterm_cleanup(signum: int, frame: Any) -> None:
+    _destroy_live_segments()
+    previous = _PREVIOUS_SIGTERM
+    if callable(previous):
+        previous(signum, frame)
+    else:
+        # Preserve die-by-SIGTERM semantics (exit status, waitpid) instead
+        # of swallowing the signal: re-deliver it with the default action.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_segment_cleanup() -> None:
+    """Register the atexit + chained-SIGTERM segment reapers (once each).
+
+    The SIGTERM hook only installs from the main thread (the interpreter
+    rejects it elsewhere); until a main-thread segment creation comes
+    along, atexit still covers normal teardown.
+    """
+    global _ATEXIT_INSTALLED, _SIGTERM_INSTALLED, _PREVIOUS_SIGTERM
+    if not _ATEXIT_INSTALLED:
+        _ATEXIT_INSTALLED = True
+        atexit.register(_destroy_live_segments)
+    if _SIGTERM_INSTALLED or \
+            threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm_cleanup)
+    except (ValueError, OSError):  # pragma: no cover (exotic embeddings)
+        return
+    _SIGTERM_INSTALLED = True
+    if previous not in (signal.SIG_DFL, signal.SIG_IGN, None):
+        _PREVIOUS_SIGTERM = previous
+
+
 class _SharedObject:
     """One pickled object living in a ``multiprocessing.shared_memory`` segment.
 
@@ -194,7 +262,9 @@ class _SharedObject:
     by name through :meth:`load`, copy the bytes out and detach immediately,
     so the segment disappears from ``/dev/shm`` the moment the owner unlinks
     it.  The payload is length-prefixed because the kernel may round the
-    segment up to a whole page.
+    segment up to a whole page.  Segments register in a process-wide
+    reaper (atexit + chained SIGTERM) so even a killed owner leaves no
+    ``/dev/shm`` entry behind.
     """
 
     _HEADER = struct.Struct("<Q")
@@ -203,12 +273,16 @@ class _SharedObject:
         from multiprocessing import shared_memory
         body = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
         self.nbytes = len(body)
+        self._owner_pid = os.getpid()
         self._segment = shared_memory.SharedMemory(
             create=True, size=self._HEADER.size + len(body))
         self._segment.buf[:self._HEADER.size] = self._HEADER.pack(len(body))
         self._segment.buf[self._HEADER.size:self._HEADER.size + len(body)] = \
             body
         self.name = self._segment.name
+        _install_segment_cleanup()
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.add(self)
 
     @classmethod
     def load(cls, name: str) -> Any:
@@ -228,6 +302,8 @@ class _SharedObject:
         if self._segment is None:
             return
         segment, self._segment = self._segment, None
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.discard(self)
         try:
             segment.close()
         finally:

@@ -243,7 +243,7 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(body)
-            os.replace(tmp_path, self._path(key))
+            self._publish(tmp_path, self._path(key))
         except BaseException:
             # Any crash between mkstemp and the rename (not just OSError --
             # an interrupt or injected failure too) must not leak the temp
@@ -255,6 +255,29 @@ class ResultCache:
             raise
         if self._eviction_due(len(body)):
             self.evict()
+
+    @staticmethod
+    def _publish(tmp_path: str, destination: str) -> None:
+        """Atomically move a finished temp file onto its final key path.
+
+        Concurrent writers are legal: the cache is content-addressed, so
+        two processes (or threads) racing on one key are by construction
+        writing the same artifact, and whoever renames last wins with
+        identical content.  ``os.replace`` is already a silent overwrite on
+        POSIX; on platforms where replacing a destination that another
+        writer is simultaneously creating/holding raises instead, the loser
+        discards its temp file and treats the winner's artifact as its own
+        successful put.
+        """
+        try:
+            os.replace(tmp_path, destination)
+        except OSError:
+            if not os.path.exists(destination):
+                raise  # a real failure, not a lost race
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
 
     def _write_sidecar(self, key: str, index: int, values: List[float],
                        task_id: Optional[str]) -> None:
@@ -270,7 +293,7 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.save(handle, array, allow_pickle=False)
-            os.replace(tmp_path, self._sidecar_path(key, index))
+            self._publish(tmp_path, self._sidecar_path(key, index))
         except BaseException:
             try:
                 os.unlink(tmp_path)

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -376,39 +377,88 @@ def _run_study(args: argparse.Namespace, spec: Any,
         if telemetry is not None:
             telemetry.close()
 
-    payload: Dict[str, Any] = {"workers": args.workers, "k": plan.k,
-                               "seed": spec.seed,
-                               "dut": plan.dut_fingerprint}
-
     if plan.variants:
-        payload["variants"] = [
-            {"variant": name, "dut": vplan.dut_fingerprint,
-             **_stage_payload(vplan, outcome.variants[name],
-                              f"{label}:{name}")}
-            for name, vplan in plan.variants.items()]
+        for name, vplan in plan.variants.items():
+            _print_stage_tables(vplan, outcome.variants[name],
+                                f"{label}:{name}")
     else:
-        payload.update(_stage_payload(plan, outcome, label))
+        _print_stage_tables(plan, outcome, label)
 
     console.info()
     console.info(f"engine: {outcome.report.summary()}")
     stage_line = outcome.report.stage_summary()
     if stage_line:
         console.info(f"stages: {stage_line}")
-    payload["engine"] = outcome.report.summary()
-    _emit(args, payload)
+    _emit(args, study_payload(spec, plan, outcome, workers=args.workers))
     return 0
 
 
-def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
-    """Print one (variant's) study outcome and return its JSON fragment --
-    the per-stage tables and payload keys shared by the single-DUT and
-    per-variant reporting paths."""
-    from ..core import format_confidence, format_table
+def study_payload(spec: Any, plan: Any, outcome: Any,
+                  workers: int) -> Dict[str, Any]:
+    """The machine-readable result of one compiled study run -- exactly
+    the JSON ``repro-campaign run --json`` writes.
 
+    Pure (no console output) so the campaign daemon can persist the same
+    payload for a submitted study; daemon results and CLI results are
+    compared with ``tools/diff_study_json.py``, which pins the key schema,
+    so the two paths must never drift apart.
+    """
+    payload: Dict[str, Any] = {"workers": workers, "k": plan.k,
+                               "seed": spec.seed,
+                               "dut": plan.dut_fingerprint}
+    if plan.variants:
+        payload["variants"] = [
+            {"variant": name, "dut": vplan.dut_fingerprint,
+             **_stage_payload(vplan, outcome.variants[name])}
+            for name, vplan in plan.variants.items()]
+    else:
+        payload.update(_stage_payload(plan, outcome))
+    payload["engine"] = outcome.report.summary()
+    return payload
+
+
+def _stage_payload(plan: Any, outcome: Any) -> Dict[str, Any]:
+    """One (variant's) study outcome as its JSON fragment -- the payload
+    keys shared by the single-DUT and per-variant paths.  Pure; the
+    corresponding tables are printed by :func:`_print_stage_tables`."""
     payload: Dict[str, Any] = {}
 
     # With a uniform k the per-block window calibrations are identical;
-    # print (and emit) one table either way.
+    # emit one table either way.
+    calibration = outcome.calibration
+    if calibration is not None:
+        payload["deltas"] = calibration.deltas
+
+    if plan.campaign_stage is not None:
+        payload["blocks"] = [
+            _block_json(block, result, variant=outcome.variant,
+                        dut_fingerprint=plan.dut_fingerprint)
+            for block, result in outcome.results.items()]
+
+    if plan.yield_stage is not None:
+        payload["yield_loss"] = [
+            {"k": p.k, "analytic_per_run": p.analytic_per_run,
+             "analytic_ppm": p.analytic_ppm, "empirical": p.empirical,
+             "empirical_ci_half_width": p.empirical_ci_half_width}
+            for p in outcome.yield_points]
+
+    escapes = outcome.escapes
+    if escapes is not None:
+        payload["escapes"] = {
+            "n_undetected_total": escapes.n_undetected_total,
+            "n_analyzed": escapes.n_analyzed,
+            "n_functional_escapes": escapes.n_functional_escapes,
+            "n_benign": escapes.n_benign,
+            "violations": escapes.violations_histogram()}
+
+    return payload
+
+
+def _print_stage_tables(plan: Any, outcome: Any, label: str) -> None:
+    """Print one (variant's) study outcome: the per-stage console tables
+    backing the JSON fragments of :func:`_stage_payload`."""
+    from ..core import format_confidence, format_table
+
     calibration = outcome.calibration
     if calibration is not None:
         cal_rows = [[name, f"{calibration.sigmas[name]:.3e}",
@@ -419,11 +469,9 @@ def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
             ["invariance", "sigma", "mean", f"delta (k={plan.k:g})"],
             cal_rows,
             title=f"SymBIST window calibration ({label} stage 1)"))
-        payload["deltas"] = calibration.deltas
 
     if plan.campaign_stage is not None:
         rows: List[List[Any]] = []
-        results_json: List[Dict[str, Any]] = []
         for block, result in outcome.results.items():
             report = result.block_report(block)
             rows.append([block, report.n_defects, report.n_simulated,
@@ -431,9 +479,6 @@ def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
                          f"{report.modeled_sim_time:.0f}",
                          format_confidence(report.coverage.value,
                                            report.coverage.ci_half_width)])
-            results_json.append(_block_json(
-                block, result, variant=outcome.variant,
-                dut_fingerprint=plan.dut_fingerprint))
         title = (f"SymBIST per-block defect campaigns "
                  f"({label} stages 2-3)") if plan.per_block \
             else f"SymBIST defect campaign ({label} stage 2)"
@@ -442,7 +487,6 @@ def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
             ["A/M-S block", "#defects", "#simulated", "#detected",
              "model sim time (s)", "L-W defect coverage"], rows,
             title=title))
-        payload["blocks"] = results_json
 
     if plan.yield_stage is not None:
         yield_rows = [[f"{p.k:g}", f"{p.analytic_ppm:.3g}",
@@ -455,11 +499,6 @@ def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
         console.info(format_table(
             ["k", "analytic (ppm)", "empirical", "95% CI"],
             yield_rows, title=f"yield loss versus k ({label} stage 3)"))
-        payload["yield_loss"] = [
-            {"k": p.k, "analytic_per_run": p.analytic_per_run,
-             "analytic_ppm": p.analytic_ppm, "empirical": p.empirical,
-             "empirical_ci_half_width": p.empirical_ci_half_width}
-            for p in outcome.yield_points]
 
     escapes = outcome.escapes
     if escapes is not None:
@@ -470,14 +509,6 @@ def _stage_payload(plan: Any, outcome: Any, label: str) -> Dict[str, Any]:
                      f"escapes, {escapes.n_benign} benign")
         for name, count in sorted(escapes.violations_histogram().items()):
             console.info(f"  {name}: {count}")
-        payload["escapes"] = {
-            "n_undetected_total": escapes.n_undetected_total,
-            "n_analyzed": escapes.n_analyzed,
-            "n_functional_escapes": escapes.n_functional_escapes,
-            "n_benign": escapes.n_benign,
-            "violations": escapes.violations_histogram()}
-
-    return payload
 
 
 def _legacy_study_overrides(args: argparse.Namespace) -> Dict[str, Any]:
@@ -692,6 +723,144 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     _add_output_arguments(parser)
 
 
+_DEFAULT_STATE_DIR = ".repro-service"
+
+
+def _service_address(args: argparse.Namespace) -> str:
+    """The daemon control address a client subcommand should talk to."""
+    if getattr(args, "control", None):
+        return args.control
+    return "unix:%s" % os.path.join(
+        getattr(args, "state_dir", None) or _DEFAULT_STATE_DIR,
+        "control.sock")
+
+
+def _add_service_client_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--control", default=None, metavar="ADDR",
+                        help="daemon control socket (unix:PATH or "
+                             "tcp:HOST:PORT; default: "
+                             "unix:<state-dir>/control.sock)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="daemon state directory the default control "
+                             f"socket lives in (default: "
+                             f"{_DEFAULT_STATE_DIR})")
+    _add_output_arguments(parser)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import CampaignDaemon
+    daemon = CampaignDaemon(
+        state_dir=args.state_dir or _DEFAULT_STATE_DIR,
+        control=args.control,
+        worker_socket=args.worker_socket,
+        spawn_workers=args.spawn_workers,
+        serial=args.serial,
+        max_concurrent=args.max_concurrent,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age,
+        task_timeout=args.task_timeout)
+    console.info(f"campaign daemon up: control {daemon.control_address}")
+    if daemon.worker_address is not None:
+        console.info(f"workers connect with: repro-campaign worker "
+                     f"--connect {daemon.worker_address}")
+    console.info(f"state dir: {daemon.state_dir}")
+    daemon.serve_forever()
+    console.info("campaign daemon stopped")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from ..service import run_worker
+    executed = run_worker(args.connect, max_tasks=args.max_tasks,
+                          crash_after=args.crash_after)
+    console.info(f"worker done: {executed} tasks executed")
+    return 0
+
+
+def _load_spec_with_overrides(args: argparse.Namespace):
+    from .spec import load_study
+    spec = load_study(args.study)
+    assignments = [_parse_set_assignment(entry)
+                   for entry in (args.set or [])]
+    if assignments:
+        spec = spec.override(dict(assignments))
+    return spec.validated()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from ..service import client
+    spec = _load_spec_with_overrides(args)
+    address = _service_address(args)
+    response = client.submit(address, spec.to_jsonable(), wait=args.wait)
+    console.info(f"submitted {spec.name!r} as {response['id']} "
+                 f"[{response['state']}] to {address}")
+    if not args.wait:
+        return 0
+    state = response["state"]
+    if state != "done":
+        console.error(f"study {response['id']} finished as {state}"
+                      + (f": {response['error']}"
+                         if response.get("error") else ""))
+        return 1
+    result = response.get("result")
+    if result is not None:
+        _emit(args, result)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from ..core import format_table
+    from ..service import client
+    response = client.status(_service_address(args), args.id,
+                             with_result=bool(args.json_path))
+    if args.id is not None:
+        console.info(f"{response['id']}: {response['state']}"
+                     + (f" ({response['error']})"
+                        if response.get("error") else ""))
+        if response.get("result_path"):
+            console.info(f"result: {response['result_path']}")
+        _emit(args, {key: value for key, value in response.items()
+                     if key != "ok"})
+        return 0
+    rows = [[entry["id"], entry["name"], entry["state"],
+             entry.get("error") or ""]
+            for entry in response["studies"]]
+    console.info(format_table(["id", "study", "state", "error"], rows,
+                              title="campaign daemon studies"))
+    _emit(args, {"studies": response["studies"]})
+    return 0
+
+
+def cmd_attach(args: argparse.Namespace) -> int:
+    from ..service import client
+    final_state = None
+    for line in client.attach(_service_address(args), args.id):
+        if isinstance(line, dict) and line.get("done"):
+            final_state = line.get("state")
+            if line.get("error"):
+                console.error(f"{args.id}: {line['error']}")
+            break
+        print(json.dumps(line, sort_keys=True), flush=True)
+    console.info(f"{args.id}: {final_state or 'detached'}")
+    return 0 if final_state in (None, "done") else 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from ..service import client
+    response = client.cancel(_service_address(args), args.id)
+    console.info(f"cancel requested for {response['id']} "
+                 f"(was {response['state']})")
+    return 0
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    from ..service import client
+    client.shutdown(_service_address(args))
+    console.info("daemon shutdown requested; running studies persist "
+                 "and resume on the next `repro-campaign serve`")
+    return 0
+
+
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--blocks", nargs="*", default=None,
                         help="restrict the campaign to these block paths")
@@ -862,6 +1031,113 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the headers and rows to this file")
     _add_output_arguments(sql)
     sql.set_defaults(func=cmd_warehouse_sql)
+
+    serve = sub.add_parser(
+        "serve",
+        help="persistent campaign daemon: submit studies over a control "
+             "socket onto one shared scheduler, warm cache and worker pool")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="root of the daemon's persistent state: study "
+                            "records, traces, results, cache and the "
+                            "default sockets (default: "
+                            f"{_DEFAULT_STATE_DIR})")
+    serve.add_argument("--control", default=None, metavar="ADDR",
+                       help="control socket address (unix:PATH or "
+                            "tcp:HOST:PORT; default: "
+                            "unix:<state-dir>/control.sock)")
+    serve.add_argument("--worker-socket", default=None, metavar="ADDR",
+                       help="socket remote workers connect to (default: "
+                            "unix:<state-dir>/workers.sock)")
+    serve.add_argument("--spawn-workers", type=int, default=0,
+                       metavar="N",
+                       help="local worker processes to launch immediately; "
+                            "they persist across study runs (default: 0 -- "
+                            "workers join with `repro-campaign worker`)")
+    serve.add_argument("--serial", action="store_true",
+                       help="execute studies in-process instead of on "
+                            "socket workers (same control protocol)")
+    serve.add_argument("--max-concurrent", type=_positive_int, default=2,
+                       help="studies executing simultaneously on the "
+                            "shared backend")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task deadline; a worker exceeding it is "
+                            "declared dead and its task is requeued")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="shared cache size budget (LRU eviction)")
+    serve.add_argument("--cache-max-age", type=float, default=None,
+                       help="shared cache artifact lifetime in seconds")
+    _add_output_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="execute tasks for a socket backend or daemon somewhere else")
+    worker.add_argument("--connect", required=True, metavar="ADDR",
+                        help="worker socket of the backend/daemon "
+                             "(unix:PATH or tcp:HOST:PORT)")
+    worker.add_argument("--max-tasks", type=_positive_int, default=None,
+                        help="exit cleanly after this many tasks "
+                             "(default: run until the server says bye)")
+    worker.add_argument("--crash-after", type=int, default=None,
+                        metavar="N",
+                        help="testing aid: hard-exit on receiving task "
+                             "N+1, exercising the dead-worker requeue path")
+    _add_output_arguments(worker)
+    worker.set_defaults(func=cmd_worker)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a study spec to a running campaign daemon")
+    submit.add_argument("study",
+                        help="path to a .toml/.json study spec, or a "
+                             "canned study name")
+    submit.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a spec entry (same syntax as "
+                             "`repro-campaign run --set`); repeatable")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the study finishes and report "
+                             "its result")
+    submit.add_argument("--json", dest="json_path", default=None,
+                        help="with --wait: write the study's result "
+                             "payload (the `run --json` schema) to this "
+                             "file")
+    _add_service_client_arguments(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status",
+        help="list a daemon's studies, or show one study's state")
+    status.add_argument("id", nargs="?", default=None,
+                        help="study id (omit to list every study)")
+    status.add_argument("--json", dest="json_path", default=None,
+                        help="write the machine-readable status to this "
+                             "file (single-study status includes the "
+                             "result payload when available)")
+    _add_service_client_arguments(status)
+    status.set_defaults(func=cmd_status)
+
+    attach = sub.add_parser(
+        "attach",
+        help="stream a daemon study's live telemetry events (JSONL trace "
+             "schema) to stdout")
+    attach.add_argument("id", help="study id to attach to")
+    _add_service_client_arguments(attach)
+    attach.set_defaults(func=cmd_attach)
+
+    cancel = sub.add_parser(
+        "cancel", help="request cooperative cancellation of a daemon study")
+    cancel.add_argument("id", help="study id to cancel")
+    _add_service_client_arguments(cancel)
+    cancel.set_defaults(func=cmd_cancel)
+
+    shutdown = sub.add_parser(
+        "shutdown",
+        help="stop a running campaign daemon (unfinished studies resume "
+             "on restart)")
+    _add_service_client_arguments(shutdown)
+    shutdown.set_defaults(func=cmd_shutdown)
     return parser
 
 

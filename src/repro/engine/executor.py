@@ -208,6 +208,9 @@ class EngineRun:
     statuses: Dict[str, str] = field(default_factory=dict)
     #: Error message per failed task id.
     errors: Dict[str, str] = field(default_factory=dict)
+    #: True when the run stopped early because its ``cancel`` probe fired;
+    #: unresolved tasks are recorded as ``skipped``.
+    cancelled: bool = False
 
     def result_for(self, task_id: str) -> Any:
         try:
@@ -481,7 +484,8 @@ class CampaignEngine:
             progress: Optional[ProgressCallback] = None,
             on_failure: str = "raise",
             stage_of: Optional[Mapping[str, str]] = None,
-            telemetry: Optional[TelemetryBus] = None) -> EngineRun:
+            telemetry: Optional[TelemetryBus] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> EngineRun:
         """Execute every task; results come back in task order.
 
         Parameters
@@ -518,6 +522,14 @@ class CampaignEngine:
         telemetry:
             Optional :class:`~repro.engine.telemetry.TelemetryBus` for this
             run, overriding the engine default.
+        cancel:
+            Optional zero-argument probe polled between completions.  Once
+            it returns True the scheduler stops dispatching, drains the
+            work already in flight (their results still reach the cache),
+            marks every unresolved task ``skipped`` and returns the run
+            with :attr:`EngineRun.cancelled` set -- the cooperative-stop
+            hook of the campaign daemon's ``cancel`` verb.  Cancellation
+            never raises by itself.
         """
         graph = tasks if isinstance(tasks, TaskGraph) else TaskGraph(tasks)
         if on_failure not in ("raise", "skip"):
@@ -526,9 +538,10 @@ class CampaignEngine:
         codec_for = _resolve_codec(codec)
         progress = progress or self.progress
         bus = telemetry if telemetry is not None else self.telemetry
-        if graph.has_edges or on_failure == "skip":
+        if graph.has_edges or on_failure == "skip" or cancel is not None:
             return self._run_graph(graph, worker, context, codec_for,
-                                   progress, on_failure, stage_of, bus)
+                                   progress, on_failure, stage_of, bus,
+                                   cancel)
         return self._run_flat(graph, worker, context, codec_for, progress,
                               stage_of, bus)
 
@@ -621,7 +634,8 @@ class CampaignEngine:
                    progress: Optional[ProgressCallback],
                    on_failure: str,
                    stage_of: Optional[Mapping[str, str]] = None,
-                   bus: Optional[TelemetryBus] = None) -> EngineRun:
+                   bus: Optional[TelemetryBus] = None,
+                   cancel: Optional[Callable[[], bool]] = None) -> EngineRun:
         """Topological scheduling with cache short-circuits + failure skips.
 
         Tasks are dispatched the moment their last parent completes; there is
@@ -691,8 +705,15 @@ class CampaignEngine:
         fn = functools.partial(
             _execute_graph_task if has_edges else _execute_task,
             worker, context)
+        cancelled = False
         with self.backend.stream(fn) as stream:
             while ready or in_flight:
+                if cancel is not None and not cancelled and cancel():
+                    cancelled = True
+                if cancelled:
+                    # Stop dispatching; keep draining what is in flight so
+                    # completed work still reaches the cache/progress.
+                    ready.clear()
                 # Dispatch everything runnable; cache hits complete inline
                 # (and may push newly unblocked children back onto `ready`).
                 while ready:
@@ -739,6 +760,13 @@ class CampaignEngine:
                 else:
                     fail(index, value)
 
+        if cancelled:
+            for task in graph:
+                if task.task_id not in statuses:
+                    statuses[task.task_id] = STATUS_SKIPPED
+                    if tele is not None:
+                        tele.skipped(task.task_id)
+
         n_skipped = sum(1 for status in statuses.values()
                         if status == STATUS_SKIPPED)
         report = self._build_report(graph, durations, n_tasks,
@@ -754,7 +782,8 @@ class CampaignEngine:
         if tele is not None:
             tele.finished(report, self.backend)
         run = EngineRun(results=results, report=report, task_ids=graph.ids(),
-                        statuses=statuses, errors=errors)
+                        statuses=statuses, errors=errors,
+                        cancelled=cancelled)
         if errors and on_failure == "raise":
             first_id = run.failed_tasks()[0]
             error = TaskExecutionError(

@@ -203,7 +203,8 @@ class Pipeline:
             seed: Any = 0,
             progress: Optional[ProgressCallback] = None,
             on_failure: str = "raise",
-            telemetry: Optional["TelemetryBus"] = None) -> PipelineResult:
+            telemetry: Optional["TelemetryBus"] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> PipelineResult:
         """Execute the whole graph through one :class:`CampaignEngine` run.
 
         ``on_failure="skip"`` returns a result whose
@@ -214,6 +215,10 @@ class Pipeline:
         ``telemetry`` is an optional
         :class:`~repro.engine.telemetry.TelemetryBus` receiving the run's
         event stream (stage-tagged, since pipelines pass ``stage_of``).
+        ``cancel`` is the engine's cooperative-stop probe (see
+        :meth:`~repro.engine.executor.CampaignEngine.run`); a cancelled run
+        surfaces through :attr:`EngineRun.cancelled` on the result's
+        ``run``.
         """
         if not len(self._graph):
             raise EngineError(f"pipeline {self.name!r} has no tasks")
@@ -229,7 +234,7 @@ class Pipeline:
 
         run = engine.run(self._graph, _dispatch_worker, context=context,
                          codec=codec_for, on_failure=on_failure,
-                         stage_of=dict(self._stage_of))
+                         stage_of=dict(self._stage_of), cancel=cancel)
         return PipelineResult(run=run, stage_names=list(self._stages),
                               stage_of=dict(self._stage_of))
 

@@ -974,17 +974,23 @@ class StudyPlan:
             cache: Optional[ResultCache] = None,
             progress: Optional[ProgressCallback] = None,
             on_failure: str = "raise",
-            telemetry: Optional[TelemetryBus] = None) -> StudyOutcome:
+            telemetry: Optional[TelemetryBus] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> StudyOutcome:
         """Execute the graph through one engine run and assemble the
         :class:`StudyOutcome` from the named stages' results (per-variant
-        outcomes land in :attr:`StudyOutcome.variants`)."""
+        outcomes land in :attr:`StudyOutcome.variants`).
+
+        ``cancel`` is the engine's cooperative-stop probe; when it fires,
+        the outcome assembles whatever completed and
+        ``outcome.pipeline.run.cancelled`` is True."""
         from ..defects.simulator import _WORKER_STATE
 
         try:
             result = self.pipeline.run(backend=backend, cache=cache,
                                        progress=progress,
                                        on_failure=on_failure,
-                                       telemetry=telemetry)
+                                       telemetry=telemetry,
+                                       cancel=cancel)
         finally:
             # Serial runs build the campaign in this process; drop it so
             # the ADC/hierarchy/injector do not outlive the run (mirrors
@@ -1066,14 +1072,16 @@ def run_study(spec: StudySpec,
               on_failure: str = "raise",
               telemetry: Optional[TelemetryBus] = None,
               adc_factory: Optional[Callable[[], Any]] = None,
-              variation_spec: Optional[Any] = None) -> StudyOutcome:
+              variation_spec: Optional[Any] = None,
+              cancel: Optional[Callable[[], bool]] = None) -> StudyOutcome:
     """Compile and run a study spec: :func:`build_study` +
     :meth:`StudyPlan.run`.  ``backend``/``cache`` follow the usual engine
     conventions (serial and uncached by default)."""
     plan = build_study(spec, adc_factory=adc_factory,
                        variation_spec=variation_spec)
     return plan.run(backend=backend, cache=cache, progress=progress,
-                    on_failure=on_failure, telemetry=telemetry)
+                    on_failure=on_failure, telemetry=telemetry,
+                    cancel=cancel)
 
 
 # ============================================================ canned studies

@@ -229,6 +229,66 @@ def read_trace(path: Any) -> List[TelemetryEvent]:
     return events
 
 
+def follow_trace(path: Any,
+                 stop: Optional[Any] = None,
+                 poll_interval: float = 0.1,
+                 timeout: Optional[float] = None):
+    """Live-tail a JSONL trace: yield events as the writer appends them.
+
+    The streaming counterpart of :func:`read_trace`, and what the campaign
+    daemon's ``attach`` verb is built on: a :class:`JsonlTraceSink` flushes
+    one complete line per event, so a reader polling the file sees whole
+    events (a partial final line is left in the buffer until its newline
+    arrives).  The generator ends when
+
+    * a ``run_finished`` event is yielded (the trace's natural terminator),
+    * *stop* (any object with a truthy ``is_set()``, e.g. a
+      ``threading.Event``) fires -- checked only once the file is fully
+      drained, so a stop raised after the writer finished still yields
+      every event, or
+    * *timeout* seconds pass without the file growing (None = wait
+      forever).
+
+    The file may not exist yet when following starts (the run has not
+    opened its sink); that counts as "not growing" against *timeout*.
+    """
+    buffered = b""
+    offset = 0
+    quiet_since = time.monotonic()
+    while True:
+        try:
+            with open(os.fspath(path), "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            chunk = b""
+        if chunk:
+            offset += len(chunk)
+            buffered += chunk
+            quiet_since = time.monotonic()
+            while b"\n" in buffered:
+                raw, buffered = buffered.split(b"\n", 1)
+                line = raw.decode("utf-8")
+                if not line.strip():
+                    continue
+                try:
+                    event = TelemetryEvent.from_jsonable(json.loads(line))
+                except (ValueError, KeyError) as exc:
+                    raise EngineError(
+                        f"{path}: not a telemetry event: {line[:200]!r}: "
+                        f"{exc}") from exc
+                yield event
+                if event.type == "run_finished":
+                    return
+        else:
+            if stop is not None and stop.is_set():
+                return
+            if timeout is not None and \
+                    time.monotonic() - quiet_since > timeout:
+                return
+            time.sleep(poll_interval)
+
+
 # ====================================================== Chrome trace exporter
 
 def chrome_trace(events: Sequence[TelemetryEvent]) -> Dict[str, Any]:

@@ -1,0 +1,145 @@
+"""Client side of the daemon's JSON-lines control protocol.
+
+Each operation opens one connection to the daemon's control socket, sends
+one request line and reads the response(s); :func:`attach` keeps its
+connection open and yields the study's telemetry events as they stream.
+The CLI subcommands (``repro-campaign submit/status/attach/cancel/
+shutdown``) are thin wrappers over these functions, and they are equally
+usable as a Python API::
+
+    from repro.service import client
+    study_id = client.submit("unix:.repro-service/control.sock",
+                             spec.to_jsonable())["id"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from ..circuit.errors import EngineError
+from .protocol import connect, read_json_line, send_json_line
+
+__all__ = ["ServiceError", "attach", "cancel", "ping", "request",
+           "shutdown", "status", "submit"]
+
+
+class ServiceError(EngineError):
+    """The daemon refused or could not complete a control request."""
+
+
+def _open(address: str, timeout: Optional[float],
+          retry_for: float) -> socket.socket:
+    try:
+        return connect(address, timeout=timeout, retry_for=retry_for)
+    except (EngineError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach campaign daemon at {address!r}: {exc}; "
+            "is `repro-campaign serve` running?") from exc
+
+
+def _checked(response: Any, address: str) -> Dict[str, Any]:
+    if response is None:
+        raise ServiceError(
+            f"campaign daemon at {address!r} closed the connection "
+            "without answering")
+    if not isinstance(response, dict):
+        raise ServiceError(
+            f"malformed response from campaign daemon: {response!r}")
+    if not response.get("ok"):
+        raise ServiceError(str(response.get("error", "request failed")))
+    return response
+
+
+def request(address: str, payload: Dict[str, Any],
+            timeout: Optional[float] = 30.0,
+            retry_for: float = 0.0) -> Dict[str, Any]:
+    """One request/response round trip; raises :class:`ServiceError` on a
+    refused request, a vanished daemon or a malformed answer.
+
+    ``timeout`` bounds each socket operation (None = wait forever -- used
+    by ``submit --wait``); ``retry_for`` keeps retrying the initial
+    connection, for clients racing a daemon that is still starting up.
+    """
+    sock = _open(address, timeout, retry_for)
+    try:
+        send_json_line(sock, payload)
+        with sock.makefile("rb") as stream:
+            return _checked(read_json_line(stream), address)
+    finally:
+        sock.close()
+
+
+def ping(address: str, timeout: Optional[float] = 5.0,
+         retry_for: float = 0.0) -> Dict[str, Any]:
+    """Probe the daemon; returns its worker count and worker socket."""
+    return request(address, {"op": "ping"}, timeout=timeout,
+                   retry_for=retry_for)
+
+
+def submit(address: str, spec_jsonable: Dict[str, Any],
+           wait: bool = False,
+           timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+    """Submit a JSONable StudySpec; returns at least ``{"id", "state"}``.
+
+    With ``wait=True`` the call blocks until the study reaches a terminal
+    state and the response carries the full status including the study's
+    result payload (``repro-campaign run --json`` schema) when it
+    succeeded.
+    """
+    payload: Dict[str, Any] = {"op": "submit", "spec": spec_jsonable}
+    if wait:
+        payload["wait"] = True
+        timeout = None  # the study may legitimately run for a long time
+    return request(address, payload, timeout=timeout)
+
+
+def status(address: str, study_id: Optional[str] = None,
+           with_result: bool = False,
+           timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+    """One study's status, or ``{"studies": [...]}`` for all of them."""
+    payload: Dict[str, Any] = {"op": "status"}
+    if study_id is not None:
+        payload["id"] = study_id
+        if with_result:
+            payload["result"] = True
+    return request(address, payload, timeout=timeout)
+
+
+def cancel(address: str, study_id: str,
+           timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+    """Request cooperative cancellation of one study."""
+    return request(address, {"op": "cancel", "id": study_id},
+                   timeout=timeout)
+
+
+def shutdown(address: str, timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+    """Ask the daemon to stop; running studies persist for resume."""
+    return request(address, {"op": "shutdown"}, timeout=timeout)
+
+
+def attach(address: str, study_id: str,
+           timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+    """Stream a study's telemetry events live.
+
+    Yields the raw JSON objects from the study's trace (the
+    ``JsonlTraceSink`` event schema -- feed them to
+    ``TelemetryEvent.from_jsonable`` for typed access), followed by one
+    ``{"done": True, "state": ..., "error": ...}`` line when the study
+    reaches a terminal state.  The first line -- the acknowledgement --
+    is consumed here, not yielded.
+    """
+    sock = _open(address, timeout, 0.0)
+    try:
+        send_json_line(sock, {"op": "attach", "id": study_id})
+        with sock.makefile("rb") as stream:
+            _checked(read_json_line(stream), address)
+            while True:
+                line = read_json_line(stream)
+                if line is None:
+                    return
+                yield line
+                if isinstance(line, dict) and line.get("done"):
+                    return
+    finally:
+        sock.close()

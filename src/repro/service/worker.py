@@ -1,0 +1,125 @@
+"""The ``repro-campaign worker`` loop.
+
+A worker dials a :class:`~repro.service.socket_backend.SocketBackend` (or a
+daemon's worker socket), introduces itself with a hello frame, then
+alternates between receiving frames and sending results:
+
+* ``("context", ctx_id, fn)`` -- cache the work function for a run.  The
+  context arrives once per connection per run; it carries the whole
+  campaign closure (behavioral ADC, calibrated windows, defect universe).
+* ``("task", ctx_id, seq, item)`` -- execute ``fn(item)``, reply with
+  ``("result", ctx_id, seq, ok, value)``.  Item exceptions are captured
+  and shipped back as the value, never raised out of the loop.
+* ``("drop", ctx_id)`` -- the run finished; forget its context.
+* ``("bye",)`` -- server shutdown; exit cleanly.
+
+A daemon heartbeat thread pings the server every ``heartbeat_interval``
+seconds so the server can distinguish "busy on a long task" from "dead".
+The loop exits on any connection error -- the server requeues whatever this
+worker was holding.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from ..circuit.errors import EngineError
+from .protocol import (PROTOCOL_VERSION, ProtocolError, connect,
+                       encode_frame, recv_frame, send_frame)
+
+__all__ = ["run_worker"]
+
+
+def run_worker(address: str,
+               max_tasks: Optional[int] = None,
+               crash_after: Optional[int] = None,
+               heartbeat_interval: float = 1.0,
+               connect_retry: float = 10.0) -> int:
+    """Serve tasks from *address* until told to stop; return tasks executed.
+
+    ``max_tasks`` bounds this process's lifetime (worker recycling);
+    ``crash_after`` is a fault-injection hook for tests -- the process
+    hard-exits (``os._exit``) on *receiving* task ``crash_after + 1``,
+    exactly the mid-run death the server's requeue path must absorb.
+    """
+
+    if max_tasks is not None and max_tasks <= 0:
+        raise EngineError("max_tasks must be positive, got %d" % max_tasks)
+    sock = connect(address, retry_for=connect_retry)
+    send_lock = threading.Lock()
+    with send_lock:
+        send_frame(sock, ("hello", {"pid": os.getpid(),
+                                    "version": PROTOCOL_VERSION}))
+
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    send_frame(sock, ("heartbeat",))
+            except OSError:
+                return
+
+    threading.Thread(target=_heartbeat, name="worker-heartbeat",
+                     daemon=True).start()
+
+    contexts = {}
+    executed = 0
+    try:
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except (ProtocolError, OSError):
+                break
+            if frame is None or frame[0] == "bye":
+                break
+            kind = frame[0]
+            if kind == "context":
+                _kind, ctx_id, fn = frame
+                contexts[ctx_id] = fn
+            elif kind == "drop":
+                contexts.pop(frame[1], None)
+            elif kind == "task":
+                _kind, ctx_id, seq, item = frame
+                if crash_after is not None and executed >= crash_after:
+                    os._exit(17)  # simulate a hard mid-run death
+                fn = contexts.get(ctx_id)
+                if fn is None:
+                    ok, value = False, EngineError(
+                        "worker received a task for unknown context %r "
+                        "(context frame lost?)" % ctx_id)
+                else:
+                    try:
+                        ok, value = True, fn(item)
+                    except Exception as exc:
+                        ok, value = False, exc
+                executed += 1
+                try:
+                    payload = encode_frame(("result", ctx_id, seq, ok, value))
+                except Exception as exc:
+                    # The result (or exception) will not survive the trip
+                    # back; report that as the item's failure instead of
+                    # dying and losing the whole connection.
+                    payload = encode_frame((
+                        "result", ctx_id, seq, False,
+                        EngineError(
+                            "worker result failed to pickle: %s" % exc)))
+                try:
+                    with send_lock:
+                        sock.sendall(payload)
+                except OSError:
+                    break
+                if max_tasks is not None and executed >= max_tasks:
+                    break
+            # Unknown frame kinds are ignored: a newer server may add
+            # advisory frames without breaking old workers.
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return executed

@@ -192,3 +192,49 @@ def test_batched_run_matches_unbatched_serial(case, batch_size, backend_name,
                         batch_size=batch_size)
     assert _strip_counts(batched) == \
         _strip_counts(_SERIAL_BASELINE[case["id"]])
+
+
+# ---------------------------------------------------------------- socket
+#: One randomized case per driver kind, re-run over the socket backend.
+#: The backend ships work to out-of-process workers over TCP; because every
+#: task carries its own SeedSequence-derived seed material, the results
+#: must be bit-identical to the serial baseline whatever worker executes
+#: (or re-executes) them.
+SOCKET_CASES = [next(c for c in CASES if c["kind"] == kind)
+                for kind in ("campaign", "calibration", "yield",
+                             "pipeline", "block-study")]
+
+
+@pytest.fixture(scope="module")
+def socket_backend():
+    from repro.service import SocketBackend
+    with SocketBackend("tcp:127.0.0.1:0", spawn_workers=2) as backend:
+        yield backend
+
+
+@pytest.mark.parametrize("case", SOCKET_CASES,
+                         ids=[c["id"] for c in SOCKET_CASES])
+def test_socket_backend_matches_serial(case, socket_backend, deltas,
+                                       calibration):
+    if case["id"] not in _SERIAL_BASELINE:
+        _SERIAL_BASELINE[case["id"]] = _run_case(
+            case, SerialBackend(), deltas, calibration)
+    assert _run_case(case, socket_backend, deltas, calibration) == \
+        _SERIAL_BASELINE[case["id"]]
+
+
+def test_socket_backend_with_worker_death_matches_serial(deltas,
+                                                         calibration):
+    """A worker dying mid-run only costs a requeue, never a result change:
+    the victim's in-flight task re-executes on a survivor with the same
+    per-task seed, so the full signature stays bit-identical."""
+    from repro.service import SocketBackend
+    case = SOCKET_CASES[0]  # a campaign: the largest task population
+    if case["id"] not in _SERIAL_BASELINE:
+        _SERIAL_BASELINE[case["id"]] = _run_case(
+            case, SerialBackend(), deltas, calibration)
+    with SocketBackend("tcp:127.0.0.1:0") as backend:
+        backend.spawn_worker(crash_after=2)  # dies on its third task
+        backend.spawn_worker()
+        assert _run_case(case, backend, deltas, calibration) == \
+            _SERIAL_BASELINE[case["id"]]

@@ -1,0 +1,116 @@
+"""Shared-memory segments must not outlive their owner process.
+
+``SharedMemoryBackend`` parks the campaign context in a ``/dev/shm``
+segment.  A process that exits without calling ``destroy()`` -- normal
+interpreter exit, or a SIGTERM from a supervisor killing a hung run --
+must still unlink the segment, or every killed campaign leaks its whole
+context buffer until reboot.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.engine.backends import _LIVE_SEGMENTS, _SharedObject
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn(body):
+    """Run *body* in a child interpreter that prints its segment name and
+    then waits to be killed."""
+    script = textwrap.dedent(body)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC_DIR) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.PIPE, text=True, env=env)
+
+
+def _segment_path(name):
+    return os.path.join("/dev/shm", name.lstrip("/"))
+
+
+def _wait_gone(path, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not os.path.exists(path):
+            return True
+        time.sleep(0.05)
+    return not os.path.exists(path)
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="no /dev/shm on this platform")
+class TestSegmentCleanup:
+    def test_sigterm_unlinks_segment(self):
+        proc = _spawn("""
+            import os, sys, time
+            from repro.engine.backends import _SharedObject
+            segment = _SharedObject({"ctx": list(range(1000))})
+            print(segment.name, flush=True)
+            time.sleep(60)
+        """)
+        try:
+            name = proc.stdout.readline().strip()
+            assert name, "child printed no segment name"
+            path = _segment_path(name)
+            assert os.path.exists(path), "segment was never created"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10.0)
+            assert _wait_gone(path), \
+                f"SIGTERM leaked shared-memory segment {path}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_normal_exit_without_destroy_unlinks_segment(self):
+        proc = _spawn("""
+            from repro.engine.backends import _SharedObject
+            segment = _SharedObject(b"x" * 4096)
+            print(segment.name, flush=True)
+            # exit without destroy(): atexit must reap it
+        """)
+        try:
+            name = proc.stdout.readline().strip()
+            proc.wait(timeout=10.0)
+            assert _wait_gone(_segment_path(name)), \
+                f"normal exit leaked shared-memory segment {name}"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigterm_exit_status_still_signals_termination(self):
+        # Chaining must re-deliver the signal (default disposition), so
+        # supervisors still see a SIGTERM death, not a clean exit.
+        proc = _spawn("""
+            import time
+            from repro.engine.backends import _SharedObject
+            segment = _SharedObject([1, 2, 3])
+            print(segment.name, flush=True)
+            time.sleep(60)
+        """)
+        try:
+            proc.stdout.readline()
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10.0)
+            assert proc.returncode == -signal.SIGTERM
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+def test_destroy_deregisters_segment():
+    segment = _SharedObject({"a": 1})
+    assert segment in _LIVE_SEGMENTS
+    segment.destroy()
+    assert segment not in _LIVE_SEGMENTS
+    segment.destroy()  # idempotent

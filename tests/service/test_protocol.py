@@ -1,0 +1,219 @@
+"""Wire-layer tests: frames, JSON lines, addresses, listeners."""
+
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.circuit.errors import EngineError
+from repro.service import protocol
+from repro.service.protocol import (ProtocolError, connect, create_listener,
+                                    encode_frame, format_address,
+                                    parse_address, read_json_line,
+                                    recv_frame, send_frame, send_json_line)
+
+
+def _socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestFrames:
+    def test_round_trip(self):
+        left, right = _socket_pair()
+        try:
+            payload = ("task", 3, 7, {"nested": [1.5, None, "x"]})
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_many_frames_in_sequence(self):
+        left, right = _socket_pair()
+        try:
+            for i in range(50):
+                send_frame(left, ("seq", i))
+            for i in range(50):
+                assert recv_frame(right) == ("seq", i)
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_returns_none(self):
+        left, right = _socket_pair()
+        try:
+            send_frame(left, ("one",))
+            left.close()
+            assert recv_frame(right) == ("one",)
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_raises(self):
+        left, right = _socket_pair()
+        try:
+            frame = encode_frame(("task", list(range(1000))))
+            left.sendall(frame[:len(frame) // 2])
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_header_rejected_before_allocation(self):
+        left, right = _socket_pair()
+        try:
+            left.sendall(protocol._HEADER.pack(protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_unpicklable_object_raises(self):
+        left, right = _socket_pair()
+        try:
+            with pytest.raises(EngineError):
+                send_frame(left, ("bad", lambda: None))
+        finally:
+            left.close()
+            right.close()
+
+
+class TestJsonLines:
+    def test_round_trip(self):
+        left, right = _socket_pair()
+        try:
+            send_json_line(left, {"op": "submit", "spec": {"name": "s"}})
+            send_json_line(left, {"op": "status"})
+            with right.makefile("rb") as stream:
+                assert read_json_line(stream) == \
+                    {"op": "submit", "spec": {"name": "s"}}
+                assert read_json_line(stream) == {"op": "status"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = _socket_pair()
+        left.close()
+        try:
+            with right.makefile("rb") as stream:
+                assert read_json_line(stream) is None
+        finally:
+            right.close()
+
+    def test_garbage_raises_protocol_error(self):
+        left, right = _socket_pair()
+        try:
+            left.sendall(b"this is not json\n")
+            with right.makefile("rb") as stream:
+                with pytest.raises(ProtocolError):
+                    read_json_line(stream)
+        finally:
+            left.close()
+            right.close()
+
+    def test_payload_is_compact_single_line(self):
+        left, right = _socket_pair()
+        try:
+            send_json_line(left, {"a": [1, 2], "b": "x"})
+            left.close()
+            raw = b"".join(iter(lambda: right.recv(4096), b""))
+            assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+            assert b" " not in raw.split(b'"x"')[0]  # compact separators
+            assert json.loads(raw) == {"a": [1, 2], "b": "x"}
+        finally:
+            right.close()
+
+
+class TestAddresses:
+    def test_tcp_round_trip(self):
+        family, addr = parse_address("tcp:127.0.0.1:8765")
+        assert family == socket.AF_INET and addr == ("127.0.0.1", 8765)
+        assert format_address(family, addr) == "tcp:127.0.0.1:8765"
+
+    def test_unix_round_trip(self, tmp_path):
+        path = str(tmp_path / "x.sock")
+        family, addr = parse_address(f"unix:{path}")
+        assert family == socket.AF_UNIX and addr == path
+        assert format_address(family, addr) == f"unix:{path}"
+
+    def test_bare_path_is_unix(self, tmp_path):
+        path = str(tmp_path / "y.sock")
+        family, addr = parse_address(path)
+        assert family == socket.AF_UNIX and addr == path
+
+    def test_bad_tcp_port_rejected(self):
+        with pytest.raises(EngineError):
+            parse_address("tcp:127.0.0.1:notaport")
+
+
+class TestListeners:
+    def test_tcp_ephemeral_port_resolved(self):
+        listener, resolved = create_listener("tcp:127.0.0.1:0")
+        try:
+            assert not resolved.endswith(":0")
+            sock = connect(resolved, timeout=5.0)
+            sock.close()
+        finally:
+            listener.close()
+
+    def test_unix_listener_and_connect(self, tmp_path):
+        spec = f"unix:{tmp_path / 'srv.sock'}"
+        listener, resolved = create_listener(spec)
+        try:
+            assert resolved == spec
+            done = threading.Event()
+
+            def _accept():
+                conn, _ = listener.accept()
+                conn.close()
+                done.set()
+
+            threading.Thread(target=_accept, daemon=True).start()
+            connect(spec, timeout=5.0).close()
+            assert done.wait(5.0)
+        finally:
+            listener.close()
+
+    def test_stale_unix_socket_replaced(self, tmp_path):
+        path = tmp_path / "stale.sock"
+        spec = f"unix:{path}"
+        listener, _ = create_listener(spec)
+        listener.close()  # leaves the filesystem entry behind
+        assert path.exists()
+        listener, _ = create_listener(spec)  # must reclaim, not fail
+        listener.close()
+
+    def test_live_unix_socket_refused(self, tmp_path):
+        spec = f"unix:{tmp_path / 'live.sock'}"
+        listener, _ = create_listener(spec)
+        try:
+            with pytest.raises(EngineError):
+                create_listener(spec)
+        finally:
+            listener.close()
+
+    def test_connect_retry_until_listener_appears(self, tmp_path):
+        spec = f"unix:{tmp_path / 'late.sock'}"
+        holder = {}
+
+        def _bind_late():
+            import time
+            time.sleep(0.3)
+            holder["listener"], _ = create_listener(spec)
+
+        threading.Thread(target=_bind_late, daemon=True).start()
+        sock = connect(spec, timeout=5.0, retry_for=5.0)
+        sock.close()
+        holder["listener"].close()
+
+    def test_connect_no_retry_fails_fast(self, tmp_path):
+        with pytest.raises(EngineError):
+            connect(f"unix:{tmp_path / 'absent.sock'}", timeout=1.0)

@@ -31,6 +31,7 @@ REQUIRED_FILES = [
     "docs/architecture.md",
     "docs/engine.md",
     "docs/cli.md",
+    "docs/service.md",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
